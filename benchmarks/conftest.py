@@ -1,0 +1,10 @@
+"""Benchmark bootstrap: share the source-checkout import path and print
+rendered tables/series so `pytest benchmarks/ --benchmark-only -s` emits
+the rows each paper table/figure reports."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,38 @@
+"""Ablation: instrumentation amplifier on/off vs passive-RX sensitivity
+and the resulting passive-link range."""
+
+from repro.analysis.reporting import format_table
+from repro.circuits.receiver_chain import PassiveReceiverChain
+from repro.phy.link_budget import passive_link_budget
+
+
+def _sensitivities():
+    with_amp = PassiveReceiverChain().sensitivity_dbm()
+    without_amp = PassiveReceiverChain(amplifier=None).sensitivity_dbm()
+    return with_amp, without_amp
+
+
+def _range_for_sensitivity(sensitivity_dbm: float) -> float:
+    from dataclasses import replace
+
+    budget = replace(passive_link_budget(), detector_floor_dbm=sensitivity_dbm - 9.0)
+    return budget.max_range_m(100_000)
+
+
+def test_ablation_amplifier(benchmark):
+    with_amp, without_amp = benchmark(_sensitivities)
+    rows = [
+        ["without amplifier", f"{without_amp:.1f}", f"{_range_for_sensitivity(without_amp):.2f}"],
+        ["with INA2331", f"{with_amp:.1f}", f"{_range_for_sensitivity(with_amp):.2f}"],
+    ]
+    print()
+    print(
+        format_table(
+            ["chain", "sensitivity (dBm)", "100 kbps range (m)"],
+            rows,
+            title="Ablation: amplifier vs sensitivity (paper: ~-40 dBm bare)",
+        )
+    )
+    assert -45.0 < without_amp < -30.0  # the paper's ~-40 dBm figure
+    assert without_amp - with_amp > 10.0  # amp buys tens of dB
+    assert _range_for_sensitivity(with_amp) > _range_for_sensitivity(without_amp)

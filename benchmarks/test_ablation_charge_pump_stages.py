@@ -1,0 +1,36 @@
+"""Ablation: charge-pump stage count vs output voltage.
+
+More stages boost the envelope voltage (2N ideal) but raise the output
+impedance (N / f C) — the trade §3.2 resolves with the instrumentation
+amplifier instead of a deeper pump."""
+
+from repro.analysis.reporting import format_table
+from repro.circuits.charge_pump import DicksonChargePump, boost_versus_stages
+
+
+def test_ablation_charge_pump_stages(benchmark):
+    curve = benchmark(boost_versus_stages, 4)
+    rows = []
+    for stages, output_v in curve:
+        pump = DicksonChargePump(stages=stages)
+        rows.append(
+            [
+                stages,
+                f"{output_v:.2f}",
+                f"{pump.ideal_output_v(1.0):.1f}",
+                f"{pump.output_impedance_ohm() / 1e3:.0f} kOhm",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["stages", "settled V (1 V drive)", "ideal V", "output impedance"],
+            rows,
+            title="Ablation: Dickson pump depth vs voltage and impedance",
+        )
+    )
+    voltages = [v for _, v in curve]
+    assert voltages == sorted(voltages)
+    # Diminishing returns: each extra stage loses ground to the 2N ideal.
+    efficiencies = [v / (2.0 * s) for s, v in curve]
+    assert efficiencies == sorted(efficiencies, reverse=True)

@@ -1,0 +1,74 @@
+"""Ablation: scheduling-round length and the joint-bidirectional
+extension.
+
+* Round length trades fraction-tracking error against switch frequency.
+* The joint bidirectional LP (beyond the paper) beats the per-direction
+  method on the equal-battery diagonal by running both directions passive.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.modes import LinkMode
+from repro.hardware.battery import JOULES_PER_WATT_HOUR as WH
+from repro.mac.scheduler import ModeSchedule
+from repro.sim.lifetime import (
+    bluetooth_bidirectional,
+    braidio_bidirectional,
+    braidio_bidirectional_joint,
+)
+
+FRACTIONS = {LinkMode.PASSIVE: 0.6947, LinkMode.BACKSCATTER: 0.3053}
+
+
+def _schedule_rows():
+    rows = []
+    for period in (8, 32, 64, 256, 1024):
+        schedule = ModeSchedule(FRACTIONS, period_packets=period)
+        realized = schedule.realized_fractions()
+        error = max(
+            abs(realized.get(mode, 0.0) - share / sum(FRACTIONS.values()))
+            for mode, share in FRACTIONS.items()
+        )
+        rows.append(
+            [period, f"{error:.4f}", schedule.switches_per_period,
+             f"{schedule.switches_per_period / period:.4f}"]
+        )
+    return rows
+
+
+def test_ablation_scheduling_round(benchmark):
+    rows = benchmark(_schedule_rows)
+    print()
+    print(
+        format_table(
+            ["period (pkts)", "round share error", "switches/round", "switches/pkt"],
+            rows,
+            title="Ablation: scheduling-round length",
+        )
+    )
+    switch_rates = [float(row[3]) for row in rows]
+    assert switch_rates == sorted(switch_rates, reverse=True)
+
+
+def test_extension_joint_bidirectional(benchmark):
+    e = 1.0 * WH
+
+    def _gains():
+        bluetooth = bluetooth_bidirectional(e, e)
+        paper = braidio_bidirectional(e, e).total_bits / bluetooth
+        joint = braidio_bidirectional_joint(e, e).total_bits / bluetooth
+        return paper, joint
+
+    paper_gain, joint_gain = benchmark(_gains)
+    print()
+    print(
+        format_table(
+            ["method", "gain over Bluetooth (equal batteries)"],
+            [
+                ["per-direction Eq 1 (paper)", f"{paper_gain:.2f}x"],
+                ["joint LP (extension)", f"{joint_gain:.2f}x"],
+            ],
+            title="Extension: jointly optimized bidirectional scheduling",
+        )
+    )
+    assert 1.40 < paper_gain < 1.46
+    assert joint_gain > 1.9

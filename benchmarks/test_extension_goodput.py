@@ -1,0 +1,62 @@
+"""Extension bench: goodput and the braid profile.
+
+Two views the paper does not plot directly: the delivered payload rate of
+the power-proportional mix versus distance (the throughput face of
+Fig 14's bitrate steps), and the continuous mode-mix profile as the
+battery ratio sweeps seven orders of magnitude (the braid itself)."""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.throughput import braid_profile, goodput_profile
+
+DISTANCES = np.array([0.3, 0.8, 1.2, 2.0, 3.0, 4.0, 5.0])
+RATIOS = np.logspace(-4, 4, 9)
+
+
+def _both():
+    goodput = goodput_profile(energy_ratio=0.01, distances_m=DISTANCES)
+    braid = braid_profile(ratios=RATIOS)
+    return goodput, braid
+
+
+def test_extension_goodput_and_braid(benchmark):
+    goodput, braid = benchmark(_both)
+    print()
+    print(
+        format_series(
+            "distance_m",
+            [p.distance_m for p in goodput],
+            {
+                "air kbps": [round(p.air_rate_bps / 1e3) for p in goodput],
+                "goodput kbps": [round(p.goodput_bps / 1e3) for p in goodput],
+                "PDR": [round(p.delivery_ratio, 3) for p in goodput],
+            },
+            title="Extension: goodput of the 1:100 power-proportional mix",
+        )
+    )
+    print(
+        format_table(
+            ["E1:E2", "mode mix", "TX mW", "RX mW"],
+            [
+                [
+                    f"{p.energy_ratio:.0e}",
+                    ", ".join(f"{m}={f:.0%}" for m, f in p.fractions.items()),
+                    f"{p.tx_power_w * 1e3:.3f}",
+                    f"{p.rx_power_w * 1e3:.3f}",
+                ]
+                for p in braid
+            ],
+            title="Extension: the braid across seven orders of battery ratio",
+        )
+    )
+
+    # Goodput steps down with the Fig 14 bitrate boundaries.
+    rates = [p.air_rate_bps for p in goodput[:4]]
+    assert rates == sorted(rates, reverse=True)
+    # The braid is pure backscatter at one extreme, pure passive at the
+    # other, and mixed in the middle.
+    assert set(braid[0].fractions) == {"backscatter"}
+    assert set(braid[-1].fractions) == {"passive"}
+    middle = min(braid, key=lambda p: abs(p.energy_ratio - 1.0))
+    assert len(middle.fractions) == 2

@@ -1,0 +1,61 @@
+"""Extension bench: a phone hub serving a wearable fleet.
+
+Generalizes Eq 1 to a shared hub battery: maximize fleet uplink bits
+subject to every client's battery and the hub's, compared against a
+Bluetooth star sharing the hub battery equally."""
+
+from repro.analysis.reporting import format_table
+from repro.hardware import device
+from repro.hardware.battery import JOULES_PER_WATT_HOUR as WH
+from repro.net import ClientPlacement, HubNetwork
+from repro.sim import bluetooth_unidirectional
+
+CLIENTS = (
+    ("band", "Nike Fuel Band", 0.4, 1.0),
+    ("watch", "Apple Watch", 0.6, 1.0),
+    ("camera", "Pivothead", 1.2, 4.0),
+)
+
+
+def _plans():
+    clients = [
+        ClientPlacement(name, device(dev), distance_m=d, weight=w)
+        for name, dev, d, w in CLIENTS
+    ]
+    network = HubNetwork("iPhone 6S", clients)
+    return network, network.plan("total"), network.plan("maxmin")
+
+
+def test_extension_hub_network(benchmark):
+    network, total_plan, maxmin_plan = benchmark(_plans)
+    rows = []
+    for objective, plan in (("total", total_plan), ("maxmin", maxmin_plan)):
+        for allocation in plan.allocations:
+            modes = "/".join(
+                f"{m.value}:{f:.0%}" for m, f in allocation.mode_fractions.items()
+            )
+            rows.append([objective, allocation.name, f"{allocation.bits:.3e}", modes])
+    print()
+    print(
+        format_table(
+            ["objective", "client", "bits", "modes"],
+            rows,
+            title="Extension: hub-network fleet allocation",
+        )
+    )
+
+    hub_j = device("iPhone 6S").battery_wh * WH
+    bluetooth = sum(
+        bluetooth_unidirectional(device(dev).battery_wh * WH, hub_j / 3)
+        for _, dev, _, _ in CLIENTS
+    )
+    gain = total_plan.total_bits / bluetooth
+    print(f"Fleet gain over a Bluetooth star: {gain:.1f}x")
+
+    assert total_plan.total_bits >= maxmin_plan.total_bits
+    assert gain > 2.0
+    # Max-min equalizes weight-normalized bits.
+    normalized = [
+        maxmin_plan.allocation(name).bits / weight for name, _, _, weight in CLIENTS
+    ]
+    assert max(normalized) / min(normalized) < 1.01

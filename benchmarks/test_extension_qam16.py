@@ -1,0 +1,70 @@
+"""Extension bench: 16-QAM backscatter (the paper's [48] frontier).
+
+4 bits/symbol buy a 4 Mbps uplink at ~80 uW of tag power, but the
+constellation demands a coherent reader (~250 mW) and ~6 dB more SNR, so
+the range shrinks.  The bench maps where the QAM point helps the offload
+optimizer."""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.modes import LinkMode
+from repro.core.offload import solve_offload
+from repro.core.regimes import LinkMap
+from repro.hardware.power_models import paper_mode_power
+from repro.phy.link_budget import paper_link_profiles
+from repro.phy.qam import (
+    QAM16_BITRATE_BPS,
+    qam16_backscatter_budget,
+    qam16_operating_point,
+)
+
+
+def _comparison():
+    ook_budget = paper_link_profiles()[("backscatter", 1_000_000)]
+    qam_budget = qam16_backscatter_budget(ook_budget)
+    ook_point = paper_mode_power(LinkMode.BACKSCATTER, 1_000_000)
+    qam_point = qam16_operating_point()
+    return {
+        "ook_range": ook_budget.max_range_m(1_000_000),
+        "qam_range": qam_budget.max_range_m(QAM16_BITRATE_BPS),
+        "ook_point": ook_point,
+        "qam_point": qam_point,
+    }
+
+
+def test_extension_qam16(benchmark):
+    data = benchmark(_comparison)
+    ook, qam = data["ook_point"], data["qam_point"]
+    print()
+    print(
+        format_table(
+            ["uplink", "bitrate", "range (m)", "tag uW", "reader mW",
+             "tag pJ/bit"],
+            [
+                ["OOK backscatter", "1M", f"{data['ook_range']:.2f}",
+                 f"{ook.tx_w * 1e6:.1f}", f"{ook.rx_w * 1e3:.0f}",
+                 f"{ook.tx_energy_per_bit_j * 1e12:.1f}"],
+                ["16-QAM backscatter", "4M", f"{data['qam_range']:.2f}",
+                 f"{qam.tx_w * 1e6:.1f}", f"{qam.rx_w * 1e3:.0f}",
+                 f"{qam.tx_energy_per_bit_j * 1e12:.1f}"],
+            ],
+            title="Extension: 16-QAM vs OOK backscatter uplink",
+        )
+    )
+
+    # QAM trades range for per-bit tag efficiency.
+    assert data["qam_range"] < data["ook_range"]
+    assert qam.tx_energy_per_bit_j < ook.tx_energy_per_bit_j
+
+    # Within QAM range, a tiny transmitter with a rich receiver prefers
+    # the QAM point.
+    points = LinkMap().available_powers(0.2) + [qam]
+    solution = solve_offload(points, 1.0, 10_000.0)
+    used = {
+        (p.mode, p.bitrate_bps)
+        for p, f in zip(solution.points, solution.fractions)
+        if f > 1e-9
+    }
+    print(f"Offload mix at 0.2 m, 1:10000 energy: {sorted((m.value, b) for m, b in used)}")
+    assert (LinkMode.BACKSCATTER, QAM16_BITRATE_BPS) in used

@@ -1,0 +1,39 @@
+"""Fig 12: bit error rate for Braidio vs the AS3993 commercial reader at
+100 kbps — 1.8 m vs 3.0 m of range at 129 mW vs 640 mW."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber_sweep import reader_comparison_curves
+from repro.analysis.reporting import format_series
+
+
+def test_fig12_reader_comparison(benchmark):
+    curves, summary = benchmark(reader_comparison_curves)
+    by_label = {c.label: c for c in curves}
+    distances = by_label["Braidio"].distances_m
+    sample = np.linspace(0, len(distances) - 1, 14).astype(int)
+    print()
+    print(
+        format_series(
+            "distance_m",
+            list(np.round(distances[sample], 2)),
+            {
+                "Braidio BER": [f"{v:.2e}" for v in by_label["Braidio"].ber[sample]],
+                "Commercial BER": [
+                    f"{v:.2e}" for v in by_label["Commercial"].ber[sample]
+                ],
+            },
+            title="Fig 12: BER vs distance at 100 kbps",
+        )
+    )
+    print(f"Braidio range {summary['braidio_range_m']:.1f} m @ "
+          f"{summary['braidio_power_w'] * 1e3:.0f} mW; commercial "
+          f"{summary['commercial_range_m']:.1f} m @ "
+          f"{summary['commercial_power_w'] * 1e3:.0f} mW "
+          f"-> {summary['efficiency_advantage']:.1f}x efficiency")
+
+    assert summary["braidio_range_m"] == pytest.approx(1.8, rel=1e-3)
+    assert summary["commercial_range_m"] == pytest.approx(3.0, rel=1e-3)
+    assert summary["range_penalty"] == pytest.approx(0.4, abs=0.01)
+    assert summary["efficiency_advantage"] == pytest.approx(4.96, abs=0.05)

@@ -1,0 +1,45 @@
+"""Fig 13: BER over distance for the backscatter and passive-receiver
+modes at 1 Mbps / 100 kbps / 10 kbps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber_sweep import mode_ber_curves
+from repro.analysis.reporting import format_series, format_table
+
+PAPER_RANGES = {
+    "backscatter@1M": 0.9,
+    "backscatter@100k": 1.8,
+    "backscatter@10k": 2.4,
+    "passive@1M": 3.9,
+    "passive@100k": 4.2,
+    "passive@10k": 5.1,
+}
+
+
+def test_fig13_ber_vs_distance(benchmark):
+    curves = benchmark(mode_ber_curves)
+    by_label = {c.label: c for c in curves}
+    distances = curves[0].distances_m
+    sample = np.linspace(0, len(distances) - 1, 13).astype(int)
+    print()
+    print(
+        format_series(
+            "distance_m",
+            list(np.round(distances[sample], 2)),
+            {
+                label: [f"{v:.1e}" for v in by_label[label].ber[sample]]
+                for label in PAPER_RANGES
+            },
+            title="Fig 13: BER over distance per mode/bitrate",
+        )
+    )
+    rows = [
+        [label, f"{by_label[label].range_at_ber(0.01):.2f}", expected]
+        for label, expected in PAPER_RANGES.items()
+    ]
+    print(format_table(["link", "measured range (m)", "paper range (m)"], rows))
+    for label, expected in PAPER_RANGES.items():
+        assert by_label[label].range_at_ber(0.01) == pytest.approx(
+            expected, abs=0.11
+        ), label

@@ -1,0 +1,43 @@
+"""Fig 14: energy efficiency and dynamic range at different distances —
+the feasible region is a triangle in regime A, degenerates to a line in
+regime B and to a single point in regime C."""
+
+import pytest
+
+from repro.analysis.region import region_sweep
+from repro.analysis.reporting import format_table
+
+SWEEP_DISTANCES = (0.3, 1.2, 2.0, 3.0, 4.4, 5.5)
+
+
+def test_fig14_region_vs_distance(benchmark):
+    regions = benchmark(region_sweep, SWEEP_DISTANCES)
+    rows = []
+    for region in regions:
+        rows.append(
+            [
+                region.distance_m,
+                region.regime.value,
+                region.shape,
+                f"1:{1 / region.min_ratio:.0f}" if region.min_ratio < 1 else f"{region.min_ratio:.4f}",
+                f"{region.max_ratio:.0f}:1" if region.max_ratio > 1 else f"{region.max_ratio:.4f}",
+                f"{region.span_orders:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["distance_m", "regime", "shape", "min TX:RX", "max TX:RX", "span (oom)"],
+            rows,
+            title="Fig 14: feasible efficiency region vs distance",
+        )
+    )
+
+    by_distance = {r.distance_m: r for r in regions}
+    assert by_distance[0.3].min_ratio == pytest.approx(1 / 2546, rel=1e-6)
+    assert by_distance[1.2].min_ratio == pytest.approx(1 / 4000, rel=1e-6)
+    assert by_distance[2.0].min_ratio == pytest.approx(1 / 5600, rel=1e-6)
+    assert by_distance[4.4].max_ratio == pytest.approx(7800.0, rel=1e-6)
+    assert [by_distance[d].shape for d in SWEEP_DISTANCES] == [
+        "triangle", "triangle", "triangle", "line", "line", "point",
+    ]

@@ -1,0 +1,29 @@
+"""Fig 15: performance gain of Braidio over Bluetooth when the device on
+the horizontal axis transmits to the device on the vertical axis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gain_matrix import bluetooth_gain_matrix
+from repro.analysis.reporting import format_matrix
+
+
+def test_fig15_gain_over_bluetooth(benchmark):
+    matrix = benchmark(bluetooth_gain_matrix)
+    print()
+    print(
+        format_matrix(
+            matrix.labels,
+            matrix.labels,
+            [[round(float(v), 2) for v in row] for row in matrix.gains],
+            title="Fig 15: Braidio/Bluetooth gain (column transmits to row)",
+        )
+    )
+    print(f"Diagonal: {matrix.diagonal[0]:.2f}x; max gain: {matrix.max_gain:.0f}x "
+          f"(paper: 1.43x diagonal, up to 397x)")
+
+    assert matrix.diagonal == pytest.approx(np.full(10, 1.43), abs=0.01)
+    assert matrix.cell("Nike Fuel Band", "MacBook Pro 15") > 100.0
+    assert matrix.cell("MacBook Pro 15", "Nike Fuel Band") > 100.0
+    assert 20.0 < matrix.cell("Pivothead", "MacBook Pro 15") < 60.0
+    assert (matrix.gains >= 1.0 - 1e-9).all()

@@ -1,0 +1,31 @@
+"""Fig 17: performance gain of Braidio over Bluetooth for bi-directional
+data transmission (equal data both ways, roles alternate)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gain_matrix import bidirectional_gain_matrix, bluetooth_gain_matrix
+from repro.analysis.reporting import format_matrix
+
+
+def test_fig17_bidirectional_gain(benchmark):
+    matrix = benchmark(bidirectional_gain_matrix)
+    print()
+    print(
+        format_matrix(
+            matrix.labels,
+            matrix.labels,
+            [[round(float(v), 2) for v in row] for row in matrix.gains],
+            title="Fig 17: bidirectional Braidio/Bluetooth gain",
+        )
+    )
+    uni = bluetooth_gain_matrix()
+    corner_uni = uni.cell("Nike Fuel Band", "MacBook Pro 15")
+    corner_bi = matrix.cell("Nike Fuel Band", "MacBook Pro 15")
+    print(f"Fuel Band -> MacBook corner: {corner_uni:.0f}x unidirectional vs "
+          f"{corner_bi:.0f}x bidirectional (paper: slightly better for the "
+          f"energy-poor transmitter)")
+
+    assert matrix.diagonal == pytest.approx(np.full(10, 1.43), abs=0.01)
+    assert corner_bi > corner_uni
+    assert np.allclose(matrix.gains, matrix.gains.T, rtol=1e-6)

@@ -1,0 +1,35 @@
+"""Fig 18: performance gain over Bluetooth for the paper's three device
+pairs (both directions) as distance grows from 0.3 m to 6 m."""
+
+import numpy as np
+
+from repro.analysis.distance_sweep import paper_distance_curves
+from repro.analysis.reporting import format_series
+
+REPORT_DISTANCES = np.array([0.3, 0.75, 1.2, 1.65, 2.1, 2.55, 3.0, 4.0, 5.0, 6.0])
+
+
+def test_fig18_gain_vs_distance(benchmark):
+    curves = benchmark(paper_distance_curves, REPORT_DISTANCES)
+    print()
+    print(
+        format_series(
+            "distance_m",
+            list(REPORT_DISTANCES),
+            {c.label: [round(float(g), 2) for g in c.gains] for c in curves},
+            title="Fig 18: Braidio/Bluetooth gain vs distance",
+        )
+    )
+
+    by_label = {c.label: c for c in curves}
+    watch_up = by_label["Apple Watch to iPhone 6S"]
+    watch_down = by_label["iPhone 6S to Apple Watch"]
+    # Strong gains while backscatter operates.
+    assert watch_up.gain_at(0.3) > 3.0
+    # Small-to-big loses its edge once backscatter dies (~2.4 m)...
+    assert watch_up.gain_at(3.0) < 1.2
+    # ...but big-to-small keeps winning through regime B.
+    assert watch_down.gain_at(3.0) > 2.0
+    # Parity (within the active-mode calibration offset) by 6 m.
+    for curve in curves:
+        assert 0.9 <= curve.gain_at(6.0) <= 1.1

@@ -1,0 +1,14 @@
+"""Fig 1: battery capacity for mobile devices (0.26 - 99.5 Wh)."""
+
+from repro.analysis.tables import render_fig1
+from repro.hardware.devices import DEVICES, battery_span_orders_of_magnitude
+
+
+def test_fig1_battery_capacity(benchmark):
+    rendered = benchmark(render_fig1)
+    print()
+    print(rendered)
+    capacities = [d.battery_wh for d in DEVICES]
+    assert min(capacities) == 0.26
+    assert max(capacities) == 99.5
+    assert 2.3 < battery_span_orders_of_magnitude() < 3.0

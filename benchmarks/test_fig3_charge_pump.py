@@ -1,0 +1,27 @@
+"""Fig 3(b): TINA-style transient of the single-stage RF charge pump —
+a 1 V sine input converges to ~2 V DC at the output."""
+
+from repro.analysis.charge_pump_fig import charge_pump_figure
+from repro.analysis.reporting import format_series
+
+
+def test_fig3_charge_pump_transient(benchmark):
+    figure = benchmark(charge_pump_figure)
+    traces = figure.sampled_traces(samples=11)
+    print()
+    print(
+        format_series(
+            "time_us",
+            list(traces["time_us"]),
+            {
+                "A:Input": list(traces["input_v"]),
+                "B:Between diodes": list(traces["between_diodes_v"]),
+                "C:Output": list(traces["output_v"]),
+            },
+            title="Fig 3(b): charge pump waveforms",
+        )
+    )
+    print(f"Settled output: {figure.settled_output_v:.3f} V "
+          f"(ideal doubler bound: {figure.ideal_output_v:.1f} V)")
+    assert 1.6 < figure.settled_output_v < 2.0
+    assert figure.ideal_output_v == 2.0

@@ -1,0 +1,43 @@
+"""Fig 9: dynamic range of power assignment at close range — the A/B/C
+operating points, the 0.9524:1 / 1:2546 / 3546:1 ratio labels, and the
+point P for a 100:1 energy ratio on segment BC."""
+
+import pytest
+
+from repro.analysis.region import efficiency_region, proportional_operating_point
+from repro.analysis.reporting import format_table
+
+
+def _fig9():
+    region = efficiency_region(0.3)
+    point_p = proportional_operating_point(0.3, 100.0)
+    return region, point_p
+
+
+def test_fig9_dynamic_range(benchmark):
+    region, point_p = benchmark(_fig9)
+    rows = [
+        [
+            p.label,
+            p.power.mode.value,
+            f"{p.tx_bits_per_joule:.3e}",
+            f"{p.rx_bits_per_joule:.3e}",
+            f"{p.tx_rx_power_ratio:.6g}",
+        ]
+        for p in region.points
+    ]
+    print()
+    print(
+        format_table(
+            ["Point", "Mode", "TX bits/J", "RX bits/J", "TX:RX ratio"],
+            rows,
+            title="Fig 9: operating points at 0.3 m, 1 Mbps",
+        )
+    )
+    print(f"Ratio span: 1:{1 / region.min_ratio:.0f} to {region.max_ratio:.0f}:1 "
+          f"({region.span_orders:.2f} orders of magnitude)")
+    print(f"Point P (100:1 battery ratio): fractions {point_p['fractions']}")
+
+    assert region.min_ratio == pytest.approx(1 / 2546, rel=1e-6)
+    assert region.max_ratio == pytest.approx(3546.0, rel=1e-6)
+    assert point_p["proportional"] and point_p["on_pareto_edge"]

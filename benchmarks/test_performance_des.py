@@ -1,0 +1,40 @@
+"""Performance bench: discrete-event simulator throughput.
+
+Not a paper figure — this tracks the simulator's own speed (packets
+simulated per wall-clock second) so regressions in the hot path show up
+in the benchmark history."""
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BraidioPolicy
+from repro.sim.session import CommunicationSession
+from repro.sim.simulator import Simulator
+
+PACKETS = 5_000
+
+
+def _run_session():
+    sim = Simulator(seed=0)
+    a = BraidioRadio.for_device("Apple Watch")
+    a.battery = Battery(1.0)
+    b = BraidioRadio.for_device("iPhone 6S")
+    b.battery = Battery(1.0)
+    link = SimulatedLink(LinkMap(), 0.4, sim.rng)
+    session = CommunicationSession(
+        sim, a, b, link, BraidioPolicy(), max_packets=PACKETS
+    )
+    return session.run()
+
+
+def test_performance_des_throughput(benchmark):
+    metrics = benchmark(_run_session)
+    assert metrics.packets_attempted == PACKETS
+    # Mean round time -> packets/second, printed for the record.
+    mean_s = benchmark.stats.stats.mean
+    print(f"\nDES throughput: {PACKETS / mean_s:,.0f} packets/s "
+          f"({mean_s * 1e3:.1f} ms per {PACKETS}-packet session)")
+    # Guard rail: the simulator should stay above 20k packets/s on any
+    # reasonable machine.
+    assert PACKETS / mean_s > 20_000

@@ -1,0 +1,14 @@
+"""Table 1: TX/RX power ratio of Bluetooth (CC2541) and BLE (CC2640)."""
+
+from repro.analysis.tables import render_table1
+from repro.hardware.baselines import CC2541, CC2640
+
+
+def test_table1_bluetooth_ratios(benchmark):
+    rendered = benchmark(render_table1)
+    print()
+    print(rendered)
+    low, high = CC2541.power_ratio_range
+    assert 0.81 <= low <= 0.83 and 1.0 <= high <= 1.05
+    low, high = CC2640.power_ratio_range
+    assert 1.05 <= low <= 1.15 and 1.5 <= high <= 1.65

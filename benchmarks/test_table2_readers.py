@@ -1,0 +1,13 @@
+"""Table 2: power consumption and cost of commercial RFID readers."""
+
+from repro.analysis.tables import render_table2
+from repro.hardware.baselines import COMMERCIAL_READERS, reader_efficiency_advantage
+
+
+def test_table2_commercial_readers(benchmark):
+    rendered = benchmark(render_table2)
+    print()
+    print(rendered)
+    assert len(COMMERCIAL_READERS) == 6
+    # §6.1: Braidio about 5x as efficient as the best commercial reader.
+    assert 4.5 < reader_efficiency_advantage() < 5.5

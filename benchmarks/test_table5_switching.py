@@ -1,0 +1,23 @@
+"""Table 5: switching overhead in different modes, plus the negligibility
+check the paper draws from it."""
+
+from repro.analysis.tables import render_table5
+from repro.core.modes import LinkMode
+from repro.hardware.switching import PAPER_SWITCH_COSTS, switching_energy_fraction
+
+
+def test_table5_switching_overhead(benchmark):
+    rendered = benchmark(render_table5)
+    print()
+    print(rendered)
+    fraction = switching_energy_fraction(
+        LinkMode.BACKSCATTER,
+        packets_per_switch=64,
+        packet_bits=328,
+        bitrate_bps=10_000,  # the paper's worst case: 10 kbps link
+        side_power_w=129e-3,
+    )
+    print(f"Worst-case switching share of a 64-packet dwell @10 kbps: "
+          f"{fraction:.3%} (negligible, as the paper concludes)")
+    assert PAPER_SWITCH_COSTS[LinkMode.BACKSCATTER].tx_j / 3600 == 8.58e-8
+    assert fraction < 0.01

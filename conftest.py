@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the package importable from a source checkout.
+
+Offline environments cannot always complete `pip install -e .` (PEP 660
+editable installs need the `wheel` package); prepending src/ keeps the
+test and benchmark suites runnable either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: plan a power-proportional transfer between two devices.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import BraidioRadio, plan_transfer
+from repro.sim import bluetooth_unidirectional
+
+
+def main() -> None:
+    # A smartwatch streaming sensor data to a phone, half a metre away.
+    watch = BraidioRadio.for_device("Apple Watch")
+    phone = BraidioRadio.for_device("iPhone 6S")
+
+    plan = plan_transfer(watch, phone, distance_m=0.5)
+    solution = plan.plan.solution
+
+    print(f"Transfer: {watch.name} -> {phone.name} at 0.5 m")
+    print(f"Operating regime: {plan.plan.regime.value}")
+    print("Mode mix (fraction of bits):")
+    for mode, fraction in sorted(
+        solution.mode_fractions().items(), key=lambda kv: -kv[1]
+    ):
+        if fraction > 1e-9:
+            print(f"  {mode.value:12s} {fraction:7.2%}")
+    print(f"Power-proportional: {solution.proportional}")
+    print(f"Watch-side power:   {plan.tx_power_w * 1e3:8.3f} mW")
+    print(f"Phone-side power:   {plan.rx_power_w * 1e3:8.3f} mW")
+    print(f"Total bits before a battery dies: {plan.total_bits:.3e}")
+    print(f"That is {plan.duration_s / 3600.0:.1f} hours of continuous transfer")
+
+    bluetooth = bluetooth_unidirectional(
+        watch.battery.remaining_j, phone.battery.remaining_j
+    )
+    print(f"Bluetooth would deliver {bluetooth:.3e} bits "
+          f"-> Braidio gain {plan.total_bits / bluetooth:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

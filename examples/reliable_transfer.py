@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Reliable transfer under interference: ARQ + dynamic fallback together.
+
+A watch uploads to a phone while a rogue 915 MHz transmitter bursts in the
+room.  Two defenses stack: stop-and-wait ARQ recovers individual losses,
+and the §4.2 fallback abandons the envelope-detector modes for the active
+link whenever a burst makes them hopeless.
+
+Run:
+    python examples/reliable_transfer.py
+"""
+
+from repro import BraidioRadio, LinkMap
+from repro.hardware import Battery
+from repro.sim import (
+    BraidioPolicy,
+    BurstyInterferer,
+    CommunicationSession,
+    InterferedLink,
+    SaturatedTraffic,
+    Simulator,
+)
+
+
+def run(arq: bool, seed: int = 11):
+    simulator = Simulator(seed=seed)
+    interferer = BurstyInterferer(
+        simulator.rng, mean_on_s=1.0, mean_off_s=3.0, snr_penalty_db=40.0
+    )
+    link = InterferedLink(LinkMap(), 0.5, simulator.rng, interferer)
+    watch = BraidioRadio.for_device("Apple Watch")
+    watch.battery = Battery(2e-3)
+    phone = BraidioRadio.for_device("iPhone 6S")
+    phone.battery = Battery(2e-2)
+    policy = BraidioPolicy()
+    session = CommunicationSession(
+        simulator,
+        watch,
+        phone,
+        link,
+        policy,
+        traffic=SaturatedTraffic(payload_bytes=30),
+        arq=arq,
+        max_retries=16,
+        max_time_s=8.0,
+        max_packets=10**9,
+    )
+    return session.run(), policy
+
+
+def main() -> None:
+    for arq in (False, True):
+        metrics, policy = run(arq)
+        label = "with ARQ" if arq else "without ARQ"
+        print(f"{label}:")
+        print(f"  delivered {metrics.bits_delivered / 8e3:8.1f} kB, "
+              f"PDR {metrics.packet_delivery_ratio:.4f}")
+        if arq:
+            print(f"  retransmissions {metrics.retransmissions}, "
+                  f"abandoned frames {metrics.arq_failures}, "
+                  f"ACK overhead {metrics.ack_bits / 8e3:.1f} kB")
+        print(f"  fallbacks to active: {policy.controller.fallbacks}, "
+              f"re-plans: {policy.controller.replans}")
+        modes = ", ".join(
+            f"{m.value}={f:.0%}" for m, f in sorted(
+                metrics.mode_fractions().items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"  mode usage: {modes}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Braidio: an integrated active-passive radio with asymmetric energy
+budgets — a full simulation reproduction of the SIGCOMM 2016 paper.
+
+The package is layered bottom-up:
+
+* :mod:`repro.phy` — propagation, noise, modulation, fading, the
+  phase-cancellation geometry and per-mode link budgets;
+* :mod:`repro.circuits` — the analog front end (Dickson charge pump,
+  envelope detector, instrumentation amplifier, comparator, SAW filter);
+* :mod:`repro.hardware` — component power models, the calibrated per-mode
+  power table, batteries, the Fig 1 device catalog and baselines;
+* :mod:`repro.mac` — frames, CRC, control protocol and the mode scheduler;
+* :mod:`repro.core` — the paper's contribution: operating modes/regimes,
+  efficiency regions, the Eq 1 carrier-offload optimizer and the dynamic
+  controller;
+* :mod:`repro.sim` — the discrete-event simulator and the analytic
+  lifetime engine;
+* :mod:`repro.analysis` — drivers that regenerate every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro import BraidioRadio, plan_transfer
+
+    watch = BraidioRadio.for_device("Apple Watch")
+    phone = BraidioRadio.for_device("iPhone 6S")
+    plan = plan_transfer(watch, phone, distance_m=0.5)
+    print(plan.total_bits, plan.plan.solution.mode_fractions())
+"""
+
+from .core import (
+    BraidioRadio,
+    DynamicOffloadController,
+    LinkMap,
+    LinkMode,
+    OffloadSolution,
+    Regime,
+    TransferPlan,
+    plan_transfer,
+    solve_offload,
+)
+from .hardware import DEVICES, Battery, DeviceSpec, device, paper_mode_power
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Battery",
+    "BraidioRadio",
+    "DEVICES",
+    "DeviceSpec",
+    "DynamicOffloadController",
+    "LinkMap",
+    "LinkMode",
+    "OffloadSolution",
+    "Regime",
+    "TransferPlan",
+    "__version__",
+    "device",
+    "paper_mode_power",
+    "plan_transfer",
+    "solve_offload",
+]

@@ -1,0 +1,136 @@
+"""Command-line runner: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro show fig15           # print a figure's rows
+    python -m repro export fig13 out/    # write one experiment's CSV
+    python -m repro export all out/      # write every experiment's CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _show(experiment: str) -> int:
+    from .analysis import (
+        format_matrix,
+        format_series,
+        render_fig1,
+        render_table1,
+        render_table2,
+        render_table5,
+    )
+
+    if experiment == "fig1":
+        print(render_fig1())
+    elif experiment == "table1":
+        print(render_table1())
+    elif experiment == "table2":
+        print(render_table2())
+    elif experiment == "table5":
+        print(render_table5())
+    elif experiment in ("fig15", "fig16", "fig17"):
+        from .analysis import (
+            best_mode_gain_matrix,
+            bidirectional_gain_matrix,
+            bluetooth_gain_matrix,
+        )
+
+        matrix = {
+            "fig15": bluetooth_gain_matrix,
+            "fig16": best_mode_gain_matrix,
+            "fig17": bidirectional_gain_matrix,
+        }[experiment]()
+        print(
+            format_matrix(
+                matrix.labels,
+                matrix.labels,
+                [[round(float(v), 2) for v in row] for row in matrix.gains],
+                title=f"{experiment}: gain matrix (column transmits to row)",
+            )
+        )
+    elif experiment == "fig13":
+        from .analysis import mode_ber_curves
+
+        curves = mode_ber_curves()
+        print(
+            format_series(
+                "distance_m",
+                [round(float(d), 2) for d in curves[0].distances_m],
+                {c.label: [f"{v:.1e}" for v in c.ber] for c in curves},
+                title="fig13: BER over distance",
+            )
+        )
+    elif experiment == "fig14":
+        from .analysis import region_sweep
+
+        for region in region_sweep():
+            print(
+                f"{region.distance_m:5.1f} m  regime {region.regime.value}  "
+                f"{region.shape:8s}  ratios {region.min_ratio:.6g} .. "
+                f"{region.max_ratio:.6g}  ({region.span_orders:.2f} oom)"
+            )
+    elif experiment == "fig18":
+        from .analysis import paper_distance_curves
+
+        curves = paper_distance_curves()
+        print(
+            format_series(
+                "distance_m",
+                [round(float(d), 2) for d in curves[0].distances_m],
+                {c.label: [round(float(g), 2) for g in c.gains] for c in curves},
+                title="fig18: gain vs distance",
+            )
+        )
+    else:
+        print(f"no text renderer for {experiment!r}; use `export`", file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    from .analysis.export import EXPORTERS, export_all
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Braidio paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiment ids")
+    subparsers.add_parser(
+        "report", help="print the paper-vs-measured summary of every headline"
+    )
+    show = subparsers.add_parser("show", help="print an experiment's rows")
+    show.add_argument("experiment", choices=sorted(EXPORTERS))
+    export = subparsers.add_parser("export", help="write CSV output")
+    export.add_argument("experiment", choices=sorted(EXPORTERS) + ["all"])
+    export.add_argument("directory", type=Path)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in EXPORTERS:
+            print(name)
+        return 0
+    if args.command == "report":
+        from .analysis.summary import render_report, reproduction_report
+
+        rows = reproduction_report()
+        print(render_report(rows))
+        return 0 if all(row.within_tolerance for row in rows) else 1
+    if args.command == "show":
+        return _show(args.experiment)
+    if args.experiment == "all":
+        for path in export_all(args.directory):
+            print(path)
+    else:
+        print(EXPORTERS[args.experiment](args.directory))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

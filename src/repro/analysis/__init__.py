@@ -1,0 +1,104 @@
+"""Experiment drivers: one module per family of paper tables/figures,
+plus shared ASCII reporting."""
+
+from .ber_sweep import BerCurve, mode_ber_curves, reader_comparison_curves
+from .charge_pump_fig import ChargePumpFigure, charge_pump_figure
+from .distance_sweep import (
+    PAPER_PAIRS,
+    DistanceGainCurve,
+    distance_gain_curve,
+    paper_distance_curves,
+)
+from .gain_matrix import (
+    GainMatrix,
+    best_mode_gain_matrix,
+    bidirectional_gain_matrix,
+    bluetooth_gain_matrix,
+)
+from .phase_maps import (
+    DiversityComparison,
+    PhaseMapResult,
+    diversity_comparison,
+    line_profile,
+    phase_cancellation_map,
+)
+from .region import (
+    PAPER_RATIO_LABELS,
+    EfficiencyRegion,
+    efficiency_region,
+    proportional_operating_point,
+    region_sweep,
+)
+from .reporting import format_matrix, format_series, format_table, format_value
+from .sensitivity import (
+    PowerOverrides,
+    bluetooth_power_sweep,
+    corner_gain,
+    reader_power_matching_paper_corner,
+    reader_power_sweep,
+)
+from .summary import ReportRow, render_report, reproduction_report
+from .throughput import (
+    BraidPoint,
+    GoodputPoint,
+    braid_profile,
+    goodput_profile,
+)
+from .tables import (
+    render_fig1,
+    render_table1,
+    render_table2,
+    render_table5,
+    table1_rows,
+    table2_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "PowerOverrides",
+    "bluetooth_power_sweep",
+    "corner_gain",
+    "reader_power_matching_paper_corner",
+    "reader_power_sweep",
+    "BraidPoint",
+    "GoodputPoint",
+    "braid_profile",
+    "goodput_profile",
+    "ReportRow",
+    "render_report",
+    "reproduction_report",
+    "BerCurve",
+    "ChargePumpFigure",
+    "DistanceGainCurve",
+    "DiversityComparison",
+    "EfficiencyRegion",
+    "GainMatrix",
+    "PAPER_PAIRS",
+    "PAPER_RATIO_LABELS",
+    "PhaseMapResult",
+    "best_mode_gain_matrix",
+    "bidirectional_gain_matrix",
+    "bluetooth_gain_matrix",
+    "charge_pump_figure",
+    "distance_gain_curve",
+    "diversity_comparison",
+    "efficiency_region",
+    "format_matrix",
+    "format_series",
+    "format_table",
+    "format_value",
+    "line_profile",
+    "mode_ber_curves",
+    "paper_distance_curves",
+    "phase_cancellation_map",
+    "proportional_operating_point",
+    "reader_comparison_curves",
+    "region_sweep",
+    "render_fig1",
+    "render_table1",
+    "render_table2",
+    "render_table5",
+    "table1_rows",
+    "table2_rows",
+    "table5_rows",
+]

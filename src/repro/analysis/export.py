@@ -1,0 +1,186 @@
+"""CSV exporters for every reproduced table and figure.
+
+Plotting libraries are deliberately not a dependency; these writers emit
+plain CSV that any tool (matplotlib, gnuplot, a spreadsheet) can plot.
+Used by the ``python -m repro`` command-line runner.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from .ber_sweep import mode_ber_curves, reader_comparison_curves
+from .charge_pump_fig import charge_pump_figure
+from .distance_sweep import paper_distance_curves
+from .gain_matrix import (
+    best_mode_gain_matrix,
+    bidirectional_gain_matrix,
+    bluetooth_gain_matrix,
+)
+from .phase_maps import diversity_comparison, line_profile, phase_cancellation_map
+from .region import region_sweep
+from .tables import fig1_rows, table1_rows, table2_rows, table5_rows
+
+
+def _write_rows(path: Path, header: list[str], rows) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1(directory: Path) -> Path:
+    """Fig 1 battery capacities."""
+    return _write_rows(directory / "fig1_battery_capacity.csv",
+                       ["device", "class", "battery_wh"], fig1_rows())
+
+
+def export_table1(directory: Path) -> Path:
+    """Table 1 Bluetooth power ratios."""
+    return _write_rows(directory / "table1_bluetooth.csv",
+                       ["chip", "transmit", "receive", "tx_rx_ratio"], table1_rows())
+
+
+def export_table2(directory: Path) -> Path:
+    """Table 2 commercial readers."""
+    return _write_rows(
+        directory / "table2_readers.csv",
+        ["model", "total_power", "rx_power", "cost", "vs_braidio"],
+        table2_rows(),
+    )
+
+
+def export_table5(directory: Path) -> Path:
+    """Table 5 switching overheads."""
+    return _write_rows(directory / "table5_switching.csv",
+                       ["mode", "tx", "rx", "total_j"], table5_rows())
+
+
+def export_fig3(directory: Path) -> Path:
+    """Fig 3(b) charge-pump waveforms."""
+    figure = charge_pump_figure()
+    result = figure.result
+    rows = zip(result.time_s * 1e6, result.input_v, result.internal_v, result.output_v)
+    return _write_rows(directory / "fig3_charge_pump.csv",
+                       ["time_us", "input_v", "between_diodes_v", "output_v"], rows)
+
+
+def export_fig4(directory: Path) -> Path:
+    """Fig 4(b) map (long form) and 4(c) line profile."""
+    result = phase_cancellation_map(resolution=100)
+    rows = []
+    for yi, y in enumerate(result.y_m):
+        for xi, x in enumerate(result.x_m):
+            rows.append([x, y, result.signal_db[yi, xi]])
+    _write_rows(directory / "fig4b_phase_map.csv", ["x_m", "y_m", "signal_db"], rows)
+    x, profile = line_profile(resolution=400)
+    return _write_rows(directory / "fig4c_line_profile.csv",
+                       ["x_m", "signal_db"], zip(x, profile))
+
+
+def export_fig6(directory: Path) -> Path:
+    """Fig 6 antenna-diversity comparison."""
+    result = diversity_comparison()
+    rows = zip(result.distances_m, result.without_db, result.with_db)
+    return _write_rows(directory / "fig6_antenna_diversity.csv",
+                       ["distance_m", "without_db", "with_db"], rows)
+
+
+def export_fig12(directory: Path) -> Path:
+    """Fig 12 Braidio vs commercial reader BER."""
+    curves, _ = reader_comparison_curves()
+    by_label = {c.label: c for c in curves}
+    rows = zip(
+        by_label["Braidio"].distances_m,
+        by_label["Braidio"].ber,
+        by_label["Commercial"].ber,
+    )
+    return _write_rows(directory / "fig12_reader_comparison.csv",
+                       ["distance_m", "braidio_ber", "commercial_ber"], rows)
+
+
+def export_fig13(directory: Path) -> Path:
+    """Fig 13 per-mode BER curves."""
+    curves = mode_ber_curves()
+    header = ["distance_m"] + [c.label for c in curves]
+    rows = np.column_stack([curves[0].distances_m] + [c.ber for c in curves])
+    return _write_rows(directory / "fig13_ber_modes.csv", header, rows.tolist())
+
+
+def export_fig14(directory: Path) -> Path:
+    """Fig 14 region sweep."""
+    rows = [
+        [r.distance_m, r.regime.value, r.shape, r.min_ratio, r.max_ratio, r.span_orders]
+        for r in region_sweep()
+    ]
+    return _write_rows(
+        directory / "fig14_regions.csv",
+        ["distance_m", "regime", "shape", "min_ratio", "max_ratio", "span_orders"],
+        rows,
+    )
+
+
+def _export_matrix(directory: Path, name: str, matrix) -> Path:
+    header = ["rx\\tx"] + matrix.labels
+    rows = [
+        [label] + [float(v) for v in row]
+        for label, row in zip(matrix.labels, matrix.gains)
+    ]
+    return _write_rows(directory / name, header, rows)
+
+
+def export_fig15(directory: Path) -> Path:
+    """Fig 15 gain matrix."""
+    return _export_matrix(directory, "fig15_gain_matrix.csv", bluetooth_gain_matrix())
+
+
+def export_fig16(directory: Path) -> Path:
+    """Fig 16 best-single-mode matrix."""
+    return _export_matrix(directory, "fig16_vs_best_mode.csv", best_mode_gain_matrix())
+
+
+def export_fig17(directory: Path) -> Path:
+    """Fig 17 bidirectional matrix."""
+    return _export_matrix(
+        directory, "fig17_bidirectional.csv", bidirectional_gain_matrix()
+    )
+
+
+def export_fig18(directory: Path) -> Path:
+    """Fig 18 distance sweeps."""
+    curves = paper_distance_curves()
+    header = ["distance_m"] + [c.label for c in curves]
+    rows = np.column_stack(
+        [curves[0].distances_m] + [c.gains for c in curves]
+    )
+    return _write_rows(directory / "fig18_distance.csv", header, rows.tolist())
+
+
+#: Experiment id -> exporter, the registry the CLI dispatches on.
+EXPORTERS: dict[str, Callable[[Path], Path]] = {
+    "fig1": export_fig1,
+    "table1": export_table1,
+    "table2": export_table2,
+    "fig3": export_fig3,
+    "fig4": export_fig4,
+    "fig6": export_fig6,
+    "fig12": export_fig12,
+    "fig13": export_fig13,
+    "fig14": export_fig14,
+    "table5": export_table5,
+    "fig15": export_fig15,
+    "fig16": export_fig16,
+    "fig17": export_fig17,
+    "fig18": export_fig18,
+}
+
+
+def export_all(directory: Path) -> list[Path]:
+    """Write every experiment's CSV into ``directory``."""
+    return [exporter(directory) for exporter in EXPORTERS.values()]

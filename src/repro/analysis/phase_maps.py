@@ -1,0 +1,101 @@
+"""Phase-cancellation figures (Fig 4 and Fig 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..phy.antenna import DiversityReceiver
+from ..phy.phase import PhaseCancellationModel
+
+
+@dataclass(frozen=True)
+class PhaseMapResult:
+    """Fig 4(b): signal-strength map over tag positions.
+
+    Attributes:
+        x_m / y_m: grid coordinates.
+        signal_db: map of shape (len(y), len(x)).
+    """
+
+    x_m: np.ndarray
+    y_m: np.ndarray
+    signal_db: np.ndarray
+
+    @property
+    def dynamic_range_db(self) -> float:
+        """Spread between the strongest and weakest grid cell."""
+        return float(self.signal_db.max() - self.signal_db.min())
+
+
+def phase_cancellation_map(
+    resolution: int = 80, model: PhaseCancellationModel | None = None
+) -> PhaseMapResult:
+    """Fig 4(b): the 2 m x 2 m signal-strength map with the paper's
+    antenna placement (TX at (0.95, 0.5), RX at (1.05, 0.5))."""
+    if resolution < 2:
+        raise ValueError("resolution must be at least 2")
+    model = model if model is not None else PhaseCancellationModel()
+    x = np.linspace(0.0, 2.0, resolution)
+    y = np.linspace(0.0, 2.0, resolution)
+    return PhaseMapResult(x_m=x, y_m=y, signal_db=model.signal_map_db(x, y))
+
+
+def line_profile(
+    resolution: int = 400,
+    y: float = 0.5,
+    model: PhaseCancellationModel | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 4(c): signal strength along the y = 0.5 m line."""
+    model = model if model is not None else PhaseCancellationModel()
+    x = np.linspace(0.0, 2.0, resolution)
+    return x, model.line_profile_db(x, y)
+
+
+@dataclass(frozen=True)
+class DiversityComparison:
+    """Fig 6: SNR with and without antenna diversity along a line.
+
+    Attributes:
+        distances_m: tag distances from the receiver pair.
+        without_db / with_db: per-position SNR for one antenna and for
+            selection combining.
+        noise_floor_db: reference level subtracted to express SNR.
+    """
+
+    distances_m: np.ndarray
+    without_db: np.ndarray
+    with_db: np.ndarray
+    noise_floor_db: float
+
+    @property
+    def worst_without_db(self) -> float:
+        """Deepest null without diversity."""
+        return float(self.without_db.min())
+
+    @property
+    def worst_with_db(self) -> float:
+        """Deepest null with diversity."""
+        return float(self.with_db.min())
+
+
+def diversity_comparison(
+    resolution: int = 300,
+    noise_floor_db: float = -75.0,
+    model: PhaseCancellationModel | None = None,
+) -> DiversityComparison:
+    """Fig 6: sweep the tag 0.3-2 m from the receiver and compare single-
+    antenna SNR against lambda/8 selection diversity."""
+    model = model if model is not None else PhaseCancellationModel()
+    receiver = DiversityReceiver(model=model)
+    rx = model.rx_position
+    x = np.linspace(rx.x + 0.3, rx.x + 2.0, resolution)
+    single = receiver.single_antenna_profile_db(x, rx.y)
+    combined = receiver.combined_profile_db(x, rx.y)
+    return DiversityComparison(
+        distances_m=x - rx.x,
+        without_db=single - noise_floor_db,
+        with_db=combined - noise_floor_db,
+        noise_floor_db=noise_floor_db,
+    )

@@ -1,0 +1,139 @@
+"""Efficiency-region computations (Fig 9 and Fig 14).
+
+Fig 9 plots the three operating points at close range and labels the
+extreme TX:RX power ratios; Fig 14 repeats the construction as distance
+grows and modes drop bitrate or vanish, the triangle degenerating into a
+line (regime B) and finally a point (regime C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.efficiency import (
+    OperatingPoint,
+    dynamic_range_orders_of_magnitude,
+    operating_points,
+    pareto_edge,
+    power_ratio_span,
+)
+from ..core.modes import LinkMode
+from ..core.offload import solve_offload
+from ..core.regimes import LinkMap, Regime
+
+
+@dataclass(frozen=True)
+class EfficiencyRegion:
+    """The feasible efficiency region at one distance.
+
+    Attributes:
+        distance_m: separation.
+        regime: Fig 8 regime.
+        points: available operating points (vertices of the region).
+        min_ratio / max_ratio: extreme achievable TX:RX power ratios.
+        span_orders: orders of magnitude between the extremes.
+        shape: "triangle", "line" or "point".
+    """
+
+    distance_m: float
+    regime: Regime
+    points: tuple[OperatingPoint, ...]
+    min_ratio: float
+    max_ratio: float
+    span_orders: float
+    shape: str
+
+    def vertex(self, mode: LinkMode) -> OperatingPoint:
+        """The vertex contributed by ``mode``.
+
+        Raises:
+            KeyError: if the mode is unavailable at this distance.
+        """
+        for point in self.points:
+            if point.power.mode is mode:
+                return point
+        raise KeyError(f"{mode} unavailable at {self.distance_m} m")
+
+
+def efficiency_region(
+    distance_m: float, link_map: LinkMap | None = None
+) -> EfficiencyRegion:
+    """Compute the feasible region at ``distance_m``.
+
+    Raises:
+        ValueError: if no mode operates (beyond active range).
+    """
+    link_map = link_map if link_map is not None else LinkMap()
+    powers = link_map.available_powers(distance_m)
+    if not powers:
+        raise ValueError(f"no operating mode available at {distance_m} m")
+    points = operating_points(powers)
+    low, high = power_ratio_span(points)
+    distinct_modes = {p.power.mode for p in points}
+    shape = {3: "triangle", 2: "line", 1: "point"}[len(distinct_modes)]
+    return EfficiencyRegion(
+        distance_m=distance_m,
+        regime=link_map.classify(distance_m),
+        points=points,
+        min_ratio=low,
+        max_ratio=high,
+        span_orders=dynamic_range_orders_of_magnitude(points),
+        shape=shape,
+    )
+
+
+def region_sweep(
+    distances_m: tuple[float, ...] = (0.3, 1.2, 2.0, 3.0, 4.4, 5.5),
+    link_map: LinkMap | None = None,
+) -> list[EfficiencyRegion]:
+    """Fig 14: the region at representative distances across regimes."""
+    link_map = link_map if link_map is not None else LinkMap()
+    return [efficiency_region(d, link_map) for d in distances_m]
+
+
+def proportional_operating_point(
+    distance_m: float,
+    energy_ratio: float,
+    link_map: LinkMap | None = None,
+) -> dict:
+    """The point P of Fig 9: for two end points with ``energy_ratio`` of
+    available energy, the bit fractions and efficiencies of the optimal
+    power-proportional mix at ``distance_m``.
+    """
+    if energy_ratio <= 0.0:
+        raise ValueError("energy ratio must be positive")
+    link_map = link_map if link_map is not None else LinkMap()
+    powers = link_map.available_powers(distance_m)
+    solution = solve_offload(powers, energy_ratio, 1.0)
+    return {
+        "fractions": {
+            p.mode.value: f for p, f in zip(solution.points, solution.fractions)
+        },
+        "tx_bits_per_joule": 1.0 / solution.tx_energy_per_bit_j,
+        "rx_bits_per_joule": 1.0 / solution.rx_energy_per_bit_j,
+        "tx_rx_ratio": solution.tx_energy_per_bit_j / solution.rx_energy_per_bit_j,
+        "proportional": solution.proportional,
+        "on_pareto_edge": _on_pareto_edge(solution, powers),
+    }
+
+
+def _on_pareto_edge(solution, powers) -> bool:
+    frontier_modes = {
+        p.power.mode for p in pareto_edge(operating_points(powers))
+    }
+    used_modes = {
+        p.mode for p, f in zip(solution.points, solution.fractions) if f > 1e-9
+    }
+    return used_modes.issubset(frontier_modes)
+
+
+#: The ratio labels printed on Fig 9 (0.3 m) and the extremes of Fig 14.
+PAPER_RATIO_LABELS = {
+    ("active", 1_000_000): 0.9524,
+    ("passive", 1_000_000): 3546.0,
+    ("passive", 100_000): 5571.0,
+    ("passive", 10_000): 7800.0,
+    ("backscatter", 1_000_000): 1.0 / 2546.0,
+    ("backscatter", 100_000): 1.0 / 4000.0,
+    ("backscatter", 10_000): 1.0 / 5600.0,
+}

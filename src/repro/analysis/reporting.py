@@ -1,0 +1,100 @@
+"""ASCII rendering helpers shared by the benchmark harness.
+
+Every benchmark prints the rows/series of its table or figure through
+these helpers, so the output format is uniform and diffable against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a left-aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells; values are converted with :func:`format_value`.
+        title: optional heading line.
+
+    Returns:
+        The rendered table as one string.
+    """
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_value(value: object) -> str:
+    """Format one table cell: compact scientific/fixed notation for
+    floats, str() for everything else."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.3g}"
+    if magnitude >= 100:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render a labelled numeric matrix (the Fig 15/16/17 layout)."""
+    if len(cells) != len(row_labels):
+        raise ValueError("one row of cells per row label required")
+    headers = [""] + list(col_labels)
+    rows = []
+    for label, row in zip(row_labels, cells):
+        if len(row) != len(col_labels):
+            raise ValueError("one cell per column label required")
+        rows.append([label] + [format_value(v) for v in row])
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render aligned x/y series (the figure-curve layout)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            values = series[name]
+            if len(values) != len(x_values):
+                raise ValueError(f"series {name!r} length mismatch")
+            row.append(values[i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,130 @@
+"""One-call reproduction summary: every headline number, paper vs measured.
+
+:func:`reproduction_report` computes the key quantity behind each table and
+figure and pairs it with the value the paper states.  The CLI's ``report``
+command prints it; the integration tests assert every row's measured value
+stays inside its tolerance band, so EXPERIMENTS.md cannot silently drift
+from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.battery import JOULES_PER_WATT_HOUR as WH
+from ..hardware.baselines import reader_efficiency_advantage
+from ..hardware.braidio_board import BraidioBoard
+from ..hardware.devices import battery_span_orders_of_magnitude, device
+from ..sim.lifetime import (
+    braidio_bidirectional_gain,
+    braidio_gain_over_best_mode,
+    braidio_gain_over_bluetooth,
+)
+from .ber_sweep import reader_comparison_curves
+from .region import efficiency_region
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One headline quantity.
+
+    Attributes:
+        experiment: figure/table id.
+        quantity: what is measured.
+        paper: the paper's value (as stated).
+        measured: this reproduction's value.
+        tolerance: relative band within which ``measured`` must stay of
+            ``expected`` (the value we commit to, equal to ``paper`` for
+            exact reproductions and to our documented value otherwise).
+        expected: committed value (defaults to ``paper``).
+    """
+
+    experiment: str
+    quantity: str
+    paper: float
+    measured: float
+    tolerance: float
+    expected: float | None = None
+
+    @property
+    def target(self) -> float:
+        """The value the row is held to."""
+        return self.paper if self.expected is None else self.expected
+
+    @property
+    def within_tolerance(self) -> bool:
+        """Whether the measurement sits inside the committed band."""
+        return abs(self.measured - self.target) <= self.tolerance * abs(self.target)
+
+
+def _energy(name: str) -> float:
+    return device(name).battery_wh * WH
+
+
+def reproduction_report() -> list[ReportRow]:
+    """Compute every headline row (a few seconds of work)."""
+    region = efficiency_region(0.3)
+    _, fig12 = reader_comparison_curves()
+    board_low, board_high = BraidioBoard().power_extremes_w()
+
+    band = _energy("Nike Fuel Band")
+    laptop = _energy("MacBook Pro 15")
+    watch = _energy("Apple Watch")
+    pivothead = _energy("Pivothead")
+
+    return [
+        ReportRow("fig1", "battery span (orders of magnitude)", 3.0,
+                  battery_span_orders_of_magnitude(), 0.2),
+        ReportRow("fig9", "max TX:RX ratio (passive@1M)", 3546.0,
+                  region.max_ratio, 1e-6),
+        ReportRow("fig9", "min TX:RX ratio (backscatter@1M)", 1 / 2546,
+                  region.min_ratio, 1e-6),
+        ReportRow("fig9", "ratio span (orders of magnitude)", 7.0,
+                  region.span_orders, 0.01, expected=6.96),
+        ReportRow("abstract", "max power draw (W)", 129e-3, board_high, 1e-6),
+        ReportRow("abstract", "min power draw (W)", 16e-6, board_low, 0.6,
+                  expected=7.27e-6),
+        ReportRow("fig12", "Braidio reader range (m)", 1.8,
+                  fig12["braidio_range_m"], 0.01),
+        ReportRow("fig12", "commercial reader range (m)", 3.0,
+                  fig12["commercial_range_m"], 0.01),
+        ReportRow("fig12", "reader efficiency advantage", 5.0,
+                  reader_efficiency_advantage(), 0.02, expected=4.96),
+        ReportRow("fig15", "equal-battery diagonal gain", 1.43,
+                  braidio_gain_over_bluetooth(watch, watch), 0.01),
+        ReportRow("fig15", "Fuel Band -> MacBook corner gain", 397.0,
+                  braidio_gain_over_bluetooth(band, laptop), 0.05,
+                  expected=168.0),
+        ReportRow("fig15", "Pivothead -> laptop gain", 35.0,
+                  braidio_gain_over_bluetooth(pivothead, laptop), 0.2,
+                  expected=30.3),
+        ReportRow("fig16", "equal-battery gain over best mode", 1.43,
+                  braidio_gain_over_best_mode(watch, watch), 0.01,
+                  expected=1.44),
+        ReportRow("fig17", "bidirectional equal-battery gain", 1.43,
+                  braidio_bidirectional_gain(watch, watch), 0.01),
+        ReportRow("fig17", "bidirectional corner gain", 368.0,
+                  braidio_bidirectional_gain(band, laptop), 0.05,
+                  expected=233.0),
+    ]
+
+
+def render_report(rows: list[ReportRow] | None = None) -> str:
+    """Render the report as an ASCII table with pass/fail marks."""
+    rows = rows if rows is not None else reproduction_report()
+    cells = [
+        [
+            row.experiment,
+            row.quantity,
+            f"{row.paper:.4g}",
+            f"{row.measured:.4g}",
+            "ok" if row.within_tolerance else "DRIFT",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["experiment", "quantity", "paper", "measured", "status"],
+        cells,
+        title="Braidio reproduction: paper vs measured",
+    )

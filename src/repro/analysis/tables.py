@@ -1,0 +1,107 @@
+"""Renderers for the paper's data tables (Table 1, 2, 5) and the Fig 1
+battery-capacity chart."""
+
+from __future__ import annotations
+
+from ..core.modes import LinkMode
+from ..hardware.baselines import (
+    BLUETOOTH_CHIPS,
+    BRAIDIO_READER_POWER_W,
+    COMMERCIAL_READERS,
+)
+from ..hardware.devices import DEVICES, battery_span_orders_of_magnitude
+from ..hardware.switching import PAPER_SWITCH_COSTS, WH_TO_JOULES
+from .reporting import format_table
+
+
+def table1_rows() -> list[list[object]]:
+    """Table 1: Bluetooth/BLE TX-RX power and ratio ranges."""
+    rows = []
+    for chip in BLUETOOTH_CHIPS:
+        tx_lo, tx_hi = chip.tx_power_range_w
+        rx_lo, rx_hi = chip.rx_power_range_w
+        ratio_lo, ratio_hi = chip.power_ratio_range
+        rows.append(
+            [
+                chip.name,
+                f"{tx_lo * 1e3:.0f}~{tx_hi * 1e3:.0f} mW",
+                f"{rx_lo * 1e3:.0f}~{rx_hi * 1e3:.0f} mW",
+                f"{ratio_lo:.2f}~{ratio_hi:.2f}",
+            ]
+        )
+    return rows
+
+
+def render_table1() -> str:
+    """Render Table 1."""
+    return format_table(
+        ["Chip", "Transmit", "Receive", "TX/RX Ratio"],
+        table1_rows(),
+        title="Table 1: Transmitter/receiver power ratio of Bluetooth and BLE",
+    )
+
+
+def table2_rows() -> list[list[object]]:
+    """Table 2: commercial reader power/cost, plus Braidio's advantage."""
+    rows = []
+    for reader in COMMERCIAL_READERS:
+        rows.append(
+            [
+                reader.name,
+                f"{reader.total_power_w:.2f} W @ {reader.output_power_dbm:.0f} dBm",
+                f"{reader.rx_power_w:.2f} W",
+                f"${reader.cost_usd:.0f}",
+                f"{reader.total_power_w / BRAIDIO_READER_POWER_W:.1f}x",
+            ]
+        )
+    return rows
+
+
+def render_table2() -> str:
+    """Render Table 2."""
+    return format_table(
+        ["Model", "Total Power", "Est. RX Power", "Cost", "vs Braidio"],
+        table2_rows(),
+        title="Table 2: Power consumption and cost of commercial readers",
+    )
+
+
+def table5_rows() -> list[list[object]]:
+    """Table 5: per-switch energy in Wh (paper units) and joules."""
+    rows = []
+    for mode in (LinkMode.ACTIVE, LinkMode.PASSIVE, LinkMode.BACKSCATTER):
+        cost = PAPER_SWITCH_COSTS[mode]
+        rows.append(
+            [
+                mode.value.capitalize(),
+                f"{cost.tx_j / WH_TO_JOULES:.2e} Wh",
+                f"{cost.rx_j / WH_TO_JOULES:.2e} Wh",
+                f"{cost.total_j:.2e} J",
+            ]
+        )
+    return rows
+
+
+def render_table5() -> str:
+    """Render Table 5."""
+    return format_table(
+        ["Mode", "TX", "RX", "Total (J)"],
+        table5_rows(),
+        title="Table 5: Switching overhead in different modes",
+    )
+
+
+def fig1_rows() -> list[list[object]]:
+    """Fig 1: device battery capacities in Wh."""
+    return [[d.name, d.device_class, d.battery_wh] for d in DEVICES]
+
+
+def render_fig1() -> str:
+    """Render the Fig 1 data with the headline span."""
+    table = format_table(
+        ["Device", "Class", "Battery (Wh)"],
+        fig1_rows(),
+        title="Fig 1: Battery capacity for mobile devices",
+    )
+    span = battery_span_orders_of_magnitude()
+    return f"{table}\nSpan: {span:.2f} orders of magnitude"

@@ -1,0 +1,151 @@
+"""Goodput analysis (beyond the paper's bit-count figures).
+
+The evaluation counts total bits to battery death; a deployer also wants
+*rate*: how fast does the power-proportional mix actually move data at
+each distance, once bitrate downgrades and packet losses are priced in?
+
+:func:`goodput_profile` sweeps distance and reports, per policy, the
+delivered payload rate of the optimal mix — showing the other face of
+Fig 14: every step down in backscatter bitrate trades throughput for the
+ability to keep offloading the carrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.offload import solve_offload
+from ..core.regimes import LinkMap
+from ..phy.modulation import packet_error_rate
+from ..sim.session import FRAME_OVERHEAD_BITS
+
+
+@dataclass(frozen=True)
+class GoodputPoint:
+    """Goodput of the optimal mix at one distance.
+
+    Attributes:
+        distance_m: separation.
+        air_rate_bps: raw mixed bitrate (time-weighted).
+        goodput_bps: delivered payload rate after framing overhead and
+            packet losses.
+        delivery_ratio: expected packet delivery ratio of the mix.
+    """
+
+    distance_m: float
+    air_rate_bps: float
+    goodput_bps: float
+    delivery_ratio: float
+
+
+def goodput_profile(
+    energy_ratio: float = 1.0,
+    distances_m: np.ndarray | None = None,
+    payload_bytes: int = 30,
+    link_map: LinkMap | None = None,
+) -> list[GoodputPoint]:
+    """Goodput of the power-proportional mix across distance.
+
+    Args:
+        energy_ratio: E1/E2 of the end points (shapes the mix).
+        distances_m: sweep points (default 0.3-5.5 m).
+        payload_bytes: payload per packet.
+        link_map: availability map.
+
+    Raises:
+        ValueError: for non-positive energy ratios or payloads.
+    """
+    if energy_ratio <= 0.0:
+        raise ValueError("energy ratio must be positive")
+    if payload_bytes <= 0:
+        raise ValueError("payload must be positive")
+    if distances_m is None:
+        distances_m = np.linspace(0.3, 5.5, 27)
+    link_map = link_map if link_map is not None else LinkMap()
+
+    payload_bits = 8 * payload_bytes
+    frame_bits = payload_bits + FRAME_OVERHEAD_BITS
+    points = []
+    for distance in distances_m:
+        candidates = link_map.available_powers(float(distance))
+        if not candidates:
+            continue
+        solution = solve_offload(candidates, energy_ratio, 1.0)
+        # Time-weighted delivery: each active point contributes its share
+        # of frames at its own bitrate and PER.
+        time_per_bit = 0.0
+        delivered_weight = 0.0
+        total_weight = 0.0
+        for point, fraction in zip(solution.points, solution.fractions):
+            if fraction <= 1e-12:
+                continue
+            budget = link_map.budget(point.mode, point.bitrate_bps)
+            ber = budget.ber(float(distance), point.bitrate_bps)
+            per = packet_error_rate(ber, frame_bits)
+            time_per_bit += fraction / point.bitrate_bps
+            delivered_weight += fraction * (1.0 - per)
+            total_weight += fraction
+        air_rate = 1.0 / time_per_bit
+        delivery = delivered_weight / total_weight
+        goodput = air_rate * (payload_bits / frame_bits) * delivery
+        points.append(
+            GoodputPoint(
+                distance_m=float(distance),
+                air_rate_bps=air_rate,
+                goodput_bps=goodput,
+                delivery_ratio=delivery,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class BraidPoint:
+    """Mode mix at one battery ratio (the "braid" profile).
+
+    Attributes:
+        energy_ratio: E1/E2.
+        fractions: mode-name -> bit share.
+        tx_power_w / rx_power_w: side powers of the mix at 1 Mbps air
+            time.
+        proportional: whether exact proportionality was achievable.
+    """
+
+    energy_ratio: float
+    fractions: dict[str, float]
+    tx_power_w: float
+    rx_power_w: float
+    proportional: bool
+
+
+def braid_profile(
+    ratios: np.ndarray | None = None,
+    distance_m: float = 0.3,
+    link_map: LinkMap | None = None,
+) -> list[BraidPoint]:
+    """How the braid re-weaves as the battery ratio sweeps seven orders
+    of magnitude — the continuous version of Fig 9's operating line."""
+    if ratios is None:
+        ratios = np.logspace(-4, 4, 33)
+    link_map = link_map if link_map is not None else LinkMap()
+    candidates = link_map.available_powers(distance_m)
+    points = []
+    for ratio in ratios:
+        solution = solve_offload(candidates, float(ratio), 1.0)
+        rate = solution.mean_bitrate_bps()
+        points.append(
+            BraidPoint(
+                energy_ratio=float(ratio),
+                fractions={
+                    mode.value: share
+                    for mode, share in solution.mode_fractions().items()
+                    if share > 1e-12
+                },
+                tx_power_w=solution.tx_energy_per_bit_j * rate,
+                rx_power_w=solution.rx_energy_per_bit_j * rate,
+                proportional=solution.proportional,
+            )
+        )
+    return points

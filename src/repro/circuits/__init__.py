@@ -1,0 +1,43 @@
+"""Analog front-end substrate: diode/capacitor primitives, the Dickson
+charge pump, envelope detector, instrumentation amplifier, comparator, SAW
+filter, RF switches and the composed passive receive chain."""
+
+from .amplifier import InstrumentationAmplifier
+from .charge_pump import ChargePumpResult, DicksonChargePump, boost_versus_stages
+from .comparator import Comparator
+from .components import (
+    Capacitor,
+    Diode,
+    Resistor,
+    rc_cutoff_hz,
+    rc_time_constant_s,
+)
+from .envelope_detector import (
+    EnvelopeDetector,
+    peak_voltage_to_rf_power_dbm,
+    rf_power_dbm_to_peak_voltage,
+)
+from .receiver_chain import PassiveReceiverChain, amplifier_sensitivity_gain_db
+from .rf_switch import AntennaSwitch, BackscatterModulator
+from .saw_filter import SawFilter
+
+__all__ = [
+    "AntennaSwitch",
+    "BackscatterModulator",
+    "Capacitor",
+    "ChargePumpResult",
+    "Comparator",
+    "DicksonChargePump",
+    "Diode",
+    "EnvelopeDetector",
+    "InstrumentationAmplifier",
+    "PassiveReceiverChain",
+    "Resistor",
+    "SawFilter",
+    "amplifier_sensitivity_gain_db",
+    "boost_versus_stages",
+    "peak_voltage_to_rf_power_dbm",
+    "rc_cutoff_hz",
+    "rc_time_constant_s",
+    "rf_power_dbm_to_peak_voltage",
+]

@@ -1,0 +1,105 @@
+"""Instrumentation-amplifier model (INA2331 class).
+
+The charge pump boosts voltage but raises the source impedance sharply
+(§3.2: "the amplifier has to be high impedance and low input capacitance,
+otherwise the signal will be greatly reduced").  The model captures the
+three effects that matter to the receive chain:
+
+* resistive and capacitive input loading of a high-impedance source,
+* finite gain-bandwidth product, and
+* a fixed supply power draw (the only active power in the passive RX).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstrumentationAmplifier:
+    """Behavioural instrumentation amplifier.
+
+    Attributes:
+        gain: closed-loop voltage gain.
+        gain_bandwidth_hz: gain-bandwidth product; usable bandwidth is
+            ``gbw / gain``.
+        input_resistance_ohm: differential input resistance.
+        input_capacitance_f: input capacitance (INA2331: 1.8 pF per
+            Table 4 — low enough not to load the pump at baseband rates).
+        supply_power_w: quiescent power draw (≈ 5 uW per channel class).
+    """
+
+    gain: float = 100.0
+    gain_bandwidth_hz: float = 2e6
+    input_resistance_ohm: float = 1e10
+    input_capacitance_f: float = 1.8e-12
+    supply_power_w: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.gain < 1.0:
+            raise ValueError("gain must be at least 1")
+        if self.gain_bandwidth_hz <= 0.0:
+            raise ValueError("gain-bandwidth product must be positive")
+        if self.input_resistance_ohm <= 0.0 or self.input_capacitance_f <= 0.0:
+            raise ValueError("input impedance parameters must be positive")
+        if self.supply_power_w < 0.0:
+            raise ValueError("supply power must be non-negative")
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Usable closed-loop bandwidth at the configured gain."""
+        return self.gain_bandwidth_hz / self.gain
+
+    def supports_bitrate(self, bitrate_bps: float) -> bool:
+        """Whether the amplifier passes data at ``bitrate_bps`` (bandwidth
+        of at least half the bitrate for binary signalling)."""
+        if bitrate_bps <= 0.0:
+            raise ValueError("bitrate must be positive")
+        return self.bandwidth_hz >= bitrate_bps / 2.0
+
+    def source_loading_factor(
+        self, source_impedance_ohm: float, signal_frequency_hz: float
+    ) -> float:
+        """Fraction of the source voltage that survives input loading.
+
+        The source (charge-pump output) impedance forms a divider with the
+        amplifier's input resistance in parallel with its input-capacitance
+        reactance.
+        """
+        if source_impedance_ohm < 0.0:
+            raise ValueError("source impedance must be non-negative")
+        if signal_frequency_hz <= 0.0:
+            raise ValueError("signal frequency must be positive")
+        cap_reactance = 1.0 / (
+            2.0 * math.pi * signal_frequency_hz * self.input_capacitance_f
+        )
+        # Parallel combination of R_in and |X_c| (magnitude approximation).
+        load = (
+            self.input_resistance_ohm
+            * cap_reactance
+            / (self.input_resistance_ohm + cap_reactance)
+        )
+        return load / (load + source_impedance_ohm)
+
+    def amplify(
+        self,
+        input_v: float,
+        source_impedance_ohm: float = 0.0,
+        signal_frequency_hz: float = 1e5,
+    ) -> float:
+        """Output voltage for a (small) input voltage after loading and
+        gain; saturation is not modelled as the chain slices long before
+        rail limits matter."""
+        loaded = input_v * self.source_loading_factor(
+            max(source_impedance_ohm, 0.0), signal_frequency_hz
+        ) if source_impedance_ohm > 0.0 else input_v
+        return loaded * self.gain
+
+    def effective_gain(
+        self, source_impedance_ohm: float, signal_frequency_hz: float
+    ) -> float:
+        """Net gain including source loading at ``signal_frequency_hz``."""
+        return self.gain * self.source_loading_factor(
+            source_impedance_ohm, signal_frequency_hz
+        )

@@ -1,0 +1,93 @@
+"""Comparator / data-slicer model.
+
+The final element of the passive receive chain converts the amplified
+baseband envelope into a bit stream.  Commercial nanopower comparators
+(NCS2200 / TS881 class, cited in §3.2) need several millivolts of input
+swing to toggle reliably — this threshold is what sets the ~-40 dBm
+sensitivity of an unamplified envelope receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """Threshold comparator with hysteresis.
+
+    Attributes:
+        min_swing_v: minimum peak-to-peak input swing for reliable
+            toggling (datasheet overdrive spec; ~5 mV).
+        hysteresis_v: hysteresis band around the slicing threshold.
+        supply_power_w: quiescent draw (~1 uW for nanopower parts).
+    """
+
+    min_swing_v: float = 5e-3
+    hysteresis_v: float = 1e-3
+    supply_power_w: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.min_swing_v <= 0.0:
+            raise ValueError("minimum swing must be positive")
+        if self.hysteresis_v < 0.0:
+            raise ValueError("hysteresis must be non-negative")
+        if self.hysteresis_v >= self.min_swing_v:
+            raise ValueError("hysteresis must be below the minimum swing")
+        if self.supply_power_w < 0.0:
+            raise ValueError("supply power must be non-negative")
+
+    def can_slice(self, swing_v: float) -> bool:
+        """Whether an input of peak-to-peak ``swing_v`` toggles the
+        comparator reliably."""
+        return swing_v >= self.min_swing_v
+
+    def slice(self, waveform: np.ndarray, threshold_v: float | None = None) -> np.ndarray:
+        """Convert an analog waveform into a boolean sample stream.
+
+        Args:
+            waveform: baseband samples.
+            threshold_v: slicing threshold; defaults to the waveform
+                midpoint (adaptive slicing).
+
+        Returns:
+            Boolean array, one decision per sample, with hysteresis applied
+            (the output only flips once the signal crosses the threshold by
+            half the hysteresis band).
+        """
+        samples = np.asarray(waveform, dtype=float)
+        if samples.size == 0:
+            return np.zeros(0, dtype=bool)
+        if threshold_v is None:
+            threshold_v = float((samples.max() + samples.min()) / 2.0)
+        half_band = self.hysteresis_v / 2.0
+
+        out = np.empty(samples.size, dtype=bool)
+        state = samples[0] > threshold_v
+        for i, x in enumerate(samples):
+            if state and x < threshold_v - half_band:
+                state = False
+            elif not state and x > threshold_v + half_band:
+                state = True
+            out[i] = state
+        return out
+
+    def sample_bits(
+        self,
+        waveform: np.ndarray,
+        samples_per_bit: int,
+        threshold_v: float | None = None,
+    ) -> list[int]:
+        """Slice a waveform and sample each bit at its centre.
+
+        Raises:
+            ValueError: if ``samples_per_bit`` is not positive.
+        """
+        if samples_per_bit <= 0:
+            raise ValueError("samples_per_bit must be positive")
+        sliced = self.slice(waveform, threshold_v)
+        n_bits = len(sliced) // samples_per_bit
+        centres = np.arange(n_bits) * samples_per_bit + samples_per_bit // 2
+        return [int(sliced[c]) for c in centres]

@@ -1,0 +1,116 @@
+"""Analog component primitives used by the front-end circuit models.
+
+Only the behaviour that matters to the Braidio front end is modelled: the
+exponential diode law (for the charge pump and envelope detector), ideal
+capacitors (charge storage) and resistors (loads, bias networks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Thermal voltage kT/q at room temperature, volts.
+THERMAL_VOLTAGE_V = 0.02585
+
+#: Exponent clip applied inside the diode law so explicit integration stays
+#: finite when a solver overshoots.
+_MAX_EXPONENT = 60.0
+
+
+@dataclass(frozen=True)
+class Diode:
+    """Shockley diode model.
+
+    Attributes:
+        saturation_current_a: reverse saturation current I_s.  The default
+            (1 uA) corresponds to a zero-bias Schottky detector diode of the
+            HSMS-285x class used in RF charge pumps, which conducts
+            meaningfully below 150 mV.
+        ideality: ideality factor n.
+    """
+
+    saturation_current_a: float = 1e-6
+    ideality: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.saturation_current_a <= 0.0:
+            raise ValueError("saturation current must be positive")
+        if self.ideality <= 0.0:
+            raise ValueError("ideality factor must be positive")
+
+    def current(self, voltage_v: float) -> float:
+        """Anode-to-cathode current at forward voltage ``voltage_v``."""
+        exponent = voltage_v / (self.ideality * THERMAL_VOLTAGE_V)
+        exponent = min(exponent, _MAX_EXPONENT)
+        return self.saturation_current_a * (math.exp(exponent) - 1.0)
+
+    def forward_drop(self, current_a: float) -> float:
+        """Forward voltage needed to conduct ``current_a`` (inverse law).
+
+        Raises:
+            ValueError: for non-positive currents.
+        """
+        if current_a <= 0.0:
+            raise ValueError(f"current must be positive, got {current_a!r}")
+        return (
+            self.ideality
+            * THERMAL_VOLTAGE_V
+            * math.log(current_a / self.saturation_current_a + 1.0)
+        )
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Ideal capacitor."""
+
+    capacitance_f: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0.0:
+            raise ValueError("capacitance must be positive")
+
+    def charge(self, voltage_v: float) -> float:
+        """Stored charge Q = C V."""
+        return self.capacitance_f * voltage_v
+
+    def energy(self, voltage_v: float) -> float:
+        """Stored energy E = C V^2 / 2."""
+        return 0.5 * self.capacitance_f * voltage_v**2
+
+    def impedance_ohm(self, frequency_hz: float) -> float:
+        """Magnitude of the capacitive reactance at ``frequency_hz``."""
+        if frequency_hz <= 0.0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+        return 1.0 / (2.0 * math.pi * frequency_hz * self.capacitance_f)
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Ideal resistor."""
+
+    resistance_ohm: float
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm <= 0.0:
+            raise ValueError("resistance must be positive")
+
+    def current(self, voltage_v: float) -> float:
+        """Ohm's law current for ``voltage_v`` across the resistor."""
+        return voltage_v / self.resistance_ohm
+
+    def power(self, voltage_v: float) -> float:
+        """Dissipated power for ``voltage_v`` across the resistor."""
+        return voltage_v**2 / self.resistance_ohm
+
+
+def rc_time_constant_s(resistance_ohm: float, capacitance_f: float) -> float:
+    """RC time constant in seconds."""
+    if resistance_ohm <= 0.0 or capacitance_f <= 0.0:
+        raise ValueError("R and C must both be positive")
+    return resistance_ohm * capacitance_f
+
+
+def rc_cutoff_hz(resistance_ohm: float, capacitance_f: float) -> float:
+    """-3 dB corner frequency of a first-order RC filter."""
+    return 1.0 / (2.0 * math.pi * rc_time_constant_s(resistance_ohm, capacitance_f))

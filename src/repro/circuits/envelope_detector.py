@@ -1,0 +1,150 @@
+"""Envelope-detector behavioural model.
+
+The passive receiver front end converts the RF envelope into a baseband
+voltage.  Two views are provided:
+
+* a *power-level* view (:meth:`EnvelopeDetector.output_voltage_v`) mapping
+  input RF power to the detector's baseband output swing, used for
+  sensitivity budgets; and
+* a *waveform* view (:meth:`EnvelopeDetector.demodulate`) that rectifies
+  and low-pass filters a sampled RF/envelope waveform, then high-pass
+  filters it to strip the self-interference DC component — the passive
+  self-interference cancellation at the heart of the paper (§3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .components import Diode
+
+#: Standard antenna/system impedance, ohms.
+SYSTEM_IMPEDANCE_OHM = 50.0
+
+
+def rf_power_dbm_to_peak_voltage(power_dbm: float, impedance_ohm: float = SYSTEM_IMPEDANCE_OHM) -> float:
+    """Peak voltage of a sine delivering ``power_dbm`` into ``impedance_ohm``."""
+    power_w = 10.0 ** (power_dbm / 10.0) / 1e3
+    return math.sqrt(2.0 * power_w * impedance_ohm)
+
+
+def peak_voltage_to_rf_power_dbm(peak_v: float, impedance_ohm: float = SYSTEM_IMPEDANCE_OHM) -> float:
+    """Inverse of :func:`rf_power_dbm_to_peak_voltage`.
+
+    Raises:
+        ValueError: for non-positive peak voltages.
+    """
+    if peak_v <= 0.0:
+        raise ValueError(f"peak voltage must be positive, got {peak_v!r}")
+    power_w = peak_v**2 / (2.0 * impedance_ohm)
+    return 10.0 * math.log10(power_w * 1e3)
+
+
+@dataclass(frozen=True)
+class EnvelopeDetector:
+    """Behavioural envelope detector.
+
+    Attributes:
+        diode: rectifying diode (sets the small-signal conversion knee).
+        matching_gain: voltage boost of the antenna matching network (a
+            high-Q match trades bandwidth for voltage; 3 is typical for a
+            tag front end).
+        pump_boost: additional voltage multiplication from the charge pump
+            (2 per stage; Braidio's one-stage pump gives 2).
+        lowpass_cutoff_hz: envelope low-pass corner; must exceed the bitrate
+            to pass data edges.
+        highpass_cutoff_hz: corner of the high-pass that strips the
+            self-interference DC/low-frequency component; the paper argues
+            1 kHz suffices because the interference coherence time is
+            milliseconds.
+    """
+
+    diode: Diode = Diode()
+    matching_gain: float = 3.0
+    pump_boost: float = 2.0
+    lowpass_cutoff_hz: float = 2e6
+    highpass_cutoff_hz: float = 1e3
+
+    def __post_init__(self) -> None:
+        if self.matching_gain <= 0.0 or self.pump_boost <= 0.0:
+            raise ValueError("gains must be positive")
+        if self.lowpass_cutoff_hz <= self.highpass_cutoff_hz:
+            raise ValueError("low-pass corner must exceed high-pass corner")
+
+    def output_voltage_v(self, input_power_dbm: float) -> float:
+        """Baseband output swing for an OOK input at ``input_power_dbm``.
+
+        Small inputs suffer the square-law penalty of the diode knee: below
+        the knee voltage the conversion efficiency falls off linearly with
+        input voltage (square-law detection), which is what ultimately caps
+        passive-receiver sensitivity.
+        """
+        peak_in = rf_power_dbm_to_peak_voltage(input_power_dbm) * self.matching_gain
+        knee = self.diode.forward_drop(1e-6)
+        if peak_in >= knee:
+            # Linear (peak) detection region.
+            effective = peak_in - knee / 2.0
+        else:
+            # Square-law region: output scales with V^2 / knee.
+            effective = peak_in**2 / (2.0 * knee)
+        return effective * self.pump_boost
+
+    def sensitivity_dbm(self, min_output_v: float) -> float:
+        """Smallest RF input power that produces ``min_output_v`` at the
+        output (bisection over the monotone transfer curve)."""
+        if min_output_v <= 0.0:
+            raise ValueError("minimum output voltage must be positive")
+        low, high = -120.0, 20.0
+        if self.output_voltage_v(high) < min_output_v:
+            raise ValueError("detector cannot reach the requested output level")
+        for _ in range(100):
+            mid = (low + high) / 2.0
+            if self.output_voltage_v(mid) >= min_output_v:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def demodulate(
+        self,
+        waveform: np.ndarray,
+        sample_rate_hz: float,
+        strip_dc: bool = True,
+    ) -> np.ndarray:
+        """Rectify + filter a sampled waveform into its baseband envelope.
+
+        Args:
+            waveform: RF or magnitude samples (the model rectifies, so
+                either a modulated carrier or a precomputed magnitude
+                works).
+            sample_rate_hz: sampling rate of ``waveform``.
+            strip_dc: apply the high-pass stage that removes the
+                self-interference DC offset.
+
+        Returns:
+            Baseband envelope samples, same length as the input.
+        """
+        samples = np.abs(np.asarray(waveform, dtype=float))
+        if sample_rate_hz <= 0.0:
+            raise ValueError("sample rate must be positive")
+
+        envelope = _single_pole_lowpass(samples, sample_rate_hz, self.lowpass_cutoff_hz)
+        if strip_dc:
+            envelope = envelope - _single_pole_lowpass(
+                envelope, sample_rate_hz, self.highpass_cutoff_hz
+            )
+        return envelope * self.matching_gain * self.pump_boost
+
+
+def _single_pole_lowpass(samples: np.ndarray, fs_hz: float, cutoff_hz: float) -> np.ndarray:
+    """First-order IIR low-pass filter."""
+    alpha = 1.0 - math.exp(-2.0 * math.pi * cutoff_hz / fs_hz)
+    out = np.empty_like(samples)
+    state = samples[0] if len(samples) else 0.0
+    for i, x in enumerate(samples):
+        state += alpha * (x - state)
+        out[i] = state
+    return out

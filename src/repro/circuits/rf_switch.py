@@ -1,0 +1,111 @@
+"""RF switch models.
+
+Two switches appear in Braidio:
+
+* the SPDT antenna-diversity switch (SKY13267, Table 4: < 10 uW), which the
+  receiver uses to select the stronger antenna; and
+* the backscatter modulator transistor, which tunes/detunes the antenna to
+  reflect the incident carrier — the entire transmitter of the backscatter
+  mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AntennaSwitch:
+    """SPDT antenna-selection switch.
+
+    Attributes:
+        insertion_loss_db: through-path loss.
+        isolation_db: off-path isolation.
+        switching_time_s: time to change throw.
+        power_w: control/drive power while active (< 10 uW per Table 4).
+    """
+
+    insertion_loss_db: float = 0.35
+    isolation_db: float = 25.0
+    switching_time_s: float = 1e-6
+    power_w: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0.0:
+            raise ValueError("insertion loss must be non-negative")
+        if self.isolation_db <= self.insertion_loss_db:
+            raise ValueError("isolation must exceed insertion loss")
+        if self.switching_time_s < 0.0 or self.power_w < 0.0:
+            raise ValueError("time and power must be non-negative")
+
+    def through_power_dbm(self, power_dbm: float) -> float:
+        """Power on the selected path."""
+        return power_dbm - self.insertion_loss_db
+
+    def leaked_power_dbm(self, power_dbm: float) -> float:
+        """Power leaking to the unselected path."""
+        return power_dbm - self.isolation_db
+
+
+@dataclass(frozen=True)
+class BackscatterModulator:
+    """The tag-side RF transistor that modulates the reflected carrier.
+
+    Attributes:
+        reflection_coefficient_on: complex reflection coefficient with the
+            transistor on (antenna shorted; near -1).
+        reflection_coefficient_off: reflection coefficient with the
+            transistor off (antenna matched; near 0 reflection leaves some
+            structural reflection, hence 0.1).
+        max_rate_bps: fastest toggling rate (a few MHz for FSK-style
+            subcarrier modulation per §2.2).
+        drive_energy_j_per_transition: gate-charge energy per state change;
+            multiplied by the toggle rate this is the modulator's dynamic
+            power (the reason backscatter TX power scales with bitrate).
+    """
+
+    reflection_coefficient_on: complex = complex(-0.9, 0.0)
+    reflection_coefficient_off: complex = complex(0.1, 0.0)
+    max_rate_bps: float = 4e6
+    drive_energy_j_per_transition: float = 1e-11
+
+    def __post_init__(self) -> None:
+        if abs(self.reflection_coefficient_on) > 1.0 or abs(self.reflection_coefficient_off) > 1.0:
+            raise ValueError("reflection coefficients cannot exceed unity magnitude")
+        if self.max_rate_bps <= 0.0:
+            raise ValueError("max rate must be positive")
+        if self.drive_energy_j_per_transition < 0.0:
+            raise ValueError("drive energy must be non-negative")
+
+    @property
+    def modulation_depth(self) -> float:
+        """Magnitude of the differential reflection between states; sets
+        the backscattered signal amplitude."""
+        return abs(self.reflection_coefficient_on - self.reflection_coefficient_off)
+
+    def supports_bitrate(self, bitrate_bps: float) -> bool:
+        """Whether the transistor can toggle at ``bitrate_bps``."""
+        if bitrate_bps <= 0.0:
+            raise ValueError("bitrate must be positive")
+        return bitrate_bps <= self.max_rate_bps
+
+    def dynamic_power_w(self, bitrate_bps: float) -> float:
+        """Average drive power when toggling at ``bitrate_bps`` (one
+        transition per bit on average for random data)."""
+        if bitrate_bps <= 0.0:
+            raise ValueError("bitrate must be positive")
+        return self.drive_energy_j_per_transition * bitrate_bps
+
+    def modulate(self, bits: np.ndarray, samples_per_bit: int) -> np.ndarray:
+        """Produce the per-sample complex reflection coefficient stream for
+        a bit sequence (used by waveform-level tests)."""
+        if samples_per_bit <= 0:
+            raise ValueError("samples_per_bit must be positive")
+        states = np.where(
+            np.asarray(bits, dtype=int).astype(bool),
+            self.reflection_coefficient_on,
+            self.reflection_coefficient_off,
+        )
+        return np.repeat(states, samples_per_bit)

@@ -1,0 +1,79 @@
+"""SAW band-pass filter model (SF2049E class).
+
+The envelope detector is not frequency selective — any strong in-band or
+out-of-band energy pumps it.  Braidio places a passive SAW filter at the
+front end so only the intended license-free band reaches the detector
+(§3.2, "Frequency selectivity").  Per Table 4 the part suppresses the
+800 MHz cellular band by 50 dB and the 2.4 GHz band by more than 30 dB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.constants import ISM_BAND_HIGH_HZ, ISM_BAND_LOW_HZ
+
+
+@dataclass(frozen=True)
+class SawFilter:
+    """Piecewise band-pass response of a passive SAW filter.
+
+    Attributes:
+        passband_low_hz / passband_high_hz: passband edges.
+        insertion_loss_db: loss inside the passband.
+        near_rejection_db: rejection for near-out-of-band energy
+            (e.g. the 800 MHz cellular band: 50 dB per the datasheet).
+        far_rejection_db: rejection far from the passband (>= 30 dB at
+            2.4 GHz per the datasheet).
+        transition_bandwidth_hz: width of the skirt between passband edge
+            and full near rejection.
+    """
+
+    passband_low_hz: float = ISM_BAND_LOW_HZ
+    passband_high_hz: float = ISM_BAND_HIGH_HZ
+    insertion_loss_db: float = 2.5
+    near_rejection_db: float = 50.0
+    far_rejection_db: float = 30.0
+    transition_bandwidth_hz: float = 20e6
+
+    def __post_init__(self) -> None:
+        if self.passband_low_hz >= self.passband_high_hz:
+            raise ValueError("passband edges out of order")
+        if self.insertion_loss_db < 0.0:
+            raise ValueError("insertion loss must be non-negative")
+        if self.near_rejection_db < self.insertion_loss_db:
+            raise ValueError("rejection cannot be below insertion loss")
+        if self.transition_bandwidth_hz <= 0.0:
+            raise ValueError("transition bandwidth must be positive")
+
+    def attenuation_db(self, frequency_hz: float) -> float:
+        """Attenuation (dB, positive) applied at ``frequency_hz``."""
+        if frequency_hz <= 0.0:
+            raise ValueError("frequency must be positive")
+        if self.passband_low_hz <= frequency_hz <= self.passband_high_hz:
+            return self.insertion_loss_db
+
+        # Distance from the nearest passband edge.
+        if frequency_hz < self.passband_low_hz:
+            offset = self.passband_low_hz - frequency_hz
+        else:
+            offset = frequency_hz - self.passband_high_hz
+
+        if offset >= self.transition_bandwidth_hz:
+            # Deep stopband: near rejection close-in, relaxing to the far
+            # spec at large offsets (SAW skirts degrade at multiples of the
+            # centre frequency).
+            if offset > 10 * self.transition_bandwidth_hz:
+                return max(self.far_rejection_db, self.insertion_loss_db)
+            return self.near_rejection_db
+        # Linear skirt through the transition band.
+        slope = (self.near_rejection_db - self.insertion_loss_db) / self.transition_bandwidth_hz
+        return self.insertion_loss_db + slope * offset
+
+    def in_band(self, frequency_hz: float) -> bool:
+        """Whether ``frequency_hz`` lies in the passband."""
+        return self.passband_low_hz <= frequency_hz <= self.passband_high_hz
+
+    def filtered_power_dbm(self, power_dbm: float, frequency_hz: float) -> float:
+        """Power after the filter for a tone at ``frequency_hz``."""
+        return power_dbm - self.attenuation_db(frequency_hz)

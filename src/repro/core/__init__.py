@@ -1,0 +1,50 @@
+"""Braidio's core contribution: the three-mode model, per-distance
+regimes, efficiency regions, the Eq 1 carrier-offload optimizer, the
+dynamic controller and the public facade."""
+
+from .braidio import BraidioRadio, TransferPlan, plan_transfer
+from .controller import DynamicOffloadController, OffloadPlan
+from .efficiency import (
+    Mixture,
+    OperatingPoint,
+    dynamic_range_orders_of_magnitude,
+    operating_points,
+    pareto_edge,
+    power_ratio_span,
+)
+from .modes import ALL_MODES, MODES_BY_RANGE, LinkMode
+from .offload import (
+    InfeasibleOffloadError,
+    OffloadSolution,
+    best_single_mode,
+    solve_max_bits,
+    solve_offload,
+    verify_with_linprog,
+)
+from .regimes import LinkMap, ModeAvailability, Regime
+
+__all__ = [
+    "ALL_MODES",
+    "BraidioRadio",
+    "DynamicOffloadController",
+    "InfeasibleOffloadError",
+    "LinkMap",
+    "LinkMode",
+    "MODES_BY_RANGE",
+    "Mixture",
+    "ModeAvailability",
+    "OffloadPlan",
+    "OffloadSolution",
+    "OperatingPoint",
+    "Regime",
+    "TransferPlan",
+    "best_single_mode",
+    "dynamic_range_orders_of_magnitude",
+    "operating_points",
+    "pareto_edge",
+    "plan_transfer",
+    "power_ratio_span",
+    "solve_max_bits",
+    "solve_offload",
+    "verify_with_linprog",
+]

@@ -1,0 +1,324 @@
+"""Dynamic carrier-offload controller.
+
+This is the runtime half of §4.2: the static optimization
+(:mod:`repro.core.offload`) picks mode fractions, and this controller
+
+* prunes candidate modes by link availability (distance/SNR) and by
+  observed failures,
+* turns the solution into a packet schedule,
+* falls back to the active mode when the current mode performs poorly
+  ("Braidio simply falls back to the active mode if the current operating
+  mode is performing poorly"),
+* re-probes failed modes after a back-off, and
+* periodically re-computes the fractions as batteries drain or the link
+  changes ("Braidio also periodically re-computes the ratio of using
+  different modes depending on observed dynamics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.power_models import ModePower
+from ..mac.scheduler import ModeSchedule
+from .modes import LinkMode
+from .offload import InfeasibleOffloadError, OffloadSolution, solve_offload
+from .regimes import LinkMap, Regime
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """A committed operating plan.
+
+    Attributes:
+        solution: the optimizer output (fractions over operating points).
+        schedule: the packet-level realization of those fractions.
+        regime: operating regime at plan time.
+        bitrates: per-mode bitrate the plan uses.
+    """
+
+    solution: OffloadSolution
+    schedule: ModeSchedule
+    regime: Regime
+    bitrates: dict[LinkMode, int]
+
+    def power_for(self, mode: LinkMode) -> ModePower:
+        """The operating point for ``mode`` under this plan.
+
+        Prefers the point the solution actually mixes; for a mode the plan
+        knows (it was a candidate) but assigns zero share — which happens
+        transiently when a re-plan lands between schedule lookup and power
+        lookup — the candidate point is returned instead.
+
+        Raises:
+            KeyError: if ``mode`` was not even a candidate.
+        """
+        for point, fraction in zip(self.solution.points, self.solution.fractions):
+            if point.mode is mode and fraction > 1e-12:
+                return point
+        for point in self.solution.points:
+            if point.mode is mode:
+                return point
+        from ..hardware.power_models import paper_mode_power
+
+        if mode in self.bitrates:
+            return paper_mode_power(mode, self.bitrates[mode])
+        raise KeyError(f"plan has no candidate for mode {mode}")
+
+
+@dataclass
+class _ModeHealth:
+    """Sliding failure statistics for one mode."""
+
+    successes: int = 0
+    failures: int = 0
+    excluded_until_packet: int | None = None
+    outcomes: list[bool] = field(default_factory=list)
+
+    def record(self, ok: bool, window: int) -> None:
+        self.outcomes.append(ok)
+        if len(self.outcomes) > window:
+            self.outcomes.pop(0)
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+
+    def recent_failure_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return 1.0 - sum(self.outcomes) / len(self.outcomes)
+
+
+class DynamicOffloadController:
+    """Stateful carrier-offload decision engine for one link pair.
+
+    Args:
+        link_map: per-distance mode availability (defaults to the
+            paper-calibrated map).
+        period_packets: scheduling-round length.
+        recompute_interval_packets: packets between periodic re-plans.
+        failure_window: sliding window for per-mode failure statistics.
+        failure_threshold: recent failure rate that triggers fallback.
+        reprobe_packets: back-off before a failed mode is retried.
+    """
+
+    def __init__(
+        self,
+        link_map: LinkMap | None = None,
+        period_packets: int = 64,
+        recompute_interval_packets: int = 4096,
+        failure_window: int = 16,
+        failure_threshold: float = 0.5,
+        reprobe_packets: int = 2048,
+    ) -> None:
+        if period_packets <= 0 or recompute_interval_packets <= 0:
+            raise ValueError("packet intervals must be positive")
+        if failure_window <= 0 or reprobe_packets <= 0:
+            raise ValueError("window and back-off must be positive")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure threshold must be in (0, 1]")
+
+        self._link_map = link_map if link_map is not None else LinkMap()
+        self._period = period_packets
+        self._recompute_interval = recompute_interval_packets
+        self._failure_window = failure_window
+        self._failure_threshold = failure_threshold
+        self._reprobe_packets = reprobe_packets
+
+        self._plan: OffloadPlan | None = None
+        self._packet_index = 0
+        self._last_plan_packet = 0
+        self._distance_m = 0.0
+        self._e1_j = 0.0
+        self._e2_j = 0.0
+        self._health: dict[LinkMode, _ModeHealth] = {
+            mode: _ModeHealth() for mode in LinkMode
+        }
+        self.replans = 0
+        self.fallbacks = 0
+
+    @property
+    def plan(self) -> OffloadPlan | None:
+        """The committed plan, or ``None`` before :meth:`start`."""
+        return self._plan
+
+    @property
+    def link_map(self) -> LinkMap:
+        """The availability map the controller plans against."""
+        return self._link_map
+
+    def start(self, distance_m: float, e1_j: float, e2_j: float) -> OffloadPlan:
+        """Initial negotiation: prune, solve, schedule.
+
+        Raises:
+            InfeasibleOffloadError: if no mode works at ``distance_m``.
+        """
+        self._distance_m = distance_m
+        self._e1_j = e1_j
+        self._e2_j = e2_j
+        self._plan = self._compute_plan()
+        self._last_plan_packet = self._packet_index
+        return self._plan
+
+    def start_from_reports(
+        self, reports, e1_j: float, e2_j: float, max_ber: float | None = None
+    ) -> OffloadPlan:
+        """Negotiate from *measured* link quality instead of the oracle
+        availability map — the §4.2 flow where probe packets determine the
+        SNR/bitrate parameters.
+
+        Args:
+            reports: iterable of :class:`~repro.mac.protocol.ProbeReport`
+                (e.g. from :class:`~repro.sim.estimation.LinkProber`).
+            e1_j / e2_j: end-point energies.
+            max_ber: prune reports above this measured BER (defaults to
+                the availability map's operational threshold).
+
+        Raises:
+            InfeasibleOffloadError: if no probed link is viable.
+        """
+        from ..hardware.power_models import paper_mode_power
+
+        threshold = self._link_map.target_ber if max_ber is None else max_ber
+        best: dict[LinkMode, int] = {}
+        for report in reports:
+            if report.ber > threshold:
+                continue
+            current = best.get(report.mode)
+            if current is None or report.bitrate_bps > current:
+                best[report.mode] = report.bitrate_bps
+        if not best:
+            raise InfeasibleOffloadError("no probed link meets the BER threshold")
+
+        candidates = [
+            paper_mode_power(mode, bitrate) for mode, bitrate in best.items()
+        ]
+        self._e1_j = e1_j
+        self._e2_j = e2_j
+        solution = solve_offload(candidates, e1_j, e2_j)
+        schedule = ModeSchedule(dict(solution.mode_fractions()), self._period)
+        self.replans += 1
+        self._plan = OffloadPlan(
+            solution=solution,
+            schedule=schedule,
+            regime=self._regime_from_modes(set(best)),
+            bitrates=dict(best),
+        )
+        self._last_plan_packet = self._packet_index
+        return self._plan
+
+    @staticmethod
+    def _regime_from_modes(modes: set[LinkMode]) -> Regime:
+        if LinkMode.BACKSCATTER in modes:
+            return Regime.A
+        if LinkMode.PASSIVE in modes:
+            return Regime.B
+        return Regime.C
+
+    def _candidate_powers(self) -> list[ModePower]:
+        candidates = []
+        for availability in self._link_map.available_modes(self._distance_m):
+            if not availability.available:
+                continue
+            health = self._health[availability.mode]
+            if (
+                health.excluded_until_packet is not None
+                and self._packet_index < health.excluded_until_packet
+            ):
+                continue
+            candidates.append(availability.power())
+        return candidates
+
+    def _compute_plan(self) -> OffloadPlan:
+        candidates = self._candidate_powers()
+        if not candidates:
+            raise InfeasibleOffloadError(
+                f"no operating mode available at {self._distance_m} m"
+            )
+        solution = solve_offload(candidates, self._e1_j, self._e2_j)
+        schedule = ModeSchedule(dict(solution.mode_fractions()), self._period)
+        bitrates = {p.mode: p.bitrate_bps for p in candidates}
+        self.replans += 1
+        return OffloadPlan(
+            solution=solution,
+            schedule=schedule,
+            regime=self._link_map.classify(self._distance_m),
+            bitrates=bitrates,
+        )
+
+    def next_packet_mode(self) -> tuple[LinkMode, int]:
+        """(mode, bitrate) for the next packet; advances the schedule.
+
+        Raises:
+            RuntimeError: if :meth:`start` has not been called.
+        """
+        if self._plan is None:
+            raise RuntimeError("controller not started")
+        mode = self._plan.schedule.mode_for_packet(self._packet_index)
+        self._packet_index += 1
+        if self._packet_index - self._last_plan_packet >= self._recompute_interval:
+            self._replan()
+        return mode, self._plan.bitrates[mode]
+
+    def record_outcome(self, mode: LinkMode, success: bool) -> None:
+        """Feed back a packet outcome; may trigger active-mode fallback."""
+        health = self._health[mode]
+        health.record(success, self._failure_window)
+        if (
+            mode is not LinkMode.ACTIVE
+            and len(health.outcomes) >= self._failure_window
+            and health.recent_failure_rate() >= self._failure_threshold
+        ):
+            self._exclude(mode)
+
+    def _exclude(self, mode: LinkMode) -> None:
+        health = self._health[mode]
+        health.excluded_until_packet = self._packet_index + self._reprobe_packets
+        health.outcomes.clear()
+        self.fallbacks += 1
+        self._replan()
+
+    def update_energy(self, e1_j: float, e2_j: float) -> None:
+        """Refresh battery levels; re-plans when the ratio drifts by more
+        than 10% (the paper re-computes "if SNR or loss rate changes
+        significantly"; energy drift matters on the same grounds)."""
+        if e1_j <= 0.0 or e2_j <= 0.0:
+            raise ValueError("energies must stay positive while operating")
+        old_ratio = self._e1_j / self._e2_j
+        self._e1_j = e1_j
+        self._e2_j = e2_j
+        new_ratio = e1_j / e2_j
+        if self._plan is not None and abs(new_ratio / old_ratio - 1.0) > 0.1:
+            self._replan()
+
+    def update_distance(self, distance_m: float) -> None:
+        """Refresh the separation estimate; re-plans if the regime or any
+        mode's availability changed."""
+        if distance_m < 0.0:
+            raise ValueError("distance must be non-negative")
+        old_distance = self._distance_m
+        self._distance_m = distance_m
+        if self._plan is None:
+            return
+        old_regime = self._plan.regime
+        if self._link_map.classify(distance_m) is not old_regime:
+            self._replan()
+            return
+        # Same regime, but a bitrate step change also warrants a re-plan.
+        self._distance_m = old_distance
+        old_candidates = {(p.mode, p.bitrate_bps) for p in self._candidate_powers()}
+        self._distance_m = distance_m
+        new_candidates = {(p.mode, p.bitrate_bps) for p in self._candidate_powers()}
+        if old_candidates != new_candidates:
+            self._replan()
+
+    def _replan(self) -> None:
+        if self._e1_j <= 0.0 or self._e2_j <= 0.0:
+            return
+        try:
+            self._plan = self._compute_plan()
+        except InfeasibleOffloadError:
+            # Keep the old plan; the session layer decides when to give up.
+            return
+        self._last_plan_packet = self._packet_index

@@ -1,0 +1,10 @@
+"""Re-export of :mod:`repro.modes` under the core namespace.
+
+The mode enum lives at the package root so that low-level substrates
+(hardware, mac) can use it without importing the core package (which
+depends on them).
+"""
+
+from ..modes import ALL_MODES, MODES_BY_RANGE, LinkMode
+
+__all__ = ["ALL_MODES", "MODES_BY_RANGE", "LinkMode"]

@@ -1,0 +1,93 @@
+"""Hardware substrate: component power models, the calibrated per-mode
+power table, baseline radios, batteries, the Fig 1 device catalog and the
+Table 5 switching overheads."""
+
+from .baselines import (
+    AS3993,
+    BLUETOOTH_CHIPS,
+    BRAIDIO_READER_POWER_W,
+    CC2541,
+    CC2640,
+    COMMERCIAL_READERS,
+    BluetoothBaseline,
+    BluetoothChip,
+    CommercialReader,
+    reader_efficiency_advantage,
+)
+from .battery import Battery, BatteryEmptyError, JOULES_PER_WATT_HOUR
+from .braidio_board import BraidioBoard
+from .harvesting import HarvestingBattery, RfHarvester, net_tag_power_w
+from .devices import (
+    DEVICE_BY_NAME,
+    DEVICES,
+    DeviceSpec,
+    battery_span_orders_of_magnitude,
+    device,
+)
+from .power_models import (
+    PAPER_POWER_TABLE,
+    POWER_TABLE_BITRATES,
+    ComponentPower,
+    ModePower,
+    PowerState,
+    all_paper_mode_powers,
+    paper_mode_power,
+    supported_bitrates,
+)
+from .radios import (
+    TABLE4_MODULES,
+    ActiveTransceiver,
+    BackscatterFrontEnd,
+    CarrierEmitter,
+    Microcontroller,
+    PassiveReceiverModule,
+)
+from .switching import (
+    PAPER_SWITCH_COSTS,
+    SwitchCost,
+    switch_cost,
+    switching_energy_fraction,
+)
+
+__all__ = [
+    "HarvestingBattery",
+    "RfHarvester",
+    "net_tag_power_w",
+    "AS3993",
+    "ActiveTransceiver",
+    "BLUETOOTH_CHIPS",
+    "BRAIDIO_READER_POWER_W",
+    "BackscatterFrontEnd",
+    "Battery",
+    "BatteryEmptyError",
+    "BluetoothBaseline",
+    "BluetoothChip",
+    "BraidioBoard",
+    "CC2541",
+    "CC2640",
+    "COMMERCIAL_READERS",
+    "CarrierEmitter",
+    "CommercialReader",
+    "ComponentPower",
+    "DEVICES",
+    "DEVICE_BY_NAME",
+    "DeviceSpec",
+    "JOULES_PER_WATT_HOUR",
+    "Microcontroller",
+    "ModePower",
+    "PAPER_POWER_TABLE",
+    "PAPER_SWITCH_COSTS",
+    "POWER_TABLE_BITRATES",
+    "PassiveReceiverModule",
+    "PowerState",
+    "SwitchCost",
+    "TABLE4_MODULES",
+    "all_paper_mode_powers",
+    "battery_span_orders_of_magnitude",
+    "device",
+    "paper_mode_power",
+    "reader_efficiency_advantage",
+    "supported_bitrates",
+    "switch_cost",
+    "switching_energy_fraction",
+]

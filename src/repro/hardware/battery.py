@@ -1,0 +1,102 @@
+"""Battery energy store.
+
+Batteries are the asymmetry that motivates Braidio: Fig 1 spans three
+orders of magnitude from fitness bands (~0.26 Wh) to laptops (~100 Wh).
+The model tracks remaining energy in joules and supports fractional drain
+for the analytic lifetime engine as well as incremental drain for the
+discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+JOULES_PER_WATT_HOUR = 3600.0
+
+
+class BatteryEmptyError(RuntimeError):
+    """Raised when a drain request exceeds the remaining charge."""
+
+
+class Battery:
+    """A simple energy reservoir.
+
+    Args:
+        capacity_wh: nameplate capacity in watt-hours.
+        charge_fraction: initial state of charge in [0, 1].
+    """
+
+    def __init__(self, capacity_wh: float, charge_fraction: float = 1.0) -> None:
+        if capacity_wh <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity_wh!r}")
+        if not 0.0 <= charge_fraction <= 1.0:
+            raise ValueError(f"charge fraction must be in [0,1], got {charge_fraction!r}")
+        self._capacity_j = capacity_wh * JOULES_PER_WATT_HOUR
+        self._remaining_j = self._capacity_j * charge_fraction
+
+    @property
+    def capacity_wh(self) -> float:
+        """Nameplate capacity in watt-hours."""
+        return self._capacity_j / JOULES_PER_WATT_HOUR
+
+    @property
+    def capacity_j(self) -> float:
+        """Nameplate capacity in joules."""
+        return self._capacity_j
+
+    @property
+    def remaining_j(self) -> float:
+        """Remaining energy in joules."""
+        return self._remaining_j
+
+    @property
+    def remaining_wh(self) -> float:
+        """Remaining energy in watt-hours."""
+        return self._remaining_j / JOULES_PER_WATT_HOUR
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of capacity in [0, 1]."""
+        return self._remaining_j / self._capacity_j
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the battery has no usable energy left."""
+        return self._remaining_j <= 0.0
+
+    def drain_energy(self, joules: float) -> None:
+        """Remove ``joules`` from the battery.
+
+        Raises:
+            ValueError: for negative amounts.
+            BatteryEmptyError: if more than the remaining energy is
+                requested; the battery is left empty in that case so the
+                caller can terminate cleanly.
+        """
+        if joules < 0.0:
+            raise ValueError(f"cannot drain a negative amount: {joules!r}")
+        if joules > self._remaining_j:
+            self._remaining_j = 0.0
+            raise BatteryEmptyError("battery exhausted")
+        self._remaining_j -= joules
+
+    def drain_power(self, watts: float, duration_s: float) -> None:
+        """Drain at ``watts`` for ``duration_s`` seconds."""
+        if watts < 0.0 or duration_s < 0.0:
+            raise ValueError("power and duration must be non-negative")
+        self.drain_energy(watts * duration_s)
+
+    def lifetime_at_power_s(self, watts: float) -> float:
+        """Seconds the remaining charge lasts at a constant ``watts`` draw.
+
+        Returns ``inf`` for a zero draw.
+        """
+        if watts < 0.0:
+            raise ValueError(f"power must be non-negative, got {watts!r}")
+        if watts == 0.0:
+            return float("inf")
+        return self._remaining_j / watts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Battery(capacity_wh={self.capacity_wh:.3g}, "
+            f"soc={self.state_of_charge:.3f})"
+        )

@@ -1,0 +1,126 @@
+"""The composed Braidio board: bottom-up power reconstruction.
+
+The authoritative per-mode power numbers live in
+:data:`repro.hardware.power_models.PAPER_POWER_TABLE` (they reproduce the
+paper's published ratios exactly).  This module rebuilds the same numbers
+from the Table 4 component models, which serves two purposes:
+
+* it documents *where* each mode's power goes (carrier emitter vs MCU vs
+  analog chain), and
+* the reconciliation test pins the component models to the calibrated
+  table, so neither can drift silently.
+
+Milliwatt-scale operating points reconcile within a few percent.  The
+microwatt-scale points (passive RX, backscatter TX at intermediate
+bitrates) use affine fixed-plus-per-bit component models, while the paper's
+measurements are not perfectly affine in bitrate; those reconcile within
+tens of percent of *microwatts*, which is far below anything the system
+experiments can resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..modes import LinkMode
+from .power_models import PAPER_POWER_TABLE, paper_mode_power
+from .radios import (
+    ActiveTransceiver,
+    BackscatterFrontEnd,
+    CarrierEmitter,
+    Microcontroller,
+    PassiveReceiverModule,
+)
+
+#: Antenna-switch drive power while receiving with diversity (Table 4).
+ANTENNA_SWITCH_POWER_W = 10e-6
+
+#: Measured OOK mark density of the passive-mode downlink (framing and
+#: PIE-style coding keep the carrier off most of the time).
+OOK_MARK_DENSITY = 50.1e-3 / 122.4e-3
+
+
+@dataclass(frozen=True)
+class BraidioBoard:
+    """Component composition of the Braidio prototype (Fig 10 / Table 4)."""
+
+    mcu: Microcontroller = field(default_factory=Microcontroller)
+    carrier: CarrierEmitter = field(
+        default_factory=lambda: CarrierEmitter(
+            power_at_max_w=122.384e-3, ook_mark_density=OOK_MARK_DENSITY
+        )
+    )
+    active_radio: ActiveTransceiver = field(default_factory=ActiveTransceiver)
+    passive_rx: PassiveReceiverModule = field(default_factory=PassiveReceiverModule)
+    backscatter_tx: BackscatterFrontEnd = field(default_factory=BackscatterFrontEnd)
+
+    def tx_power_w(self, mode: LinkMode, bitrate_bps: int) -> float:
+        """Bottom-up transmitter-side power in ``mode`` at ``bitrate_bps``."""
+        if mode is LinkMode.ACTIVE:
+            return self.active_radio.tx_power_w + self.mcu.power.active_w
+        if mode is LinkMode.PASSIVE:
+            return self.carrier.ook_modulated_power_w() + self.mcu.power.active_w
+        # Backscatter: the tag front end includes its own clocking logic;
+        # the MCU sleeps.
+        return self.backscatter_tx.transmit_power_w(bitrate_bps) + self.mcu.power.sleep_w
+
+    def rx_power_w(self, mode: LinkMode, bitrate_bps: int) -> float:
+        """Bottom-up receiver-side power in ``mode`` at ``bitrate_bps``."""
+        if mode is LinkMode.ACTIVE:
+            return self.active_radio.rx_power_w + self.mcu.power.active_w
+        if mode is LinkMode.PASSIVE:
+            # Envelope chain plus duty-cycled sampling; MCU otherwise asleep.
+            return self.passive_rx.receive_power_w(bitrate_bps)
+        # Backscatter reader: continuous carrier + MCU + analog chain +
+        # diversity switch.
+        return (
+            self.carrier.continuous_carrier_power_w()
+            + self.mcu.power.active_w
+            + self.passive_rx.chain_power_w
+            + ANTENNA_SWITCH_POWER_W
+        )
+
+    def reconciliation_report(self) -> list[dict]:
+        """Compare the bottom-up totals to the calibrated table.
+
+        Returns one entry per operating point with both values and the
+        relative error.
+        """
+        report = []
+        for (mode, bitrate) in PAPER_POWER_TABLE:
+            calibrated = paper_mode_power(mode, bitrate)
+            for side, bottom_up, target in (
+                ("tx", self.tx_power_w(mode, bitrate), calibrated.tx_w),
+                ("rx", self.rx_power_w(mode, bitrate), calibrated.rx_w),
+            ):
+                report.append(
+                    {
+                        "mode": mode.value,
+                        "bitrate_bps": bitrate,
+                        "side": side,
+                        "bottom_up_w": bottom_up,
+                        "calibrated_w": target,
+                        "relative_error": abs(bottom_up - target) / target,
+                        "absolute_error_w": abs(bottom_up - target),
+                    }
+                )
+        return report
+
+    def max_reconciliation_error(self, min_scale_w: float = 1e-3) -> float:
+        """Largest relative error among operating points at or above
+        ``min_scale_w`` (the system-relevant, milliwatt-scale points)."""
+        errors = [
+            entry["relative_error"]
+            for entry in self.reconciliation_report()
+            if entry["calibrated_w"] >= min_scale_w
+        ]
+        return max(errors) if errors else 0.0
+
+    def power_extremes_w(self) -> tuple[float, float]:
+        """(min, max) power draw across every characterized operating point
+        and side — the paper's "16 uW – 129 mW" span."""
+        draws = []
+        for (mode, bitrate) in PAPER_POWER_TABLE:
+            calibrated = paper_mode_power(mode, bitrate)
+            draws.extend([calibrated.tx_w, calibrated.rx_w])
+        return min(draws), max(draws)

@@ -1,0 +1,77 @@
+"""The device catalog of Fig 1.
+
+Battery capacities (Wh) of the ten mobile devices the paper evaluates,
+ordered from the smallest (Nike Fuel Band) to the largest (MacBook Pro 15).
+Capacities are reconstructed from the cited teardowns/spec sheets; the
+experiments only depend on their ratios, which span three orders of
+magnitude exactly as Fig 1 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .battery import Battery
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A mobile device with a battery.
+
+    Attributes:
+        name: display name used in the paper's figures.
+        battery_wh: battery capacity in watt-hours.
+        device_class: coarse category (wearable / phone / laptop / camera).
+    """
+
+    name: str
+    battery_wh: float
+    device_class: str
+
+    def __post_init__(self) -> None:
+        if self.battery_wh <= 0.0:
+            raise ValueError(f"battery capacity must be positive: {self!r}")
+
+    def fresh_battery(self) -> Battery:
+        """A fully charged battery of this device's capacity."""
+        return Battery(self.battery_wh)
+
+
+#: Fig 1 device catalog, smallest battery first (the paper's axis order).
+DEVICES: tuple[DeviceSpec, ...] = (
+    DeviceSpec("Nike Fuel Band", 0.26, "wearable"),
+    DeviceSpec("Pebble Watch", 0.48, "wearable"),
+    DeviceSpec("Apple Watch", 0.78, "wearable"),
+    DeviceSpec("Pivothead", 1.48, "camera"),
+    DeviceSpec("iPhone 6S", 6.55, "phone"),
+    DeviceSpec("iPhone 6 Plus", 10.45, "phone"),
+    DeviceSpec("Nexus 6P", 13.0, "phone"),
+    DeviceSpec("Surface Book", 70.0, "laptop"),
+    DeviceSpec("MacBook Pro 13", 74.9, "laptop"),
+    DeviceSpec("MacBook Pro 15", 99.5, "laptop"),
+)
+
+#: Name -> spec lookup.
+DEVICE_BY_NAME: dict[str, DeviceSpec] = {d.name: d for d in DEVICES}
+
+
+def device(name: str) -> DeviceSpec:
+    """Look up a device by its Fig 1 name.
+
+    Raises:
+        KeyError: with the list of known names if ``name`` is unknown.
+    """
+    try:
+        return DEVICE_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_BY_NAME))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def battery_span_orders_of_magnitude() -> float:
+    """Orders of magnitude between the largest and smallest battery in the
+    catalog (the paper's headline: about three)."""
+    import math
+
+    capacities = [d.battery_wh for d in DEVICES]
+    return math.log10(max(capacities) / min(capacities))

@@ -1,0 +1,125 @@
+"""RF energy harvesting (extension).
+
+Braidio's passive receiver *is* a rectifier: the same charge pump that
+demodulates the envelope can bank the carrier's energy, exactly as the
+Moo/WISP platforms the front end descends from (and the 16.7 uW
+Karthaus-Fischer transponder the paper cites for the charge pump).  In
+backscatter mode the tag sits in the reader's carrier field; this module
+models how much of that field it can harvest and how far that offsets the
+tag's (already tiny) transmit power — the "battery-free Braidio" corner of
+the design space the paper leaves as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.constants import dbm_to_watts
+from ..phy.propagation import PathLossModel
+from .battery import Battery
+
+
+@dataclass(frozen=True)
+class RfHarvester:
+    """Rectenna harvesting model.
+
+    Attributes:
+        path: one-way path-loss model from the carrier source.
+        carrier_power_dbm: carrier EIRP at the source (Braidio: 13 dBm).
+        rectifier_efficiency: RF-to-DC conversion efficiency at usable
+            input levels (30-50% is typical for UHF rectennas; the default
+            is conservative).
+        sensitivity_dbm: minimum input power for the rectifier to start up
+            (the Karthaus-Fischer threshold class: ~-20 dBm for useful
+            output).
+    """
+
+    path: PathLossModel = PathLossModel()
+    carrier_power_dbm: float = 13.0
+    rectifier_efficiency: float = 0.3
+    sensitivity_dbm: float = -20.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rectifier_efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    def incident_power_w(self, distance_m: float) -> float:
+        """RF power arriving at the tag antenna."""
+        received_dbm = self.carrier_power_dbm - self.path.loss_db(distance_m)
+        return dbm_to_watts(received_dbm)
+
+    def harvested_power_w(self, distance_m: float) -> float:
+        """DC power banked at ``distance_m`` (zero below the rectifier's
+        start-up threshold)."""
+        received_dbm = self.carrier_power_dbm - self.path.loss_db(distance_m)
+        if received_dbm < self.sensitivity_dbm:
+            return 0.0
+        return self.rectifier_efficiency * dbm_to_watts(received_dbm)
+
+    def max_harvest_range_m(self) -> float:
+        """Farthest distance with non-zero harvest (bisection)."""
+        low, high = 0.05, 100.0
+        if self.harvested_power_w(high) > 0.0:
+            return high
+        if self.harvested_power_w(low) == 0.0:
+            return 0.0
+        for _ in range(80):
+            mid = (low + high) / 2.0
+            if self.harvested_power_w(mid) > 0.0:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def self_sustaining_range_m(self, load_power_w: float) -> float:
+        """Farthest distance at which the harvest covers ``load_power_w``
+        (e.g. the backscatter transmitter's 50.7 uW at 1 Mbps) — the
+        battery-free operating range.
+
+        Raises:
+            ValueError: for non-positive loads.
+        """
+        if load_power_w <= 0.0:
+            raise ValueError("load power must be positive")
+        low, high = 0.05, 100.0
+        if self.harvested_power_w(low) < load_power_w:
+            return 0.0
+        for _ in range(80):
+            mid = (low + high) / 2.0
+            if self.harvested_power_w(mid) >= load_power_w:
+                low = mid
+            else:
+                high = mid
+        return low
+
+
+class HarvestingBattery(Battery):
+    """A battery that can also be recharged by a harvester.
+
+    Drains behave exactly like :class:`Battery`; :meth:`harvest` banks
+    energy up to the nameplate capacity.
+    """
+
+    def harvest(self, power_w: float, duration_s: float) -> float:
+        """Bank ``power_w`` for ``duration_s``; returns the energy
+        actually stored (capped at capacity).
+
+        Raises:
+            ValueError: for negative power or duration.
+        """
+        if power_w < 0.0 or duration_s < 0.0:
+            raise ValueError("power and duration must be non-negative")
+        headroom = self.capacity_j - self.remaining_j
+        banked = min(power_w * duration_s, headroom)
+        self._remaining_j += banked
+        return banked
+
+
+def net_tag_power_w(
+    tag_load_w: float, harvester: RfHarvester, distance_m: float
+) -> float:
+    """Net battery draw of a backscatter tag that harvests while it
+    reflects: max(load - harvest, 0)."""
+    if tag_load_w < 0.0:
+        raise ValueError("load must be non-negative")
+    return max(tag_load_w - harvester.harvested_power_w(distance_m), 0.0)

@@ -1,0 +1,156 @@
+"""Models of the hardware modules on the Braidio board (Table 4).
+
+Each part is a :class:`~repro.hardware.power_models.ComponentPower` plus
+the behavioural parameters the rest of the stack needs.  The numbers come
+from Table 4 of the paper and the cited datasheets; small adjustments keep
+the composed per-mode totals consistent with the calibrated power table
+(see ``braidio_board.reconciliation_report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .power_models import ComponentPower
+
+
+@dataclass(frozen=True)
+class Microcontroller:
+    """ATMEGA 328P-class controller: 2 mA @ 8 MHz (Table 4).
+
+    Attributes:
+        power: state power table; active is 2 mA * 3.3 V = 6.6 mW.
+        clock_hz: core clock.
+    """
+
+    power: ComponentPower = field(
+        default_factory=lambda: ComponentPower(
+            "ATMEGA328P", sleep_w=4e-6, idle_w=1.5e-3, active_w=6.6e-3
+        )
+    )
+    clock_hz: float = 8e6
+
+    def duty_cycled_power_w(self, active_fraction: float) -> float:
+        """Average power when active ``active_fraction`` of the time and
+        asleep otherwise (the passive-RX sampling pattern)."""
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ValueError("active fraction must be in [0, 1]")
+        return (
+            active_fraction * self.power.active_w
+            + (1.0 - active_fraction) * self.power.sleep_w
+        )
+
+
+@dataclass(frozen=True)
+class CarrierEmitter:
+    """SI4432 carrier generator: 125 mW at +13 dBm output (Table 4).
+
+    Attributes:
+        power_at_max_w: supply draw at the +13 dBm setting.
+        output_power_dbm: RF output at that setting.
+        ook_mark_density: fraction of time the carrier is keyed on when
+            sending OOK data (0.5 for balanced data); scales the average
+            supply draw in passive mode.
+    """
+
+    power_at_max_w: float = 122.4e-3
+    output_power_dbm: float = 13.0
+    ook_mark_density: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.power_at_max_w <= 0.0:
+            raise ValueError("supply power must be positive")
+        if not 0.0 < self.ook_mark_density <= 1.0:
+            raise ValueError("mark density must be in (0, 1]")
+
+    def continuous_carrier_power_w(self) -> float:
+        """Supply draw with the carrier continuously on (backscatter-mode
+        reader side)."""
+        return self.power_at_max_w
+
+    def ook_modulated_power_w(self, startup_overhead_w: float = 0.0) -> float:
+        """Average supply draw when OOK-keying data (passive-mode TX side):
+        the PA is off during spaces, plus synthesizer overhead."""
+        return self.power_at_max_w * self.ook_mark_density + startup_overhead_w
+
+
+@dataclass(frozen=True)
+class ActiveTransceiver:
+    """SPBT2632C2-class Bluetooth module used as the active radio.
+
+    Attributes:
+        tx_power_w / rx_power_w: radio-only draw while transmitting /
+            receiving at 1 Mbps.
+        bitrate_bps: air bitrate.
+    """
+
+    tx_power_w: float = 49.74e-3
+    rx_power_w: float = 52.56e-3
+    bitrate_bps: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.tx_power_w <= 0.0 or self.rx_power_w <= 0.0:
+            raise ValueError("radio power draws must be positive")
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+
+
+@dataclass(frozen=True)
+class PassiveReceiverModule:
+    """The Moo/WISP-derived passive receiver module (Table 4).
+
+    The analog chain itself (amp + comparator) draws ~6 uW; the rest of the
+    receive-side power is the duty-cycled controller sampling the
+    comparator output, which scales with bitrate.
+    """
+
+    chain_power_w: float = 6e-6
+    sampling_energy_j_per_bit: float = 1e-11
+
+    def __post_init__(self) -> None:
+        if self.chain_power_w < 0.0 or self.sampling_energy_j_per_bit < 0.0:
+            raise ValueError("powers must be non-negative")
+
+    def receive_power_w(self, bitrate_bps: float) -> float:
+        """Average receive-side power at ``bitrate_bps``."""
+        if bitrate_bps <= 0.0:
+            raise ValueError("bitrate must be positive")
+        return self.chain_power_w + self.sampling_energy_j_per_bit * bitrate_bps
+
+
+@dataclass(frozen=True)
+class BackscatterFrontEnd:
+    """Tag-side transmitter: an RF transistor plus clocking logic.
+
+    Attributes:
+        static_power_w: bias + logic floor.
+        toggle_energy_j_per_bit: modulator drive energy per bit, the
+            bitrate-proportional term (cf. Fig 14: backscatter TX draws
+            50.7/32.3/23.0 uW at 1M/100k/10k).
+    """
+
+    static_power_w: float = 22.7e-6
+    toggle_energy_j_per_bit: float = 2.8e-11
+
+    def __post_init__(self) -> None:
+        if self.static_power_w < 0.0 or self.toggle_energy_j_per_bit < 0.0:
+            raise ValueError("powers must be non-negative")
+
+    def transmit_power_w(self, bitrate_bps: float) -> float:
+        """Average tag transmit power at ``bitrate_bps``."""
+        if bitrate_bps <= 0.0:
+            raise ValueError("bitrate must be positive")
+        return self.static_power_w + self.toggle_energy_j_per_bit * bitrate_bps
+
+
+#: Table 4 rendered as data, for the documentation bench.
+TABLE4_MODULES: tuple[tuple[str, str, str], ...] = (
+    ("Controller", "ATMEGA 328P", "Arduino-compatible; 2 mA @ 8 MHz"),
+    ("Carrier Emitter", "SI4432", "125 mW @ 13 dBm"),
+    ("Passive Receiver", "Moo/WISP", "reduced Cs and Cp to improve bitrate"),
+    ("Baseband Amplifier", "INA2331", "low input capacitance - 1.8 pF"),
+    ("Antenna Switch", "SKY13267", "SPDT; less than 10 uW"),
+    ("Chip Antenna", "ANT1204LL05R", "two antennas at 1/8 wavelength, 12 mm"),
+    ("SAW Filter", "SF2049E", "50 dB @ 800 MHz; >30 dB @ 2.4 GHz"),
+    ("Active Radio", "SPBT2632C2A", "Bluetooth abstraction over serial"),
+)

@@ -1,0 +1,87 @@
+"""Link/MAC substrate: CRC, frame codec, preamble handling, the control
+protocol (battery exchange, probing, schedule negotiation) and the
+mode-multiplexing scheduler."""
+
+from .arq import ArqError, ArqReceiver, ArqSender, SenderState, run_over_lossy_link
+from .crc import append_crc, crc16_ccitt, crc16_ccitt_table, verify_crc
+from .frames import (
+    DEFAULT_PAYLOAD_BYTES,
+    Flags,
+    Frame,
+    FrameError,
+    FrameType,
+    bits_to_bytes,
+    bytes_to_bits,
+    data_frame,
+)
+from .line_coding import (
+    LINE_CODES,
+    LineCodeError,
+    fm0_decode,
+    fm0_encode,
+    manchester_decode,
+    manchester_encode,
+    miller_decode,
+    miller_encode,
+    transition_density,
+)
+from .preamble import (
+    PREAMBLE_BITS,
+    SFD_BITS,
+    detect_preamble,
+    frame_bits_with_preamble,
+    preamble_bits,
+)
+from .protocol import (
+    BatteryStatus,
+    HandshakePhase,
+    Negotiation,
+    Probe,
+    ProbeReport,
+    ProtocolError,
+    ScheduleAnnouncement,
+)
+from .scheduler import ModeSchedule, ScheduleEntry
+
+__all__ = [
+    "ArqError",
+    "ArqReceiver",
+    "ArqSender",
+    "LINE_CODES",
+    "LineCodeError",
+    "SenderState",
+    "fm0_decode",
+    "fm0_encode",
+    "manchester_decode",
+    "manchester_encode",
+    "miller_decode",
+    "miller_encode",
+    "run_over_lossy_link",
+    "transition_density",
+    "BatteryStatus",
+    "DEFAULT_PAYLOAD_BYTES",
+    "Flags",
+    "Frame",
+    "FrameError",
+    "FrameType",
+    "HandshakePhase",
+    "ModeSchedule",
+    "Negotiation",
+    "PREAMBLE_BITS",
+    "Probe",
+    "ProbeReport",
+    "ProtocolError",
+    "SFD_BITS",
+    "ScheduleAnnouncement",
+    "ScheduleEntry",
+    "append_crc",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "crc16_ccitt",
+    "crc16_ccitt_table",
+    "data_frame",
+    "detect_preamble",
+    "frame_bits_with_preamble",
+    "preamble_bits",
+    "verify_crc",
+]

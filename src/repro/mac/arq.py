@@ -1,0 +1,228 @@
+"""Stop-and-wait ARQ for Braidio data transfer.
+
+The carrier-offload evaluation of the paper counts raw bits, but a
+deployable link needs reliability.  Stop-and-wait is the right fit here:
+the backscatter and passive links are half-duplex by construction (one
+carrier, one envelope detector), so a window of 1 costs no extra hardware.
+
+The machines are transport-agnostic: the caller moves frames between the
+sender and receiver (over the simulator's lossy link) and reports timer
+expiry.  ACKs ride the reverse link of whatever mode is active — e.g. in
+backscatter mode the data receiver (which owns the carrier) simply
+OOK-keys the ACK downlink that the tag's envelope detector reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .frames import Flags, Frame, FrameType
+
+
+class ArqError(RuntimeError):
+    """Raised on protocol misuse (e.g. sending while awaiting an ACK)."""
+
+
+class SenderState(enum.Enum):
+    """Stop-and-wait sender states."""
+
+    IDLE = "idle"
+    AWAITING_ACK = "awaiting-ack"
+    FAILED = "failed"
+
+
+@dataclass
+class ArqSender:
+    """Stop-and-wait sender with bounded retransmissions.
+
+    Attributes:
+        max_retries: retransmissions after the first attempt before the
+            frame is declared failed (and the link layer should fall back
+            or re-plan).
+    """
+
+    max_retries: int = 8
+    _state: SenderState = SenderState.IDLE
+    _sequence: int = 0
+    _outstanding: Frame | None = None
+    _attempts: int = 0
+    delivered: int = 0
+    retransmissions: int = 0
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    @property
+    def state(self) -> SenderState:
+        """Current sender state."""
+        return self._state
+
+    @property
+    def next_sequence(self) -> int:
+        """Sequence number the next new frame will carry."""
+        return self._sequence
+
+    def send(self, payload: bytes) -> Frame:
+        """Emit a new data frame.
+
+        Raises:
+            ArqError: if a frame is still outstanding.
+        """
+        if self._state is SenderState.AWAITING_ACK:
+            raise ArqError("previous frame still awaiting ACK")
+        frame = Frame(
+            FrameType.DATA, self._sequence, Flags.ACK_REQUESTED, payload
+        )
+        self._outstanding = frame
+        self._attempts = 1
+        self._state = SenderState.AWAITING_ACK
+        return frame
+
+    def on_ack(self, ack: Frame) -> bool:
+        """Process an ACK frame.
+
+        Returns:
+            True when the outstanding frame is now confirmed delivered;
+            False for duplicate/stale ACKs (ignored).
+
+        Raises:
+            ArqError: for non-ACK frames.
+        """
+        if ack.frame_type is not FrameType.ACK:
+            raise ArqError(f"expected ACK, got {ack.frame_type}")
+        if (
+            self._state is not SenderState.AWAITING_ACK
+            or ack.sequence != self._sequence
+        ):
+            return False
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        self._outstanding = None
+        self._state = SenderState.IDLE
+        self.delivered += 1
+        return True
+
+    def on_timeout(self) -> Frame | None:
+        """Handle an ACK timeout.
+
+        Returns:
+            The frame to retransmit, or ``None`` when the retry budget is
+            exhausted (state becomes FAILED; call :meth:`reset` to
+            continue with the next frame).
+
+        Raises:
+            ArqError: if no frame is outstanding.
+        """
+        if self._state is not SenderState.AWAITING_ACK or self._outstanding is None:
+            raise ArqError("timeout with no outstanding frame")
+        if self._attempts > self.max_retries:
+            self._state = SenderState.FAILED
+            self.failures += 1
+            return None
+        self._attempts += 1
+        self.retransmissions += 1
+        return self._outstanding
+
+    def reset(self) -> None:
+        """Abandon the failed frame and return to IDLE (skipping its
+        sequence number so the receiver does not mistake the next frame
+        for a duplicate)."""
+        if self._state is SenderState.FAILED:
+            self._sequence = (self._sequence + 1) & 0xFFFF
+        self._outstanding = None
+        self._state = SenderState.IDLE
+
+
+@dataclass
+class ArqReceiver:
+    """Stop-and-wait receiver with duplicate suppression."""
+
+    _expected: int = 0
+    accepted: int = 0
+    duplicates: int = 0
+    _delivered_payloads: list[bytes] = field(default_factory=list)
+
+    @property
+    def expected_sequence(self) -> int:
+        """Sequence number of the next new frame."""
+        return self._expected
+
+    def on_data(self, frame: Frame) -> tuple[Frame, bytes | None]:
+        """Process a data frame.
+
+        Returns:
+            (ack frame to send back, payload) — payload is ``None`` for a
+            duplicate (already delivered) frame, which is re-ACKed but not
+            re-delivered.
+
+        Raises:
+            ArqError: for non-DATA frames.
+        """
+        if frame.frame_type is not FrameType.DATA:
+            raise ArqError(f"expected DATA, got {frame.frame_type}")
+        ack = Frame(FrameType.ACK, frame.sequence)
+        if frame.sequence == self._expected:
+            self._expected = (self._expected + 1) & 0xFFFF
+            self.accepted += 1
+            self._delivered_payloads.append(frame.payload)
+            return ack, frame.payload
+        if frame.sequence == (self._expected - 1) & 0xFFFF:
+            # The previous frame again: our ACK was lost.  Re-ACK, do not
+            # re-deliver.
+            self.duplicates += 1
+            return ack, None
+        # Any other sequence means the sender reset past a failed frame;
+        # resynchronize and deliver.
+        self._expected = (frame.sequence + 1) & 0xFFFF
+        self.accepted += 1
+        self._delivered_payloads.append(frame.payload)
+        return ack, frame.payload
+
+    def delivered_payloads(self) -> list[bytes]:
+        """All in-order payloads delivered so far."""
+        return list(self._delivered_payloads)
+
+
+def run_over_lossy_link(
+    payloads: list[bytes],
+    data_loss,
+    ack_loss,
+    max_retries: int = 8,
+) -> dict:
+    """Drive a sender/receiver pair over callable loss processes.
+
+    Args:
+        payloads: payloads to deliver, in order.
+        data_loss: ``() -> bool``; True means the data frame is lost.
+        ack_loss: ``() -> bool``; True means the ACK is lost.
+        max_retries: sender retry budget per frame.
+
+    Returns:
+        Summary dict with delivered payloads and counters; used by the
+        tests and the reliability ablation.
+    """
+    sender = ArqSender(max_retries=max_retries)
+    receiver = ArqReceiver()
+    transmissions = 0
+    for payload in payloads:
+        frame = sender.send(payload)
+        while True:
+            transmissions += 1
+            if not data_loss():
+                ack, _ = receiver.on_data(frame)
+                if not ack_loss() and sender.on_ack(ack):
+                    break
+            retry = sender.on_timeout()
+            if retry is None:
+                sender.reset()
+                break
+            frame = retry
+    return {
+        "delivered": receiver.delivered_payloads(),
+        "transmissions": transmissions,
+        "retransmissions": sender.retransmissions,
+        "failures": sender.failures,
+        "duplicates": receiver.duplicates,
+    }

@@ -1,0 +1,152 @@
+"""Braidio frame format.
+
+A frame is::
+
+    +---------+---------+----------+-----------+---------+-------+
+    | type(1) | seq(2)  | flags(1) | length(2) | payload | crc16 |
+    +---------+---------+----------+-----------+---------+-------+
+
+Control frames (probe, battery status, mode switch) carry their fields in
+the payload; :mod:`repro.mac.protocol` defines those payloads.  The frame
+codec is pure bytes-in/bytes-out so the waveform-level tests can push
+frames through the analog receive chain.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from .crc import append_crc, verify_crc
+
+#: Header layout: type, sequence, flags, payload length.
+_HEADER = struct.Struct(">BHBH")
+
+#: Maximum payload a frame can carry (length field is 16-bit).
+MAX_PAYLOAD_BYTES = 65_535
+
+#: Default data payload used by the simulator's traffic generators.
+DEFAULT_PAYLOAD_BYTES = 30
+
+
+class FrameType(enum.IntEnum):
+    """Frame types of the Braidio link protocol."""
+
+    DATA = 0x01
+    ACK = 0x02
+    PROBE = 0x03
+    PROBE_REPORT = 0x04
+    BATTERY_STATUS = 0x05
+    MODE_SWITCH = 0x06
+
+
+class Flags(enum.IntFlag):
+    """Per-frame flag bits."""
+
+    NONE = 0x00
+    ACK_REQUESTED = 0x01
+    ROLE_SWITCH = 0x02  # bidirectional traffic: sender hands over the TX role
+    LAST_OF_BLOCK = 0x04  # final packet before a scheduled mode switch
+
+
+class FrameError(ValueError):
+    """Raised when a byte stream cannot be parsed as a frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded Braidio frame.
+
+    Attributes:
+        frame_type: one of :class:`FrameType`.
+        sequence: 16-bit sequence number.
+        flags: flag bits.
+        payload: payload bytes.
+    """
+
+    frame_type: FrameType
+    sequence: int
+    flags: Flags = Flags.NONE
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise ValueError(f"sequence must fit 16 bits, got {self.sequence!r}")
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload too large: {len(self.payload)} bytes")
+
+    def encode(self) -> bytes:
+        """Serialize to bytes including the trailing CRC."""
+        header = _HEADER.pack(
+            int(self.frame_type), self.sequence, int(self.flags), len(self.payload)
+        )
+        return append_crc(header + self.payload)
+
+    @property
+    def air_bits(self) -> int:
+        """Bits on air for this frame, preamble included."""
+        from .preamble import PREAMBLE_BITS
+
+        return len(PREAMBLE_BITS) + 8 * len(self.encode())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Frame":
+        """Parse bytes into a frame.
+
+        Raises:
+            FrameError: on truncation, bad CRC, unknown type, or length
+                mismatch.
+        """
+        if len(data) < _HEADER.size + 2:
+            raise FrameError(f"frame too short: {len(data)} bytes")
+        if not verify_crc(data):
+            raise FrameError("CRC mismatch")
+        body = data[:-2]
+        type_raw, sequence, flags_raw, length = _HEADER.unpack_from(body)
+        payload = body[_HEADER.size :]
+        if len(payload) != length:
+            raise FrameError(
+                f"length field says {length} but payload has {len(payload)} bytes"
+            )
+        try:
+            frame_type = FrameType(type_raw)
+        except ValueError as exc:
+            raise FrameError(f"unknown frame type 0x{type_raw:02x}") from exc
+        return cls(
+            frame_type=frame_type,
+            sequence=sequence,
+            flags=Flags(flags_raw),
+            payload=payload,
+        )
+
+
+def data_frame(sequence: int, payload: bytes, ack: bool = False) -> Frame:
+    """A DATA frame, optionally requesting an acknowledgement."""
+    flags = Flags.ACK_REQUESTED if ack else Flags.NONE
+    return Frame(FrameType.DATA, sequence, flags, payload)
+
+
+def bytes_to_bits(data: bytes) -> list[int]:
+    """MSB-first bit expansion of ``data``."""
+    bits: list[int] = []
+    for byte in data:
+        bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+    return bits
+
+
+def bits_to_bytes(bits: list[int]) -> bytes:
+    """Inverse of :func:`bytes_to_bits`.
+
+    Raises:
+        ValueError: if the bit count is not a multiple of 8.
+    """
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit count must be a multiple of 8, got {len(bits)}")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            byte = (byte << 1) | (1 if bit else 0)
+        out.append(byte)
+    return bytes(out)

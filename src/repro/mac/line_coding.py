@@ -1,0 +1,191 @@
+"""Line codes used on backscatter links.
+
+UHF backscatter systems do not send raw NRZ bits: the tag's reflection
+stream is line-coded so the (AC-coupled, high-pass-filtered) envelope
+receiver sees frequent transitions regardless of data content.  Braidio's
+passive self-interference cancellation relies on exactly this — the data
+must live above the high-pass corner (§3.1).
+
+Three classic codes are implemented at the chip level:
+
+* **Manchester** — each bit becomes two chips (1 -> 10, 0 -> 01); a
+  transition in every bit guarantees DC balance.
+* **FM0 (bi-phase space)** — a transition on every bit boundary; a `0`
+  adds a mid-bit transition.  The EPC Gen2 tag-to-reader baseline code.
+* **Miller (delay modulation)** — a `1` has a mid-bit transition; a `0`
+  has none unless followed by another `0` (transition on the boundary).
+  Fewer transitions than FM0 for the same rate, trading bandwidth for
+  clock content.
+
+Encoders map bits to chip sequences; decoders invert them, raising
+:class:`LineCodeError` on sequences no encoder can produce (which doubles
+as cheap error detection on top of the CRC).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class LineCodeError(ValueError):
+    """Raised when a chip stream is not a valid codeword."""
+
+
+def _check_bits(bits: Sequence[int]) -> list[int]:
+    out = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        out.append(int(bit))
+    return out
+
+
+def manchester_encode(bits: Sequence[int]) -> list[int]:
+    """Manchester (IEEE convention): 1 -> 10, 0 -> 01."""
+    chips: list[int] = []
+    for bit in _check_bits(bits):
+        chips.extend((1, 0) if bit else (0, 1))
+    return chips
+
+
+def manchester_decode(chips: Sequence[int]) -> list[int]:
+    """Invert :func:`manchester_encode`.
+
+    Raises:
+        LineCodeError: on odd length or invalid (00/11) chip pairs.
+    """
+    if len(chips) % 2 != 0:
+        raise LineCodeError("Manchester stream must have even length")
+    bits = []
+    for i in range(0, len(chips), 2):
+        pair = (chips[i], chips[i + 1])
+        if pair == (1, 0):
+            bits.append(1)
+        elif pair == (0, 1):
+            bits.append(0)
+        else:
+            raise LineCodeError(f"invalid Manchester pair {pair} at chip {i}")
+    return bits
+
+
+def fm0_encode(bits: Sequence[int], initial_level: int = 1) -> list[int]:
+    """FM0: invert at every bit boundary; a 0 also inverts mid-bit.
+
+    Args:
+        bits: data bits.
+        initial_level: line level entering the first bit.
+    """
+    if initial_level not in (0, 1):
+        raise ValueError("initial level must be 0 or 1")
+    level = initial_level
+    chips: list[int] = []
+    for bit in _check_bits(bits):
+        level ^= 1  # boundary transition
+        first = level
+        if bit == 0:
+            level ^= 1  # mid-bit transition
+        chips.extend((first, level))
+    return chips
+
+
+def fm0_decode(chips: Sequence[int], initial_level: int = 1) -> list[int]:
+    """Invert :func:`fm0_encode`.
+
+    Raises:
+        LineCodeError: on odd length or a missing boundary transition.
+    """
+    if len(chips) % 2 != 0:
+        raise LineCodeError("FM0 stream must have even length")
+    level = initial_level
+    bits = []
+    for i in range(0, len(chips), 2):
+        first, second = chips[i], chips[i + 1]
+        if first == level:
+            raise LineCodeError(f"missing FM0 boundary transition at chip {i}")
+        bits.append(0 if second != first else 1)
+        level = second
+    return bits
+
+
+def miller_encode(bits: Sequence[int], initial_level: int = 1) -> list[int]:
+    """Miller (delay modulation): 1 -> mid-bit transition; 0 -> boundary
+    transition only when the previous bit was also 0."""
+    if initial_level not in (0, 1):
+        raise ValueError("initial level must be 0 or 1")
+    level = initial_level
+    chips: list[int] = []
+    previous_bit: int | None = None
+    for bit in _check_bits(bits):
+        if bit == 0 and previous_bit == 0:
+            level ^= 1  # boundary transition between consecutive zeros
+        first = level
+        if bit == 1:
+            level ^= 1  # mid-bit transition
+        chips.extend((first, level))
+        previous_bit = bit
+    return chips
+
+
+def miller_decode(chips: Sequence[int], initial_level: int = 1) -> list[int]:
+    """Invert :func:`miller_encode`.
+
+    Raises:
+        LineCodeError: on odd length or an inconsistent transition pattern.
+    """
+    if len(chips) % 2 != 0:
+        raise LineCodeError("Miller stream must have even length")
+    bits: list[int] = []
+    level = initial_level
+    previous_bit: int | None = None
+    for i in range(0, len(chips), 2):
+        first, second = chips[i], chips[i + 1]
+        bit = 1 if second != first else 0
+        expected_first = level
+        if bit == 0 and previous_bit == 0:
+            expected_first ^= 1
+        elif bit == 1 and previous_bit == 0 and first != level:
+            # A boundary transition before a 1 only follows a 0 run in
+            # some variants; our encoder never produces it.
+            raise LineCodeError(f"unexpected Miller boundary transition at chip {i}")
+        if first != expected_first:
+            raise LineCodeError(f"inconsistent Miller level at chip {i}")
+        bits.append(bit)
+        level = second
+        previous_bit = bit
+    return bits
+
+
+def transition_density(
+    chips: Sequence[int], initial_level: int | None = None
+) -> float:
+    """Fraction of chip boundaries with a level change — the "clock
+    content" that must sit above the receiver's high-pass corner.
+
+    Args:
+        chips: the chip stream.
+        initial_level: line level before the first chip.  When given, the
+            entry edge counts too, which makes per-bit transition counts
+            comparable across codes (FM0's first boundary transition is
+            otherwise invisible).
+
+    Raises:
+        ValueError: for streams shorter than two chips.
+    """
+    if len(chips) < 2:
+        raise ValueError("need at least two chips")
+    transitions = sum(1 for a, b in zip(chips, chips[1:]) if a != b)
+    boundaries = len(chips) - 1
+    if initial_level is not None:
+        if initial_level not in (0, 1):
+            raise ValueError("initial level must be 0 or 1")
+        transitions += 1 if chips[0] != initial_level else 0
+        boundaries += 1
+    return transitions / boundaries
+
+
+#: Registry used by configuration surfaces (name -> (encode, decode)).
+LINE_CODES = {
+    "manchester": (manchester_encode, manchester_decode),
+    "fm0": (fm0_encode, fm0_decode),
+    "miller": (miller_encode, miller_decode),
+}

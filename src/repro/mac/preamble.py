@@ -1,0 +1,53 @@
+"""Preamble generation and detection.
+
+Frames open with an alternating 0/1 training sequence (for slicer settling
+and bit sync) followed by a start-frame delimiter.  The detector performs
+the correlation the receiver's MCU would run on the comparator output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Alternating training bits (16 bits of 0b10...).
+TRAINING_BITS = (1, 0) * 8
+
+#: Start-frame delimiter chosen for low autocorrelation sidelobes.
+SFD_BITS = (1, 1, 0, 1, 0, 0, 1, 0)
+
+#: Full preamble as a tuple of bits.
+PREAMBLE_BITS = TRAINING_BITS + SFD_BITS
+
+
+def preamble_bits() -> list[int]:
+    """The full preamble (training + SFD) as a list of ints."""
+    return list(PREAMBLE_BITS)
+
+
+def detect_preamble(bits: list[int] | np.ndarray, max_errors: int = 1) -> int | None:
+    """Find the end of the preamble in a bit stream.
+
+    Args:
+        bits: received hard decisions.
+        max_errors: tolerated Hamming distance against the SFD (training
+            bits are ignored; only the delimiter anchors the frame).
+
+    Returns:
+        Index of the first payload bit (just past the SFD), or ``None`` if
+        no delimiter is found.
+    """
+    if max_errors < 0:
+        raise ValueError("max_errors must be non-negative")
+    stream = np.asarray(bits, dtype=int)
+    sfd = np.asarray(SFD_BITS, dtype=int)
+    n = len(sfd)
+    for start in range(0, len(stream) - n + 1):
+        window = stream[start : start + n]
+        if int(np.sum(window != sfd)) <= max_errors:
+            return start + n
+    return None
+
+
+def frame_bits_with_preamble(payload_bits: list[int]) -> list[int]:
+    """Prepend the preamble to ``payload_bits``."""
+    return list(PREAMBLE_BITS) + list(payload_bits)

@@ -1,0 +1,17 @@
+"""Multi-device extension: a hub with a shared battery serving several
+Braidio clients over TDMA, with fleet-level carrier-offload optimization."""
+
+from .hub import ClientAllocation, ClientPlacement, HubNetwork, HubPlan
+from .session import HubClient, HubSession
+from .tdma import Slot, TdmaSchedule
+
+__all__ = [
+    "HubClient",
+    "HubSession",
+    "ClientAllocation",
+    "ClientPlacement",
+    "HubNetwork",
+    "HubPlan",
+    "Slot",
+    "TdmaSchedule",
+]

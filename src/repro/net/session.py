@@ -1,0 +1,231 @@
+"""Packet-level simulation of a hub serving multiple clients.
+
+The fleet LP (:mod:`repro.net.hub`) is the analytic upper bound; this
+session runs the real dynamics: TDMA slots rotate the hub's radio across
+clients, every client pair runs its own carrier-offload controller against
+the *shared, shrinking* hub battery, and per-packet losses/switching costs
+apply.  As the hub drains, each controller's energy updates see the new
+hub level and re-plan — the emergent behaviour the LP idealizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.braidio import BraidioRadio
+from ..hardware.battery import BatteryEmptyError
+from ..hardware.switching import switch_cost
+from ..modes import LinkMode
+from ..sim.link import SimulatedLink
+from ..sim.results import SessionMetrics
+from ..sim.session import FRAME_OVERHEAD_BITS
+from ..sim.simulator import Simulator
+from .tdma import TdmaSchedule
+
+
+@dataclass
+class HubClient:
+    """One uplink client of a hub session.
+
+    Attributes:
+        name: unique identifier (must match the TDMA schedule).
+        radio: the client end point.
+        link: the channel between the client and the hub.
+        policy: mode policy for this client's uplink.
+        metrics: per-client statistics.
+    """
+
+    name: str
+    radio: BraidioRadio
+    link: SimulatedLink
+    policy: object
+    metrics: SessionMetrics = field(default_factory=SessionMetrics)
+
+
+class HubSession:
+    """A TDMA uplink session: N clients -> one hub.
+
+    Args:
+        simulator: event kernel.
+        hub: the hub end point (its battery is shared by every client).
+        clients: participating clients.
+        tdma: slot schedule (client names must match).
+        payload_bytes: data payload per packet.
+        apply_switch_costs: charge Table 5 costs on per-client mode
+            changes.
+        max_packets / max_time_s: stop conditions.
+        energy_update_interval: packets between battery refreshes pushed
+            to each policy.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        hub: BraidioRadio,
+        clients: list[HubClient],
+        tdma: TdmaSchedule,
+        payload_bytes: int = 30,
+        apply_switch_costs: bool = True,
+        max_packets: int | None = None,
+        max_time_s: float | None = None,
+        energy_update_interval: int = 64,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client required")
+        names = {c.name for c in clients}
+        schedule_names = set(tdma.air_time_shares())
+        if names != schedule_names:
+            raise ValueError(
+                f"TDMA clients {schedule_names} do not match session clients {names}"
+            )
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        if energy_update_interval <= 0:
+            raise ValueError("energy update interval must be positive")
+
+        self._sim = simulator
+        self._hub = hub
+        self._clients = {c.name: c for c in clients}
+        self._tdma = tdma
+        self._payload_bits = 8 * payload_bytes
+        self._apply_switch_costs = apply_switch_costs
+        self._max_packets = max_packets
+        self._max_time_s = max_time_s
+        self._energy_update_interval = energy_update_interval
+
+        self._packet_index = 0
+        self._last_mode: dict[str, LinkMode | None] = {c.name: None for c in clients}
+        self._exhausted: set[str] = set()
+        self._finished = False
+        self.hub_metrics = SessionMetrics()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the session has stopped."""
+        return self._finished
+
+    def client(self, name: str) -> HubClient:
+        """Look up a client.
+
+        Raises:
+            KeyError: for unknown names.
+        """
+        return self._clients[name]
+
+    def start(self) -> None:
+        """Negotiate every client's initial plan and schedule the loop."""
+        for client in self._clients.values():
+            client.policy.start(
+                client.link.distance_m,
+                client.radio.battery.remaining_j,
+                self._hub.battery.remaining_j,
+            )
+        self._sim.schedule_in(0.0, self._serve_packet)
+
+    def run(self) -> SessionMetrics:
+        """Run to a stop condition; returns the hub-side metrics."""
+        if self._packet_index == 0 and not self._finished:
+            self.start()
+        self._sim.run(until_s=self._max_time_s)
+        if not self._finished:
+            self._terminate("time" if self._max_time_s is not None else "packets")
+        return self.hub_metrics
+
+    def _terminate(self, reason: str) -> None:
+        self._finished = True
+        self.hub_metrics.terminated_by = reason
+        self.hub_metrics.duration_s = self._sim.now_s
+        for client in self._clients.values():
+            client.metrics.terminated_by = reason
+            client.metrics.duration_s = self._sim.now_s
+
+    def _next_live_client(self) -> HubClient | None:
+        # Skip the slots of exhausted clients (their battery died); the
+        # schedule keeps rotating among the survivors.
+        for _ in range(self._tdma.round_packets):
+            name = self._tdma.client_for_packet(self._packet_index)
+            if name not in self._exhausted:
+                return self._clients[name]
+            self._packet_index += 1
+        return None
+
+    def _serve_packet(self) -> None:
+        if self._finished:
+            return
+        if self._max_packets is not None and self._packet_index >= self._max_packets:
+            self._terminate("packets")
+            return
+        if self._hub.battery.is_empty:
+            self._terminate("battery")
+            return
+        client = self._next_live_client()
+        if client is None:
+            self._terminate("battery")
+            return
+
+        decision = client.policy.next_packet()
+        air_bits = self._payload_bits + FRAME_OVERHEAD_BITS
+        duration_s = air_bits / decision.bitrate_bps
+
+        if (
+            self._apply_switch_costs
+            and self._last_mode[client.name] is not None
+            and decision.mode is not self._last_mode[client.name]
+        ):
+            cost = switch_cost(decision.mode, bitrate_bps=decision.bitrate_bps)
+            try:
+                client.radio.battery.drain_energy(cost.tx_j)
+                self._hub.battery.drain_energy(cost.rx_j)
+            except BatteryEmptyError:
+                self._retire_or_finish(client)
+                return
+            client.metrics.switch_energy_j += cost.total_j
+            client.metrics.mode_switches += 1
+        self._last_mode[client.name] = decision.mode
+
+        success = client.link.packet_success(
+            decision.mode, decision.bitrate_bps, air_bits, self._sim.now_s
+        )
+        tx_energy = decision.tx_power_w * duration_s
+        rx_energy = decision.rx_power_w * duration_s
+        try:
+            client.radio.battery.drain_energy(tx_energy)
+            self._hub.battery.drain_energy(rx_energy)
+        except BatteryEmptyError:
+            client.metrics.record_packet(decision.mode, self._payload_bits, False)
+            self._retire_or_finish(client)
+            return
+
+        client.metrics.energy_a_j += tx_energy
+        client.metrics.energy_b_j += rx_energy
+        self.hub_metrics.energy_b_j += rx_energy
+        client.metrics.record_packet(decision.mode, self._payload_bits, success)
+        self.hub_metrics.record_packet(decision.mode, self._payload_bits, success)
+        client.policy.record_outcome(decision.mode, success)
+
+        self._packet_index += 1
+        if self._packet_index % self._energy_update_interval == 0:
+            for other in self._clients.values():
+                if other.name in self._exhausted:
+                    continue
+                if other.radio.battery.is_empty:
+                    self._exhausted.add(other.name)
+                    continue
+                other.policy.update_energy(
+                    other.radio.battery.remaining_j,
+                    max(self._hub.battery.remaining_j, 1e-12),
+                )
+
+        self._sim.schedule_in(duration_s, self._serve_packet)
+
+    def _retire_or_finish(self, client: HubClient) -> None:
+        # A dead client battery retires that client; a dead hub battery
+        # (or the last client dying) ends the session.
+        if self._hub.battery.is_empty:
+            self._terminate("battery")
+            return
+        self._exhausted.add(client.name)
+        if len(self._exhausted) == len(self._clients):
+            self._terminate("battery")
+            return
+        self._sim.schedule_in(0.0, self._serve_packet)

@@ -1,0 +1,109 @@
+"""TDMA air-time sharing for a hub serving multiple Braidio clients.
+
+A single hub (phone/laptop) owns one radio, so concurrent clients share
+air time in slots.  Slots are weighted: a camera streaming at 30 fps gets
+more slots than a heartbeat sensor.  The schedule is periodic and
+deterministic, like the mode schedule, and composes with it — within its
+slot a client pair runs its own mode mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One TDMA slot: a client identifier and a dwell in packets."""
+
+    client: str
+    packets: int
+
+    def __post_init__(self) -> None:
+        if self.packets <= 0:
+            raise ValueError("slots must cover at least one packet")
+
+
+class TdmaSchedule:
+    """Weighted round-robin slot schedule.
+
+    Args:
+        weights: client -> relative air-time share (positive).
+        round_packets: packets per TDMA round.
+
+    Raises:
+        ValueError: on empty/negative weights or a round too short to give
+            every client a slot.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | Sequence[tuple[str, float]],
+        round_packets: int = 128,
+    ) -> None:
+        items = list(weights.items()) if isinstance(weights, Mapping) else list(weights)
+        if not items:
+            raise ValueError("at least one client required")
+        if any(w <= 0.0 for _, w in items):
+            raise ValueError("weights must be positive")
+        if round_packets < len(items):
+            raise ValueError("round too short to serve every client")
+
+        total = sum(w for _, w in items)
+        self._shares = {client: w / total for client, w in items}
+        self._round = round_packets
+        self._slots = self._build_slots()
+
+    def _build_slots(self) -> list[Slot]:
+        # Largest-remainder with a guaranteed slot per client: unlike mode
+        # fractions, starving a client entirely is a fairness failure, so
+        # every client gets at least one packet per round.
+        quotas = {c: share * self._round for c, share in self._shares.items()}
+        counts = {c: max(1, int(q)) for c, q in quotas.items()}
+        while sum(counts.values()) > self._round:
+            richest = max(counts, key=lambda c: counts[c])
+            counts[richest] -= 1
+        leftover = self._round - sum(counts.values())
+        by_remainder = sorted(
+            quotas, key=lambda c: quotas[c] - counts[c], reverse=True
+        )
+        for client in by_remainder[:leftover]:
+            counts[client] += 1
+        return [Slot(client, count) for client, count in counts.items()]
+
+    @property
+    def round_packets(self) -> int:
+        """Packets per TDMA round."""
+        return self._round
+
+    @property
+    def slots(self) -> tuple[Slot, ...]:
+        """Per-round slots."""
+        return tuple(self._slots)
+
+    def air_time_shares(self) -> dict[str, float]:
+        """Realized per-round share per client."""
+        return {slot.client: slot.packets / self._round for slot in self._slots}
+
+    def client_for_packet(self, index: int) -> str:
+        """Client served by the ``index``-th packet.
+
+        Raises:
+            ValueError: for negative indices.
+        """
+        if index < 0:
+            raise ValueError("packet index must be non-negative")
+        position = index % self._round
+        for slot in self._slots:
+            if position < slot.packets:
+                return slot.client
+            position -= slot.packets
+        raise AssertionError("unreachable: slot accounting is exhaustive")
+
+    def packet_clients(self) -> Iterator[str]:
+        """Infinite per-packet client iterator."""
+        while True:
+            for slot in self._slots:
+                for _ in range(slot.packets):
+                    yield slot.client

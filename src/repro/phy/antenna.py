@@ -1,0 +1,101 @@
+"""Antenna models and receive diversity.
+
+Braidio combats phase-cancellation nulls with two receive antennas
+separated by one-eighth of a wavelength (Table 4, Fig 5).  An SPDT switch
+selects whichever antenna yields the stronger envelope signal — selection
+combining, the cheapest diversity scheme and the only one available to a
+single passive receiver chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from .constants import DIVERSITY_ANTENNA_SPACING_M
+from .phase import PhaseCancellationModel, Position
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """A chip antenna with a position and a (scalar) gain.
+
+    Attributes:
+        position: antenna location in the simulation plane.
+        gain_dbi: boresight gain; the 12 mm chip antennas on the Braidio
+            board are close to isotropic in-plane, so the default is 0.
+    """
+
+    position: Position
+    gain_dbi: float = 0.0
+
+
+def selection_combining_db(levels_db: Sequence[float]) -> float:
+    """Selection combining: pick the strongest branch (in dB).
+
+    Raises:
+        ValueError: if no branch levels are supplied.
+    """
+    if not levels_db:
+        raise ValueError("selection combining needs at least one branch")
+    return max(levels_db)
+
+
+@dataclass(frozen=True)
+class DiversityReceiver:
+    """A two-antenna selection-diversity envelope receiver.
+
+    Attributes:
+        model: the phase-cancellation field model; its ``rx_position`` is
+            the location of the *first* antenna.
+        spacing_m: separation between the two antennas (default lambda/8,
+            matching the Braidio board).
+        axis: unit direction along which the second antenna is displaced;
+            defaults to the x axis.
+    """
+
+    model: PhaseCancellationModel
+    spacing_m: float = DIVERSITY_ANTENNA_SPACING_M
+    axis: tuple[float, float] = (1.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.spacing_m <= 0.0:
+            raise ValueError(f"antenna spacing must be positive, got {self.spacing_m!r}")
+        norm = math.hypot(*self.axis)
+        if not math.isclose(norm, 1.0, rel_tol=1e-6):
+            raise ValueError("axis must be a unit vector")
+
+    def _second_model(self) -> PhaseCancellationModel:
+        rx = self.model.rx_position
+        shifted = Position(
+            rx.x + self.axis[0] * self.spacing_m,
+            rx.y + self.axis[1] * self.spacing_m,
+        )
+        return replace(self.model, rx_position=shifted)
+
+    def branch_signals_db(self, tag_position: Position) -> tuple[float, float]:
+        """Envelope signal (dB) at each of the two antennas."""
+        first = self.model.envelope_signal_db(tag_position)
+        second = self._second_model().envelope_signal_db(tag_position)
+        return first, second
+
+    def combined_signal_db(self, tag_position: Position) -> float:
+        """Selection-combined envelope signal (dB)."""
+        return selection_combining_db(self.branch_signals_db(tag_position))
+
+    def combined_profile_db(self, x_coords: np.ndarray, y: float) -> np.ndarray:
+        """Selection-combined signal along a horizontal line of tag
+        positions — the 'with antenna diversity' curve of Fig 6."""
+        xs = np.asarray(x_coords, dtype=float)
+        first = self.model.line_profile_db(xs, y)
+        second = self._second_model().line_profile_db(xs, y)
+        return np.maximum(first, second)
+
+    def single_antenna_profile_db(self, x_coords: np.ndarray, y: float) -> np.ndarray:
+        """Signal along the line using only the first antenna — the
+        'without antenna diversity' curve of Fig 6."""
+        xs = np.asarray(x_coords, dtype=float)
+        return self.model.line_profile_db(xs, y)

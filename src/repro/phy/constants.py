@@ -1,0 +1,83 @@
+"""Physical constants and band plan used throughout the PHY layer.
+
+Braidio operates in the 902–928 MHz ISM band (the paper's prototype uses an
+SI4432 carrier emitter and SAW filters centred on the UHF license-free
+band).  All constants are SI units unless the name says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature for thermal-noise computations (K).
+ROOM_TEMPERATURE_K = 290.0
+
+#: Thermal noise power spectral density at 290 K, in dBm/Hz (-174 dBm/Hz).
+THERMAL_NOISE_DBM_PER_HZ = 10.0 * math.log10(BOLTZMANN * ROOM_TEMPERATURE_K * 1e3)
+
+#: Centre of the 902-928 MHz ISM band used by the Braidio prototype (Hz).
+CARRIER_FREQUENCY_HZ = 915e6
+
+#: Wavelength at the carrier frequency (m); about 32.8 cm at 915 MHz.
+CARRIER_WAVELENGTH_M = SPEED_OF_LIGHT / CARRIER_FREQUENCY_HZ
+
+#: ISM band edges (Hz) enforced by the SAW filter model.
+ISM_BAND_LOW_HZ = 902e6
+ISM_BAND_HIGH_HZ = 928e6
+
+#: Antenna separation used for the receive-diversity pair (1/8 wavelength,
+#: per Table 4 of the paper).
+DIVERSITY_ANTENNA_SPACING_M = CARRIER_WAVELENGTH_M / 8.0
+
+#: The three bitrates the paper characterizes (bits/s).
+BITRATES_BPS = (10_000, 100_000, 1_000_000)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** (dbm / 10.0) / 1e3
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises:
+        ValueError: if ``watts`` is not strictly positive (zero power has no
+            finite dBm representation).
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive to express in dBm, got {watts!r}")
+    return 10.0 * math.log10(watts * 1e3)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a ratio in dB to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to express in dB, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Wavelength (m) of an electromagnetic wave at ``frequency_hz``.
+
+    Raises:
+        ValueError: if the frequency is not strictly positive.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz

@@ -1,0 +1,118 @@
+"""Small-scale fading models.
+
+The paper notes (§3.1) that the self-interference channel's coherence time
+is on the order of milliseconds, so the interference appears as a
+sub-kilohertz component that the passive receiver's high-pass behaviour
+removes.  These models supply the fading draws used by the stochastic link
+simulator and the coherence-time reasoning used by the controller.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+
+
+def doppler_spread_hz(speed_m_s: float, frequency_hz: float = CARRIER_FREQUENCY_HZ) -> float:
+    """Maximum Doppler spread (Hz) for a scatterer moving at ``speed_m_s``."""
+    if speed_m_s < 0.0:
+        raise ValueError(f"speed must be non-negative, got {speed_m_s!r}")
+    return speed_m_s * frequency_hz / SPEED_OF_LIGHT
+
+
+def coherence_time_s(doppler_hz: float) -> float:
+    """Channel coherence time via the Clarke rule-of-thumb 0.423 / f_d.
+
+    Returns ``inf`` for a static channel (zero Doppler).
+    """
+    if doppler_hz < 0.0:
+        raise ValueError(f"Doppler spread must be non-negative, got {doppler_hz!r}")
+    if doppler_hz == 0.0:
+        return math.inf
+    return 0.423 / doppler_hz
+
+
+@dataclass(frozen=True)
+class RicianFading:
+    """Rician block-fading model.
+
+    Attributes:
+        k_factor_db: ratio of line-of-sight to scattered power in dB.  Large
+            K approaches a static (AWGN-like) channel; ``k_factor_db`` of
+            ``-inf`` degenerates to Rayleigh.
+    """
+
+    k_factor_db: float = 10.0
+
+    def sample_power_gains(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` linear power gains with unit mean power."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count!r}")
+        k = 10.0 ** (self.k_factor_db / 10.0) if math.isfinite(self.k_factor_db) else 0.0
+        # LOS component magnitude and scatter variance for unit mean power.
+        los = math.sqrt(k / (k + 1.0))
+        sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+        real = rng.normal(los, sigma, size=count)
+        imag = rng.normal(0.0, sigma, size=count)
+        return real**2 + imag**2
+
+
+@dataclass(frozen=True)
+class RayleighFading:
+    """Rayleigh block fading (no line-of-sight component)."""
+
+    def sample_power_gains(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` exponentially distributed power gains, unit mean."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count!r}")
+        return rng.exponential(1.0, size=count)
+
+
+class BlockFadingProcess:
+    """A time-correlated fading process: the gain is held for one coherence
+    time and redrawn afterwards.
+
+    This is the standard block-fading abstraction; it is what makes the
+    controller's periodic re-probing meaningful in the mobile scenario.
+    """
+
+    def __init__(
+        self,
+        fading: RicianFading | RayleighFading,
+        coherence_s: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if coherence_s <= 0.0:
+            raise ValueError(f"coherence time must be positive, got {coherence_s!r}")
+        self._fading = fading
+        self._coherence_s = coherence_s
+        self._rng = rng
+        self._block_index = -1
+        self._gain = 1.0
+
+    @property
+    def coherence_s(self) -> float:
+        """Coherence time of the process in seconds."""
+        return self._coherence_s
+
+    def gain_at(self, time_s: float) -> float:
+        """Linear power gain at ``time_s`` (unit mean across blocks)."""
+        if time_s < 0.0:
+            raise ValueError(f"time must be non-negative, got {time_s!r}")
+        block = int(time_s / self._coherence_s)
+        if block != self._block_index:
+            # Redraw once per coherence block; skipping blocks is fine
+            # because draws are i.i.d.
+            self._gain = float(self._fading.sample_power_gains(self._rng, 1)[0])
+            self._block_index = block
+        return self._gain
+
+    def gain_db_at(self, time_s: float) -> float:
+        """Gain at ``time_s`` expressed in dB (can be very negative in a
+        deep Rayleigh fade)."""
+        gain = self.gain_at(time_s)
+        return 10.0 * math.log10(max(gain, 1e-12))

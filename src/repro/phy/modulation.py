@@ -1,0 +1,123 @@
+"""Bit-error-rate models for the modulation schemes Braidio uses.
+
+* Backscatter and passive-receiver modes use on-off keying (ASK/OOK)
+  decoded by a *non-coherent* envelope detector; the classic BER is
+  ``0.5 exp(-SNR / 2)`` (optimal threshold, equiprobable bits).
+* The active mode uses (G)FSK as in BLE; we provide both the coherent and
+  non-coherent binary-FSK expressions.
+
+SNR here is the post-detection signal-to-noise ratio (Eb/N0 times rate /
+bandwidth; for the matched binary receivers modelled in ``noise.py`` the
+two coincide).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+from .constants import db_to_linear
+
+#: Floor applied to returned BERs so downstream log-scale maths stays
+#: finite.  A 1e-9 BER is far below anything the experiments resolve.
+BER_FLOOR = 1e-9
+
+
+class Modulation(Enum):
+    """Modulation schemes used by the three Braidio link modes."""
+
+    OOK_NONCOHERENT = "ook-noncoherent"
+    FSK_NONCOHERENT = "fsk-noncoherent"
+    FSK_COHERENT = "fsk-coherent"
+
+
+def _q_function(x: float) -> float:
+    """Gaussian tail probability Q(x)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def ber_ook_noncoherent(snr_linear: float) -> float:
+    """BER of non-coherent OOK with envelope detection.
+
+    For an optimal mid-amplitude threshold the error probability is
+    approximately ``0.5 exp(-snr / 2)`` (see e.g. Proakis, Digital
+    Communications).  Negative SNR values are treated as zero signal.
+    """
+    snr = max(snr_linear, 0.0)
+    return _clamp(0.5 * math.exp(-snr / 2.0))
+
+
+def ber_fsk_noncoherent(snr_linear: float) -> float:
+    """BER of non-coherent binary FSK: ``0.5 exp(-snr / 2)``."""
+    snr = max(snr_linear, 0.0)
+    return _clamp(0.5 * math.exp(-snr / 2.0))
+
+
+def ber_fsk_coherent(snr_linear: float) -> float:
+    """BER of coherent binary FSK: ``Q(sqrt(snr))``."""
+    snr = max(snr_linear, 0.0)
+    return _clamp(_q_function(math.sqrt(snr)))
+
+
+_BER_FUNCTIONS = {
+    Modulation.OOK_NONCOHERENT: ber_ook_noncoherent,
+    Modulation.FSK_NONCOHERENT: ber_fsk_noncoherent,
+    Modulation.FSK_COHERENT: ber_fsk_coherent,
+}
+
+
+def _clamp(ber: float) -> float:
+    return min(max(ber, BER_FLOOR), 0.5)
+
+
+def bit_error_rate(modulation: Modulation, snr_db: float) -> float:
+    """BER of ``modulation`` at a given SNR in dB."""
+    return _BER_FUNCTIONS[modulation](db_to_linear(snr_db))
+
+
+def required_snr_db(modulation: Modulation, target_ber: float) -> float:
+    """Smallest SNR (dB) at which ``modulation`` achieves ``target_ber``.
+
+    Inverts the BER expressions analytically where possible and by bisection
+    for the coherent case.
+
+    Raises:
+        ValueError: if ``target_ber`` is outside (BER_FLOOR, 0.5).
+    """
+    if not BER_FLOOR < target_ber < 0.5:
+        raise ValueError(
+            f"target BER must lie in ({BER_FLOOR}, 0.5), got {target_ber!r}"
+        )
+    if modulation in (Modulation.OOK_NONCOHERENT, Modulation.FSK_NONCOHERENT):
+        snr_linear = -2.0 * math.log(2.0 * target_ber)
+        return 10.0 * math.log10(snr_linear)
+    # Coherent FSK: invert Q(sqrt(snr)) by bisection on snr in dB.
+    low, high = -20.0, 40.0
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if bit_error_rate(modulation, mid) > target_ber:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def packet_error_rate(ber: float, packet_bits: int) -> float:
+    """Probability that a packet of ``packet_bits`` independent bits has at
+    least one bit error (no FEC)."""
+    if packet_bits < 0:
+        raise ValueError(f"packet size must be non-negative, got {packet_bits!r}")
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError(f"BER must be a probability, got {ber!r}")
+    if packet_bits == 0:
+        return 0.0
+    # log1p keeps precision for tiny BERs on long packets.
+    return -math.expm1(packet_bits * math.log1p(-ber)) if ber < 1.0 else 1.0
+
+
+def goodput_bps(bitrate_bps: float, ber: float, packet_bits: int) -> float:
+    """Expected delivered payload rate given per-bit errors and
+    all-or-nothing packets."""
+    if bitrate_bps <= 0.0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_bps!r}")
+    return bitrate_bps * (1.0 - packet_error_rate(ber, packet_bits))

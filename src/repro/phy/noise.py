@@ -1,0 +1,69 @@
+"""Receiver noise models.
+
+The noise floor seen by a receiver is thermal noise integrated over the
+receiver bandwidth, degraded by the receiver's noise figure.  For matched
+filtering the noise bandwidth tracks the bitrate, which is why lower
+bitrates buy range in Fig 13 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import THERMAL_NOISE_DBM_PER_HZ
+
+
+def thermal_noise_floor_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Noise power (dBm) in ``bandwidth_hz`` with the given noise figure.
+
+    Raises:
+        ValueError: if bandwidth is not positive or the noise figure is
+            negative (a receiver cannot remove thermal noise).
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz!r}")
+    if noise_figure_db < 0.0:
+        raise ValueError(f"noise figure must be non-negative, got {noise_figure_db!r}")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+
+
+def noise_bandwidth_for_bitrate(bitrate_bps: float, rolloff: float = 1.0) -> float:
+    """Equivalent noise bandwidth (Hz) of a matched receiver at ``bitrate_bps``.
+
+    ``rolloff`` scales the bandwidth above the symbol rate (1.0 means the
+    bandwidth equals the bitrate, the matched-filter ideal for binary
+    signalling).
+    """
+    if bitrate_bps <= 0.0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_bps!r}")
+    if rolloff <= 0.0:
+        raise ValueError(f"rolloff must be positive, got {rolloff!r}")
+    return bitrate_bps * rolloff
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Noise configuration for one receiver.
+
+    Attributes:
+        noise_figure_db: receiver noise figure in dB.
+        rolloff: noise-bandwidth expansion factor over the bitrate.
+        interference_dbm: constant in-band interference power, or ``None``
+            for a clean channel.  (The SAW filter removes out-of-band
+            interference; in-band interferers still add here.)
+    """
+
+    noise_figure_db: float = 6.0
+    rolloff: float = 1.0
+    interference_dbm: float | None = None
+
+    def floor_dbm(self, bitrate_bps: float) -> float:
+        """Total noise-plus-interference power (dBm) at ``bitrate_bps``."""
+        bandwidth = noise_bandwidth_for_bitrate(bitrate_bps, self.rolloff)
+        thermal = thermal_noise_floor_dbm(bandwidth, self.noise_figure_db)
+        if self.interference_dbm is None:
+            return thermal
+        # Power sum of thermal noise and interference.
+        total_mw = 10.0 ** (thermal / 10.0) + 10.0 ** (self.interference_dbm / 10.0)
+        return 10.0 * math.log10(total_mw)

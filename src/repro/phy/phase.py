@@ -1,0 +1,161 @@
+"""Phase-cancellation model for the non-coherent envelope receiver.
+
+The passive receiver extracts only the *amplitude* of the RF envelope.  The
+envelope amplitude difference between the two tag states is
+
+    A = | |V_bg + V| - |V_bg - V| |
+
+where ``V_bg`` is the background vector (dominated by the carrier
+self-interference leaking straight from the transmit antenna) and ``+/-V``
+is the differential backscatter vector for the two transistor states.  When
+``V`` is nearly orthogonal to ``V_bg`` the amplitude difference vanishes
+even though the tag is switching — the "phase cancellation" problem of
+§3.2 / Fig 4 of the paper.
+
+The geometry here is the paper's simulation setup: a transmit antenna and a
+receive antenna at fixed positions in a 2 m x 2 m area; a backscatter tag
+placed anywhere in the area.  The backscatter phase is set by the two-hop
+path length (TX -> tag -> RX); the background phase by the direct TX -> RX
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+
+#: Floor (in linear amplitude) used when converting envelope amplitudes to
+#: dB so that exact nulls stay finite on log axes.
+_AMPLITUDE_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D simulation plane, metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class PhaseCancellationModel:
+    """Coherent two-path model of the backscatter + self-interference field.
+
+    Attributes:
+        tx_position: carrier/transmit antenna position (paper: 0.95, 0.5).
+        rx_position: envelope-receiver antenna position (paper: 1.05, 0.5).
+        frequency_hz: carrier frequency.
+        background_amplitude: amplitude of the direct self-interference
+            vector at 1 m separation (normalized units).  It only matters
+            relative to ``backscatter_amplitude``.
+        backscatter_amplitude: amplitude of the reflected signal for a
+            1 m + 1 m two-hop path (normalized units).
+        reflection_phase_rad: extra phase added on tag reflection.
+    """
+
+    tx_position: Position = field(default_factory=lambda: Position(0.95, 0.5))
+    rx_position: Position = field(default_factory=lambda: Position(1.05, 0.5))
+    frequency_hz: float = CARRIER_FREQUENCY_HZ
+    background_amplitude: float = 1.0
+    backscatter_amplitude: float = 0.05
+    reflection_phase_rad: float = math.pi
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength in metres."""
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    def _clamped_distance(self, d: float) -> float:
+        # Avoid the 1/d singularity when the tag sits on an antenna.
+        return max(d, 0.05)
+
+    def background_vector(self) -> complex:
+        """Complex self-interference vector at the receive antenna."""
+        d = self._clamped_distance(self.tx_position.distance_to(self.rx_position))
+        phase = 2.0 * math.pi * d / self.wavelength_m
+        return self.background_amplitude / d * complex(math.cos(phase), -math.sin(phase))
+
+    def backscatter_vector(self, tag_position: Position) -> complex:
+        """Differential backscatter vector for a tag at ``tag_position``.
+
+        The two tag states contribute ``+V`` and ``-V`` around the
+        background; this returns ``V``.
+        """
+        d1 = self._clamped_distance(self.tx_position.distance_to(tag_position))
+        d2 = self._clamped_distance(tag_position.distance_to(self.rx_position))
+        phase = 2.0 * math.pi * (d1 + d2) / self.wavelength_m + self.reflection_phase_rad
+        amplitude = self.backscatter_amplitude / (d1 * d2)
+        return amplitude * complex(math.cos(phase), -math.sin(phase))
+
+    def envelope_amplitude(self, tag_position: Position) -> float:
+        """Envelope amplitude difference between the two tag states.
+
+        This is the quantity the comparator must resolve; zero at a perfect
+        phase-cancellation null.
+        """
+        bg = self.background_vector()
+        v = self.backscatter_vector(tag_position)
+        return abs(abs(bg + v) - abs(bg - v))
+
+    def envelope_signal_db(self, tag_position: Position) -> float:
+        """Envelope amplitude difference expressed as power in dB
+        (20 log10 of the amplitude, floored at the numeric floor)."""
+        amplitude = max(self.envelope_amplitude(tag_position), _AMPLITUDE_FLOOR)
+        return 20.0 * math.log10(amplitude)
+
+    def phase_offset_rad(self, tag_position: Position) -> float:
+        """Angle theta between the backscatter vector and the background
+        vector; the envelope signal scales as ``|cos(theta)|`` when the
+        background dominates."""
+        bg = self.background_vector()
+        v = self.backscatter_vector(tag_position)
+        return abs(math.atan2((v / bg).imag, (v / bg).real))
+
+    def signal_map_db(
+        self,
+        x_coords: np.ndarray,
+        y_coords: np.ndarray,
+    ) -> np.ndarray:
+        """Envelope signal strength (dB) over a grid of tag positions.
+
+        Returns an array of shape ``(len(y_coords), len(x_coords))`` to
+        match image-style indexing (row = y).
+        """
+        xs = np.asarray(x_coords, dtype=float)
+        ys = np.asarray(y_coords, dtype=float)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+
+        d1 = np.hypot(grid_x - self.tx_position.x, grid_y - self.tx_position.y)
+        d2 = np.hypot(grid_x - self.rx_position.x, grid_y - self.rx_position.y)
+        d1 = np.maximum(d1, 0.05)
+        d2 = np.maximum(d2, 0.05)
+
+        two_pi_over_lambda = 2.0 * math.pi / self.wavelength_m
+        phase = two_pi_over_lambda * (d1 + d2) + self.reflection_phase_rad
+        v = self.backscatter_amplitude / (d1 * d2) * np.exp(-1j * phase)
+        bg = self.background_vector()
+
+        amplitude = np.abs(np.abs(bg + v) - np.abs(bg - v))
+        return 20.0 * np.log10(np.maximum(amplitude, _AMPLITUDE_FLOOR))
+
+    def line_profile_db(
+        self, x_coords: np.ndarray, y: float
+    ) -> np.ndarray:
+        """Envelope signal strength (dB) for tag positions along a
+        horizontal line at height ``y`` — Fig 4(c) of the paper."""
+        xs = np.asarray(x_coords, dtype=float)
+        return self.signal_map_db(xs, np.array([y]))[0]
+
+
+def snr_from_envelope_db(envelope_db: float, noise_floor_db: float) -> float:
+    """Convert an envelope signal level and a noise floor (both in the same
+    normalized dB units) into an SNR in dB."""
+    return envelope_db - noise_floor_db

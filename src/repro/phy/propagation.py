@@ -1,0 +1,165 @@
+"""Path-loss models for the links Braidio uses.
+
+Three families of loss are needed:
+
+* one-way loss for the active and passive-receiver modes (the carrier is
+  generated at the data transmitter and travels a single hop);
+* round-trip loss for the backscatter mode (reader -> tag -> reader), which
+  is the product of the two one-way losses plus the tag's reflection loss;
+* a simple two-ray ground-reflection model used for sensitivity studies.
+
+All models return loss in dB (positive numbers; larger is more loss).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT, linear_to_db
+
+#: Loss of signal power when a backscatter tag reflects the carrier.  A
+#: switched open/short tag reflects at best half the incident power into the
+#: modulated sidebands; 6 dB is the customary figure for UHF RFID links.
+DEFAULT_BACKSCATTER_REFLECTION_LOSS_DB = 6.0
+
+#: Minimum distance (m) below which the far-field models are clamped; the
+#: Friis equation diverges as d -> 0.
+NEAR_FIELD_LIMIT_M = 0.05
+
+
+def _check_distance(distance_m: float) -> float:
+    if distance_m < 0.0:
+        raise ValueError(f"distance must be non-negative, got {distance_m!r}")
+    return max(distance_m, NEAR_FIELD_LIMIT_M)
+
+
+def free_space_path_loss_db(
+    distance_m: float, frequency_hz: float = CARRIER_FREQUENCY_HZ
+) -> float:
+    """Friis free-space path loss in dB at ``distance_m`` metres.
+
+    FSPL(d) = 20 log10(4 pi d f / c).  Distances below the near-field limit
+    are clamped to it so the loss stays finite and monotone.
+    """
+    d = _check_distance(distance_m)
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return 20.0 * math.log10(4.0 * math.pi * d * frequency_hz / SPEED_OF_LIGHT)
+
+
+def log_distance_path_loss_db(
+    distance_m: float,
+    reference_distance_m: float = 1.0,
+    path_loss_exponent: float = 2.0,
+    frequency_hz: float = CARRIER_FREQUENCY_HZ,
+) -> float:
+    """Log-distance path loss: FSPL at the reference distance, then a
+    ``10 * n * log10(d / d0)`` roll-off with exponent ``n``.
+
+    The paper's experiments are in an empty 6m x 6m room cleared of
+    reflectors, so the default exponent is 2 (free-space-like).
+    """
+    if reference_distance_m <= 0.0:
+        raise ValueError(
+            f"reference distance must be positive, got {reference_distance_m!r}"
+        )
+    if path_loss_exponent <= 0.0:
+        raise ValueError(
+            f"path-loss exponent must be positive, got {path_loss_exponent!r}"
+        )
+    d = _check_distance(distance_m)
+    reference_loss = free_space_path_loss_db(reference_distance_m, frequency_hz)
+    return reference_loss + 10.0 * path_loss_exponent * math.log10(
+        max(d / reference_distance_m, NEAR_FIELD_LIMIT_M / reference_distance_m)
+    )
+
+
+def backscatter_round_trip_loss_db(
+    reader_tag_distance_m: float,
+    frequency_hz: float = CARRIER_FREQUENCY_HZ,
+    reflection_loss_db: float = DEFAULT_BACKSCATTER_REFLECTION_LOSS_DB,
+    path_loss_exponent: float = 2.0,
+) -> float:
+    """Round-trip loss of a monostatic backscatter link in dB.
+
+    The carrier travels reader -> tag (one-way loss), is reflected with
+    ``reflection_loss_db`` of conversion loss, and travels tag -> reader
+    (one-way loss again).  With exponent 2 this yields the classic
+    ``40 log10(d)`` radar-style roll-off.
+    """
+    one_way = log_distance_path_loss_db(
+        reader_tag_distance_m,
+        path_loss_exponent=path_loss_exponent,
+        frequency_hz=frequency_hz,
+    )
+    return 2.0 * one_way + reflection_loss_db
+
+
+def two_ray_path_loss_db(
+    distance_m: float,
+    tx_height_m: float = 1.0,
+    rx_height_m: float = 1.0,
+    frequency_hz: float = CARRIER_FREQUENCY_HZ,
+) -> float:
+    """Two-ray ground-reflection path loss in dB.
+
+    Uses the exact two-path interference expression (direct plus
+    ground-reflected ray with reflection coefficient -1) rather than the
+    asymptotic ``40 log10 d`` form, so the near-distance oscillatory
+    behaviour is preserved.
+    """
+    d = _check_distance(distance_m)
+    if tx_height_m <= 0.0 or rx_height_m <= 0.0:
+        raise ValueError("antenna heights must be positive")
+    lam = SPEED_OF_LIGHT / frequency_hz
+    direct = math.hypot(d, tx_height_m - rx_height_m)
+    reflected = math.hypot(d, tx_height_m + rx_height_m)
+    phase = 2.0 * math.pi * (reflected - direct) / lam
+    # Complex sum of direct ray and inverted ground reflection.
+    real = math.cos(0.0) / direct - math.cos(phase) / reflected
+    imag = math.sin(0.0) / direct - math.sin(phase) / reflected
+    magnitude = math.hypot(real, imag) * lam / (4.0 * math.pi)
+    if magnitude <= 0.0:
+        return math.inf
+    return -linear_to_db(magnitude**2)
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """A configured log-distance path-loss model.
+
+    Attributes:
+        exponent: path-loss exponent ``n``.
+        frequency_hz: carrier frequency.
+        reference_distance_m: distance at which free-space loss anchors the
+            model.
+        shadowing_sigma_db: standard deviation of log-normal shadowing; the
+            deterministic :meth:`loss_db` ignores it, stochastic callers can
+            draw from it.
+    """
+
+    exponent: float = 2.0
+    frequency_hz: float = CARRIER_FREQUENCY_HZ
+    reference_distance_m: float = 1.0
+    shadowing_sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0.0:
+            raise ValueError("path-loss exponent must be positive")
+        if self.shadowing_sigma_db < 0.0:
+            raise ValueError("shadowing sigma must be non-negative")
+
+    def loss_db(self, distance_m: float) -> float:
+        """Deterministic (median) path loss at ``distance_m``."""
+        return log_distance_path_loss_db(
+            distance_m,
+            reference_distance_m=self.reference_distance_m,
+            path_loss_exponent=self.exponent,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def loss_with_shadowing_db(self, distance_m: float, rng) -> float:
+        """Path loss with one log-normal shadowing draw from ``rng``."""
+        shadow = rng.normal(0.0, self.shadowing_sigma_db) if self.shadowing_sigma_db else 0.0
+        return self.loss_db(distance_m) + shadow

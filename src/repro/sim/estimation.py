@@ -1,0 +1,182 @@
+"""Link-quality estimation from probe packets.
+
+The controller of §4.2 does not get oracle SNR: "The two end-points use
+probe packets over the two links to determine the SNR and bitrate
+parameters, and exchange this information."  This module supplies that
+measurement layer for the simulator:
+
+* :class:`SnrEstimator` — an EWMA tracker over noisy per-probe SNR
+  observations, with a confidence gate (minimum sample count);
+* :class:`LinkProber` — sounds each (mode, bitrate) candidate over a
+  :class:`~repro.sim.link.SimulatedLink`, paying the probe air time and
+  energy, and produces the :class:`~repro.mac.protocol.ProbeReport`
+  payloads the peers exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.modes import LinkMode
+from ..hardware.power_models import paper_mode_power, supported_bitrates
+from ..mac.protocol import ProbeReport
+from ..phy.modulation import bit_error_rate
+from .link import SimulatedLink
+
+#: Bits on air per probe packet (short sounding frame).
+PROBE_BITS = 128
+
+
+class SnrEstimator:
+    """Exponentially weighted moving average over SNR observations.
+
+    Args:
+        alpha: EWMA weight of each new observation.
+        min_samples: observations required before the estimate is trusted.
+    """
+
+    def __init__(self, alpha: float = 0.25, min_samples: int = 3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        self._alpha = alpha
+        self._min_samples = min_samples
+        self._estimate_db: float | None = None
+        self._samples = 0
+
+    @property
+    def samples(self) -> int:
+        """Observations folded in so far."""
+        return self._samples
+
+    @property
+    def confident(self) -> bool:
+        """Whether enough observations back the estimate."""
+        return self._samples >= self._min_samples
+
+    def observe(self, snr_db: float) -> float:
+        """Fold in one observation; returns the updated estimate."""
+        if self._estimate_db is None:
+            self._estimate_db = snr_db
+        else:
+            self._estimate_db += self._alpha * (snr_db - self._estimate_db)
+        self._samples += 1
+        return self._estimate_db
+
+    @property
+    def estimate_db(self) -> float:
+        """Current estimate.
+
+        Raises:
+            RuntimeError: before any observation.
+        """
+        if self._estimate_db is None:
+            raise RuntimeError("no observations yet")
+        return self._estimate_db
+
+    def reset(self) -> None:
+        """Forget all state (after a regime change or long silence)."""
+        self._estimate_db = None
+        self._samples = 0
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of sounding one (mode, bitrate) candidate.
+
+    Attributes:
+        report: the protocol payload to send to the peer.
+        probes_sent: probe packets used.
+        air_time_s: total sounding air time.
+        tx_energy_j / rx_energy_j: sounding energy at each side.
+    """
+
+    report: ProbeReport
+    probes_sent: int
+    air_time_s: float
+    tx_energy_j: float
+    rx_energy_j: float
+
+
+@dataclass
+class LinkProber:
+    """Sound candidate links with probe packets and build reports.
+
+    Attributes:
+        link: the channel to sound.
+        measurement_noise_db: standard deviation of per-probe SNR
+            measurement error (RSSI quantization, estimator noise).
+        probes_per_link: sounding packets per candidate.
+        rng: random source for measurement noise.
+    """
+
+    link: SimulatedLink
+    rng: np.random.Generator
+    measurement_noise_db: float = 1.0
+    probes_per_link: int = 5
+
+    def __post_init__(self) -> None:
+        if self.measurement_noise_db < 0.0:
+            raise ValueError("measurement noise must be non-negative")
+        if self.probes_per_link < 1:
+            raise ValueError("need at least one probe per link")
+
+    def probe(self, mode: LinkMode, bitrate_bps: int, time_s: float = 0.0) -> ProbeResult:
+        """Sound one (mode, bitrate) pair.
+
+        Raises:
+            KeyError: if the pair is not characterized.
+        """
+        estimator = SnrEstimator(min_samples=1)
+        true_snr = self.link.snr_db(mode, bitrate_bps, time_s)
+        for _ in range(self.probes_per_link):
+            observation = true_snr + (
+                self.rng.normal(0.0, self.measurement_noise_db)
+                if self.measurement_noise_db
+                else 0.0
+            )
+            estimator.observe(observation)
+
+        budget = self.link._link_map.budget(mode, bitrate_bps)
+        estimated_ber = bit_error_rate(budget.modulation, estimator.estimate_db)
+        report = ProbeReport(
+            mode=mode,
+            bitrate_bps=bitrate_bps,
+            snr_db=estimator.estimate_db,
+            ber=estimated_ber,
+        )
+        power = paper_mode_power(mode, bitrate_bps)
+        air_time = self.probes_per_link * PROBE_BITS / bitrate_bps
+        return ProbeResult(
+            report=report,
+            probes_sent=self.probes_per_link,
+            air_time_s=air_time,
+            tx_energy_j=power.tx_w * air_time,
+            rx_energy_j=power.rx_w * air_time,
+        )
+
+    def probe_all(self, time_s: float = 0.0) -> list[ProbeResult]:
+        """Sound every characterized (mode, bitrate) candidate, skipping
+        bitrates whose estimated BER is hopeless (> 0.1)."""
+        results = []
+        for mode in LinkMode:
+            for bitrate in supported_bitrates(mode):
+                result = self.probe(mode, bitrate, time_s)
+                results.append(result)
+                if result.report.ber <= 0.1:
+                    # Highest viable bitrate found for this mode; the
+                    # offload layer only uses the best one (§4.2).
+                    break
+        return results
+
+    def viable_reports(self, time_s: float = 0.0, max_ber: float = 0.01) -> list[ProbeReport]:
+        """Reports for candidates whose measured BER meets ``max_ber`` —
+        the pruned option set of §4.2."""
+        return [
+            r.report
+            for r in self.probe_all(time_s)
+            if r.report.ber <= max_ber
+        ]

@@ -1,0 +1,86 @@
+"""Event calendar for the discrete-event simulator.
+
+A binary-heap priority queue of (time, sequence, callback) entries.  The
+monotonically increasing sequence number makes ordering stable for events
+scheduled at the same instant and keeps the heap comparison away from the
+(uncomparable) callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled event.
+
+    Attributes:
+        time_s: absolute firing time.
+        sequence: tie-breaking insertion order.
+        callback: zero-argument callable run when the event fires.
+        cancelled: cooperative cancellation flag (mutable via object magic
+            is avoided — see :class:`EventHandle`).
+    """
+
+    time_s: float
+    sequence: int
+    callback: Callable[[], None]
+
+
+@dataclass
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`; lets the owner
+    cancel a pending event."""
+
+    event: Event
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+@dataclass
+class EventQueue:
+    """A time-ordered event queue."""
+
+    _heap: list[tuple[float, int, EventHandle]] = field(default_factory=list)
+    _counter: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def schedule(self, time_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time_s``.
+
+        Raises:
+            ValueError: for negative times.
+        """
+        if time_s < 0.0:
+            raise ValueError(f"event time must be non-negative, got {time_s!r}")
+        handle = EventHandle(Event(time_s, next(self._counter), callback))
+        heapq.heappush(self._heap, (time_s, handle.event.sequence, handle))
+        return handle
+
+    def pop_next(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None``
+        when the queue is exhausted."""
+        while self._heap:
+            _, _, handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle.event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Firing time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

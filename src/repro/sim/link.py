@@ -1,0 +1,94 @@
+"""Stochastic wireless link for the discrete-event simulator.
+
+Wraps the calibrated link budgets with optional block fading and delivers
+per-packet outcomes: given (mode, bitrate, bits, time), draw whether the
+packet survived.  SNR observations (what probe packets would measure) are
+also exposed for the controller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.modes import LinkMode
+from ..core.regimes import LinkMap
+from ..phy.fading import BlockFadingProcess
+from ..phy.modulation import bit_error_rate, packet_error_rate
+
+
+class SimulatedLink:
+    """A point-to-point link between two Braidios.
+
+    Args:
+        link_map: calibrated availability/budget map.
+        distance_m: current separation (mutable via :meth:`set_distance`).
+        rng: random generator for packet-loss draws.
+        fading: optional time-correlated fading process applied (in dB) on
+            top of the deterministic budget; ``None`` models the paper's
+            cleared, static room.
+    """
+
+    def __init__(
+        self,
+        link_map: LinkMap,
+        distance_m: float,
+        rng: np.random.Generator,
+        fading: BlockFadingProcess | None = None,
+    ) -> None:
+        if distance_m < 0.0:
+            raise ValueError("distance must be non-negative")
+        self._link_map = link_map
+        self._distance_m = distance_m
+        self._rng = rng
+        self._fading = fading
+
+    @property
+    def distance_m(self) -> float:
+        """Current separation in metres."""
+        return self._distance_m
+
+    def set_distance(self, distance_m: float) -> None:
+        """Move the end points to a new separation.
+
+        Raises:
+            ValueError: for negative distances.
+        """
+        if distance_m < 0.0:
+            raise ValueError("distance must be non-negative")
+        self._distance_m = distance_m
+
+    def snr_db(self, mode: LinkMode, bitrate_bps: int, time_s: float = 0.0) -> float:
+        """Instantaneous SNR of ``mode`` at ``bitrate_bps``."""
+        budget = self._link_map.budget(mode, bitrate_bps)
+        snr = budget.snr_db(self._distance_m, bitrate_bps)
+        if self._fading is not None:
+            snr += self._fading.gain_db_at(time_s)
+        return snr
+
+    def ber(self, mode: LinkMode, bitrate_bps: int, time_s: float = 0.0) -> float:
+        """Instantaneous BER of ``mode`` at ``bitrate_bps``."""
+        budget = self._link_map.budget(mode, bitrate_bps)
+        return bit_error_rate(budget.modulation, self.snr_db(mode, bitrate_bps, time_s))
+
+    def packet_success(
+        self, mode: LinkMode, bitrate_bps: int, packet_bits: int, time_s: float = 0.0
+    ) -> bool:
+        """Draw whether a ``packet_bits``-bit packet survives.
+
+        Raises:
+            ValueError: for non-positive packet sizes.
+        """
+        if packet_bits <= 0:
+            raise ValueError("packet size must be positive")
+        per = packet_error_rate(self.ber(mode, bitrate_bps, time_s), packet_bits)
+        return bool(self._rng.random() >= per)
+
+    def expected_packet_success(
+        self, mode: LinkMode, bitrate_bps: int, packet_bits: int, time_s: float = 0.0
+    ) -> float:
+        """Deterministic delivery probability (for analytic cross-checks)."""
+        if packet_bits <= 0:
+            raise ValueError("packet size must be positive")
+        return 1.0 - packet_error_rate(
+            self.ber(mode, bitrate_bps, time_s), packet_bits
+        )

@@ -1,0 +1,175 @@
+"""Mobility models: how the separation between two Braidios evolves.
+
+§4.2 closes with the mobile case ("the wireless link is dynamic,
+particularly in a mobile environment").  These models drive
+``SimulatedLink.set_distance`` / ``controller.update_distance`` over time:
+
+* :class:`StaticPlacement` — the paper's bench setup;
+* :class:`LinearWalk` — constant-velocity approach/retreat between bounds
+  (the Fig 18 sweep as a continuous trajectory);
+* :class:`RandomWaypoint1D` — the classic random-waypoint process reduced
+  to the inter-device distance axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StaticPlacement:
+    """Devices pinned at a fixed separation."""
+
+    distance_m: float
+
+    def __post_init__(self) -> None:
+        if self.distance_m < 0.0:
+            raise ValueError("distance must be non-negative")
+
+    def distance_at(self, time_s: float) -> float:
+        """Separation at ``time_s`` (constant)."""
+        if time_s < 0.0:
+            raise ValueError("time must be non-negative")
+        return self.distance_m
+
+
+@dataclass(frozen=True)
+class LinearWalk:
+    """Constant-speed motion bouncing between two bounds.
+
+    Attributes:
+        start_m: separation at t = 0.
+        speed_m_s: walking speed (positive moves away first).
+        min_m / max_m: reflective bounds.
+    """
+
+    start_m: float = 0.3
+    speed_m_s: float = 1.0
+    min_m: float = 0.3
+    max_m: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_m < self.max_m:
+            raise ValueError("bounds out of order")
+        if not self.min_m <= self.start_m <= self.max_m:
+            raise ValueError("start must lie within the bounds")
+        if self.speed_m_s == 0.0:
+            raise ValueError("speed must be non-zero (use StaticPlacement)")
+
+    def distance_at(self, time_s: float) -> float:
+        """Separation at ``time_s`` with reflective bounds (triangle
+        wave)."""
+        if time_s < 0.0:
+            raise ValueError("time must be non-negative")
+        span = self.max_m - self.min_m
+        # Position along an unfolded axis, then fold into the triangle.
+        unfolded = (self.start_m - self.min_m) + self.speed_m_s * time_s
+        period = 2.0 * span
+        phase = unfolded % period
+        if phase < 0.0:
+            phase += period
+        folded = phase if phase <= span else period - phase
+        return self.min_m + folded
+
+
+class RandomWaypoint1D:
+    """Random waypoint on the distance axis: pick a target separation
+    uniformly in the bounds, move to it at a uniformly drawn speed, pause,
+    repeat.  Deterministic per rng seed; distances are queryable at any
+    (monotonically increasing or arbitrary) time.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        start_m: float = 1.0,
+        min_m: float = 0.3,
+        max_m: float = 6.0,
+        speed_range_m_s: tuple[float, float] = (0.5, 1.5),
+        pause_s: float = 2.0,
+        horizon_s: float = 3600.0,
+    ) -> None:
+        if not 0.0 <= min_m < max_m:
+            raise ValueError("bounds out of order")
+        if not min_m <= start_m <= max_m:
+            raise ValueError("start must lie within the bounds")
+        if not 0.0 < speed_range_m_s[0] <= speed_range_m_s[1]:
+            raise ValueError("speed range out of order")
+        if pause_s < 0.0 or horizon_s <= 0.0:
+            raise ValueError("pause and horizon must be non-negative/positive")
+
+        # Pre-compute the piecewise-linear trajectory up to the horizon so
+        # lookups are pure (no hidden state advancing with query order).
+        times = [0.0]
+        positions = [start_m]
+        t, position = 0.0, start_m
+        while t < horizon_s:
+            target = float(rng.uniform(min_m, max_m))
+            speed = float(rng.uniform(*speed_range_m_s))
+            travel = abs(target - position) / speed
+            t += travel
+            times.append(t)
+            positions.append(target)
+            position = target
+            if pause_s > 0.0:
+                t += pause_s
+                times.append(t)
+                positions.append(target)
+        self._times = np.asarray(times)
+        self._positions = np.asarray(positions)
+        self._horizon_s = horizon_s
+
+    @property
+    def horizon_s(self) -> float:
+        """Time span covered by the precomputed trajectory."""
+        return self._horizon_s
+
+    def distance_at(self, time_s: float) -> float:
+        """Separation at ``time_s`` (clamped to the trajectory end).
+
+        Raises:
+            ValueError: for negative times.
+        """
+        if time_s < 0.0:
+            raise ValueError("time must be non-negative")
+        return float(np.interp(time_s, self._times, self._positions))
+
+
+class MobilityDriver:
+    """Glue: periodically samples a mobility model and pushes the distance
+    into a link and a policy via the simulator's event loop."""
+
+    def __init__(
+        self,
+        simulator,
+        link,
+        policies,
+        model,
+        update_interval_s: float = 0.1,
+    ) -> None:
+        if update_interval_s <= 0.0:
+            raise ValueError("update interval must be positive")
+        self._sim = simulator
+        self._link = link
+        self._policies = list(policies)
+        self._model = model
+        self._interval = update_interval_s
+        self.updates = 0
+
+    def start(self) -> None:
+        """Schedule the periodic distance updates."""
+        self._sim.schedule_in(self._interval, self._tick)
+
+    def _tick(self) -> None:
+        distance = self._model.distance_at(self._sim.now_s)
+        self._link.set_distance(distance)
+        seen: set[int] = set()
+        for policy in self._policies:
+            if id(policy) in seen:
+                continue
+            seen.add(id(policy))
+            policy.update_distance(distance)
+        self.updates += 1
+        self._sim.schedule_in(self._interval, self._tick)

@@ -1,0 +1,86 @@
+"""Metric collection for simulated sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.modes import LinkMode
+
+
+@dataclass
+class SessionMetrics:
+    """Accumulated statistics of one simulated session.
+
+    Attributes:
+        bits_delivered: payload bits successfully received.
+        bits_attempted: payload bits put on air.
+        packets_delivered / packets_attempted: packet counts.
+        energy_a_j / energy_b_j: energy drained from device A / B.
+        switch_energy_j: portion of the above spent on mode switches.
+        mode_packets: packets attempted per mode.
+        mode_switches: number of mode transitions.
+        duration_s: simulated time covered.
+        terminated_by: "battery", "time", "packets" or "" while running.
+        retransmissions: ARQ retransmissions (0 without ARQ).
+        arq_failures: frames abandoned after the retry budget.
+        ack_bits: bits spent on acknowledgements.
+        idle_energy_j: energy burned at idle/sleep draw between packets.
+    """
+
+    bits_delivered: int = 0
+    bits_attempted: int = 0
+    packets_delivered: int = 0
+    packets_attempted: int = 0
+    energy_a_j: float = 0.0
+    energy_b_j: float = 0.0
+    switch_energy_j: float = 0.0
+    mode_packets: dict[LinkMode, int] = field(default_factory=dict)
+    mode_switches: int = 0
+    duration_s: float = 0.0
+    terminated_by: str = ""
+    retransmissions: int = 0
+    arq_failures: int = 0
+    ack_bits: int = 0
+    idle_energy_j: float = 0.0
+
+    @property
+    def packet_delivery_ratio(self) -> float:
+        """Delivered / attempted packets (1.0 for an idle session)."""
+        if self.packets_attempted == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_attempted
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy drained across both devices."""
+        return self.energy_a_j + self.energy_b_j
+
+    @property
+    def energy_per_delivered_bit_j(self) -> float:
+        """Total joules per delivered payload bit (inf before delivery)."""
+        if self.bits_delivered == 0:
+            return float("inf")
+        return self.total_energy_j / self.bits_delivered
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second of simulated time."""
+        if self.duration_s == 0.0:
+            return 0.0
+        return self.bits_delivered / self.duration_s
+
+    def mode_fractions(self) -> dict[LinkMode, float]:
+        """Share of attempted packets per mode."""
+        total = sum(self.mode_packets.values())
+        if total == 0:
+            return {}
+        return {mode: count / total for mode, count in self.mode_packets.items()}
+
+    def record_packet(self, mode: LinkMode, bits: int, delivered: bool) -> None:
+        """Account one packet attempt."""
+        self.packets_attempted += 1
+        self.bits_attempted += bits
+        self.mode_packets[mode] = self.mode_packets.get(mode, 0) + 1
+        if delivered:
+            self.packets_delivered += 1
+            self.bits_delivered += bits

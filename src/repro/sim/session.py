@@ -1,0 +1,274 @@
+"""A simulated communication session between two Braidio end points.
+
+Packets are scheduled as discrete events; every packet drains both
+batteries according to the policy's per-side power, pays Table 5 switching
+costs on mode transitions, and feeds its outcome back to the policy (which
+is how the dynamic fallback of §4.2 engages).
+
+Bidirectional traffic uses one policy per direction, because the offload
+optimization is direction-specific (T_i applies to whoever holds the data).
+"""
+
+from __future__ import annotations
+
+from ..core.braidio import BraidioRadio
+from ..core.modes import LinkMode
+from ..hardware.battery import BatteryEmptyError
+from ..hardware.switching import switch_cost
+from ..mac.frames import Frame, FrameType
+from ..mac.preamble import PREAMBLE_BITS
+from .link import SimulatedLink
+from .results import SessionMetrics
+from .simulator import Simulator
+from .traffic import SaturatedTraffic
+
+#: Per-frame overhead on air: preamble + header (6 bytes) + CRC (2 bytes).
+FRAME_OVERHEAD_BITS = len(PREAMBLE_BITS) + 8 * (
+    len(Frame(FrameType.DATA, 0).encode())
+)
+
+
+class CommunicationSession:
+    """One (possibly bidirectional) transfer between two radios.
+
+    Args:
+        simulator: the event kernel.
+        device_a / device_b: end points; "direction 0" means A transmits.
+        link: the stochastic link between them.
+        policy_ab: mode policy for A -> B packets.
+        policy_ba: mode policy for B -> A packets (defaults to ``policy_ab``
+            for unidirectional traffic, where it is never consulted).
+        traffic: traffic pattern (defaults to saturated one-way).
+        apply_switch_costs: whether Table 5 switch energy is charged.
+        max_packets / max_time_s: optional stop conditions.
+        energy_update_interval: packets between battery-state refreshes
+            pushed to the policies.
+        arq: run stop-and-wait ARQ — every data frame is acknowledged on
+            the reverse path of the same mode, lost frames are
+            retransmitted, and the ACK air time/energy is charged.
+        max_retries: ARQ retransmission budget per frame.
+        idle_power_w: (device A, device B) draw during traffic gaps
+            (sleep-state MCU levels by default).
+        tag_harvester: optional :class:`~repro.hardware.harvesting.RfHarvester`;
+            when set, backscatter packets credit the transmitting tag with
+            the carrier energy it rectifies (net draw floored at zero).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        device_a: BraidioRadio,
+        device_b: BraidioRadio,
+        link: SimulatedLink,
+        policy_ab,
+        policy_ba=None,
+        traffic=None,
+        apply_switch_costs: bool = True,
+        max_packets: int | None = None,
+        max_time_s: float | None = None,
+        energy_update_interval: int = 256,
+        arq: bool = False,
+        max_retries: int = 8,
+        idle_power_w: tuple[float, float] = (4e-6, 4e-6),
+        tag_harvester=None,
+    ) -> None:
+        if energy_update_interval <= 0:
+            raise ValueError("energy update interval must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if any(p < 0.0 for p in idle_power_w):
+            raise ValueError("idle power must be non-negative")
+        self._sim = simulator
+        self._a = device_a
+        self._b = device_b
+        self._link = link
+        self._policies = {0: policy_ab, 1: policy_ba if policy_ba is not None else policy_ab}
+        self._traffic = traffic if traffic is not None else SaturatedTraffic()
+        self._apply_switch_costs = apply_switch_costs
+        self._max_packets = max_packets
+        self._max_time_s = max_time_s
+        self._energy_update_interval = energy_update_interval
+
+        self._arq = arq
+        self._max_retries = max_retries
+        self._idle_power_w = idle_power_w
+        self._tag_harvester = tag_harvester
+
+        self.metrics = SessionMetrics()
+        self._packet_index = 0
+        self._retries_used = 0
+        self._last_mode: LinkMode | None = None
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the session hit a stop condition."""
+        return self._finished
+
+    def _endpoints(self, direction: int) -> tuple[BraidioRadio, BraidioRadio]:
+        return (self._a, self._b) if direction == 0 else (self._b, self._a)
+
+    def start(self) -> None:
+        """Negotiate policies and schedule the first packet.
+
+        Each distinct policy object is started once, with the end points of
+        the first direction it serves — so a single shared (stateless)
+        policy is not re-negotiated with swapped roles.  Stateful policies
+        (``BraidioPolicy``) are direction-specific: bidirectional sessions
+        must pass a separate ``policy_ba``.
+        """
+        started: set[int] = set()
+        for direction, policy in self._policies.items():
+            if id(policy) in started:
+                continue
+            started.add(id(policy))
+            tx, rx = self._endpoints(direction)
+            policy.start(
+                self._link.distance_m, tx.battery.remaining_j, rx.battery.remaining_j
+            )
+        self._sim.schedule_in(0.0, self._send_packet)
+
+    def run(self) -> SessionMetrics:
+        """Start (if needed) and run the kernel until the session stops."""
+        if self._packet_index == 0 and not self._finished:
+            self.start()
+        self._sim.run(until_s=self._max_time_s)
+        if not self._finished and self._max_time_s is not None:
+            self._terminate("time")
+        return self.metrics
+
+    def _terminate(self, reason: str) -> None:
+        self._finished = True
+        self.metrics.terminated_by = reason
+        self.metrics.duration_s = self._sim.now_s
+
+    def _send_packet(self) -> None:
+        if self._finished:
+            return
+        if self._max_packets is not None and self._packet_index >= self._max_packets:
+            self._terminate("packets")
+            return
+
+        direction = self._traffic.direction_for_packet(self._packet_index)
+        tx, rx = self._endpoints(direction)
+        policy = self._policies[direction]
+        decision = policy.next_packet()
+
+        payload_bits = 8 * self._traffic.payload_bytes
+        air_bits = payload_bits + FRAME_OVERHEAD_BITS
+        duration_s = air_bits / decision.bitrate_bps
+
+        # Table 5 switching overhead on mode transitions.
+        if self._apply_switch_costs and self._last_mode is not None:
+            if decision.mode is not self._last_mode:
+                cost = switch_cost(decision.mode, bitrate_bps=decision.bitrate_bps)
+                try:
+                    tx.battery.drain_energy(cost.tx_j)
+                    rx.battery.drain_energy(cost.rx_j)
+                except BatteryEmptyError:
+                    self._terminate("battery")
+                    return
+                self.metrics.switch_energy_j += cost.total_j
+                self.metrics.mode_switches += 1
+        elif self._last_mode is not None and decision.mode is not self._last_mode:
+            self.metrics.mode_switches += 1
+        self._last_mode = decision.mode
+
+        success = self._link.packet_success(
+            decision.mode, decision.bitrate_bps, air_bits, self._sim.now_s
+        )
+
+        tx_energy = decision.tx_power_w * duration_s
+        rx_energy = decision.rx_power_w * duration_s
+
+        # Harvesting extension: while backscattering, the tag sits in the
+        # reader's carrier field and banks energy against its own draw.
+        if (
+            self._tag_harvester is not None
+            and decision.mode is LinkMode.BACKSCATTER
+        ):
+            harvested = (
+                self._tag_harvester.harvested_power_w(self._link.distance_m)
+                * duration_s
+            )
+            tx_energy = max(tx_energy - harvested, 0.0)
+
+        confirmed = success
+        if self._arq:
+            # The ACK rides the reverse path of the same mode: the carrier
+            # stays up and both sides keep their per-mode draw for the ACK
+            # air time.
+            ack_duration_s = FRAME_OVERHEAD_BITS / decision.bitrate_bps
+            duration_s += ack_duration_s
+            tx_energy += decision.tx_power_w * ack_duration_s
+            rx_energy += decision.rx_power_w * ack_duration_s
+            self.metrics.ack_bits += FRAME_OVERHEAD_BITS
+            if success:
+                ack_success = self._link.packet_success(
+                    decision.mode,
+                    decision.bitrate_bps,
+                    FRAME_OVERHEAD_BITS,
+                    self._sim.now_s,
+                )
+                confirmed = ack_success
+
+        try:
+            tx.battery.drain_energy(tx_energy)
+            rx.battery.drain_energy(rx_energy)
+        except BatteryEmptyError:
+            self.metrics.record_packet(decision.mode, payload_bits, False)
+            self._account_energy(direction, tx_energy, rx_energy)
+            self._terminate("battery")
+            return
+
+        self._account_energy(direction, tx_energy, rx_energy)
+        self.metrics.record_packet(decision.mode, payload_bits, confirmed)
+        policy.record_outcome(decision.mode, success)
+
+        if self._arq and not confirmed:
+            if self._retries_used < self._max_retries:
+                # Retransmit: the traffic index stays put so the same
+                # payload goes again (possibly in a different mode slot).
+                self._retries_used += 1
+                self.metrics.retransmissions += 1
+                self._sim.schedule_in(duration_s, self._send_packet)
+                return
+            self.metrics.arq_failures += 1
+        self._retries_used = 0
+
+        self._packet_index += 1
+        if self._packet_index % self._energy_update_interval == 0:
+            updated: set[int] = set()
+            for d, p in self._policies.items():
+                if id(p) in updated:
+                    continue
+                updated.add(id(p))
+                d_tx, d_rx = self._endpoints(d)
+                if d_tx.battery.is_empty or d_rx.battery.is_empty:
+                    self._terminate("battery")
+                    return
+                p.update_energy(d_tx.battery.remaining_j, d_rx.battery.remaining_j)
+
+        gap_s = self._traffic.gap_s(self._packet_index)
+        if gap_s > 0.0:
+            # Both radios drop to their sleep draw between packets.
+            idle_a = self._idle_power_w[0] * gap_s
+            idle_b = self._idle_power_w[1] * gap_s
+            try:
+                self._a.battery.drain_energy(idle_a)
+                self._b.battery.drain_energy(idle_b)
+            except BatteryEmptyError:
+                self._terminate("battery")
+                return
+            self.metrics.energy_a_j += idle_a
+            self.metrics.energy_b_j += idle_b
+            self.metrics.idle_energy_j += idle_a + idle_b
+        self._sim.schedule_in(duration_s + gap_s, self._send_packet)
+
+    def _account_energy(self, direction: int, tx_j: float, rx_j: float) -> None:
+        if direction == 0:
+            self.metrics.energy_a_j += tx_j
+            self.metrics.energy_b_j += rx_j
+        else:
+            self.metrics.energy_b_j += tx_j
+            self.metrics.energy_a_j += rx_j

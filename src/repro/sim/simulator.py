@@ -1,0 +1,105 @@
+"""Discrete-event simulator core.
+
+Single-threaded, deterministic given a seed: a clock, an event calendar
+and a shared random generator.  Sessions schedule packet events against
+it; experiments run it until a stop condition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .events import EventHandle, EventQueue
+
+
+class Simulator:
+    """The simulation kernel.
+
+    Args:
+        seed: seed for the shared :class:`numpy.random.Generator`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now_s = 0.0
+        self._rng = np.random.default_rng(seed)
+        self._event_count = 0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now_s
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Shared random generator (deterministic per seed)."""
+        return self._rng
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._event_count
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time_s``.
+
+        Raises:
+            ValueError: if the time is in the past.
+        """
+        if time_s < self._now_s:
+            raise ValueError(
+                f"cannot schedule into the past: {time_s} < {self._now_s}"
+            )
+        return self._queue.schedule(time_s, callback)
+
+    def schedule_in(self, delay_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay_s`` seconds.
+
+        Raises:
+            ValueError: for negative delays.
+        """
+        if delay_s < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay_s!r}")
+        return self._queue.schedule(self._now_s + delay_s, callback)
+
+    def run(
+        self,
+        until_s: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Process events until the queue drains, ``until_s`` is reached,
+        or ``max_events`` have fired — whichever comes first.
+
+        Time advances to ``until_s`` even if the queue drains earlier, so
+        repeated bounded runs observe a consistent clock.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                return
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                if until_s is not None:
+                    self._now_s = max(self._now_s, until_s)
+                return
+            if until_s is not None and next_time > until_s:
+                self._now_s = until_s
+                return
+            event = self._queue.pop_next()
+            if event is None:
+                continue
+            self._now_s = event.time_s
+            event.callback()
+            self._event_count += 1
+            fired += 1
+
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    def stop(self) -> None:
+        """Cancel everything still pending (used by sessions when a
+        battery dies)."""
+        self._queue.clear()

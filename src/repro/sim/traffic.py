@@ -1,0 +1,102 @@
+"""Traffic patterns for the simulated sessions.
+
+The paper's experiments use two patterns: saturated one-way transfer
+(Scenario 1) and role-switching bidirectional transfer with equal data in
+both directions (Scenario 2).  A constant-bitrate source is included for
+duty-cycled scenarios beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SaturatedTraffic:
+    """Always-backlogged one-way traffic: the next packet leaves as soon
+    as the link is free.
+
+    Attributes:
+        payload_bytes: data payload per packet.
+    """
+
+    payload_bytes: int = 30
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+
+    def direction_for_packet(self, index: int) -> int:
+        """0 = A transmits (always, for one-way traffic)."""
+        if index < 0:
+            raise ValueError("packet index must be non-negative")
+        return 0
+
+    def gap_s(self, index: int) -> float:
+        """Idle time before packet ``index``; saturated traffic has none."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class BidirectionalTraffic:
+    """Role-switching traffic: equal data in both directions, switching
+    the transmitter role every ``burst_packets`` packets (Scenario 2).
+
+    Attributes:
+        payload_bytes: data payload per packet.
+        burst_packets: packets sent before the roles switch.
+    """
+
+    payload_bytes: int = 30
+    burst_packets: int = 64
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0 or self.burst_packets <= 0:
+            raise ValueError("payload and burst size must be positive")
+
+    def direction_for_packet(self, index: int) -> int:
+        """0 when device A transmits, 1 when device B transmits."""
+        if index < 0:
+            raise ValueError("packet index must be non-negative")
+        return (index // self.burst_packets) % 2
+
+    def gap_s(self, index: int) -> float:
+        """Idle time before packet ``index``; none for saturated bursts."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ConstantBitrateTraffic:
+    """One-way source generating ``offered_bps`` of payload on average by
+    inserting idle gaps between packets.
+
+    Attributes:
+        payload_bytes: data payload per packet.
+        offered_bps: average offered payload rate.
+        link_bps: nominal link rate used to size the idle gap.
+    """
+
+    payload_bytes: int = 30
+    offered_bps: float = 10_000.0
+    link_bps: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        if not 0.0 < self.offered_bps <= self.link_bps:
+            raise ValueError("offered rate must be positive and below the link rate")
+
+    def direction_for_packet(self, index: int) -> int:
+        """0 = A transmits (one-way)."""
+        if index < 0:
+            raise ValueError("packet index must be non-negative")
+        return 0
+
+    def gap_s(self, index: int) -> float:
+        """Idle gap sized so payload averages ``offered_bps``."""
+        if index < 0:
+            raise ValueError("packet index must be non-negative")
+        payload_bits = 8 * self.payload_bytes
+        on_air_s = payload_bits / self.link_bps
+        period_s = payload_bits / self.offered_bps
+        return max(period_s - on_air_s, 0.0)

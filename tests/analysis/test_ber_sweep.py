@@ -1,0 +1,83 @@
+"""Unit tests for the Fig 12/13 BER sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber_sweep import mode_ber_curves, reader_comparison_curves
+
+
+class TestFig13Curves:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return {c.label: c for c in mode_ber_curves()}
+
+    def test_six_curves(self, curves):
+        assert set(curves) == {
+            "backscatter@1M",
+            "backscatter@100k",
+            "backscatter@10k",
+            "passive@1M",
+            "passive@100k",
+            "passive@10k",
+        }
+
+    def test_paper_ranges(self, curves):
+        expectations = {
+            "backscatter@1M": 0.9,
+            "backscatter@100k": 1.8,
+            "backscatter@10k": 2.4,
+            "passive@1M": 3.9,
+            "passive@100k": 4.2,
+            "passive@10k": 5.1,
+        }
+        for label, expected in expectations.items():
+            # Sweep resolution is 0.1 m.
+            assert curves[label].range_at_ber(0.01) == pytest.approx(
+                expected, abs=0.11
+            ), label
+
+    def test_ber_monotone_in_distance(self, curves):
+        for curve in curves.values():
+            assert (np.diff(curve.ber) >= -1e-12).all()
+
+    def test_passive_outranges_backscatter(self, curves):
+        assert curves["passive@1M"].range_at_ber() > curves[
+            "backscatter@1M"
+        ].range_at_ber()
+
+    def test_range_at_ber_zero_when_never_below(self, curves):
+        assert curves["backscatter@1M"].range_at_ber(1e-30) == 0.0
+
+
+class TestFig12Comparison:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return reader_comparison_curves()
+
+    def test_braidio_range_1_8m(self, fig12):
+        _, summary = fig12
+        assert summary["braidio_range_m"] == pytest.approx(1.8, rel=1e-3)
+
+    def test_commercial_range_3m(self, fig12):
+        _, summary = fig12
+        assert summary["commercial_range_m"] == pytest.approx(3.0, rel=1e-3)
+
+    def test_40_percent_range_penalty(self, fig12):
+        _, summary = fig12
+        assert summary["range_penalty"] == pytest.approx(0.4, abs=0.01)
+
+    def test_5x_power_advantage(self, fig12):
+        _, summary = fig12
+        assert summary["efficiency_advantage"] == pytest.approx(4.96, abs=0.05)
+
+    def test_two_curves(self, fig12):
+        curves, _ = fig12
+        assert {c.label for c in curves} == {"Braidio", "Commercial"}
+
+    def test_commercial_wins_at_distance(self, fig12):
+        curves, _ = fig12
+        by_label = {c.label: c for c in curves}
+        braidio = by_label["Braidio"]
+        commercial = by_label["Commercial"]
+        at_2_5m = np.argmin(np.abs(braidio.distances_m - 2.5))
+        assert commercial.ber[at_2_5m] < braidio.ber[at_2_5m]

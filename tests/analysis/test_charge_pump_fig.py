@@ -1,0 +1,33 @@
+"""Unit tests for the Fig 3(b) charge-pump figure driver."""
+
+import pytest
+
+from repro.analysis.charge_pump_fig import charge_pump_figure
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return charge_pump_figure()
+
+    def test_output_near_two_volts(self, figure):
+        assert 1.6 < figure.settled_output_v < 2.0
+
+    def test_ideal_bound_is_two_volts(self, figure):
+        assert figure.ideal_output_v == pytest.approx(2.0)
+
+    def test_settled_below_ideal(self, figure):
+        assert figure.settled_output_v < figure.ideal_output_v
+
+    def test_sampled_traces_structure(self, figure):
+        traces = figure.sampled_traces(samples=10)
+        assert set(traces) == {"time_us", "input_v", "between_diodes_v", "output_v"}
+        assert all(len(v) == 10 for v in traces.values())
+
+    def test_time_axis_spans_10us(self, figure):
+        traces = figure.sampled_traces()
+        assert traces["time_us"][-1] == pytest.approx(10.0, rel=0.01)
+
+    def test_rejects_bad_sample_count(self, figure):
+        with pytest.raises(ValueError):
+            figure.sampled_traces(samples=1)

@@ -1,0 +1,77 @@
+"""Unit tests for the Fig 18 distance sweeps."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance_sweep import (
+    PAPER_PAIRS,
+    distance_gain_curve,
+    paper_distance_curves,
+)
+
+
+class TestPaperCurves:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return {c.label: c for c in paper_distance_curves()}
+
+    def test_six_directed_curves(self, curves):
+        assert len(curves) == 6
+
+    def test_pairs_cover_fig18(self):
+        assert ("iPhone 6S", "Apple Watch") in PAPER_PAIRS
+        assert ("Surface Book", "Nexus 6P") in PAPER_PAIRS
+        assert ("iPhone 6S", "Nike Fuel Band") in PAPER_PAIRS
+
+    def test_strong_gains_at_short_distance(self, curves):
+        for label, curve in curves.items():
+            assert curve.gain_at(0.3) > 2.0, label
+
+    def test_gain_collapses_to_bluetooth_parity_by_6m(self, curves):
+        # Past the passive range only the active mode remains; Braidio
+        # performs like Bluetooth (the paper stops plotting beyond 6 m).
+        # Our calibrated active mode's RX draw is 5% above the Bluetooth
+        # point (the Fig 9 0.9524 ratio), so RX-limited directions settle
+        # at 0.9524 rather than exactly 1.0.
+        for label, curve in curves.items():
+            gain = curve.gain_at(5.8)
+            assert 0.95 <= gain <= 1.02, (label, gain)
+
+    def test_small_to_big_loses_benefit_past_backscatter_range(self, curves):
+        # Fuel Band -> iPhone: beyond 2.4 m the small device must power
+        # its own carrier, so the benefit disappears.
+        curve = curves["Nike Fuel Band to iPhone 6S"]
+        assert curve.gain_at(3.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_big_to_small_retains_benefit_in_regime_b(self, curves):
+        # iPhone -> Fuel Band: the passive receiver still offloads the
+        # watch beyond 2.4 m (top-right of Fig 15).
+        curve = curves["iPhone 6S to Nike Fuel Band"]
+        assert curve.gain_at(3.0) > 5.0
+
+    def test_gain_non_increasing_with_distance(self, curves):
+        for label, curve in curves.items():
+            gains = curve.gains[~np.isnan(curve.gains)]
+            assert all(
+                b <= a + 1e-6 for a, b in zip(gains, gains[1:])
+            ), label
+
+
+class TestCurveApi:
+    def test_gain_at_snaps_to_nearest_sample(self):
+        curve = distance_gain_curve(
+            "iPhone 6S", "Apple Watch", distances_m=np.array([0.5, 1.0, 2.0])
+        )
+        assert curve.gain_at(0.9) == curve.gains[1]
+
+    def test_label_format(self):
+        curve = distance_gain_curve("iPhone 6S", "Apple Watch")
+        assert curve.label == "iPhone 6S to Apple Watch"
+
+    def test_beyond_active_range_is_nan(self):
+        curve = distance_gain_curve(
+            "iPhone 6S", "Apple Watch", distances_m=np.array([0.5, 100.0])
+        )
+        assert math.isnan(curve.gains[1])

@@ -1,0 +1,71 @@
+"""Unit tests for the CSV exporters and the CLI runner."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, export_all, export_fig15
+
+
+class TestExporters:
+    def test_registry_covers_every_experiment(self):
+        assert set(EXPORTERS) == {
+            "fig1", "table1", "table2", "fig3", "fig4", "fig6", "fig12",
+            "fig13", "fig14", "table5", "fig15", "fig16", "fig17", "fig18",
+        }
+
+    def test_fig15_csv_roundtrip(self, tmp_path):
+        path = export_fig15(tmp_path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 11  # header + 10 devices
+        assert rows[0][1] == "Nike Fuel Band"
+        diagonal = float(rows[1][1])
+        assert diagonal == pytest.approx(1.43, abs=0.01)
+
+    @pytest.mark.parametrize("name", ["fig1", "table5", "fig14", "fig6"])
+    def test_light_exporters_produce_csv(self, tmp_path, name):
+        path = EXPORTERS[name](tmp_path)
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) >= 2  # header + data
+
+    def test_export_all_writes_every_file(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == len(EXPORTERS)
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "table5" in out
+
+    def test_show_table1(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["show", "table1"]) == 0
+        assert "CC2541" in capsys.readouterr().out
+
+    def test_show_fig14(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["show", "fig14"]) == 0
+        assert "regime A" in capsys.readouterr().out
+
+    def test_export_single(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["export", "table2", str(tmp_path)]) == 0
+        assert (tmp_path / "table2_readers.csv").exists()
+
+    def test_rejects_unknown_experiment(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["export", "fig99", str(tmp_path)])

@@ -1,0 +1,118 @@
+"""Unit tests for the Fig 15/16/17 gain matrices."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gain_matrix import (
+    best_mode_gain_matrix,
+    bidirectional_gain_matrix,
+    bluetooth_gain_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def fig15():
+    return bluetooth_gain_matrix()
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    return best_mode_gain_matrix()
+
+
+@pytest.fixture(scope="module")
+def fig17():
+    return bidirectional_gain_matrix()
+
+
+class TestFig15:
+    def test_shape(self, fig15):
+        assert fig15.gains.shape == (10, 10)
+
+    def test_diagonal_is_1_43(self, fig15):
+        assert fig15.diagonal == pytest.approx(np.full(10, 1.43), abs=0.01)
+
+    def test_corner_gains_exceed_100x(self, fig15):
+        assert fig15.cell("Nike Fuel Band", "MacBook Pro 15") > 100.0
+        assert fig15.cell("MacBook Pro 15", "Nike Fuel Band") > 100.0
+
+    def test_max_gain_hundreds(self, fig15):
+        # Paper: up to 397x; our calibration lands in the low hundreds.
+        assert 150.0 < fig15.max_gain < 600.0
+
+    def test_gain_monotone_along_fuel_band_row(self, fig15):
+        # Transmitting from the Fuel Band: richer receivers -> bigger gain.
+        row = [fig15.cell("Nike Fuel Band", rx.name) for rx in fig15.devices]
+        assert all(b >= a - 1e-9 for a, b in zip(row, row[1:]))
+
+    def test_pivothead_to_laptop_tens_of_x(self, fig15):
+        # §6.3: "Braidio improves lifetime by 35x" for Pivothead -> laptop.
+        gain = fig15.cell("Pivothead", "MacBook Pro 15")
+        assert 20.0 < gain < 60.0
+
+    def test_all_gains_at_least_one(self, fig15):
+        assert (fig15.gains >= 1.0 - 1e-9).all()
+
+    def test_cell_unknown_device(self, fig15):
+        with pytest.raises(ValueError):
+            fig15.cell("Walkman", "iPhone 6S")
+
+
+class TestFig16:
+    def test_diagonal_is_1_43(self, fig16):
+        assert fig16.diagonal == pytest.approx(np.full(10, 1.44), abs=0.01)
+
+    def test_gains_much_smaller_than_fig15(self, fig15, fig16):
+        assert fig16.max_gain < 2.0
+        assert fig15.max_gain > 50 * fig16.max_gain
+
+    def test_extreme_asymmetry_single_mode_suffices(self, fig16):
+        # Fig 16: "when the battery levels are highly asymmetric, Braidio
+        # almost exclusively uses a single mode" -> gain near 1.
+        assert fig16.cell("Nike Fuel Band", "MacBook Pro 15") == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_moderate_asymmetry_switching_helps(self, fig16):
+        # Fig 16: switching buys up to ~78% at moderate asymmetry.
+        gains = fig16.gains[~np.eye(10, dtype=bool)]
+        assert gains.max() > 1.2
+
+    def test_never_below_one(self, fig16):
+        assert (fig16.gains >= 1.0 - 1e-9).all()
+
+
+class TestFig17:
+    def test_diagonal_is_1_43(self, fig17):
+        assert fig17.diagonal == pytest.approx(np.full(10, 1.43), abs=0.01)
+
+    def test_cells_bounded_by_fig15_direction_pair(self, fig15, fig17):
+        # Bidirectional traffic averages the two directed scenarios: each
+        # Fig 17 cell lies between the two corresponding Fig 15 cells.
+        # (The paper shows the same structure: 397 -> 368 on one corner,
+        # 299 -> 350 on the other.)
+        n = len(fig17.labels)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                lo = min(fig15.gains[j][i], fig15.gains[i][j])
+                hi = max(fig15.gains[j][i], fig15.gains[i][j])
+                assert lo * 0.99 <= fig17.gains[j][i] <= hi * 1.01, (i, j)
+
+    def test_small_to_large_direction_improves(self, fig15, fig17):
+        # §6.3: "the device with less energy budget is able to use the
+        # backscatter mode when communicating and the passive receiver
+        # mode when receiving, which increases the benefits."
+        assert fig17.cell("Nike Fuel Band", "MacBook Pro 15") > fig15.cell(
+            "Nike Fuel Band", "MacBook Pro 15"
+        )
+
+    def test_matrix_symmetric(self, fig17):
+        # Equal data both ways makes the scenario symmetric in the pair.
+        assert np.allclose(fig17.gains, fig17.gains.T, rtol=1e-6)
+
+    def test_kind_labels(self, fig15, fig16, fig17):
+        assert fig15.kind == "bluetooth"
+        assert fig16.kind == "best-mode"
+        assert fig17.kind == "bidirectional"

@@ -1,0 +1,71 @@
+"""Unit tests for the Fig 4 and Fig 6 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase_maps import (
+    diversity_comparison,
+    line_profile,
+    phase_cancellation_map,
+)
+
+
+class TestFig4Map:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return phase_cancellation_map(resolution=60)
+
+    def test_grid_dimensions(self, result):
+        assert result.signal_db.shape == (60, 60)
+        assert result.x_m[0] == 0.0 and result.x_m[-1] == 2.0
+
+    def test_dark_nulls_present(self, result):
+        # Fig 4(b): dynamic range spans tens of dB including deep nulls.
+        assert result.dynamic_range_db > 40.0
+
+    def test_strongest_cells_near_the_antennas(self, result):
+        peak_index = np.unravel_index(
+            np.argmax(result.signal_db), result.signal_db.shape
+        )
+        peak_y = result.y_m[peak_index[0]]
+        peak_x = result.x_m[peak_index[1]]
+        # Antennas sit at (0.95, 0.5) and (1.05, 0.5).
+        assert abs(peak_y - 0.5) < 0.3
+        assert 0.6 < peak_x < 1.4
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            phase_cancellation_map(resolution=1)
+
+
+class TestFig4LineProfile:
+    def test_profile_matches_map_row(self):
+        x, profile = line_profile(resolution=100, y=0.5)
+        assert len(profile) == 100
+        # Nulls visible along the line (Fig 4c).
+        assert profile.max() - profile.min() > 30.0
+
+
+class TestFig6Diversity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return diversity_comparison(resolution=250)
+
+    def test_single_antenna_has_deep_nulls(self, result):
+        # Without diversity the SNR collapses towards/below 0 dB (paper:
+        # "the SNR can drop from about 30 dB to around 0 dB").
+        assert result.worst_without_db < 5.0
+
+    def test_diversity_keeps_snr_decodable(self, result):
+        # With diversity the worst point stays above the 5 dB threshold.
+        assert result.worst_with_db > 5.0
+
+    def test_combined_never_below_single(self, result):
+        assert (result.with_db >= result.without_db - 1e-9).all()
+
+    def test_typical_snr_tens_of_db(self, result):
+        assert np.median(result.without_db) > 20.0
+
+    def test_distance_axis_spans_0_3_to_2m(self, result):
+        assert result.distances_m[0] == pytest.approx(0.3)
+        assert result.distances_m[-1] == pytest.approx(2.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the Fig 9/14 efficiency regions."""
+
+import pytest
+
+from repro.analysis.region import (
+    PAPER_RATIO_LABELS,
+    efficiency_region,
+    proportional_operating_point,
+    region_sweep,
+)
+from repro.core.modes import LinkMode
+from repro.core.regimes import Regime
+
+
+class TestFig9:
+    def test_close_range_triangle(self):
+        region = efficiency_region(0.3)
+        assert region.shape == "triangle"
+        assert region.regime is Regime.A
+
+    def test_ratio_labels_match_paper(self):
+        region = efficiency_region(0.3)
+        assert region.min_ratio == pytest.approx(1 / 2546, rel=1e-6)
+        assert region.max_ratio == pytest.approx(3546.0, rel=1e-6)
+
+    def test_seven_orders_span(self):
+        region = efficiency_region(0.3)
+        assert region.span_orders == pytest.approx(6.96, abs=0.02)
+
+    def test_vertex_lookup(self):
+        region = efficiency_region(0.3)
+        vertex = region.vertex(LinkMode.BACKSCATTER)
+        assert vertex.power.bitrate_bps == 1_000_000
+        with pytest.raises(KeyError):
+            efficiency_region(3.0).vertex(LinkMode.BACKSCATTER)
+
+
+class TestFig14Sweep:
+    def test_shapes_degenerate_with_distance(self):
+        regions = region_sweep((0.3, 2.0, 3.0, 5.5))
+        assert [r.shape for r in regions] == ["triangle", "triangle", "line", "point"]
+
+    def test_10kbps_extremes_appear_mid_range(self):
+        # At 2.0 m the backscatter link runs at 10 kbps: ratio 1:5600.
+        region = efficiency_region(2.0)
+        assert region.min_ratio == pytest.approx(1 / 5600, rel=1e-6)
+
+    def test_passive_7800_at_4_4m(self):
+        region = efficiency_region(4.4)
+        assert region.max_ratio == pytest.approx(7800.0, rel=1e-6)
+
+    def test_regime_c_is_a_point_with_unit_ratio_span(self):
+        region = efficiency_region(5.5)
+        assert region.shape == "point"
+        assert region.span_orders == pytest.approx(0.0)
+
+    def test_beyond_active_range_raises(self):
+        with pytest.raises(ValueError):
+            efficiency_region(50.0)
+
+    def test_labels_table_consistent_with_power_table(self):
+        from repro.hardware.power_models import paper_mode_power
+
+        for (mode_name, bitrate), ratio in PAPER_RATIO_LABELS.items():
+            power = paper_mode_power(LinkMode(mode_name), bitrate)
+            assert power.tx_rx_power_ratio == pytest.approx(ratio, rel=1e-6)
+
+
+class TestPointP:
+    def test_100_to_1_lands_on_bc(self):
+        # The Fig 9 worked example: P for a 100:1 energy ratio.
+        point = proportional_operating_point(0.3, 100.0)
+        assert point["proportional"]
+        assert point["tx_rx_ratio"] == pytest.approx(100.0, rel=1e-6)
+        assert point["on_pareto_edge"]
+        assert point["fractions"]["active"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            proportional_operating_point(0.3, 0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_matrix,
+    format_series,
+    format_table,
+    format_value,
+)
+
+
+class TestFormatValue:
+    def test_integers_verbatim(self):
+        assert format_value(42) == "42"
+
+    def test_small_floats_scientific(self):
+        assert format_value(1.5e-6) == "1.5e-06"
+
+    def test_moderate_floats_compact(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_strings_passthrough(self):
+        assert format_value("backscatter") == "backscatter"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_not_numeric(self):
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "--" in lines[2]
+        assert len(lines) == 5
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        table = format_table(["name", "v"], [["x", 1], ["longer", 2]])
+        lines = table.splitlines()
+        assert lines[-1].index("2") == lines[-2].index("1")
+
+
+class TestFormatMatrix:
+    def test_labels_and_cells(self):
+        rendered = format_matrix(["r1", "r2"], ["c1", "c2"], [[1.0, 2.0], [3.0, 4.0]])
+        assert "r1" in rendered and "c2" in rendered
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            format_matrix(["r1"], ["c1"], [[1.0], [2.0]])
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ValueError):
+            format_matrix(["r1"], ["c1", "c2"], [[1.0]])
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        rendered = format_series("x", [1.0, 2.0], {"y": [10.0, 20.0]})
+        assert "x" in rendered and "y" in rendered
+        assert "20" in rendered
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1.0, 2.0], {"y": [10.0]})

@@ -1,0 +1,62 @@
+"""Unit tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PowerOverrides,
+    bluetooth_power_sweep,
+    corner_gain,
+    reader_power_matching_paper_corner,
+    reader_power_sweep,
+)
+from repro.core.modes import LinkMode
+from repro.hardware.power_models import paper_mode_power
+
+
+class TestOverrides:
+    def test_no_overrides_is_identity(self):
+        point = paper_mode_power(LinkMode.BACKSCATTER, 1_000_000)
+        assert PowerOverrides().apply(point) is point
+
+    def test_reader_override_applied(self):
+        point = paper_mode_power(LinkMode.BACKSCATTER, 1_000_000)
+        modified = PowerOverrides(backscatter_rx_w=0.054).apply(point)
+        assert modified.rx_w == 0.054
+        assert modified.tx_w == point.tx_w
+
+    def test_passive_override_applied(self):
+        point = paper_mode_power(LinkMode.PASSIVE, 1_000_000)
+        modified = PowerOverrides(passive_tx_w=0.040).apply(point)
+        assert modified.tx_w == 0.040
+
+
+class TestCornerSensitivity:
+    def test_default_matches_documented_value(self):
+        assert corner_gain() == pytest.approx(168.0, rel=0.02)
+
+    def test_gain_inverse_in_reader_power(self):
+        sweep = reader_power_sweep()
+        gains = [g for _, g in sweep]
+        assert gains == sorted(gains, reverse=True)
+        # Inverse proportionality: P * gain roughly constant.
+        products = [p * g for p, g in sweep]
+        assert max(products) / min(products) < 1.15
+
+    def test_54mw_reader_recovers_papers_397(self):
+        # The EXPERIMENTS.md attribution, quantified.
+        gain = corner_gain(PowerOverrides(backscatter_rx_w=0.054))
+        assert gain == pytest.approx(397.0, rel=0.03)
+
+    def test_matching_reader_power_near_54mw(self):
+        power = reader_power_matching_paper_corner(397.0)
+        assert power == pytest.approx(0.0545, rel=0.05)
+
+    def test_bluetooth_sweep_scales_diagonal(self):
+        rows = bluetooth_power_sweep()
+        by_power = {p: (c, d) for p, c, d in rows}
+        # Our calibrated choice lands the published diagonal.
+        assert by_power[0.0563][1] == pytest.approx(1.43, abs=0.01)
+        # Diagonal scales linearly with the baseline power.
+        low_d = by_power[0.055][1]
+        high_d = by_power[0.067][1]
+        assert high_d / low_d == pytest.approx(0.067 / 0.055, rel=1e-3)

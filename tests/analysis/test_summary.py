@@ -1,0 +1,70 @@
+"""Unit tests for the reproduction summary report."""
+
+import pytest
+
+from repro.analysis.summary import (
+    ReportRow,
+    render_report,
+    reproduction_report,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return reproduction_report()
+
+
+class TestReport:
+    def test_all_rows_within_tolerance(self, rows):
+        drifted = [r for r in rows if not r.within_tolerance]
+        assert drifted == [], [
+            (r.experiment, r.quantity, r.measured, r.target) for r in drifted
+        ]
+
+    def test_covers_headline_experiments(self, rows):
+        experiments = {r.experiment for r in rows}
+        assert {"fig1", "fig9", "fig12", "fig15", "fig16", "fig17", "abstract"} <= (
+            experiments
+        )
+
+    def test_exact_rows_use_paper_value(self, rows):
+        exact = [r for r in rows if r.expected is None]
+        assert exact  # a majority of rows match the paper directly
+        for row in exact:
+            assert row.target == row.paper
+
+    def test_documented_deviations_present(self, rows):
+        # The EXPERIMENTS.md deviations must appear as expected != paper.
+        corners = [r for r in rows if "corner" in r.quantity]
+        assert corners
+        for row in corners:
+            assert row.expected is not None
+            assert row.expected != row.paper
+
+    def test_render_marks_ok(self, rows):
+        rendered = render_report(rows)
+        assert "DRIFT" not in rendered
+        assert "fig15" in rendered
+
+
+class TestReportRow:
+    def test_within_tolerance_logic(self):
+        row = ReportRow("x", "q", paper=10.0, measured=10.5, tolerance=0.1)
+        assert row.within_tolerance
+        row = ReportRow("x", "q", paper=10.0, measured=12.0, tolerance=0.1)
+        assert not row.within_tolerance
+
+    def test_expected_overrides_paper(self):
+        row = ReportRow(
+            "x", "q", paper=100.0, measured=42.0, tolerance=0.05, expected=42.0
+        )
+        assert row.within_tolerance
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out

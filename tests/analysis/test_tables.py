@@ -1,0 +1,54 @@
+"""Unit tests for the table renderers (Table 1, 2, 5, Fig 1)."""
+
+import pytest
+
+from repro.analysis.tables import (
+    fig1_rows,
+    render_fig1,
+    render_table1,
+    render_table2,
+    render_table5,
+    table1_rows,
+    table2_rows,
+    table5_rows,
+)
+
+
+class TestTable1:
+    def test_two_chips(self):
+        assert len(table1_rows()) == 2
+
+    def test_rendered_contains_ratio_span(self):
+        rendered = render_table1()
+        assert "CC2541" in rendered
+        assert "0.82~1.02" in rendered or "0.82~1.0" in rendered
+
+
+class TestTable2:
+    def test_six_readers(self):
+        assert len(table2_rows()) == 6
+
+    def test_rendered_contains_as3993_and_advantage(self):
+        rendered = render_table2()
+        assert "AS3993" in rendered
+        assert "5.0x" in rendered or "4.9x" in rendered
+
+
+class TestTable5:
+    def test_three_modes(self):
+        assert len(table5_rows()) == 3
+
+    def test_rendered_wh_values(self):
+        rendered = render_table5()
+        assert "1.05e-09 Wh" in rendered
+        assert "8.58e-08 Wh" in rendered
+
+
+class TestFig1:
+    def test_ten_devices(self):
+        assert len(fig1_rows()) == 10
+
+    def test_rendered_span_headline(self):
+        rendered = render_fig1()
+        assert "orders of magnitude" in rendered
+        assert "MacBook Pro 15" in rendered

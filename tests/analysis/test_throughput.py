@@ -1,0 +1,77 @@
+"""Unit tests for the goodput and braid-profile analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import braid_profile, goodput_profile
+
+
+class TestGoodputProfile:
+    def test_goodput_below_air_rate(self):
+        for point in goodput_profile():
+            assert point.goodput_bps < point.air_rate_bps
+
+    def test_goodput_degrades_with_distance(self):
+        points = goodput_profile(energy_ratio=0.01)
+        # Sample well inside regime A and in regime B.
+        close = next(p for p in points if p.distance_m < 0.5)
+        far = next(p for p in points if 4.0 < p.distance_m < 5.0)
+        assert far.goodput_bps <= close.goodput_bps
+
+    def test_high_delivery_away_from_edges(self):
+        points = goodput_profile(distances_m=np.array([0.3, 3.0]))
+        for point in points:
+            assert point.delivery_ratio > 0.95
+
+    def test_backscatter_rate_steps_visible(self):
+        # For a TX-poor pair, the mix is backscatter-heavy: the air rate
+        # steps down at the Fig 14 boundaries.
+        points = {
+            p.distance_m: p
+            for p in goodput_profile(
+                energy_ratio=1e-3, distances_m=np.array([0.5, 1.2, 2.0])
+            )
+        }
+        assert points[0.5].air_rate_bps > points[1.2].air_rate_bps
+        assert points[1.2].air_rate_bps > points[2.0].air_rate_bps
+
+    def test_stops_beyond_active_range(self):
+        points = goodput_profile(distances_m=np.array([1.0, 100.0]))
+        assert len(points) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            goodput_profile(energy_ratio=0.0)
+        with pytest.raises(ValueError):
+            goodput_profile(payload_bytes=0)
+
+
+class TestBraidProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return braid_profile()
+
+    def test_power_ratio_tracks_energy_ratio_when_proportional(self, profile):
+        for point in profile:
+            if point.proportional:
+                assert point.tx_power_w / point.rx_power_w == pytest.approx(
+                    point.energy_ratio, rel=1e-6
+                )
+
+    def test_extremes_are_pure_modes(self, profile):
+        lowest = profile[0]   # ratio 1e-4: TX desperately poor
+        highest = profile[-1]  # ratio 1e4: RX desperately poor
+        assert set(lowest.fractions) == {"backscatter"}
+        assert set(highest.fractions) == {"passive"}
+
+    def test_middle_is_braided(self, profile):
+        middle = min(profile, key=lambda p: abs(p.energy_ratio - 1.0))
+        assert set(middle.fractions) == {"passive", "backscatter"}
+
+    def test_fractions_sum_to_one(self, profile):
+        for point in profile:
+            assert sum(point.fractions.values()) == pytest.approx(1.0)
+
+    def test_backscatter_share_monotone_decreasing_in_ratio(self, profile):
+        shares = [p.fractions.get("backscatter", 0.0) for p in profile]
+        assert all(b <= a + 1e-9 for a, b in zip(shares, shares[1:]))

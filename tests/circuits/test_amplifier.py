@@ -1,0 +1,75 @@
+"""Unit tests for the instrumentation-amplifier model."""
+
+import pytest
+
+from repro.circuits.amplifier import InstrumentationAmplifier
+
+
+class TestBandwidth:
+    def test_bandwidth_is_gbw_over_gain(self):
+        amp = InstrumentationAmplifier(gain=100.0, gain_bandwidth_hz=2e6)
+        assert amp.bandwidth_hz == pytest.approx(2e4)
+
+    def test_supports_bitrate_within_bandwidth(self):
+        amp = InstrumentationAmplifier(gain=10.0, gain_bandwidth_hz=2e6)
+        assert amp.supports_bitrate(100_000)
+
+    def test_rejects_bitrate_beyond_bandwidth(self):
+        amp = InstrumentationAmplifier(gain=100.0, gain_bandwidth_hz=2e6)
+        assert not amp.supports_bitrate(1_000_000)
+
+    def test_supports_bitrate_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            InstrumentationAmplifier().supports_bitrate(0.0)
+
+
+class TestSourceLoading:
+    def test_low_impedance_source_unloaded(self):
+        amp = InstrumentationAmplifier()
+        assert amp.source_loading_factor(50.0, 1e5) == pytest.approx(1.0, abs=1e-3)
+
+    def test_high_impedance_source_attenuated_at_high_frequency(self):
+        # §3.2: the charge pump's high output impedance divides against the
+        # amplifier's input capacitance.
+        amp = InstrumentationAmplifier()
+        low_freq = amp.source_loading_factor(1e6, 1e3)
+        high_freq = amp.source_loading_factor(1e6, 1e6)
+        assert high_freq < low_freq
+
+    def test_lower_input_capacitance_loads_less(self):
+        careful = InstrumentationAmplifier(input_capacitance_f=1.8e-12)
+        sloppy = InstrumentationAmplifier(input_capacitance_f=50e-12)
+        assert careful.source_loading_factor(1e6, 1e5) > sloppy.source_loading_factor(
+            1e6, 1e5
+        )
+
+    def test_rejects_bad_inputs(self):
+        amp = InstrumentationAmplifier()
+        with pytest.raises(ValueError):
+            amp.source_loading_factor(-1.0, 1e5)
+        with pytest.raises(ValueError):
+            amp.source_loading_factor(1e3, 0.0)
+
+
+class TestAmplify:
+    def test_gain_applied(self):
+        amp = InstrumentationAmplifier(gain=100.0)
+        assert amp.amplify(1e-3) == pytest.approx(0.1)
+
+    def test_loading_reduces_effective_gain(self):
+        amp = InstrumentationAmplifier(gain=100.0)
+        loaded = amp.amplify(1e-3, source_impedance_ohm=1e7, signal_frequency_hz=1e6)
+        assert loaded < 0.1
+
+    def test_effective_gain_combines_gain_and_loading(self):
+        amp = InstrumentationAmplifier(gain=100.0)
+        eff = amp.effective_gain(1e6, 1e5)
+        assert eff == pytest.approx(
+            100.0 * amp.source_loading_factor(1e6, 1e5)
+        )
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            InstrumentationAmplifier(gain=0.5)
+        with pytest.raises(ValueError):
+            InstrumentationAmplifier(supply_power_w=-1.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the Dickson charge-pump simulator (Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.charge_pump import (
+    ChargePumpResult,
+    DicksonChargePump,
+    boost_versus_stages,
+)
+from repro.circuits.components import Capacitor, Diode, Resistor
+
+
+class TestFig3Reproduction:
+    """The paper's Fig 3(b): 1 V sine in, ~2 V DC out, one stage."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return DicksonChargePump(stages=1).simulate()
+
+    def test_output_approaches_double_input(self, result):
+        # TINA's ideal diodes reach 2.0 V; Schottky drops leave ~1.75-1.9 V.
+        assert 1.6 < result.settled_output_v() < 2.0
+
+    def test_output_is_dc_like(self, result):
+        assert result.ripple_v() < 0.1
+
+    def test_internal_node_rides_the_drive(self, result):
+        # Node B swings roughly 0..2 V (the clamped, level-shifted sine).
+        assert result.internal_v.max() > 1.5
+        assert result.internal_v.min() > -0.5
+
+    def test_output_monotone_rise_to_steady_state(self, result):
+        # Output should climb, then flatten; the last quarter is flat.
+        quarter = len(result.output_v) // 4
+        early_slope = result.output_v[quarter] - result.output_v[0]
+        late_slope = result.output_v[-1] - result.output_v[-quarter]
+        assert early_slope > 10 * abs(late_slope)
+
+    def test_waveform_lengths_consistent(self, result):
+        n = len(result.time_s)
+        assert len(result.input_v) == len(result.internal_v) == len(result.output_v) == n
+
+
+class TestMultiStage:
+    def test_two_stages_roughly_double_one_stage(self):
+        one = DicksonChargePump(stages=1).simulate(duration_s=40e-6).settled_output_v()
+        two = DicksonChargePump(stages=2).simulate(duration_s=40e-6).settled_output_v()
+        assert two == pytest.approx(2 * one, rel=0.1)
+
+    def test_boost_versus_stages_monotone(self):
+        curve = boost_versus_stages(3)
+        voltages = [v for _, v in curve]
+        assert voltages == sorted(voltages)
+
+    def test_ideal_boost_factor(self):
+        assert DicksonChargePump(stages=3).ideal_boost_factor == 6.0
+
+    def test_ideal_output_subtracts_drop(self):
+        pump = DicksonChargePump(stages=1)
+        assert pump.ideal_output_v(1.0, diode_drop_v=0.2) == pytest.approx(1.6)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            DicksonChargePump(stages=0)
+
+    def test_boost_versus_stages_rejects_zero(self):
+        with pytest.raises(ValueError):
+            boost_versus_stages(0)
+
+
+class TestSimulationParameters:
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            DicksonChargePump().simulate(input_amplitude_v=-1.0)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            DicksonChargePump().simulate(input_frequency_hz=0.0)
+
+    def test_rejects_coarse_timestep(self):
+        with pytest.raises(ValueError):
+            DicksonChargePump().simulate(steps_per_period=10)
+
+    def test_smaller_amplitude_smaller_output(self):
+        big = DicksonChargePump().simulate(input_amplitude_v=1.0).settled_output_v()
+        small = DicksonChargePump().simulate(input_amplitude_v=0.5).settled_output_v()
+        assert small < big
+
+    def test_heavy_load_sags_output(self):
+        light = DicksonChargePump(load=Resistor(1e6)).simulate().settled_output_v()
+        heavy = DicksonChargePump(load=Resistor(1e4)).simulate().settled_output_v()
+        assert heavy < light
+
+    def test_output_impedance_scales_with_stages(self):
+        one = DicksonChargePump(stages=1).output_impedance_ohm()
+        three = DicksonChargePump(stages=3).output_impedance_ohm()
+        assert three == pytest.approx(3 * one)
+
+    def test_output_impedance_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            DicksonChargePump().output_impedance_ohm(0.0)
+
+
+class TestResultHelpers:
+    def test_settled_rejects_bad_fraction(self):
+        result = DicksonChargePump().simulate(duration_s=2e-6)
+        with pytest.raises(ValueError):
+            result.settled_output_v(tail_fraction=0.0)
+
+    def test_final_output_is_last_sample(self):
+        result = DicksonChargePump().simulate(duration_s=2e-6)
+        assert result.final_output_v == result.output_v[-1]

@@ -1,0 +1,62 @@
+"""Unit tests for the comparator / data slicer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.comparator import Comparator
+
+
+class TestSwingCheck:
+    def test_sufficient_swing_slices(self):
+        assert Comparator(min_swing_v=5e-3).can_slice(6e-3)
+
+    def test_insufficient_swing_rejected(self):
+        assert not Comparator(min_swing_v=5e-3).can_slice(4e-3)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            Comparator(min_swing_v=0.0)
+        with pytest.raises(ValueError):
+            Comparator(hysteresis_v=-1.0)
+        with pytest.raises(ValueError):
+            Comparator(min_swing_v=1e-3, hysteresis_v=2e-3)
+
+
+class TestSlicing:
+    def setup_method(self):
+        self.comparator = Comparator(min_swing_v=5e-3, hysteresis_v=1e-3)
+
+    def test_clean_square_wave(self):
+        wave = np.array([0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0])
+        sliced = self.comparator.slice(wave)
+        assert sliced.tolist() == [False, False, True, True, False, False, True, True]
+
+    def test_explicit_threshold(self):
+        wave = np.array([0.2, 0.8, 0.2, 0.8])
+        sliced = self.comparator.slice(wave, threshold_v=0.5)
+        assert sliced.tolist() == [False, True, False, True]
+
+    def test_hysteresis_suppresses_small_noise(self):
+        # Noise well inside the hysteresis band must not toggle the output.
+        threshold = 0.5
+        noise = threshold + np.array([0.0002, -0.0002] * 20)
+        sliced = self.comparator.slice(
+            np.concatenate([[1.0], noise]), threshold_v=threshold
+        )
+        assert sliced[1:].all()  # state latched high through the noise
+
+    def test_empty_waveform(self):
+        assert len(self.comparator.slice(np.array([]))) == 0
+
+    def test_sample_bits_centres(self):
+        bits = [1, 0, 1, 1, 0]
+        wave = np.repeat(np.array(bits, dtype=float), 8)
+        assert self.comparator.sample_bits(wave, 8) == bits
+
+    def test_sample_bits_rejects_bad_spb(self):
+        with pytest.raises(ValueError):
+            self.comparator.sample_bits(np.ones(8), 0)
+
+    def test_sample_bits_truncates_partial_bit(self):
+        wave = np.repeat(np.array([1.0, 0.0]), 8)[:12]  # 1.5 bits
+        assert len(self.comparator.sample_bits(wave, 8)) == 1

@@ -1,0 +1,99 @@
+"""Unit tests for repro.circuits.components."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.components import (
+    Capacitor,
+    Diode,
+    Resistor,
+    rc_cutoff_hz,
+    rc_time_constant_s,
+)
+
+
+class TestDiode:
+    def test_zero_bias_zero_current(self):
+        assert Diode().current(0.0) == 0.0
+
+    def test_forward_conduction_grows_exponentially(self):
+        diode = Diode()
+        assert diode.current(0.3) / diode.current(0.2) > 10.0
+
+    def test_reverse_bias_saturates(self):
+        diode = Diode(saturation_current_a=1e-6)
+        assert diode.current(-1.0) == pytest.approx(-1e-6, rel=1e-3)
+
+    def test_forward_drop_inverts_current(self):
+        diode = Diode()
+        v = diode.forward_drop(1e-4)
+        assert diode.current(v) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_schottky_drop_is_low(self):
+        # The default detector diode conducts a microamp well below 150 mV.
+        assert Diode().forward_drop(1e-6) < 0.05
+
+    def test_forward_drop_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Diode().forward_drop(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Diode(saturation_current_a=0.0)
+        with pytest.raises(ValueError):
+            Diode(ideality=0.0)
+
+    def test_exponent_clip_keeps_current_finite(self):
+        assert math.isfinite(Diode().current(100.0))
+
+    @given(st.floats(min_value=-0.5, max_value=0.5))
+    def test_current_monotone(self, v):
+        diode = Diode()
+        assert diode.current(v + 0.01) > diode.current(v)
+
+
+class TestCapacitor:
+    def test_charge(self):
+        assert Capacitor(1e-9).charge(2.0) == pytest.approx(2e-9)
+
+    def test_energy(self):
+        assert Capacitor(1e-6).energy(3.0) == pytest.approx(4.5e-6)
+
+    def test_impedance_falls_with_frequency(self):
+        cap = Capacitor(100e-12)
+        assert cap.impedance_ohm(1e9) < cap.impedance_ohm(1e6)
+
+    def test_impedance_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            Capacitor(1e-9).impedance_ohm(0.0)
+
+    def test_rejects_non_positive_capacitance(self):
+        with pytest.raises(ValueError):
+            Capacitor(0.0)
+
+
+class TestResistor:
+    def test_ohms_law(self):
+        assert Resistor(50.0).current(5.0) == pytest.approx(0.1)
+
+    def test_power(self):
+        assert Resistor(100.0).power(10.0) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor(-1.0)
+
+
+class TestRcHelpers:
+    def test_time_constant(self):
+        assert rc_time_constant_s(1e3, 1e-6) == pytest.approx(1e-3)
+
+    def test_cutoff(self):
+        assert rc_cutoff_hz(1e3, 1e-6) == pytest.approx(159.15, rel=1e-3)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            rc_time_constant_s(0.0, 1e-6)

@@ -1,0 +1,119 @@
+"""Unit tests for the envelope detector (including the self-interference
+rejection that motivates §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.envelope_detector import (
+    EnvelopeDetector,
+    peak_voltage_to_rf_power_dbm,
+    rf_power_dbm_to_peak_voltage,
+)
+
+
+class TestPowerVoltageConversion:
+    def test_0dbm_into_50ohm_is_316mv_peak(self):
+        assert rf_power_dbm_to_peak_voltage(0.0) == pytest.approx(0.3162, rel=1e-3)
+
+    def test_roundtrip(self):
+        for dbm in (-60.0, -30.0, 0.0, 10.0):
+            v = rf_power_dbm_to_peak_voltage(dbm)
+            assert peak_voltage_to_rf_power_dbm(v) == pytest.approx(dbm, abs=1e-9)
+
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(ValueError):
+            peak_voltage_to_rf_power_dbm(0.0)
+
+
+class TestTransferCurve:
+    def setup_method(self):
+        self.detector = EnvelopeDetector()
+
+    def test_output_monotone_in_input_power(self):
+        powers = np.linspace(-80, 0, 40)
+        outputs = [self.detector.output_voltage_v(p) for p in powers]
+        assert all(b >= a for a, b in zip(outputs, outputs[1:]))
+
+    def test_square_law_penalty_below_knee(self):
+        # 10 dB less input power costs 10x output in the square-law region
+        # (versus sqrt(10)x in the linear region).
+        weak = self.detector.output_voltage_v(-70.0)
+        weaker = self.detector.output_voltage_v(-80.0)
+        assert weak / weaker == pytest.approx(10.0, rel=0.05)
+
+    def test_linear_detection_above_knee(self):
+        strong = self.detector.output_voltage_v(0.0)
+        stronger = self.detector.output_voltage_v(20.0)
+        assert stronger / strong == pytest.approx(10.0, rel=0.3)
+
+    def test_sensitivity_inverts_transfer(self):
+        target = 5e-3
+        sensitivity = self.detector.sensitivity_dbm(target)
+        assert self.detector.output_voltage_v(sensitivity) == pytest.approx(
+            target, rel=1e-3
+        )
+
+    def test_unamplified_sensitivity_around_minus_40dbm(self):
+        # §3.2: several mV for the comparator -> about -40 dBm sensitivity.
+        sensitivity = self.detector.sensitivity_dbm(5e-3)
+        assert -45.0 < sensitivity < -32.0
+
+    def test_sensitivity_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            self.detector.sensitivity_dbm(0.0)
+
+    def test_sensitivity_raises_when_unreachable(self):
+        with pytest.raises(ValueError):
+            self.detector.sensitivity_dbm(1e6)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            EnvelopeDetector(matching_gain=0.0)
+        with pytest.raises(ValueError):
+            EnvelopeDetector(lowpass_cutoff_hz=100.0, highpass_cutoff_hz=1e3)
+
+
+class TestWaveformDemodulation:
+    def setup_method(self):
+        self.detector = EnvelopeDetector()
+        self.fs = 20e6
+
+    def _ook_magnitude(self, bits, samples_per_bit, carrier_level=1.0):
+        pattern = np.repeat(np.asarray(bits, dtype=float), samples_per_bit)
+        return pattern * carrier_level
+
+    def test_envelope_follows_ook_pattern(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        magnitude = self._ook_magnitude(bits, 200)
+        envelope = self.detector.demodulate(magnitude, self.fs, strip_dc=False)
+        # Sample mid-bit: highs clearly above lows.
+        mid = np.arange(len(bits)) * 200 + 100
+        highs = envelope[mid[np.array(bits) == 1]]
+        lows = envelope[mid[np.array(bits) == 0]]
+        assert highs.min() > lows.max()
+
+    def test_dc_strip_removes_constant_interference(self):
+        # A constant self-interference level plus a small OOK signal: after
+        # the high-pass, the mean collapses towards zero.
+        bits = [1, 0] * 400
+        signal = self._ook_magnitude(bits, 100, carrier_level=0.01) + 1.0
+        stripped = self.detector.demodulate(signal, self.fs, strip_dc=True)
+        tail = stripped[len(stripped) // 2 :]
+        raw = self.detector.demodulate(signal, self.fs, strip_dc=False)
+        assert abs(tail.mean()) < 0.1 * raw[len(raw) // 2 :].mean()
+
+    def test_dc_strip_preserves_signal_swing(self):
+        bits = [1, 0] * 400
+        signal = self._ook_magnitude(bits, 100, carrier_level=0.01) + 1.0
+        stripped = self.detector.demodulate(signal, self.fs, strip_dc=True)
+        tail = stripped[len(stripped) // 2 :]
+        # The alternating signal survives with meaningful swing.
+        assert tail.max() - tail.min() > 0.005
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            self.detector.demodulate(np.ones(10), 0.0)
+
+    def test_empty_waveform(self):
+        out = self.detector.demodulate(np.array([]), self.fs)
+        assert len(out) == 0

@@ -1,0 +1,73 @@
+"""Unit tests for the composed passive receive chain (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.receiver_chain import (
+    PassiveReceiverChain,
+    amplifier_sensitivity_gain_db,
+)
+
+
+class TestSensitivity:
+    def test_amplified_chain_beats_unamplified(self):
+        with_amp = PassiveReceiverChain().sensitivity_dbm()
+        without_amp = PassiveReceiverChain(amplifier=None).sensitivity_dbm()
+        assert with_amp < without_amp
+
+    def test_unamplified_sensitivity_matches_paper_ballpark(self):
+        # §3.2: "a sensitivity of around -40 dBm" without the amplifier.
+        sensitivity = PassiveReceiverChain(amplifier=None).sensitivity_dbm()
+        assert -45.0 < sensitivity < -30.0
+
+    def test_amplifier_buys_tens_of_db(self):
+        gain = amplifier_sensitivity_gain_db()
+        assert 10.0 < gain < 45.0
+
+    def test_sensitivity_is_decode_boundary(self):
+        chain = PassiveReceiverChain()
+        s = chain.sensitivity_dbm()
+        assert chain.can_decode(s + 0.1)
+        assert not chain.can_decode(s - 0.1)
+
+    def test_power_draw_is_microwatts(self):
+        # The chain is passive except for the amp and comparator.
+        assert PassiveReceiverChain().power_draw_w() < 20e-6
+
+    def test_unamplified_chain_draws_less(self):
+        assert (
+            PassiveReceiverChain(amplifier=None).power_draw_w()
+            < PassiveReceiverChain().power_draw_w()
+        )
+
+
+class TestSwingComputation:
+    def test_swing_monotone_in_power(self):
+        chain = PassiveReceiverChain()
+        assert chain.baseband_swing_v(-40.0) > chain.baseband_swing_v(-60.0)
+
+    def test_saw_insertion_loss_reduces_swing(self):
+        chain = PassiveReceiverChain()
+        lossless = chain.detector.output_voltage_v(-40.0) * chain.amplifier.gain
+        actual = chain.baseband_swing_v(-40.0)
+        assert actual < lossless
+
+
+class TestWaveformDecode:
+    def test_decodes_ook_bits_through_chain(self):
+        chain = PassiveReceiverChain()
+        bits = [1, 0, 1, 1, 0, 1, 0, 0, 1, 1]
+        samples_per_bit = 64
+        magnitude = np.repeat(np.array(bits, dtype=float), samples_per_bit) * 0.02
+        decoded = chain.decode_waveform(magnitude, 20e6, samples_per_bit)
+        assert decoded == bits
+
+    def test_decodes_with_noise(self):
+        chain = PassiveReceiverChain()
+        rng = np.random.default_rng(9)
+        bits = [1, 0, 0, 1, 1, 0, 1, 0] * 4
+        samples_per_bit = 64
+        magnitude = np.repeat(np.array(bits, dtype=float), samples_per_bit) * 0.02
+        noisy = magnitude + rng.normal(0.0, 0.001, len(magnitude))
+        decoded = chain.decode_waveform(np.abs(noisy), 20e6, samples_per_bit)
+        assert decoded == bits

@@ -1,0 +1,66 @@
+"""Unit tests for the antenna switch and the backscatter modulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.rf_switch import AntennaSwitch, BackscatterModulator
+
+
+class TestAntennaSwitch:
+    def setup_method(self):
+        self.switch = AntennaSwitch()
+
+    def test_through_path_loses_insertion_loss(self):
+        assert self.switch.through_power_dbm(0.0) == pytest.approx(-0.35)
+
+    def test_off_path_isolated(self):
+        assert self.switch.leaked_power_dbm(0.0) == pytest.approx(-25.0)
+
+    def test_table4_power_budget(self):
+        assert self.switch.power_w <= 10e-6
+
+    def test_rejects_isolation_below_insertion_loss(self):
+        with pytest.raises(ValueError):
+            AntennaSwitch(insertion_loss_db=30.0, isolation_db=25.0)
+
+
+class TestBackscatterModulator:
+    def setup_method(self):
+        self.modulator = BackscatterModulator()
+
+    def test_modulation_depth_near_unity(self):
+        assert self.modulator.modulation_depth == pytest.approx(1.0, abs=0.2)
+
+    def test_supports_paper_bitrates(self):
+        for rate in (10_000, 100_000, 1_000_000):
+            assert self.modulator.supports_bitrate(rate)
+
+    def test_rejects_rates_beyond_transistor(self):
+        assert not self.modulator.supports_bitrate(10e6)
+
+    def test_supports_bitrate_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            self.modulator.supports_bitrate(0.0)
+
+    def test_dynamic_power_scales_with_bitrate(self):
+        assert self.modulator.dynamic_power_w(1_000_000) == pytest.approx(
+            100 * self.modulator.dynamic_power_w(10_000)
+        )
+
+    def test_dynamic_power_microwatt_scale_at_1mbps(self):
+        # The tag's entire transmitter runs on tens of microwatts.
+        assert self.modulator.dynamic_power_w(1_000_000) < 100e-6
+
+    def test_modulate_produces_per_sample_states(self):
+        stream = self.modulator.modulate(np.array([1, 0, 1]), samples_per_bit=4)
+        assert len(stream) == 12
+        assert stream[0] == self.modulator.reflection_coefficient_on
+        assert stream[4] == self.modulator.reflection_coefficient_off
+
+    def test_modulate_rejects_bad_spb(self):
+        with pytest.raises(ValueError):
+            self.modulator.modulate(np.array([1]), samples_per_bit=0)
+
+    def test_rejects_overunity_reflection(self):
+        with pytest.raises(ValueError):
+            BackscatterModulator(reflection_coefficient_on=complex(-1.5, 0.0))

@@ -1,0 +1,49 @@
+"""Unit tests for the SAW filter model (Table 4: SF2049E)."""
+
+import pytest
+
+from repro.circuits.saw_filter import SawFilter
+from repro.phy.constants import CARRIER_FREQUENCY_HZ
+
+
+class TestPassband:
+    def setup_method(self):
+        self.saw = SawFilter()
+
+    def test_carrier_passes_with_insertion_loss_only(self):
+        assert self.saw.attenuation_db(CARRIER_FREQUENCY_HZ) == pytest.approx(2.5)
+
+    def test_in_band_check(self):
+        assert self.saw.in_band(CARRIER_FREQUENCY_HZ)
+        assert not self.saw.in_band(800e6)
+
+    def test_800mhz_cellular_rejected_50db(self):
+        # Datasheet: 50 dB suppression at the 800 MHz band.
+        assert self.saw.attenuation_db(850e6) == pytest.approx(50.0)
+
+    def test_2_4ghz_rejected_at_least_30db(self):
+        assert self.saw.attenuation_db(2.4e9) >= 30.0
+
+    def test_skirt_between_passband_and_stopband(self):
+        edge = self.saw.attenuation_db(901e6)
+        assert 2.5 < edge < 50.0
+
+    def test_filtered_power_subtracts_attenuation(self):
+        assert self.saw.filtered_power_dbm(0.0, 850e6) == pytest.approx(-50.0)
+
+    def test_out_of_band_interferer_below_in_band_signal(self):
+        # The §3.2 motivation: a strong cellular transmitter ends up weaker
+        # than a modest in-band backscatter signal after the SAW.
+        cellular = self.saw.filtered_power_dbm(-10.0, 850e6)
+        backscatter = self.saw.filtered_power_dbm(-50.0, CARRIER_FREQUENCY_HZ)
+        assert cellular < backscatter
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            self.saw.attenuation_db(0.0)
+
+    def test_rejects_inconsistent_configuration(self):
+        with pytest.raises(ValueError):
+            SawFilter(passband_low_hz=1e9, passband_high_hz=9e8)
+        with pytest.raises(ValueError):
+            SawFilter(insertion_loss_db=60.0, near_rejection_db=50.0)

@@ -1,0 +1,80 @@
+"""Unit tests for measurement-driven planning (start_from_reports)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import DynamicOffloadController
+from repro.core.modes import LinkMode
+from repro.core.offload import InfeasibleOffloadError
+from repro.core.regimes import LinkMap, Regime
+from repro.mac.protocol import ProbeReport
+from repro.sim.estimation import LinkProber
+from repro.sim.link import SimulatedLink
+
+
+def _reports_at(distance, noise=0.0, seed=1):
+    rng = np.random.default_rng(seed)
+    link = SimulatedLink(LinkMap(), distance, rng)
+    prober = LinkProber(link=link, rng=rng, measurement_noise_db=noise)
+    return prober.viable_reports()
+
+
+class TestStartFromReports:
+    def test_matches_oracle_at_clean_measurement(self):
+        controller = DynamicOffloadController()
+        oracle_plan = controller.start(0.5, 1.0, 100.0)
+        measured = DynamicOffloadController()
+        measured_plan = measured.start_from_reports(
+            _reports_at(0.5), 1.0, 100.0
+        )
+        assert measured_plan.bitrates == oracle_plan.bitrates
+        assert measured_plan.solution.mode_fractions() == pytest.approx(
+            oracle_plan.solution.mode_fractions()
+        )
+
+    def test_regime_inferred_from_reports(self):
+        controller = DynamicOffloadController()
+        plan = controller.start_from_reports(_reports_at(3.0), 1.0, 1.0)
+        assert plan.regime is Regime.B
+
+    def test_picks_highest_reported_bitrate_per_mode(self):
+        reports = [
+            ProbeReport(LinkMode.BACKSCATTER, 100_000, 15.0, 1e-4),
+            ProbeReport(LinkMode.BACKSCATTER, 1_000_000, 12.0, 5e-3),
+            ProbeReport(LinkMode.ACTIVE, 1_000_000, 30.0, 1e-9),
+        ]
+        controller = DynamicOffloadController()
+        plan = controller.start_from_reports(reports, 1.0, 100.0)
+        assert plan.bitrates[LinkMode.BACKSCATTER] == 1_000_000
+
+    def test_prunes_bad_links(self):
+        reports = [
+            ProbeReport(LinkMode.BACKSCATTER, 1_000_000, -5.0, 0.4),
+            ProbeReport(LinkMode.ACTIVE, 1_000_000, 30.0, 1e-9),
+        ]
+        controller = DynamicOffloadController()
+        plan = controller.start_from_reports(reports, 1.0, 100.0)
+        assert LinkMode.BACKSCATTER not in plan.bitrates
+        assert plan.regime is Regime.C
+
+    def test_all_links_dead_raises(self):
+        reports = [ProbeReport(LinkMode.ACTIVE, 1_000_000, -10.0, 0.5)]
+        controller = DynamicOffloadController()
+        with pytest.raises(InfeasibleOffloadError):
+            controller.start_from_reports(reports, 1.0, 1.0)
+
+    def test_noisy_measurements_still_plan(self):
+        controller = DynamicOffloadController()
+        plan = controller.start_from_reports(
+            _reports_at(0.5, noise=2.0, seed=4), 1.0, 100.0
+        )
+        assert sum(plan.solution.fractions) == pytest.approx(1.0)
+
+    def test_custom_ber_threshold(self):
+        reports = [
+            ProbeReport(LinkMode.BACKSCATTER, 1_000_000, 9.0, 8e-3),
+            ProbeReport(LinkMode.ACTIVE, 1_000_000, 30.0, 1e-9),
+        ]
+        controller = DynamicOffloadController()
+        strict = controller.start_from_reports(reports, 1.0, 100.0, max_ber=1e-3)
+        assert LinkMode.BACKSCATTER not in strict.bitrates

@@ -1,0 +1,155 @@
+"""Unit tests for efficiency regions (Fig 9 maths)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.efficiency import (
+    Mixture,
+    dynamic_range_orders_of_magnitude,
+    operating_points,
+    pareto_edge,
+    power_ratio_span,
+)
+from repro.core.modes import LinkMode
+from repro.hardware.power_models import all_paper_mode_powers, paper_mode_power
+
+
+def _points_at_1mbps():
+    powers = [
+        paper_mode_power(LinkMode.ACTIVE, 1_000_000),
+        paper_mode_power(LinkMode.PASSIVE, 1_000_000),
+        paper_mode_power(LinkMode.BACKSCATTER, 1_000_000),
+    ]
+    return operating_points(powers)
+
+
+class TestOperatingPoints:
+    def test_default_labels_match_fig9(self):
+        labels = {p.power.mode: p.label for p in _points_at_1mbps()}
+        assert labels == {
+            LinkMode.ACTIVE: "A",
+            LinkMode.PASSIVE: "B",
+            LinkMode.BACKSCATTER: "C",
+        }
+
+    def test_backscatter_tx_efficiency_is_extreme(self):
+        points = {p.power.mode: p for p in _points_at_1mbps()}
+        backscatter = points[LinkMode.BACKSCATTER]
+        assert backscatter.tx_bits_per_joule > 1e10  # tens of pJ per bit
+
+    def test_passive_rx_efficiency_is_extreme(self):
+        points = {p.power.mode: p for p in _points_at_1mbps()}
+        assert points[LinkMode.PASSIVE].rx_bits_per_joule > 1e10
+
+    def test_cumulative_energy_ordering(self):
+        # Passive is the most total-efficient mode at 1 Mbps (only one
+        # carrier, powered by the cheaper emitter path); backscatter's
+        # reader-side cost makes it the most expensive in total, with
+        # active in between.
+        points = {p.power.mode: p for p in _points_at_1mbps()}
+        assert (
+            points[LinkMode.PASSIVE].cumulative_energy_per_bit_j
+            < points[LinkMode.ACTIVE].cumulative_energy_per_bit_j
+            < points[LinkMode.BACKSCATTER].cumulative_energy_per_bit_j
+        )
+
+
+class TestPowerRatioSpan:
+    def test_fig9_extremes(self):
+        low, high = power_ratio_span(_points_at_1mbps())
+        assert low == pytest.approx(1 / 2546, rel=1e-6)
+        assert high == pytest.approx(3546.0, rel=1e-6)
+
+    def test_seven_orders_of_magnitude(self):
+        span = dynamic_range_orders_of_magnitude(_points_at_1mbps())
+        assert span == pytest.approx(6.96, abs=0.02)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            power_ratio_span([])
+
+
+class TestParetoEdge:
+    def test_bc_vertices_on_the_edge(self):
+        # Fig 9: B and C anchor the optimal segment.  The active vertex is
+        # only marginally non-dominated (its TX power is a hair below the
+        # passive carrier's), so the edge may include it, but B and C must
+        # always be there.
+        edge_modes = {p.power.mode for p in pareto_edge(_points_at_1mbps())}
+        assert {LinkMode.PASSIVE, LinkMode.BACKSCATTER} <= edge_modes
+
+    def test_optimal_mixes_avoid_active(self):
+        # What the paper actually claims about Fig 9: power-proportional
+        # optima lie on segment BC, never using the active vertex.
+        from repro.core.offload import solve_offload
+
+        powers = [p.power for p in _points_at_1mbps()]
+        for ratio in (0.1, 1.0, 10.0, 100.0, 1000.0):
+            solution = solve_offload(powers, ratio, 1.0)
+            used = {
+                p.mode
+                for p, f in zip(solution.points, solution.fractions)
+                if f > 1e-9
+            }
+            assert LinkMode.ACTIVE not in used, ratio
+
+    def test_all_bitrate_points(self):
+        # Across all bitrates, 1 Mbps passive and backscatter dominate
+        # their low-bitrate versions.
+        edge = pareto_edge(operating_points(all_paper_mode_powers()))
+        edge_keys = {(p.power.mode, p.power.bitrate_bps) for p in edge}
+        assert (LinkMode.PASSIVE, 1_000_000) in edge_keys
+        assert (LinkMode.BACKSCATTER, 1_000_000) in edge_keys
+        assert (LinkMode.PASSIVE, 10_000) not in edge_keys
+
+
+class TestMixture:
+    def test_single_point_mixture(self):
+        points = _points_at_1mbps()
+        mixture = Mixture(points=(points[0],), fractions=(1.0,))
+        assert mixture.cumulative_energy_per_bit_j == pytest.approx(
+            points[0].cumulative_energy_per_bit_j
+        )
+
+    def test_fractions_must_sum_to_one(self):
+        points = _points_at_1mbps()
+        with pytest.raises(ValueError):
+            Mixture(points=points, fractions=(0.5, 0.2, 0.2))
+
+    def test_rejects_negative_fraction(self):
+        points = _points_at_1mbps()
+        with pytest.raises(ValueError):
+            Mixture(points=points, fractions=(1.5, -0.5, 0.0))
+
+    def test_rejects_length_mismatch(self):
+        points = _points_at_1mbps()
+        with pytest.raises(ValueError):
+            Mixture(points=points, fractions=(1.0,))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_mixture_energy_interpolates(self, p):
+        points = _points_at_1mbps()
+        mixture = Mixture(points=(points[1], points[2]), fractions=(p, 1.0 - p))
+        lo = min(points[1].cumulative_energy_per_bit_j, points[2].cumulative_energy_per_bit_j)
+        hi = max(points[1].cumulative_energy_per_bit_j, points[2].cumulative_energy_per_bit_j)
+        assert lo - 1e-15 <= mixture.cumulative_energy_per_bit_j <= hi + 1e-15
+
+    def test_time_fractions_account_for_bitrate(self):
+        fast = paper_mode_power(LinkMode.PASSIVE, 1_000_000)
+        slow = paper_mode_power(LinkMode.PASSIVE, 10_000)
+        points = operating_points([fast, slow])
+        mixture = Mixture(points=points, fractions=(0.5, 0.5))
+        time_fast, time_slow = mixture.time_fractions()
+        # Equal bits at 100x slower rate -> 100x the air time.
+        assert time_slow / time_fast == pytest.approx(100.0)
+
+    def test_mode_fractions_aggregate(self):
+        points = _points_at_1mbps()
+        mixture = Mixture(points=points, fractions=(0.2, 0.3, 0.5))
+        assert mixture.mode_fractions()[LinkMode.BACKSCATTER] == pytest.approx(0.5)
+
+    def test_mean_bitrate_single_rate(self):
+        points = _points_at_1mbps()
+        mixture = Mixture(points=points, fractions=(0.2, 0.3, 0.5))
+        assert mixture.mean_bitrate_bps == pytest.approx(1_000_000)

@@ -1,0 +1,44 @@
+"""Unit tests for the mode enum."""
+
+from repro.core.modes import ALL_MODES, MODES_BY_RANGE, LinkMode
+
+
+class TestCarrierPlacement:
+    """Fig 2: who holds the carrier in each architecture."""
+
+    def test_active_has_carrier_at_both_ends(self):
+        assert LinkMode.ACTIVE.carrier_at_tx
+        assert LinkMode.ACTIVE.carrier_at_rx
+
+    def test_passive_has_carrier_at_tx_only(self):
+        assert LinkMode.PASSIVE.carrier_at_tx
+        assert not LinkMode.PASSIVE.carrier_at_rx
+
+    def test_backscatter_has_carrier_at_rx_only(self):
+        assert not LinkMode.BACKSCATTER.carrier_at_tx
+        assert LinkMode.BACKSCATTER.carrier_at_rx
+
+    def test_exactly_one_mode_offloads_the_carrier(self):
+        # Backscatter is the only mode where the data transmitter sheds
+        # carrier generation — the essence of carrier offload.
+        offloading = [m for m in ALL_MODES if not m.carrier_at_tx]
+        assert offloading == [LinkMode.BACKSCATTER]
+
+
+class TestOrdering:
+    def test_range_order(self):
+        assert MODES_BY_RANGE == (
+            LinkMode.ACTIVE,
+            LinkMode.PASSIVE,
+            LinkMode.BACKSCATTER,
+        )
+
+    def test_budget_names_match_link_profiles(self):
+        from repro.phy.link_budget import paper_link_profiles
+
+        profile_names = {name for name, _ in paper_link_profiles()}
+        for mode in ALL_MODES:
+            assert mode.link_budget_name in profile_names
+
+    def test_all_modes_complete(self):
+        assert set(ALL_MODES) == set(LinkMode)

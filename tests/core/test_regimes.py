@@ -1,0 +1,111 @@
+"""Unit tests for the regime classification (Fig 8) and the availability
+map that prunes the offload optimization."""
+
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap, Regime
+
+
+class TestRegimeBoundaries:
+    def setup_method(self):
+        self.link_map = LinkMap()
+
+    def test_regime_a_close_in(self):
+        assert self.link_map.classify(0.3) is Regime.A
+
+    def test_regime_a_ends_at_backscatter_range(self):
+        # Paper: backscatter unavailable beyond 2.4 m.
+        assert self.link_map.classify(2.3) is Regime.A
+        assert self.link_map.classify(2.5) is Regime.B
+
+    def test_regime_b_ends_at_passive_range(self):
+        # Paper: only active past ~5.1 m (the 10 kbps passive limit).
+        assert self.link_map.classify(5.0) is Regime.B
+        assert self.link_map.classify(5.2) is Regime.C
+
+    def test_boundaries_report(self):
+        boundaries = self.link_map.regime_boundaries_m()
+        assert boundaries[Regime.A] == pytest.approx(2.4, rel=1e-3)
+        assert boundaries[Regime.B] == pytest.approx(5.1, rel=1e-3)
+        assert boundaries[Regime.C] > 6.0
+
+
+class TestAvailability:
+    def setup_method(self):
+        self.link_map = LinkMap()
+
+    def test_all_modes_at_peak_rate_close_in(self):
+        # §6.2: "At 0.3 m, all the links are available at the highest
+        # bitrate."
+        for mode in LinkMode:
+            availability = self.link_map.availability(mode, 0.3)
+            assert availability.available
+            assert availability.best_bitrate_bps == 1_000_000
+
+    def test_backscatter_bitrate_steps_down_with_distance(self):
+        # Fig 14: 1 Mbps to 0.9 m, 100 kbps to 1.8 m, 10 kbps to 2.4 m.
+        assert (
+            self.link_map.availability(LinkMode.BACKSCATTER, 0.85).best_bitrate_bps
+            == 1_000_000
+        )
+        assert (
+            self.link_map.availability(LinkMode.BACKSCATTER, 1.2).best_bitrate_bps
+            == 100_000
+        )
+        assert (
+            self.link_map.availability(LinkMode.BACKSCATTER, 2.0).best_bitrate_bps
+            == 10_000
+        )
+
+    def test_unavailable_mode_reports_none(self):
+        availability = self.link_map.availability(LinkMode.BACKSCATTER, 3.0)
+        assert not availability.available
+        assert availability.best_bitrate_bps is None
+        with pytest.raises(RuntimeError):
+            availability.power()
+
+    def test_available_powers_shrink_with_distance(self):
+        close = self.link_map.available_powers(0.3)
+        mid = self.link_map.available_powers(3.0)
+        far = self.link_map.available_powers(5.5)
+        assert len(close) == 3
+        assert len(mid) == 2
+        assert len(far) == 1
+        assert far[0].mode is LinkMode.ACTIVE
+
+    def test_available_modes_sorted_available_first(self):
+        entries = self.link_map.available_modes(3.0)
+        availabilities = [e.available for e in entries]
+        assert availabilities == sorted(availabilities, reverse=True)
+
+
+class TestPacketAwareAvailability:
+    def test_per_criterion_is_stricter(self):
+        ber_map = LinkMap()
+        per_map = LinkMap(packet_bits=328)
+        # Just inside the BER-based 1 Mbps backscatter range, the PER
+        # criterion already steps down to 100 kbps.
+        assert (
+            ber_map.availability(LinkMode.BACKSCATTER, 0.88).best_bitrate_bps
+            == 1_000_000
+        )
+        assert (
+            per_map.availability(LinkMode.BACKSCATTER, 0.88).best_bitrate_bps
+            < 1_000_000
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LinkMap(packet_bits=0)
+        with pytest.raises(ValueError):
+            LinkMap(max_packet_error=0.0)
+        with pytest.raises(ValueError):
+            LinkMap(target_ber=0.6)
+
+    def test_budget_lookup(self):
+        link_map = LinkMap()
+        budget = link_map.budget(LinkMode.PASSIVE, 100_000)
+        assert budget.name == "passive"
+        with pytest.raises(KeyError):
+            link_map.budget(LinkMode.ACTIVE, 10_000)

@@ -1,0 +1,84 @@
+"""Unit tests for the baseline radio models (Table 1, Table 2)."""
+
+import pytest
+
+from repro.hardware.baselines import (
+    AS3993,
+    BLUETOOTH_CHIPS,
+    BRAIDIO_READER_POWER_W,
+    CC2541,
+    CC2640,
+    COMMERCIAL_READERS,
+    BluetoothBaseline,
+    BluetoothChip,
+    CommercialReader,
+    reader_efficiency_advantage,
+)
+
+
+class TestTable1:
+    def test_cc2541_ratio_range(self):
+        low, high = CC2541.power_ratio_range
+        assert low == pytest.approx(0.82, abs=0.01)
+        assert high == pytest.approx(1.02, abs=0.01)
+
+    def test_cc2640_ratio_range(self):
+        low, high = CC2640.power_ratio_range
+        assert low == pytest.approx(1.1, abs=0.01)
+        assert high == pytest.approx(1.58, abs=0.01)
+
+    def test_bluetooth_dynamic_range_is_tiny(self):
+        # The motivating observation: commercial radios cannot express
+        # battery asymmetry — barely 2x of ratio span.
+        for chip in BLUETOOTH_CHIPS:
+            low, high = chip.power_ratio_range
+            assert high / low < 2.0
+
+    def test_rejects_unordered_range(self):
+        with pytest.raises(ValueError):
+            BluetoothChip("bad", (2.0, 1.0), (1.0, 1.0))
+
+
+class TestTable2:
+    def test_six_readers(self):
+        assert len(COMMERCIAL_READERS) == 6
+
+    def test_reader_power_spans_paper_range(self):
+        powers = [r.total_power_w for r in COMMERCIAL_READERS]
+        assert min(powers) == pytest.approx(0.64)
+        assert max(powers) == pytest.approx(4.2)
+
+    def test_as3993_is_the_lowest_power_reader(self):
+        assert AS3993.total_power_w == min(r.total_power_w for r in COMMERCIAL_READERS)
+
+    def test_braidio_5x_advantage_over_as3993(self):
+        # §6.1: "Braidio is about 5x as efficient as the commercial reader".
+        assert reader_efficiency_advantage() == pytest.approx(4.96, abs=0.05)
+
+    def test_gains_larger_against_other_readers(self):
+        for reader in COMMERCIAL_READERS[1:]:
+            assert reader_efficiency_advantage(reader) > reader_efficiency_advantage()
+
+    def test_rejects_rx_above_total(self):
+        with pytest.raises(ValueError):
+            CommercialReader("bad", 1.0, 10.0, 2.0, 100.0)
+
+
+class TestBluetoothBaseline:
+    def test_symmetric_by_default(self):
+        baseline = BluetoothBaseline()
+        assert baseline.tx_power_w == baseline.rx_power_w
+
+    def test_power_within_cc2541_envelope(self):
+        baseline = BluetoothBaseline()
+        assert 55e-3 <= baseline.tx_power_w <= 67e-3
+
+    def test_energy_per_bit(self):
+        baseline = BluetoothBaseline()
+        assert baseline.tx_energy_per_bit_j == pytest.approx(
+            baseline.tx_power_w / 1e6
+        )
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ValueError):
+            BluetoothBaseline(tx_power_w=0.0)

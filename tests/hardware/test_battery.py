@@ -1,0 +1,83 @@
+"""Unit tests for the battery model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.battery import Battery, BatteryEmptyError, JOULES_PER_WATT_HOUR
+
+
+class TestConstruction:
+    def test_capacity_conversion(self):
+        battery = Battery(1.0)
+        assert battery.capacity_j == pytest.approx(3600.0)
+        assert battery.capacity_wh == pytest.approx(1.0)
+
+    def test_partial_charge(self):
+        battery = Battery(2.0, charge_fraction=0.25)
+        assert battery.remaining_wh == pytest.approx(0.5)
+        assert battery.state_of_charge == pytest.approx(0.25)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+
+    def test_rejects_bad_charge_fraction(self):
+        with pytest.raises(ValueError):
+            Battery(1.0, charge_fraction=1.5)
+
+
+class TestDrain:
+    def test_drain_energy(self):
+        battery = Battery(1.0)
+        battery.drain_energy(1800.0)
+        assert battery.state_of_charge == pytest.approx(0.5)
+
+    def test_drain_power(self):
+        battery = Battery(1.0)
+        battery.drain_power(1.0, 3600.0)  # 1 W for an hour = 1 Wh
+        assert battery.is_empty
+
+    def test_overdrain_raises_and_empties(self):
+        battery = Battery(1e-6)
+        with pytest.raises(BatteryEmptyError):
+            battery.drain_energy(1.0)
+        assert battery.is_empty
+
+    def test_rejects_negative_drain(self):
+        with pytest.raises(ValueError):
+            Battery(1.0).drain_energy(-1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=20))
+    def test_energy_conservation(self, drains):
+        battery = Battery(1.0)
+        total = 0.0
+        for amount in drains:
+            if total + amount > battery.capacity_j:
+                break
+            battery.drain_energy(amount)
+            total += amount
+        assert battery.remaining_j == pytest.approx(battery.capacity_j - total)
+
+
+class TestLifetime:
+    def test_lifetime_at_power(self):
+        battery = Battery(1.0)
+        assert battery.lifetime_at_power_s(1.0) == pytest.approx(3600.0)
+
+    def test_zero_power_infinite_lifetime(self):
+        assert math.isinf(Battery(1.0).lifetime_at_power_s(0.0))
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Battery(1.0).lifetime_at_power_s(-1.0)
+
+    def test_wearable_to_laptop_lifetime_ratio(self):
+        # Fig 1's point: same radio, 383x the lifetime.
+        band = Battery(0.26)
+        laptop = Battery(99.5)
+        power = 56e-3
+        ratio = laptop.lifetime_at_power_s(power) / band.lifetime_at_power_s(power)
+        assert ratio == pytest.approx(99.5 / 0.26)

@@ -1,0 +1,61 @@
+"""Unit tests for the composed board and its reconciliation against the
+calibrated power table."""
+
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.hardware.braidio_board import BraidioBoard
+from repro.hardware.power_models import PAPER_POWER_TABLE
+
+
+class TestReconciliation:
+    def setup_method(self):
+        self.board = BraidioBoard()
+
+    def test_milliwatt_points_reconcile_tightly(self):
+        # Every system-relevant (mW-scale) operating point matches the
+        # calibrated table within 2%.
+        assert self.board.max_reconciliation_error(min_scale_w=1e-3) < 0.02
+
+    def test_microwatt_points_reconcile_in_absolute_terms(self):
+        # uW-scale points may deviate in relative terms (the paper's
+        # measurements are not affine in bitrate) but never by more than a
+        # handful of microwatts.
+        for entry in self.board.reconciliation_report():
+            if entry["calibrated_w"] < 1e-3:
+                assert entry["absolute_error_w"] < 8e-6, entry
+
+    def test_report_covers_full_table(self):
+        assert len(self.board.reconciliation_report()) == 2 * len(PAPER_POWER_TABLE)
+
+
+class TestComposition:
+    def setup_method(self):
+        self.board = BraidioBoard()
+
+    def test_backscatter_reader_is_the_most_expensive_state(self):
+        rx = self.board.rx_power_w(LinkMode.BACKSCATTER, 1_000_000)
+        others = [
+            self.board.rx_power_w(LinkMode.ACTIVE, 1_000_000),
+            self.board.rx_power_w(LinkMode.PASSIVE, 1_000_000),
+            self.board.tx_power_w(LinkMode.ACTIVE, 1_000_000),
+            self.board.tx_power_w(LinkMode.PASSIVE, 1_000_000),
+            self.board.tx_power_w(LinkMode.BACKSCATTER, 1_000_000),
+        ]
+        assert rx > max(others)
+
+    def test_backscatter_tx_is_microwatts(self):
+        assert self.board.tx_power_w(LinkMode.BACKSCATTER, 1_000_000) < 100e-6
+
+    def test_passive_rx_is_microwatts(self):
+        assert self.board.rx_power_w(LinkMode.PASSIVE, 1_000_000) < 100e-6
+
+    def test_carrier_dominates_backscatter_reader_power(self):
+        total = self.board.rx_power_w(LinkMode.BACKSCATTER, 1_000_000)
+        carrier = self.board.carrier.continuous_carrier_power_w()
+        assert carrier / total > 0.9
+
+    def test_power_extremes_match_paper_headline(self):
+        low, high = self.board.power_extremes_w()
+        assert high == pytest.approx(129e-3)
+        assert low < 16e-6

@@ -1,0 +1,60 @@
+"""Unit tests for the Fig 1 device catalog."""
+
+import pytest
+
+from repro.hardware.devices import (
+    DEVICES,
+    DeviceSpec,
+    battery_span_orders_of_magnitude,
+    device,
+)
+
+
+class TestCatalog:
+    def test_ten_devices(self):
+        assert len(DEVICES) == 10
+
+    def test_ordered_smallest_to_largest(self):
+        capacities = [d.battery_wh for d in DEVICES]
+        assert capacities == sorted(capacities)
+
+    def test_fig1_endpoints(self):
+        assert DEVICES[0].name == "Nike Fuel Band"
+        assert DEVICES[-1].name == "MacBook Pro 15"
+
+    def test_three_orders_of_magnitude_span(self):
+        # Fig 1 / §1: laptop batteries are ~3 orders of magnitude larger
+        # than fitness bands.
+        assert battery_span_orders_of_magnitude() == pytest.approx(2.58, abs=0.1)
+
+    def test_laptop_vs_smartwatch_two_orders(self):
+        laptop = device("MacBook Pro 15").battery_wh
+        watch = device("Apple Watch").battery_wh
+        assert 100 <= laptop / watch <= 300
+
+    def test_laptop_vs_phone_one_order(self):
+        laptop = device("MacBook Pro 15").battery_wh
+        phone = device("iPhone 6S").battery_wh
+        assert 10 <= laptop / phone <= 20
+
+    def test_device_classes_present(self):
+        classes = {d.device_class for d in DEVICES}
+        assert {"wearable", "phone", "laptop", "camera"} == classes
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert device("Pebble Watch").battery_wh == pytest.approx(0.48)
+
+    def test_unknown_device_lists_names(self):
+        with pytest.raises(KeyError, match="Nike Fuel Band"):
+            device("Walkman")
+
+    def test_fresh_battery_is_full(self):
+        battery = device("iPhone 6S").fresh_battery()
+        assert battery.state_of_charge == 1.0
+        assert battery.capacity_wh == pytest.approx(6.55)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("broken", 0.0, "phone")

@@ -1,0 +1,100 @@
+"""Unit tests for the RF harvesting extension."""
+
+import pytest
+
+from repro.hardware.harvesting import (
+    HarvestingBattery,
+    RfHarvester,
+    net_tag_power_w,
+)
+
+
+class TestRfHarvester:
+    def setup_method(self):
+        self.harvester = RfHarvester()
+
+    def test_harvest_falls_with_distance(self):
+        assert self.harvester.harvested_power_w(0.3) > self.harvester.harvested_power_w(
+            0.6
+        )
+
+    def test_harvest_zero_below_sensitivity(self):
+        # Far enough out the rectifier cannot start.
+        assert self.harvester.harvested_power_w(50.0) == 0.0
+
+    def test_efficiency_applied(self):
+        incident = self.harvester.incident_power_w(0.3)
+        harvested = self.harvester.harvested_power_w(0.3)
+        assert harvested == pytest.approx(incident * 0.3)
+
+    def test_microwatts_at_arms_length(self):
+        # 13 dBm carrier at 0.3 m: tens of microwatts of DC.
+        harvested = self.harvester.harvested_power_w(0.3)
+        assert 10e-6 < harvested < 100e-6
+
+    def test_max_harvest_range_finite(self):
+        range_m = self.harvester.max_harvest_range_m()
+        assert 0.5 < range_m < 10.0
+        assert self.harvester.harvested_power_w(range_m + 0.1) == 0.0
+
+    def test_self_sustaining_range_for_tag_load(self):
+        # The 1 Mbps backscatter transmitter (50.7 uW) can run entirely on
+        # harvested carrier energy within arm's reach — battery-free
+        # Braidio.
+        range_m = self.harvester.self_sustaining_range_m(50.67e-6)
+        assert 0.1 < range_m < 0.5
+
+    def test_lighter_load_sustains_farther(self):
+        heavy = self.harvester.self_sustaining_range_m(50.67e-6)
+        light = self.harvester.self_sustaining_range_m(5e-6)
+        assert light > heavy
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RfHarvester(rectifier_efficiency=0.0)
+        with pytest.raises(ValueError):
+            self.harvester.self_sustaining_range_m(0.0)
+
+
+class TestNetTagPower:
+    def test_net_power_reduced_by_harvest(self):
+        harvester = RfHarvester()
+        gross = 50.67e-6
+        net = net_tag_power_w(gross, harvester, 0.3)
+        assert net < gross
+
+    def test_net_power_floors_at_zero(self):
+        harvester = RfHarvester()
+        assert net_tag_power_w(1e-6, harvester, 0.2) == 0.0
+
+    def test_no_harvest_far_out(self):
+        harvester = RfHarvester()
+        assert net_tag_power_w(50e-6, harvester, 50.0) == pytest.approx(50e-6)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            net_tag_power_w(-1.0, RfHarvester(), 0.3)
+
+
+class TestHarvestingBattery:
+    def test_harvest_banks_energy(self):
+        battery = HarvestingBattery(1e-6, charge_fraction=0.5)
+        before = battery.remaining_j
+        banked = battery.harvest(1e-3, 1.0)
+        assert banked == pytest.approx(1e-3)
+        assert battery.remaining_j == pytest.approx(before + 1e-3)
+
+    def test_harvest_capped_at_capacity(self):
+        battery = HarvestingBattery(1e-6, charge_fraction=1.0)
+        assert battery.harvest(1.0, 10.0) == 0.0
+        assert battery.state_of_charge == pytest.approx(1.0)
+
+    def test_harvest_then_drain(self):
+        battery = HarvestingBattery(1e-6, charge_fraction=0.0)
+        battery.harvest(1e-3, 1.0)
+        battery.drain_energy(5e-4)
+        assert battery.remaining_j == pytest.approx(5e-4)
+
+    def test_rejects_negative_harvest(self):
+        with pytest.raises(ValueError):
+            HarvestingBattery(1e-6).harvest(-1.0, 1.0)

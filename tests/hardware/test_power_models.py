@@ -1,0 +1,119 @@
+"""Unit tests for the calibrated power table — the numbers every §6
+experiment rests on."""
+
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.hardware.power_models import (
+    PAPER_POWER_TABLE,
+    ComponentPower,
+    ModePower,
+    PowerState,
+    all_paper_mode_powers,
+    paper_mode_power,
+    supported_bitrates,
+)
+
+
+class TestComponentPower:
+    def test_state_lookup(self):
+        comp = ComponentPower("mcu", sleep_w=1e-6, idle_w=1e-3, active_w=5e-3)
+        assert comp.draw_w(PowerState.SLEEP) == 1e-6
+        assert comp.draw_w(PowerState.ACTIVE) == 5e-3
+
+    def test_rejects_unordered_states(self):
+        with pytest.raises(ValueError):
+            ComponentPower("bad", sleep_w=1.0, idle_w=0.5, active_w=2.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            ComponentPower("bad", active_w=-1.0)
+
+
+class TestPaperRatios:
+    """The ratio labels printed on Fig 9 and Fig 14 must be exact."""
+
+    @pytest.mark.parametrize(
+        "mode, bitrate, expected_ratio",
+        [
+            (LinkMode.ACTIVE, 1_000_000, 0.9524),
+            (LinkMode.PASSIVE, 1_000_000, 3546.0),
+            (LinkMode.PASSIVE, 100_000, 5571.0),
+            (LinkMode.PASSIVE, 10_000, 7800.0),
+            (LinkMode.BACKSCATTER, 1_000_000, 1.0 / 2546.0),
+            (LinkMode.BACKSCATTER, 100_000, 1.0 / 4000.0),
+            (LinkMode.BACKSCATTER, 10_000, 1.0 / 5600.0),
+        ],
+    )
+    def test_tx_rx_ratio_matches_figure_label(self, mode, bitrate, expected_ratio):
+        power = paper_mode_power(mode, bitrate)
+        assert power.tx_rx_power_ratio == pytest.approx(expected_ratio, rel=1e-6)
+
+    def test_paper_absolute_extremes(self):
+        # §1: "consumes between 16 uW – 129 mW across the different modes".
+        draws = [
+            value
+            for tx, rx in PAPER_POWER_TABLE.values()
+            for value in (tx, rx)
+        ]
+        assert min(draws) == pytest.approx(7.27e-6, rel=0.01)  # 10k passive RX
+        assert max(draws) == pytest.approx(129e-3)
+        passive_1m = paper_mode_power(LinkMode.PASSIVE, 1_000_000)
+        assert passive_1m.rx_w == pytest.approx(16e-6, rel=0.01)
+
+    def test_seven_orders_of_magnitude_span_at_1mbps(self):
+        # The headline "1:2546 to 3546:1" ratios are the 1 Mbps points.
+        import math
+
+        ratios = [
+            tx / rx
+            for (mode, rate), (tx, rx) in PAPER_POWER_TABLE.items()
+            if rate == 1_000_000
+        ]
+        span = math.log10(max(ratios) / min(ratios))
+        assert span == pytest.approx(6.96, abs=0.05)
+
+    def test_span_widens_at_lower_bitrates(self):
+        # Fig 14: the 10 kbps extremes reach 1:5600 and 7800:1.
+        import math
+
+        ratios = [tx / rx for tx, rx in PAPER_POWER_TABLE.values()]
+        span = math.log10(max(ratios) / min(ratios))
+        assert span == pytest.approx(7.64, abs=0.05)
+
+
+class TestModePower:
+    def test_energy_per_bit(self):
+        power = ModePower(LinkMode.ACTIVE, 1_000_000, 50e-3, 60e-3)
+        assert power.tx_energy_per_bit_j == pytest.approx(5e-8)
+        assert power.rx_energy_per_bit_j == pytest.approx(6e-8)
+
+    def test_bits_per_joule_inverse_of_energy(self):
+        power = paper_mode_power(LinkMode.BACKSCATTER, 1_000_000)
+        assert power.tx_bits_per_joule == pytest.approx(
+            1.0 / power.tx_energy_per_bit_j
+        )
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ModePower(LinkMode.ACTIVE, 0, 1e-3, 1e-3)
+        with pytest.raises(ValueError):
+            ModePower(LinkMode.ACTIVE, 1_000_000, 0.0, 1e-3)
+
+
+class TestTableAccess:
+    def test_unknown_combination_raises(self):
+        with pytest.raises(KeyError):
+            paper_mode_power(LinkMode.ACTIVE, 10_000)
+
+    def test_all_powers_covers_table(self):
+        assert len(all_paper_mode_powers()) == len(PAPER_POWER_TABLE)
+
+    def test_supported_bitrates_descending(self):
+        assert supported_bitrates(LinkMode.PASSIVE) == (1_000_000, 100_000, 10_000)
+        assert supported_bitrates(LinkMode.ACTIVE) == (1_000_000,)
+
+    def test_backscatter_tx_power_falls_with_bitrate(self):
+        rates = supported_bitrates(LinkMode.BACKSCATTER)
+        draws = [paper_mode_power(LinkMode.BACKSCATTER, r).tx_w for r in rates]
+        assert draws == sorted(draws, reverse=True)

@@ -1,0 +1,93 @@
+"""Unit tests for the Table 4 hardware module models."""
+
+import pytest
+
+from repro.hardware.radios import (
+    TABLE4_MODULES,
+    ActiveTransceiver,
+    BackscatterFrontEnd,
+    CarrierEmitter,
+    Microcontroller,
+    PassiveReceiverModule,
+)
+
+
+class TestMicrocontroller:
+    def test_active_draw_matches_table4(self):
+        # ATMEGA328P: 2 mA @ 8 MHz at 3.3 V ~ 6.6 mW.
+        assert Microcontroller().power.active_w == pytest.approx(6.6e-3)
+
+    def test_duty_cycling_interpolates(self):
+        mcu = Microcontroller()
+        half = mcu.duty_cycled_power_w(0.5)
+        assert mcu.power.sleep_w < half < mcu.power.active_w
+
+    def test_duty_cycle_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Microcontroller().duty_cycled_power_w(1.5)
+
+
+class TestCarrierEmitter:
+    def test_continuous_carrier_power(self):
+        emitter = CarrierEmitter()
+        assert emitter.continuous_carrier_power_w() == emitter.power_at_max_w
+
+    def test_ook_duty_cycles_the_pa(self):
+        emitter = CarrierEmitter(ook_mark_density=0.5)
+        assert emitter.ook_modulated_power_w() == pytest.approx(
+            emitter.power_at_max_w / 2
+        )
+
+    def test_rejects_bad_mark_density(self):
+        with pytest.raises(ValueError):
+            CarrierEmitter(ook_mark_density=0.0)
+
+    def test_table4_figure(self):
+        # SI4432: ~125 mW at 13 dBm.
+        assert CarrierEmitter().power_at_max_w == pytest.approx(122.4e-3, rel=0.05)
+
+
+class TestPassiveReceiverModule:
+    def test_receive_power_scales_with_bitrate(self):
+        module = PassiveReceiverModule()
+        assert module.receive_power_w(1_000_000) > module.receive_power_w(10_000)
+
+    def test_floor_is_chain_power(self):
+        module = PassiveReceiverModule()
+        assert module.receive_power_w(1) == pytest.approx(
+            module.chain_power_w, rel=0.01
+        )
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            PassiveReceiverModule().receive_power_w(0)
+
+
+class TestBackscatterFrontEnd:
+    def test_transmit_power_affine_in_bitrate(self):
+        tag = BackscatterFrontEnd()
+        p10k = tag.transmit_power_w(10_000)
+        p1m = tag.transmit_power_w(1_000_000)
+        slope = (p1m - p10k) / (1_000_000 - 10_000)
+        assert slope == pytest.approx(tag.toggle_energy_j_per_bit, rel=1e-9)
+
+    def test_always_microwatt_scale(self):
+        tag = BackscatterFrontEnd()
+        assert tag.transmit_power_w(1_000_000) < 100e-6
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            BackscatterFrontEnd().transmit_power_w(-1)
+
+
+class TestTable4Inventory:
+    def test_eight_modules(self):
+        assert len(TABLE4_MODULES) == 8
+
+    def test_key_parts_present(self):
+        models = {model for _, model, _ in TABLE4_MODULES}
+        assert {"ATMEGA 328P", "SI4432", "INA2331", "SKY13267", "SF2049E"} <= models
+
+    def test_active_transceiver_validates(self):
+        with pytest.raises(ValueError):
+            ActiveTransceiver(tx_power_w=0.0)

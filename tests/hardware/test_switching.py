@@ -1,0 +1,101 @@
+"""Unit tests for the Table 5 switching overheads."""
+
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.hardware.switching import (
+    PAPER_SWITCH_COSTS,
+    SwitchCost,
+    switch_cost,
+    switching_energy_fraction,
+)
+
+
+class TestTable5Values:
+    def test_active_switch_costs(self):
+        cost = PAPER_SWITCH_COSTS[LinkMode.ACTIVE]
+        assert cost.tx_j == pytest.approx(1.05e-9 * 3600)
+        assert cost.rx_j == pytest.approx(1.01e-9 * 3600)
+
+    def test_backscatter_tx_is_the_worst_case(self):
+        worst = max(
+            max(c.tx_j, c.rx_j) for c in PAPER_SWITCH_COSTS.values()
+        )
+        assert worst == pytest.approx(PAPER_SWITCH_COSTS[LinkMode.BACKSCATTER].tx_j)
+
+    def test_passive_rx_is_the_cheapest(self):
+        cheapest = min(
+            min(c.tx_j, c.rx_j) for c in PAPER_SWITCH_COSTS.values()
+        )
+        assert cheapest == pytest.approx(PAPER_SWITCH_COSTS[LinkMode.PASSIVE].rx_j)
+
+    def test_all_costs_sub_millijoule(self):
+        # Table 5's conclusion: switching is negligible (<< 1 mJ).
+        for cost in PAPER_SWITCH_COSTS.values():
+            assert cost.total_j < 1e-3
+
+
+class TestSwitchCost:
+    def test_scaling(self):
+        base = switch_cost(LinkMode.ACTIVE)
+        scaled = switch_cost(LinkMode.ACTIVE, scale=10.0)
+        assert scaled.tx_j == pytest.approx(10 * base.tx_j)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            switch_cost(LinkMode.ACTIVE, scale=-1.0)
+
+    def test_backscatter_cost_scales_with_bit_time(self):
+        # Table 5's backscatter figure is the 10 kbps worst case; at
+        # 1 Mbps the handshake air time (and hence energy) is 100x less.
+        worst = switch_cost(LinkMode.BACKSCATTER, bitrate_bps=10_000)
+        fast = switch_cost(LinkMode.BACKSCATTER, bitrate_bps=1_000_000)
+        assert worst.tx_j == pytest.approx(
+            PAPER_SWITCH_COSTS[LinkMode.BACKSCATTER].tx_j
+        )
+        assert fast.tx_j == pytest.approx(worst.tx_j / 100.0)
+
+    def test_active_cost_bitrate_independent(self):
+        assert switch_cost(LinkMode.ACTIVE, bitrate_bps=10_000) == switch_cost(
+            LinkMode.ACTIVE, bitrate_bps=1_000_000
+        )
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            switch_cost(LinkMode.BACKSCATTER, bitrate_bps=0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            SwitchCost(tx_j=-1.0, rx_j=0.0)
+
+    def test_total(self):
+        assert SwitchCost(1.0, 2.0).total_j == 3.0
+
+
+class TestNegligibility:
+    def test_fraction_small_for_realistic_dwell(self):
+        # 64 packets of 328 bits at 1 Mbps in backscatter mode: switching
+        # stays a sub-2% concern even for the worst-case switch.
+        fraction = switching_energy_fraction(
+            LinkMode.BACKSCATTER,
+            packets_per_switch=64,
+            packet_bits=328,
+            bitrate_bps=1_000_000,
+            side_power_w=129e-3,
+        )
+        assert fraction < 0.15
+
+    def test_fraction_grows_for_thrashing_schedules(self):
+        stable = switching_energy_fraction(
+            LinkMode.BACKSCATTER, 64, 328, 1_000_000, 129e-3
+        )
+        thrashing = switching_energy_fraction(
+            LinkMode.BACKSCATTER, 1, 328, 1_000_000, 129e-3
+        )
+        assert thrashing > stable
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            switching_energy_fraction(LinkMode.ACTIVE, 0, 328, 1_000_000, 1e-3)
+        with pytest.raises(ValueError):
+            switching_energy_fraction(LinkMode.ACTIVE, 1, 328, 0, 1e-3)

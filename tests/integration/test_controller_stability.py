@@ -1,0 +1,63 @@
+"""Long-run controller stability: the realized drain tracks the battery
+ratio as it drifts, re-plans stay bounded, and the schedule converges."""
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BraidioPolicy
+from repro.sim.session import CommunicationSession
+from repro.sim.simulator import Simulator
+
+
+class TestDriftTracking:
+    def test_drain_tracks_shifting_ratio(self):
+        # Start at 1:10; as the receiver's larger battery outlives the
+        # mix's proportional point drift, the controller keeps re-planning
+        # and both batteries still die together.
+        sim = Simulator(seed=30)
+        a = BraidioRadio.for_device("Apple Watch")
+        a.battery = Battery(1e-5)
+        b = BraidioRadio.for_device("iPhone 6S")
+        b.battery = Battery(1e-4)
+        link = SimulatedLink(LinkMap(), 0.4, sim.rng)
+        policy = BraidioPolicy()
+        session = CommunicationSession(
+            sim, a, b, link, policy, apply_switch_costs=False
+        )
+        session.run()
+        assert a.battery.state_of_charge == pytest.approx(0.0, abs=0.02)
+        assert b.battery.state_of_charge == pytest.approx(0.0, abs=0.02)
+
+    def test_replans_bounded_in_steady_state(self):
+        # A static link with slowly draining batteries should re-plan at
+        # most a few times per 10% energy drift, not per packet.
+        sim = Simulator(seed=31)
+        a = BraidioRadio.for_device("Apple Watch")
+        a.battery = Battery(5e-5)
+        b = BraidioRadio.for_device("iPhone 6S")
+        b.battery = Battery(5e-4)
+        link = SimulatedLink(LinkMap(), 0.4, sim.rng)
+        policy = BraidioPolicy()
+        session = CommunicationSession(
+            sim, a, b, link, policy, apply_switch_costs=False
+        )
+        metrics = session.run()
+        # Fewer than one re-plan per 500 packets on a static link.
+        assert policy.controller.replans < metrics.packets_attempted / 500
+        assert policy.controller.fallbacks == 0
+
+    def test_no_spurious_fallbacks_on_clean_link(self):
+        sim = Simulator(seed=32)
+        a = BraidioRadio.for_device("Apple Watch")
+        a.battery = Battery(2e-5)
+        b = BraidioRadio.for_device("iPhone 6S")
+        b.battery = Battery(2e-4)
+        link = SimulatedLink(LinkMap(), 0.3, sim.rng)
+        policy = BraidioPolicy()
+        CommunicationSession(
+            sim, a, b, link, policy, apply_switch_costs=False
+        ).run()
+        assert policy.controller.fallbacks == 0

@@ -1,0 +1,144 @@
+"""Cross-validation: the discrete-event simulator must agree with the
+analytic lifetime engine on shrunken batteries.
+
+This is the key internal consistency check — the Fig 15/16/17/18 numbers
+come from the analytic engine, so the packet-level simulator has to land
+on the same totals (switching overheads disabled; they are separately
+shown to be negligible at realistic battery scales).
+"""
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery, JOULES_PER_WATT_HOUR
+from repro.sim.lifetime import (
+    bluetooth_unidirectional,
+    braidio_unidirectional,
+)
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BluetoothPolicy, BraidioPolicy, FixedModePolicy
+from repro.sim.session import FRAME_OVERHEAD_BITS, CommunicationSession
+from repro.sim.simulator import Simulator
+
+PAYLOAD_BYTES = 30
+PAYLOAD_SHARE = (8 * PAYLOAD_BYTES) / (8 * PAYLOAD_BYTES + FRAME_OVERHEAD_BITS)
+
+
+def _run_session(policy, wh_a, wh_b, distance=0.3, seed=1):
+    sim = Simulator(seed=seed)
+    a = BraidioRadio.for_device("Nike Fuel Band")
+    a.battery = Battery(wh_a)
+    b = BraidioRadio.for_device("MacBook Pro 15")
+    b.battery = Battery(wh_b)
+    link = SimulatedLink(LinkMap(), distance, sim.rng)
+    session = CommunicationSession(
+        sim, a, b, link, policy, apply_switch_costs=False
+    )
+    return session.run()
+
+
+class TestBraidioAgreement:
+    @pytest.mark.parametrize(
+        "wh_a, wh_b",
+        [
+            (2e-6, 2e-4),   # 1:100 asymmetry
+            (2e-5, 2e-5),   # symmetric
+            (2e-4, 2e-6),   # inverted asymmetry
+        ],
+    )
+    def test_des_matches_analytic_bits(self, wh_a, wh_b):
+        metrics = _run_session(BraidioPolicy(), wh_a, wh_b)
+        analytic = braidio_unidirectional(
+            wh_a * JOULES_PER_WATT_HOUR, wh_b * JOULES_PER_WATT_HOUR
+        ).total_bits
+        simulated_air_bits = metrics.bits_attempted / PAYLOAD_SHARE
+        assert simulated_air_bits == pytest.approx(analytic, rel=0.02)
+
+    def test_des_mode_mix_matches_solution(self):
+        metrics = _run_session(BraidioPolicy(), 2e-5, 2e-5)
+        from repro.core.offload import solve_offload
+
+        points = LinkMap().available_powers(0.3)
+        solution = solve_offload(
+            points, 2e-5 * JOULES_PER_WATT_HOUR, 2e-5 * JOULES_PER_WATT_HOUR
+        )
+        expected = solution.mode_fractions()
+        observed = metrics.mode_fractions()
+        for mode, share in expected.items():
+            assert observed.get(mode, 0.0) == pytest.approx(share, abs=0.05), mode
+
+
+class TestBluetoothAgreement:
+    def test_des_matches_closed_form(self):
+        metrics = _run_session(BluetoothPolicy(), 2e-5, 2e-4)
+        analytic = bluetooth_unidirectional(
+            2e-5 * JOULES_PER_WATT_HOUR, 2e-4 * JOULES_PER_WATT_HOUR
+        )
+        simulated_air_bits = metrics.bits_attempted / PAYLOAD_SHARE
+        assert simulated_air_bits == pytest.approx(analytic, rel=0.02)
+
+
+class TestSingleModeAgreement:
+    @pytest.mark.parametrize(
+        "mode", [LinkMode.ACTIVE, LinkMode.PASSIVE, LinkMode.BACKSCATTER]
+    )
+    def test_des_matches_pure_mode_formula(self, mode):
+        from repro.hardware.power_models import paper_mode_power
+
+        wh_a, wh_b = 2e-5, 2e-4
+        metrics = _run_session(FixedModePolicy(mode), wh_a, wh_b)
+        power = paper_mode_power(mode, 1_000_000)
+        e1 = wh_a * JOULES_PER_WATT_HOUR
+        e2 = wh_b * JOULES_PER_WATT_HOUR
+        analytic = min(
+            e1 / power.tx_energy_per_bit_j, e2 / power.rx_energy_per_bit_j
+        )
+        simulated_air_bits = metrics.bits_attempted / PAYLOAD_SHARE
+        assert simulated_air_bits == pytest.approx(analytic, rel=0.02)
+
+
+class TestBidirectionalAgreement:
+    def test_des_matches_paper_method(self):
+        from repro.sim.lifetime import braidio_bidirectional
+        from repro.sim.traffic import BidirectionalTraffic
+
+        wh_a, wh_b = 2e-5, 2e-4
+        sim = Simulator(seed=6)
+        a = BraidioRadio.for_device("Nike Fuel Band")
+        a.battery = Battery(wh_a)
+        b = BraidioRadio.for_device("MacBook Pro 15")
+        b.battery = Battery(wh_b)
+        link = SimulatedLink(LinkMap(), 0.3, sim.rng)
+        session = CommunicationSession(
+            sim,
+            a,
+            b,
+            link,
+            policy_ab=BraidioPolicy(),
+            policy_ba=BraidioPolicy(),
+            traffic=BidirectionalTraffic(payload_bytes=PAYLOAD_BYTES, burst_packets=32),
+            apply_switch_costs=False,
+        )
+        metrics = session.run()
+        analytic = braidio_bidirectional(
+            wh_a * JOULES_PER_WATT_HOUR, wh_b * JOULES_PER_WATT_HOUR
+        ).total_bits
+        simulated_air_bits = metrics.bits_attempted / PAYLOAD_SHARE
+        # Role bursts quantize the equal split; a few percent is expected.
+        assert simulated_air_bits == pytest.approx(analytic, rel=0.05)
+
+
+class TestGainAgreement:
+    def test_simulated_gain_matches_matrix_cell(self):
+        wh_a, wh_b = 2e-6, 2e-4
+        braidio = _run_session(BraidioPolicy(), wh_a, wh_b).bits_attempted
+        bluetooth = _run_session(BluetoothPolicy(), wh_a, wh_b).bits_attempted
+        simulated_gain = braidio / bluetooth
+        analytic_gain = braidio_unidirectional(
+            wh_a * JOULES_PER_WATT_HOUR, wh_b * JOULES_PER_WATT_HOUR
+        ).total_bits / bluetooth_unidirectional(
+            wh_a * JOULES_PER_WATT_HOUR, wh_b * JOULES_PER_WATT_HOUR
+        )
+        assert simulated_gain == pytest.approx(analytic_gain, rel=0.03)

@@ -1,0 +1,145 @@
+"""Fuzz/robustness properties: malformed inputs never crash with anything
+but the documented exceptions, and random valid inputs keep invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import LinkMode
+from repro.core.offload import solve_max_bits, solve_offload
+from repro.hardware.power_models import ModePower
+from repro.mac.frames import Frame, FrameError
+from repro.mac.line_coding import LINE_CODES, LineCodeError
+from repro.mac.protocol import (
+    BatteryStatus,
+    Probe,
+    ProbeReport,
+    ProtocolError,
+    ScheduleAnnouncement,
+)
+
+
+class TestFrameDecoderFuzz:
+    @given(st.binary(max_size=128))
+    def test_random_bytes_never_crash(self, data):
+        try:
+            frame = Frame.decode(data)
+        except FrameError:
+            return
+        # Anything that decodes must re-encode to the same bytes.
+        assert frame.encode() == data
+
+    @given(st.binary(min_size=11, max_size=64), st.integers(0, 8 * 64 - 1))
+    def test_single_bitflips_on_valid_frames_detected(self, payload, flip):
+        from repro.mac.frames import data_frame
+
+        encoded = bytearray(data_frame(1, payload).encode())
+        flip = flip % (8 * len(encoded))
+        encoded[flip // 8] ^= 1 << (flip % 8)
+        with pytest.raises(FrameError):
+            Frame.decode(bytes(encoded))
+
+
+class TestProtocolDecoderFuzz:
+    @given(st.binary(max_size=64))
+    def test_battery_decoder_total(self, data):
+        try:
+            BatteryStatus.decode(data)
+        except (ProtocolError, ValueError):
+            pass
+
+    @given(st.binary(max_size=64))
+    def test_probe_decoder_total(self, data):
+        try:
+            Probe.decode(data)
+        except (ProtocolError, ValueError):
+            pass
+
+    @given(st.binary(max_size=64))
+    def test_probe_report_decoder_total(self, data):
+        try:
+            ProbeReport.decode(data)
+        except (ProtocolError, ValueError):
+            pass
+
+    @given(st.binary(max_size=128))
+    def test_schedule_decoder_total(self, data):
+        try:
+            ScheduleAnnouncement.decode(data)
+        except (ProtocolError, ValueError):
+            pass
+
+
+class TestLineCodeFuzz:
+    @given(
+        st.sampled_from(sorted(LINE_CODES)),
+        st.lists(st.integers(0, 1), min_size=2, max_size=64),
+    )
+    def test_decoders_total_on_random_chips(self, name, chips):
+        _, decode = LINE_CODES[name]
+        try:
+            decode(chips)
+        except LineCodeError:
+            pass
+
+
+def _random_points(draw_count, rng):
+    points = []
+    modes = list(LinkMode)
+    for i in range(draw_count):
+        points.append(
+            ModePower(
+                mode=modes[i % 3],
+                bitrate_bps=int(rng.choice([10_000, 100_000, 1_000_000])),
+                tx_w=float(10.0 ** rng.uniform(-6, -1)),
+                rx_w=float(10.0 ** rng.uniform(-6, -1)),
+            )
+        )
+    return points
+
+
+class TestOffloadFuzz:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_point_sets_keep_invariants(self, count, log_ratio, seed):
+        rng = np.random.default_rng(seed)
+        points = _random_points(count, rng)
+        e1, e2 = 10.0**log_ratio, 1.0
+        solution = solve_offload(points, e1, e2)
+        assert sum(solution.fractions) == pytest.approx(1.0)
+        assert all(f >= -1e-12 for f in solution.fractions)
+        bits = solution.total_bits(e1, e2)
+        assert bits >= 0.0
+        # The soft-proportionality optimum dominates both the Eq 1
+        # solution and every pure mode (on adversarial point sets a pure
+        # cheap mode can beat hard proportionality — Eq 1 trades those
+        # bits for exact proportional drain).
+        relaxed = solve_max_bits(points, e1, e2)
+        relaxed_bits = relaxed.total_bits(e1, e2)
+        assert relaxed_bits >= bits * (1 - 1e-9)
+        for point in points:
+            single = min(
+                e1 / point.tx_energy_per_bit_j, e2 / point.rx_energy_per_bit_j
+            )
+            assert relaxed_bits >= single * (1 - 1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_proportional_solutions_exhaust_both(self, count, log_ratio, seed):
+        rng = np.random.default_rng(seed)
+        points = _random_points(count, rng)
+        e1, e2 = 10.0**log_ratio, 1.0
+        solution = solve_offload(points, e1, e2)
+        if solution.proportional:
+            bits = solution.total_bits(e1, e2)
+            assert bits * solution.tx_energy_per_bit_j == pytest.approx(e1, rel=1e-6)
+            assert bits * solution.rx_energy_per_bit_j == pytest.approx(e2, rel=1e-6)

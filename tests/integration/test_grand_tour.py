@@ -1,0 +1,96 @@
+"""Grand tour: the full measurement-to-delivery pipeline in one test.
+
+Probes sound the links -> reports cross the control protocol -> the
+controller plans from measurements -> the schedule is announced -> the
+session delivers data -> batteries drain power-proportionally.  Every
+layer of the stack participates; nothing is oracled.
+"""
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.controller import DynamicOffloadController
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap, Regime
+from repro.hardware.battery import Battery
+from repro.mac.frames import Frame, FrameType
+from repro.mac.protocol import BatteryStatus, Negotiation, ScheduleAnnouncement
+from repro.sim.estimation import LinkProber
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BraidioPolicy
+from repro.sim.session import CommunicationSession
+from repro.sim.simulator import Simulator
+
+
+class TestGrandTour:
+    def test_probe_negotiate_plan_deliver(self):
+        distance = 0.5
+        sim = Simulator(seed=20)
+        link_map = LinkMap()
+        link = SimulatedLink(link_map, distance, sim.rng)
+
+        watch = BraidioRadio.for_device("Apple Watch")
+        watch.battery = Battery(5e-5)
+        phone = BraidioRadio.for_device("iPhone 6S")
+        phone.battery = Battery(5e-4)
+
+        # 1. Battery exchange over the control protocol (bytes on the
+        #    wire, CRC verified).
+        watch_side, phone_side = Negotiation(), Negotiation()
+        frame_w = watch_side.start(
+            BatteryStatus(watch.battery.remaining_j, watch.battery.capacity_j)
+        )
+        frame_p = phone_side.start(
+            BatteryStatus(phone.battery.remaining_j, phone.battery.capacity_j)
+        )
+        watch_side.on_battery(Frame.decode(frame_p.encode()))
+        phone_side.on_battery(Frame.decode(frame_w.encode()))
+
+        # 2. Probing with measurement noise; reports flow as frames.
+        prober = LinkProber(link=link, rng=sim.rng, measurement_noise_db=1.0)
+        reports = prober.viable_reports()
+        for report in reports:
+            watch_side.on_probe_report(
+                Frame.decode(
+                    Frame(FrameType.PROBE_REPORT, 0, payload=report.encode()).encode()
+                )
+            )
+        assert len(watch_side.reports) >= 2
+
+        # 3. Plan from the *measured* reports and the *exchanged* battery
+        #    levels.
+        controller = DynamicOffloadController(link_map=link_map)
+        plan = controller.start_from_reports(
+            list(watch_side.reports.values()),
+            watch_side.local_battery.remaining_j,
+            watch_side.peer_battery.remaining_j,
+        )
+        assert plan.regime is Regime.A
+
+        # 4. Announce the schedule; the peer adopts it.
+        blocks = tuple(
+            (entry.mode, plan.bitrates[entry.mode], entry.packets)
+            for entry in plan.schedule.entries
+        )
+        announce = watch_side.finish(ScheduleAnnouncement(blocks=blocks))
+        phone_side.on_schedule(Frame.decode(announce.encode()))
+        assert phone_side.schedule is not None
+
+        # 5. Run the session on the negotiated controller.
+        policy = BraidioPolicy(controller)
+        session = CommunicationSession(
+            sim, watch, phone, link, policy, apply_switch_costs=False
+        )
+        metrics = session.run()
+        assert metrics.terminated_by == "battery"
+        assert metrics.packets_delivered > 1000
+
+        # 6. Power-proportionality emerged end to end: both batteries die
+        #    together (within the re-planning granularity).
+        assert watch.battery.state_of_charge == pytest.approx(0.0, abs=0.02)
+        assert phone.battery.state_of_charge == pytest.approx(0.0, abs=0.02)
+
+        # 7. And the mix was the asymmetric one (carrier mostly offloaded
+        #    to the phone).
+        fractions = metrics.mode_fractions()
+        assert fractions.get(LinkMode.BACKSCATTER, 0.0) > 0.5

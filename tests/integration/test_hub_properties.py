@@ -1,0 +1,94 @@
+"""Property tests for the fleet-allocation LP (hub network)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.battery import JOULES_PER_WATT_HOUR as WH
+from repro.hardware.devices import DEVICES
+from repro.net import ClientPlacement, HubNetwork
+
+_device_strategy = st.sampled_from(DEVICES)
+
+
+def _clients_strategy():
+    return st.lists(
+        st.tuples(
+            _device_strategy,
+            st.floats(min_value=0.2, max_value=2.2),   # distance (in range)
+            st.floats(min_value=0.5, max_value=5.0),   # weight
+        ),
+        min_size=1,
+        max_size=4,
+    )
+
+
+def _build(clients_spec):
+    clients = [
+        ClientPlacement(f"c{i}", spec, distance_m=d, weight=w)
+        for i, (spec, d, w) in enumerate(clients_spec)
+    ]
+    return HubNetwork("iPhone 6S", clients)
+
+
+class TestHubLpProperties:
+    @given(_clients_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_budgets_never_violated(self, clients_spec):
+        network = _build(clients_spec)
+        for objective in ("total", "maxmin"):
+            plan = network.plan(objective)
+            hub_budget = 6.55 * WH
+            assert plan.hub_energy_used_j <= hub_budget * (1 + 1e-6)
+            for client in network.clients:
+                allocation = plan.allocation(client.name)
+                budget = client.spec.battery_wh * WH
+                assert allocation.client_energy_j <= budget * (1 + 1e-6)
+
+    @given(_clients_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_total_dominates_maxmin(self, clients_spec):
+        network = _build(clients_spec)
+        total = network.plan("total").total_bits
+        maxmin = network.plan("maxmin").total_bits
+        assert total >= maxmin * (1 - 1e-6)
+
+    @given(_clients_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_maxmin_raises_the_floor(self, clients_spec):
+        # Max-min guarantees the *minimum* weighted allocation (clients
+        # can still receive surplus from slack energy); the floor must be
+        # at least as high as under the total-bits objective.
+        network = _build(clients_spec)
+        total_plan = network.plan("total")
+        maxmin_plan = network.plan("maxmin")
+
+        def floor(plan):
+            return min(
+                plan.allocation(c.name).bits / c.weight for c in network.clients
+            )
+
+        assert floor(maxmin_plan) >= floor(total_plan) * (1 - 1e-6)
+
+    @given(_clients_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_mode_fractions_valid(self, clients_spec):
+        network = _build(clients_spec)
+        plan = network.plan("total")
+        for allocation in plan.allocations:
+            if allocation.bits > 0:
+                assert sum(allocation.mode_fractions.values()) == pytest.approx(
+                    1.0, abs=1e-6
+                )
+                assert all(f >= 0 for f in allocation.mode_fractions.values())
+
+    @given(_clients_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_adding_a_client_never_hurts_the_total(self, clients_spec):
+        network = _build(clients_spec)
+        base = network.plan("total").total_bits
+        extra = list(network.clients) + [
+            ClientPlacement("extra", DEVICES[0], distance_m=0.5)
+        ]
+        bigger = HubNetwork("iPhone 6S", extra).plan("total").total_bits
+        assert bigger >= base * (1 - 1e-6)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the stop-and-wait ARQ machines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.arq import (
+    ArqError,
+    ArqReceiver,
+    ArqSender,
+    SenderState,
+    run_over_lossy_link,
+)
+from repro.mac.frames import Frame, FrameType
+
+
+class TestSenderStateMachine:
+    def test_send_then_ack(self):
+        sender = ArqSender()
+        frame = sender.send(b"one")
+        assert sender.state is SenderState.AWAITING_ACK
+        assert sender.on_ack(Frame(FrameType.ACK, frame.sequence))
+        assert sender.state is SenderState.IDLE
+        assert sender.delivered == 1
+
+    def test_cannot_send_while_outstanding(self):
+        sender = ArqSender()
+        sender.send(b"one")
+        with pytest.raises(ArqError):
+            sender.send(b"two")
+
+    def test_stale_ack_ignored(self):
+        sender = ArqSender()
+        sender.send(b"one")
+        assert not sender.on_ack(Frame(FrameType.ACK, 99))
+        assert sender.state is SenderState.AWAITING_ACK
+
+    def test_non_ack_rejected(self):
+        sender = ArqSender()
+        sender.send(b"one")
+        with pytest.raises(ArqError):
+            sender.on_ack(Frame(FrameType.DATA, 0))
+
+    def test_timeout_retransmits_same_frame(self):
+        sender = ArqSender()
+        frame = sender.send(b"one")
+        retry = sender.on_timeout()
+        assert retry == frame
+        assert sender.retransmissions == 1
+
+    def test_retry_budget_exhaustion(self):
+        sender = ArqSender(max_retries=2)
+        sender.send(b"one")
+        assert sender.on_timeout() is not None
+        assert sender.on_timeout() is not None
+        assert sender.on_timeout() is None
+        assert sender.state is SenderState.FAILED
+        assert sender.failures == 1
+
+    def test_reset_skips_failed_sequence(self):
+        sender = ArqSender(max_retries=0)
+        sender.send(b"one")
+        assert sender.on_timeout() is None
+        seq_failed = 0
+        sender.reset()
+        assert sender.next_sequence == seq_failed + 1
+
+    def test_timeout_without_frame_rejected(self):
+        with pytest.raises(ArqError):
+            ArqSender().on_timeout()
+
+    def test_sequence_wraps_16_bits(self):
+        sender = ArqSender()
+        sender._sequence = 0xFFFF
+        frame = sender.send(b"wrap")
+        sender.on_ack(Frame(FrameType.ACK, frame.sequence))
+        assert sender.next_sequence == 0
+
+
+class TestReceiver:
+    def test_in_order_delivery(self):
+        receiver = ArqReceiver()
+        ack, payload = receiver.on_data(Frame(FrameType.DATA, 0, payload=b"a"))
+        assert ack.frame_type is FrameType.ACK and ack.sequence == 0
+        assert payload == b"a"
+
+    def test_duplicate_reacked_not_redelivered(self):
+        receiver = ArqReceiver()
+        receiver.on_data(Frame(FrameType.DATA, 0, payload=b"a"))
+        ack, payload = receiver.on_data(Frame(FrameType.DATA, 0, payload=b"a"))
+        assert ack.sequence == 0
+        assert payload is None
+        assert receiver.duplicates == 1
+        assert receiver.delivered_payloads() == [b"a"]
+
+    def test_resync_after_sender_reset(self):
+        receiver = ArqReceiver()
+        receiver.on_data(Frame(FrameType.DATA, 0, payload=b"a"))
+        # Sender failed sequence 1 and moved on to 2.
+        _, payload = receiver.on_data(Frame(FrameType.DATA, 2, payload=b"c"))
+        assert payload == b"c"
+        assert receiver.expected_sequence == 3
+
+    def test_non_data_rejected(self):
+        with pytest.raises(ArqError):
+            ArqReceiver().on_data(Frame(FrameType.ACK, 0))
+
+
+class TestLossyLinkProperty:
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reliable_delivery_in_order(self, count, data_p, ack_p, seed):
+        rng = np.random.default_rng(seed)
+        payloads = [bytes([i]) for i in range(count)]
+        result = run_over_lossy_link(
+            payloads,
+            data_loss=lambda: rng.random() < data_p,
+            ack_loss=lambda: rng.random() < ack_p,
+            max_retries=64,
+        )
+        # With a generous retry budget and loss < 0.4, everything arrives
+        # exactly once and in order.
+        assert result["delivered"] == payloads
+        assert result["failures"] == 0
+        assert result["transmissions"] >= count
+
+    def test_lossless_link_costs_one_transmission_each(self):
+        payloads = [b"x"] * 10
+        result = run_over_lossy_link(
+            payloads, data_loss=lambda: False, ack_loss=lambda: False
+        )
+        assert result["transmissions"] == 10
+        assert result["retransmissions"] == 0
+
+    def test_hopeless_link_reports_failures(self):
+        result = run_over_lossy_link(
+            [b"x"], data_loss=lambda: True, ack_loss=lambda: False, max_retries=3
+        )
+        assert result["failures"] == 1
+        assert result["delivered"] == []

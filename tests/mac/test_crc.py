@@ -1,0 +1,64 @@
+"""Unit tests for CRC-16-CCITT."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac.crc import (
+    append_crc,
+    crc16_ccitt,
+    crc16_ccitt_table,
+    verify_crc,
+)
+
+
+class TestKnownVectors:
+    def test_check_string_123456789(self):
+        # The standard CRC-16/CCITT-FALSE check value.
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_single_zero_byte(self):
+        assert crc16_ccitt(b"\x00") == 0xE1F0
+
+
+class TestTableEquivalence:
+    @given(st.binary(max_size=256))
+    def test_table_matches_bitwise(self, data):
+        assert crc16_ccitt_table(data) == crc16_ccitt(data)
+
+
+class TestFrameChecks:
+    def test_roundtrip(self):
+        framed = append_crc(b"hello braidio")
+        assert verify_crc(framed)
+
+    def test_detects_any_single_bit_flip(self):
+        framed = bytearray(append_crc(b"payload"))
+        for byte_index in range(len(framed)):
+            for bit in range(8):
+                corrupted = bytearray(framed)
+                corrupted[byte_index] ^= 1 << bit
+                assert not verify_crc(bytes(corrupted)), (byte_index, bit)
+
+    def test_detects_double_bit_errors(self):
+        framed = bytearray(append_crc(b"x" * 16))
+        corrupted = bytearray(framed)
+        corrupted[0] ^= 0x01
+        corrupted[10] ^= 0x80
+        assert not verify_crc(bytes(corrupted))
+
+    def test_too_short_frame_fails(self):
+        assert not verify_crc(b"\x01")
+
+    @given(st.binary(max_size=512))
+    def test_append_then_verify_always_holds(self, data):
+        assert verify_crc(append_crc(data))
+
+    @given(st.binary(min_size=3, max_size=64), st.integers(0, 7))
+    def test_bitflip_property(self, data, bit):
+        framed = bytearray(append_crc(data))
+        framed[len(framed) // 2] ^= 1 << bit
+        assert not verify_crc(bytes(framed))

@@ -1,0 +1,99 @@
+"""Unit tests for the frame codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac.frames import (
+    Flags,
+    Frame,
+    FrameError,
+    FrameType,
+    bits_to_bytes,
+    bytes_to_bits,
+    data_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_data_frame(self):
+        frame = data_frame(7, b"sensor reading", ack=True)
+        decoded = Frame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_roundtrip_empty_payload(self):
+        frame = Frame(FrameType.ACK, 0)
+        assert Frame.decode(frame.encode()) == frame
+
+    @given(
+        st.sampled_from(list(FrameType)),
+        st.integers(0, 0xFFFF),
+        st.binary(max_size=256),
+    )
+    def test_roundtrip_property(self, frame_type, seq, payload):
+        frame = Frame(frame_type, seq, Flags.NONE, payload)
+        assert Frame.decode(frame.encode()) == frame
+
+    def test_flags_preserved(self):
+        frame = Frame(
+            FrameType.DATA, 1, Flags.ACK_REQUESTED | Flags.LAST_OF_BLOCK, b"x"
+        )
+        assert Frame.decode(frame.encode()).flags == frame.flags
+
+
+class TestValidation:
+    def test_rejects_oversequence(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.DATA, 0x10000)
+
+    def test_decode_rejects_truncation(self):
+        encoded = data_frame(1, b"abc").encode()
+        with pytest.raises(FrameError):
+            Frame.decode(encoded[:4])
+
+    def test_decode_rejects_corruption(self):
+        encoded = bytearray(data_frame(1, b"abc").encode())
+        encoded[3] ^= 0xFF
+        with pytest.raises(FrameError, match="CRC"):
+            Frame.decode(bytes(encoded))
+
+    def test_decode_rejects_unknown_type(self):
+        frame = data_frame(1, b"abc")
+        raw = bytearray(frame.encode()[:-2])
+        raw[0] = 0x7F  # unknown type
+        from repro.mac.crc import append_crc
+
+        with pytest.raises(FrameError, match="unknown frame type"):
+            Frame.decode(append_crc(bytes(raw)))
+
+    def test_decode_rejects_length_mismatch(self):
+        from repro.mac.crc import append_crc
+
+        frame = data_frame(1, b"abcd")
+        raw = bytearray(frame.encode()[:-2])
+        raw[5] = 0xFF  # corrupt the length field (low byte)
+        with pytest.raises(FrameError, match="length"):
+            Frame.decode(append_crc(bytes(raw)))
+
+
+class TestAirBits:
+    def test_air_bits_includes_preamble_and_crc(self):
+        from repro.mac.preamble import PREAMBLE_BITS
+
+        frame = data_frame(1, b"12345678")
+        expected = len(PREAMBLE_BITS) + 8 * (6 + 8 + 2)  # header+payload+crc
+        assert frame.air_bits == expected
+
+
+class TestBitPacking:
+    def test_bytes_to_bits_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    @given(st.binary(max_size=128))
+    def test_bit_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bits_to_bytes_rejects_ragged_input(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])

@@ -1,0 +1,140 @@
+"""Unit and property tests for the backscatter line codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac.line_coding import (
+    LINE_CODES,
+    LineCodeError,
+    fm0_decode,
+    fm0_encode,
+    manchester_decode,
+    manchester_encode,
+    miller_decode,
+    miller_encode,
+    transition_density,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64)
+
+
+class TestManchester:
+    def test_known_encoding(self):
+        assert manchester_encode([1, 0]) == [1, 0, 0, 1]
+
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        assert manchester_decode(manchester_encode(bits)) == bits
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(LineCodeError):
+            manchester_decode([1, 1])
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(LineCodeError):
+            manchester_decode([1, 0, 1])
+
+    def test_dc_balance(self):
+        chips = manchester_encode([1] * 50)
+        assert sum(chips) == len(chips) // 2
+
+
+class TestFm0:
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        assert fm0_decode(fm0_encode(bits)) == bits
+
+    @given(bit_lists, st.integers(0, 1))
+    def test_roundtrip_any_initial_level(self, bits, level):
+        assert fm0_decode(fm0_encode(bits, level), level) == bits
+
+    def test_transition_on_every_boundary(self):
+        chips = fm0_encode([1, 1, 0, 1, 0, 0])
+        # Boundary chips: last chip of bit k vs first chip of bit k+1.
+        for k in range(5):
+            assert chips[2 * k + 1] != chips[2 * k + 2]
+
+    def test_zero_has_midbit_transition(self):
+        chips = fm0_encode([0])
+        assert chips[0] != chips[1]
+
+    def test_one_is_flat_within_bit(self):
+        chips = fm0_encode([1])
+        assert chips[0] == chips[1]
+
+    def test_missing_boundary_rejected(self):
+        chips = fm0_encode([1, 0, 1])
+        chips[2] ^= 1  # destroy a boundary transition
+        with pytest.raises(LineCodeError):
+            fm0_decode(chips)
+
+    def test_bad_initial_level_rejected(self):
+        with pytest.raises(ValueError):
+            fm0_encode([1], initial_level=2)
+
+
+class TestMiller:
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        assert miller_decode(miller_encode(bits)) == bits
+
+    def test_one_has_midbit_transition(self):
+        chips = miller_encode([1])
+        assert chips[0] != chips[1]
+
+    def test_zero_flat_unless_repeated(self):
+        chips = miller_encode([1, 0])
+        assert chips[2] == chips[3]  # lone zero: no transitions
+
+    def test_consecutive_zeros_get_boundary_transition(self):
+        chips = miller_encode([0, 0])
+        assert chips[1] != chips[2]
+
+    def test_corruption_never_silently_decodes_to_original(self):
+        # Miller is not fully self-checking (a flipped chip can yield
+        # another decodable stream); the guarantee is that corruption is
+        # either flagged or changes the data, never silently absorbed.
+        original = [1, 0, 0, 1, 1, 0]
+        chips = miller_encode(original)
+        for index in range(len(chips)):
+            corrupted = list(chips)
+            corrupted[index] ^= 1
+            try:
+                decoded = miller_decode(corrupted)
+            except LineCodeError:
+                continue
+            assert decoded != original, index
+
+    def test_inconsistent_level_rejected(self):
+        # A flat pair where the running level demands a transition-free
+        # chip of the opposite level is always caught.
+        with pytest.raises(LineCodeError):
+            miller_decode([0, 0], initial_level=1)
+
+
+class TestTransitionDensity:
+    @given(bit_lists.filter(lambda b: len(b) >= 2))
+    def test_fm0_denser_than_miller(self, bits):
+        # Per bit, FM0 spends 1 ('1') or 2 ('0') transitions while Miller
+        # spends at most 1 — counting the entry edge so the comparison is
+        # exact.
+        fm0_density = transition_density(fm0_encode(bits), initial_level=1)
+        miller_density = transition_density(miller_encode(bits), initial_level=1)
+        assert fm0_density >= miller_density - 1e-12
+
+    def test_fm0_keeps_clock_content_for_any_data(self):
+        # Even all-ones (the worst case for NRZ) keeps ~50% transitions —
+        # the property the high-pass self-interference filter needs.
+        assert transition_density(fm0_encode([1] * 64)) >= 0.45
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            transition_density([1])
+
+
+class TestRegistry:
+    @given(bit_lists, st.sampled_from(sorted(LINE_CODES)))
+    def test_every_registered_code_roundtrips(self, bits, name):
+        encode, decode = LINE_CODES[name]
+        assert decode(encode(bits)) == bits

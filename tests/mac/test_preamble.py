@@ -1,0 +1,65 @@
+"""Unit tests for preamble generation and detection."""
+
+import numpy as np
+import pytest
+
+from repro.mac.preamble import (
+    PREAMBLE_BITS,
+    SFD_BITS,
+    detect_preamble,
+    frame_bits_with_preamble,
+    preamble_bits,
+)
+
+
+class TestStructure:
+    def test_preamble_is_training_plus_sfd(self):
+        assert list(PREAMBLE_BITS[-len(SFD_BITS):]) == list(SFD_BITS)
+
+    def test_training_alternates(self):
+        training = PREAMBLE_BITS[: -len(SFD_BITS)]
+        assert all(a != b for a, b in zip(training, training[1:]))
+
+    def test_preamble_bits_returns_copy(self):
+        bits = preamble_bits()
+        bits[0] ^= 1
+        assert preamble_bits()[0] != bits[0]
+
+
+class TestDetection:
+    def test_detects_clean_preamble(self):
+        payload = [1, 0, 1, 1]
+        stream = frame_bits_with_preamble(payload)
+        start = detect_preamble(stream)
+        assert stream[start : start + 4] == payload
+
+    def test_detects_with_one_sfd_error(self):
+        stream = frame_bits_with_preamble([1, 1, 0, 0])
+        sfd_start = len(PREAMBLE_BITS) - len(SFD_BITS)
+        stream[sfd_start] ^= 1
+        assert detect_preamble(stream, max_errors=1) is not None
+
+    def test_strict_detection_rejects_errors(self):
+        stream = frame_bits_with_preamble([1, 1])
+        sfd_start = len(PREAMBLE_BITS) - len(SFD_BITS)
+        stream[sfd_start] ^= 1
+        stream[sfd_start + 3] ^= 1
+        assert detect_preamble(stream, max_errors=0) is None
+
+    def test_no_preamble_in_noise(self):
+        rng = np.random.default_rng(11)
+        # Alternating stream cannot contain the SFD (which has runs).
+        stream = [0, 1] * 40
+        assert detect_preamble(stream, max_errors=0) is None
+
+    def test_detection_with_leading_noise(self):
+        stream = [0, 0, 1, 0, 1] + frame_bits_with_preamble([1, 0, 0, 1])
+        start = detect_preamble(stream)
+        assert stream[start : start + 4] == [1, 0, 0, 1]
+
+    def test_rejects_negative_error_budget(self):
+        with pytest.raises(ValueError):
+            detect_preamble([0, 1], max_errors=-1)
+
+    def test_short_stream_returns_none(self):
+        assert detect_preamble([1, 0, 1]) is None

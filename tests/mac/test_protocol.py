@@ -1,0 +1,144 @@
+"""Unit tests for the control protocol (§4.2 handshake)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.modes import LinkMode
+from repro.mac.frames import Frame, FrameType
+from repro.mac.protocol import (
+    BatteryStatus,
+    HandshakePhase,
+    Negotiation,
+    Probe,
+    ProbeReport,
+    ProtocolError,
+    ScheduleAnnouncement,
+)
+
+
+class TestPayloadCodecs:
+    def test_battery_roundtrip(self):
+        status = BatteryStatus(remaining_j=100.0, capacity_j=936.0)
+        assert BatteryStatus.decode(status.encode()) == status
+
+    def test_battery_rejects_inconsistency(self):
+        with pytest.raises(ValueError):
+            BatteryStatus(remaining_j=10.0, capacity_j=5.0)
+
+    def test_battery_decode_rejects_truncation(self):
+        with pytest.raises(ProtocolError):
+            BatteryStatus.decode(b"\x00\x01")
+
+    def test_probe_roundtrip(self):
+        probe = Probe(mode=LinkMode.BACKSCATTER, bitrate_bps=100_000)
+        assert Probe.decode(probe.encode()) == probe
+
+    def test_probe_decode_rejects_unknown_mode(self):
+        raw = bytearray(Probe(LinkMode.ACTIVE, 1000).encode())
+        raw[0] = 9
+        with pytest.raises(ProtocolError, match="unknown mode"):
+            Probe.decode(bytes(raw))
+
+    @given(
+        st.sampled_from(list(LinkMode)),
+        st.integers(1, 2_000_000),
+        st.floats(-20.0, 60.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_probe_report_roundtrip(self, mode, bitrate, snr, ber):
+        report = ProbeReport(mode=mode, bitrate_bps=bitrate, snr_db=snr, ber=ber)
+        decoded = ProbeReport.decode(report.encode())
+        assert decoded.mode is mode
+        assert decoded.bitrate_bps == bitrate
+        assert decoded.snr_db == pytest.approx(snr)
+        assert decoded.ber == pytest.approx(ber)
+
+    def test_probe_report_rejects_bad_ber(self):
+        with pytest.raises(ValueError):
+            ProbeReport(LinkMode.ACTIVE, 1000, 10.0, 1.5)
+
+    def test_schedule_roundtrip(self):
+        schedule = ScheduleAnnouncement(
+            blocks=(
+                (LinkMode.PASSIVE, 1_000_000, 44),
+                (LinkMode.BACKSCATTER, 1_000_000, 20),
+            )
+        )
+        assert ScheduleAnnouncement.decode(schedule.encode()) == schedule
+
+    def test_schedule_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ScheduleAnnouncement(blocks=())
+
+    def test_schedule_decode_rejects_trailing_bytes(self):
+        encoded = ScheduleAnnouncement(
+            blocks=((LinkMode.ACTIVE, 1_000_000, 1),)
+        ).encode()
+        with pytest.raises(ProtocolError, match="trailing"):
+            ScheduleAnnouncement.decode(encoded + b"\x00")
+
+
+class TestNegotiationStateMachine:
+    def _battery(self, j=100.0):
+        return BatteryStatus(remaining_j=j, capacity_j=1000.0)
+
+    def test_full_handshake(self):
+        initiator = Negotiation()
+        responder = Negotiation()
+
+        # 1. Battery exchange.
+        frame_a = initiator.start(self._battery(100.0))
+        frame_b = responder.start(self._battery(900.0))
+        initiator.on_battery(frame_b)
+        responder.on_battery(frame_a)
+        assert initiator.phase is HandshakePhase.PROBING
+        assert responder.phase is HandshakePhase.PROBING
+
+        # 2. Probe reports flow in.
+        report = ProbeReport(LinkMode.BACKSCATTER, 1_000_000, 20.0, 1e-4)
+        initiator.on_probe_report(
+            Frame(FrameType.PROBE_REPORT, 1, payload=report.encode())
+        )
+        assert (LinkMode.BACKSCATTER, 1_000_000) in initiator.reports
+
+        # 3. Schedule committed and adopted.
+        schedule = ScheduleAnnouncement(blocks=((LinkMode.BACKSCATTER, 1_000_000, 64),))
+        announce = initiator.finish(schedule)
+        responder.on_schedule(announce)
+        assert initiator.phase is HandshakePhase.READY
+        assert responder.phase is HandshakePhase.READY
+        assert responder.schedule == schedule
+
+    def test_cannot_start_twice(self):
+        negotiation = Negotiation()
+        negotiation.start(self._battery())
+        with pytest.raises(ProtocolError):
+            negotiation.start(self._battery())
+
+    def test_cannot_finish_before_probing(self):
+        negotiation = Negotiation()
+        with pytest.raises(ProtocolError):
+            negotiation.finish(
+                ScheduleAnnouncement(blocks=((LinkMode.ACTIVE, 1_000_000, 1),))
+            )
+
+    def test_probe_report_rejected_before_batteries(self):
+        negotiation = Negotiation()
+        report = ProbeReport(LinkMode.ACTIVE, 1_000_000, 30.0, 0.0)
+        with pytest.raises(ProtocolError):
+            negotiation.on_probe_report(
+                Frame(FrameType.PROBE_REPORT, 0, payload=report.encode())
+            )
+
+    def test_wrong_frame_type_rejected(self):
+        negotiation = Negotiation()
+        with pytest.raises(ProtocolError):
+            negotiation.on_battery(Frame(FrameType.DATA, 0, payload=b""))
+
+    def test_battery_payload_carried_through_frames(self):
+        negotiation = Negotiation()
+        frame = negotiation.start(self._battery(123.0))
+        peer = Negotiation()
+        peer.on_battery(Frame.decode(frame.encode()))
+        assert peer.peer_battery.remaining_j == pytest.approx(123.0)

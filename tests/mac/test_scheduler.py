@@ -1,0 +1,153 @@
+"""Unit tests for the mode-multiplexing scheduler."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.core.modes import LinkMode
+from repro.mac.scheduler import ModeSchedule, ScheduleEntry
+
+
+class TestScheduleConstruction:
+    def test_realized_fractions_close_to_targets(self):
+        schedule = ModeSchedule(
+            {LinkMode.ACTIVE: 0.5, LinkMode.PASSIVE: 0.25, LinkMode.BACKSCATTER: 0.25},
+            period_packets=64,
+        )
+        realized = schedule.realized_fractions()
+        assert realized[LinkMode.ACTIVE] == pytest.approx(0.5, abs=1 / 64)
+        assert realized[LinkMode.PASSIVE] == pytest.approx(0.25, abs=1 / 64)
+
+    def test_unnormalized_shares_accepted(self):
+        schedule = ModeSchedule({LinkMode.ACTIVE: 2.0, LinkMode.PASSIVE: 2.0})
+        realized = schedule.realized_fractions()
+        assert realized[LinkMode.ACTIVE] == pytest.approx(0.5)
+
+    def test_zero_share_modes_dropped(self):
+        schedule = ModeSchedule({LinkMode.ACTIVE: 1.0, LinkMode.PASSIVE: 0.0})
+        assert set(schedule.realized_fractions()) == {LinkMode.ACTIVE}
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            ModeSchedule({LinkMode.ACTIVE: 0.0})
+
+    def test_rejects_negative_share(self):
+        with pytest.raises(ValueError):
+            ModeSchedule({LinkMode.ACTIVE: -0.5, LinkMode.PASSIVE: 1.5})
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ModeSchedule({LinkMode.ACTIVE: 1.0}, period_packets=0)
+
+    def test_tiny_share_converges_over_rounds(self):
+        # A 1% backscatter share appears in the long run at exactly 1%,
+        # NOT inflated to one-packet-per-round (which would distort
+        # extreme power-proportional mixes).
+        schedule = ModeSchedule(
+            {LinkMode.PASSIVE: 0.99, LinkMode.BACKSCATTER: 0.01}, period_packets=64
+        )
+        realized = schedule.realized_fractions(rounds=200)
+        assert realized[LinkMode.BACKSCATTER] == pytest.approx(0.01, abs=0.001)
+
+    def test_sub_slot_share_not_inflated(self):
+        # 0.1% share with a 64-packet round: most rounds carry none.
+        schedule = ModeSchedule(
+            {LinkMode.PASSIVE: 0.999, LinkMode.BACKSCATTER: 0.001},
+            period_packets=64,
+        )
+        realized = schedule.realized_fractions(rounds=1000)
+        assert realized[LinkMode.BACKSCATTER] == pytest.approx(0.001, abs=2e-4)
+
+    def test_entry_rejects_zero_packets(self):
+        with pytest.raises(ValueError):
+            ScheduleEntry(LinkMode.ACTIVE, 0)
+
+
+class TestSwitchMinimization:
+    def test_blocks_are_contiguous(self):
+        # 50/50 over 64 packets: 2 blocks -> 2 switches per period, not 64.
+        schedule = ModeSchedule(
+            {LinkMode.PASSIVE: 0.5, LinkMode.BACKSCATTER: 0.5}, period_packets=64
+        )
+        assert schedule.switches_per_period == 2
+
+    def test_single_mode_never_switches(self):
+        schedule = ModeSchedule({LinkMode.ACTIVE: 1.0})
+        assert schedule.switches_per_period == 0
+
+    def test_three_modes_three_switches(self):
+        schedule = ModeSchedule(
+            {LinkMode.ACTIVE: 0.4, LinkMode.PASSIVE: 0.3, LinkMode.BACKSCATTER: 0.3},
+            period_packets=60,
+        )
+        assert schedule.switches_per_period == 3
+
+
+class TestPacketLookup:
+    def test_mode_for_packet_matches_iterator(self):
+        schedule = ModeSchedule(
+            {LinkMode.ACTIVE: 0.6, LinkMode.BACKSCATTER: 0.4}, period_packets=10
+        )
+        iterated = list(itertools.islice(schedule.packet_modes(), 30))
+        looked_up = [schedule.mode_for_packet(i) for i in range(30)]
+        assert iterated == looked_up
+
+    def test_periodicity(self):
+        schedule = ModeSchedule(
+            {LinkMode.ACTIVE: 0.5, LinkMode.PASSIVE: 0.5}, period_packets=8
+        )
+        for i in range(8):
+            assert schedule.mode_for_packet(i) == schedule.mode_for_packet(i + 8)
+
+    def test_rejects_negative_index(self):
+        schedule = ModeSchedule({LinkMode.ACTIVE: 1.0})
+        with pytest.raises(ValueError):
+            schedule.mode_for_packet(-1)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(list(LinkMode)),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+        ),
+        st.integers(min_value=8, max_value=256),
+    )
+    def test_realized_fractions_within_two_slots_per_round(self, shares, period):
+        schedule = ModeSchedule(shares, period_packets=period)
+        total = sum(shares.values())
+        realized = schedule.realized_fractions()
+        for mode, share in shares.items():
+            target = share / total
+            assert abs(realized.get(mode, 0.0) - target) <= 2.0 / period
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(list(LinkMode)),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+        ),
+    )
+    @hyp_settings(max_examples=30, deadline=None)
+    def test_long_run_convergence(self, shares):
+        schedule = ModeSchedule(shares, period_packets=64)
+        total = sum(shares.values())
+        realized = schedule.realized_fractions(rounds=500)
+        for mode, share in shares.items():
+            target = share / total
+            assert realized.get(mode, 0.0) == pytest.approx(target, abs=1e-3)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(list(LinkMode)),
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=1,
+        ).filter(lambda d: sum(d.values()) > 0.01),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_counts_sum_to_period_every_round(self, shares, round_index):
+        schedule = ModeSchedule(shares, period_packets=64)
+        assert (
+            sum(e.packets for e in schedule.entries_for_round(round_index)) == 64
+        )

@@ -1,0 +1,78 @@
+"""Monte-Carlo validation of the analytic BER curves.
+
+This is the cross-check the whole evaluation rests on: the empirical
+envelope-detected OOK BER must track 0.5 exp(-snr/2) and the coherent FSK
+BER must track Q(sqrt(snr))."""
+
+import numpy as np
+import pytest
+
+from repro.phy.baseband import (
+    BerMeasurement,
+    ber_curve_comparison,
+    simulate_coherent_fsk_ber,
+    simulate_ook_envelope_ber,
+)
+from repro.phy.modulation import Modulation, bit_error_rate
+
+
+class TestOokMonteCarlo:
+    @pytest.mark.parametrize("snr_db", [6.0, 8.0, 10.0, 12.0])
+    def test_tracks_closed_form(self, snr_db):
+        rng = np.random.default_rng(int(snr_db * 10))
+        measurement = simulate_ook_envelope_ber(snr_db, 600_000, rng)
+        analytic = bit_error_rate(Modulation.OOK_NONCOHERENT, snr_db)
+        # Within 25% (the closed form omits the smaller Rician miss term).
+        assert measurement.ber == pytest.approx(analytic, rel=0.25)
+
+    def test_high_snr_error_free(self):
+        rng = np.random.default_rng(7)
+        measurement = simulate_ook_envelope_ber(25.0, 100_000, rng)
+        assert measurement.errors == 0
+
+    def test_low_snr_near_coin_flip(self):
+        rng = np.random.default_rng(8)
+        measurement = simulate_ook_envelope_ber(-15.0, 100_000, rng)
+        assert measurement.ber > 0.3
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            simulate_ook_envelope_ber(10.0, 0, np.random.default_rng(0))
+
+    def test_confidence_interval_brackets_truth(self):
+        rng = np.random.default_rng(9)
+        measurement = simulate_ook_envelope_ber(9.0, 400_000, rng)
+        low, high = measurement.confidence_interval()
+        analytic = bit_error_rate(Modulation.OOK_NONCOHERENT, 9.0)
+        assert low <= analytic * 1.3 and high >= analytic * 0.7
+
+
+class TestFskMonteCarlo:
+    @pytest.mark.parametrize("snr_db", [4.0, 6.0, 8.0])
+    def test_tracks_q_function(self, snr_db):
+        rng = np.random.default_rng(int(snr_db * 100))
+        measurement = simulate_coherent_fsk_ber(snr_db, 600_000, rng)
+        analytic = bit_error_rate(Modulation.FSK_COHERENT, snr_db)
+        assert measurement.ber == pytest.approx(analytic, rel=0.15)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            simulate_coherent_fsk_ber(10.0, 0, np.random.default_rng(0))
+
+
+class TestComparisonTable:
+    def test_rows_structure(self):
+        rng = np.random.default_rng(10)
+        rows = ber_curve_comparison([8.0, 10.0], 50_000, rng)
+        assert len(rows) == 2
+        for row in rows:
+            assert {"snr_db", "empirical", "analytic", "bits", "low", "high"} <= set(
+                row
+            )
+            assert row["low"] <= row["empirical"] <= row["high"]
+
+
+class TestBerMeasurement:
+    def test_ber_is_fraction(self):
+        measurement = BerMeasurement(snr_db=10.0, bits=1000, errors=13)
+        assert measurement.ber == pytest.approx(0.013)

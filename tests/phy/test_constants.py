@@ -1,0 +1,77 @@
+"""Unit tests for repro.phy.constants."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import constants
+
+
+class TestUnitConversions:
+    def test_dbm_to_watts_zero_dbm_is_one_milliwatt(self):
+        assert constants.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_dbm_to_watts_30_dbm_is_one_watt(self):
+        assert constants.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_inverts_dbm_to_watts(self):
+        assert constants.watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            constants.watts_to_dbm(0.0)
+
+    def test_watts_to_dbm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            constants.watts_to_dbm(-1.0)
+
+    def test_db_to_linear_3db_doubles(self):
+        assert constants.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            constants.linear_to_db(0.0)
+
+    @given(st.floats(min_value=-80.0, max_value=80.0))
+    def test_db_roundtrip(self, db):
+        assert constants.linear_to_db(constants.db_to_linear(db)) == pytest.approx(
+            db, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-120.0, max_value=60.0))
+    def test_dbm_roundtrip(self, dbm):
+        assert constants.watts_to_dbm(constants.dbm_to_watts(dbm)) == pytest.approx(
+            dbm, abs=1e-9
+        )
+
+
+class TestBandPlan:
+    def test_carrier_wavelength_is_about_33cm(self):
+        assert constants.CARRIER_WAVELENGTH_M == pytest.approx(0.3276, rel=1e-3)
+
+    def test_diversity_spacing_is_eighth_wavelength(self):
+        assert constants.DIVERSITY_ANTENNA_SPACING_M == pytest.approx(
+            constants.CARRIER_WAVELENGTH_M / 8.0
+        )
+
+    def test_carrier_inside_ism_band(self):
+        assert (
+            constants.ISM_BAND_LOW_HZ
+            < constants.CARRIER_FREQUENCY_HZ
+            < constants.ISM_BAND_HIGH_HZ
+        )
+
+    def test_thermal_noise_density_is_minus_174_dbm_per_hz(self):
+        assert constants.THERMAL_NOISE_DBM_PER_HZ == pytest.approx(-173.98, abs=0.1)
+
+    def test_bitrates_are_the_papers_three(self):
+        assert constants.BITRATES_BPS == (10_000, 100_000, 1_000_000)
+
+    def test_wavelength_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            constants.wavelength(0.0)
+
+    def test_wavelength_at_2_4ghz(self):
+        assert constants.wavelength(2.4e9) == pytest.approx(0.1249, rel=1e-3)

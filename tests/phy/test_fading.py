@@ -1,0 +1,97 @@
+"""Unit tests for repro.phy.fading."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy import fading
+
+
+class TestDoppler:
+    def test_walking_speed_doppler_at_915mhz(self):
+        # 1.4 m/s at 915 MHz -> ~4.3 Hz.
+        assert fading.doppler_spread_hz(1.4) == pytest.approx(4.27, abs=0.05)
+
+    def test_zero_speed_zero_doppler(self):
+        assert fading.doppler_spread_hz(0.0) == 0.0
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            fading.doppler_spread_hz(-1.0)
+
+
+class TestCoherenceTime:
+    def test_static_channel_is_infinite(self):
+        assert math.isinf(fading.coherence_time_s(0.0))
+
+    def test_millisecond_scale_for_mobile_channel(self):
+        # The paper cites millisecond coherence times; ~100 Hz Doppler
+        # gives ~4 ms.
+        assert fading.coherence_time_s(100.0) == pytest.approx(4.23e-3, rel=1e-3)
+
+    def test_rejects_negative_doppler(self):
+        with pytest.raises(ValueError):
+            fading.coherence_time_s(-1.0)
+
+    def test_interference_below_1khz_claim(self):
+        # §3.1: coherence times of milliseconds mean sub-kHz interference
+        # components.  1 / coherence_time < 1 kHz for Doppler < ~400 Hz.
+        doppler = fading.doppler_spread_hz(3.0)  # fast indoor motion
+        assert 1.0 / fading.coherence_time_s(doppler) < 1000.0
+
+
+class TestFadingDistributions:
+    def test_rayleigh_power_has_unit_mean(self):
+        rng = np.random.default_rng(1)
+        gains = fading.RayleighFading().sample_power_gains(rng, 200_000)
+        assert np.mean(gains) == pytest.approx(1.0, abs=0.02)
+
+    def test_rician_power_has_unit_mean(self):
+        rng = np.random.default_rng(2)
+        gains = fading.RicianFading(k_factor_db=6.0).sample_power_gains(rng, 200_000)
+        assert np.mean(gains) == pytest.approx(1.0, abs=0.02)
+
+    def test_high_k_rician_has_low_variance(self):
+        rng = np.random.default_rng(3)
+        strong_los = fading.RicianFading(k_factor_db=20.0).sample_power_gains(rng, 50_000)
+        weak_los = fading.RicianFading(k_factor_db=0.0).sample_power_gains(rng, 50_000)
+        assert np.var(strong_los) < np.var(weak_los)
+
+    def test_rejects_negative_count(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            fading.RayleighFading().sample_power_gains(rng, -1)
+        with pytest.raises(ValueError):
+            fading.RicianFading().sample_power_gains(rng, -1)
+
+
+class TestBlockFadingProcess:
+    def test_gain_constant_within_block(self):
+        rng = np.random.default_rng(4)
+        process = fading.BlockFadingProcess(fading.RayleighFading(), 0.01, rng)
+        assert process.gain_at(0.001) == process.gain_at(0.009)
+
+    def test_gain_changes_across_blocks(self):
+        rng = np.random.default_rng(5)
+        process = fading.BlockFadingProcess(fading.RayleighFading(), 0.01, rng)
+        first = process.gain_at(0.005)
+        second = process.gain_at(0.015)
+        assert first != second
+
+    def test_rejects_negative_time(self):
+        rng = np.random.default_rng(6)
+        process = fading.BlockFadingProcess(fading.RayleighFading(), 0.01, rng)
+        with pytest.raises(ValueError):
+            process.gain_at(-1.0)
+
+    def test_rejects_non_positive_coherence(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            fading.BlockFadingProcess(fading.RayleighFading(), 0.0, rng)
+
+    def test_gain_db_is_log_of_gain(self):
+        rng = np.random.default_rng(8)
+        process = fading.BlockFadingProcess(fading.RicianFading(), 0.01, rng)
+        gain = process.gain_at(0.02)
+        assert process.gain_db_at(0.02) == pytest.approx(10 * math.log10(gain))

@@ -1,0 +1,103 @@
+"""Unit tests for repro.phy.link_budget (the Fig 12/13 calibration)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import link_budget as lb
+from repro.phy.modulation import Modulation
+
+
+class TestLinkBudgetPhysics:
+    def setup_method(self):
+        self.passive = lb.passive_link_budget()
+        self.backscatter = lb.backscatter_link_budget()
+        self.active = lb.active_link_budget()
+
+    def test_snr_decreases_with_distance(self):
+        assert self.passive.snr_db(2.0, 1e6) < self.passive.snr_db(1.0, 1e6)
+
+    def test_backscatter_rolls_off_twice_as_fast(self):
+        passive_drop = self.passive.snr_db(1.0, 1e6) - self.passive.snr_db(2.0, 1e6)
+        backscatter_drop = self.backscatter.snr_db(1.0, 1e6) - self.backscatter.snr_db(
+            2.0, 1e6
+        )
+        assert backscatter_drop == pytest.approx(2 * passive_drop, rel=1e-6)
+
+    def test_lower_bitrate_buys_snr_when_thermal_limited(self):
+        budget = self.active
+        assert budget.snr_db(5.0, 1e4) > budget.snr_db(5.0, 1e6)
+
+    def test_detector_floor_caps_noise_benefit(self):
+        # The passive chain's comparator floor dominates thermal noise, so
+        # dropping the bitrate gains nothing once floored.
+        floor = self.passive.noise_floor_dbm(1e4)
+        assert floor == self.passive.detector_floor_dbm
+
+    def test_ber_monotone_in_distance(self):
+        distances = [0.5, 1.0, 2.0, 4.0]
+        bers = [self.passive.ber(d, 1e6) for d in distances]
+        assert bers == sorted(bers)
+
+    def test_max_range_zero_when_dead_at_contact(self):
+        deaf = lb.LinkBudget(
+            name="deaf",
+            tx_power_dbm=-100.0,
+            modulation=Modulation.OOK_NONCOHERENT,
+            noise=lb.passive_link_budget().noise,
+            path=lb.passive_link_budget().path,
+        )
+        assert deaf.max_range_m(1e6) == 0.0
+
+    def test_max_range_caps_at_search_limit(self):
+        loud = lb.LinkBudget(
+            name="loud",
+            tx_power_dbm=60.0,
+            modulation=Modulation.FSK_COHERENT,
+            noise=lb.active_link_budget().noise,
+            path=lb.active_link_budget().path,
+        )
+        assert loud.max_range_m(1e4) == lb.MAX_SEARCH_RANGE_M
+
+
+class TestCalibration:
+    def test_calibrated_range_hits_target_exactly(self):
+        budget = lb.backscatter_link_budget().calibrated_to_range(1.5, 100_000)
+        assert budget.ber(1.5, 100_000) == pytest.approx(lb.OPERATIONAL_BER, rel=1e-3)
+
+    def test_calibration_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            lb.passive_link_budget().calibrated_to_range(0.0, 1e6)
+
+    @given(st.floats(min_value=0.3, max_value=10.0))
+    def test_calibrated_max_range_matches_target(self, target):
+        budget = lb.passive_link_budget().calibrated_to_range(target, 100_000)
+        assert budget.max_range_m(100_000) == pytest.approx(target, rel=1e-3)
+
+
+class TestPaperProfiles:
+    def test_every_paper_range_reproduced(self):
+        ranges = lb.link_max_ranges()
+        for key, expected in lb.PAPER_RANGES_M.items():
+            if expected >= lb.MAX_SEARCH_RANGE_M:
+                continue
+            assert ranges[key] == pytest.approx(expected, rel=1e-3), key
+
+    def test_backscatter_ranges_ordered_by_bitrate(self):
+        profiles = lb.paper_link_profiles()
+        r1m = profiles[("backscatter", 1_000_000)].max_range_m(1_000_000)
+        r100k = profiles[("backscatter", 100_000)].max_range_m(100_000)
+        r10k = profiles[("backscatter", 10_000)].max_range_m(10_000)
+        assert r1m < r100k < r10k
+
+    def test_active_link_works_well_beyond_the_room(self):
+        profiles = lb.paper_link_profiles()
+        assert profiles[("active", 1_000_000)].is_operational(6.0, 1_000_000)
+
+    def test_commercial_reader_outranges_braidio(self):
+        profiles = lb.paper_link_profiles()
+        braidio = profiles[("backscatter", 100_000)].max_range_m(100_000)
+        commercial = profiles[("as3993", 100_000)].max_range_m(100_000)
+        assert commercial > braidio
+        # Fig 12: about 40% lower range for Braidio.
+        assert 1.0 - braidio / commercial == pytest.approx(0.4, abs=0.02)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.phy.modulation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import modulation
+from repro.phy.modulation import Modulation
+
+
+class TestBerCurves:
+    def test_noncoherent_ook_at_known_point(self):
+        # BER = 0.5 exp(-snr/2); at snr=10 (10 dB) -> 0.5 e^-5 ~ 3.37e-3.
+        ber = modulation.bit_error_rate(Modulation.OOK_NONCOHERENT, 10.0)
+        assert ber == pytest.approx(0.5 * math.exp(-5.0), rel=1e-6)
+
+    def test_noncoherent_fsk_matches_ook_formula(self):
+        for snr in (-5.0, 0.0, 8.0):
+            assert modulation.bit_error_rate(
+                Modulation.FSK_NONCOHERENT, snr
+            ) == modulation.bit_error_rate(Modulation.OOK_NONCOHERENT, snr)
+
+    def test_coherent_fsk_beats_noncoherent(self):
+        for snr in (6.0, 10.0, 14.0):
+            coherent = modulation.bit_error_rate(Modulation.FSK_COHERENT, snr)
+            noncoherent = modulation.bit_error_rate(Modulation.FSK_NONCOHERENT, snr)
+            assert coherent < noncoherent
+
+    def test_ber_capped_at_half(self):
+        ber = modulation.bit_error_rate(Modulation.OOK_NONCOHERENT, -40.0)
+        assert ber == pytest.approx(0.5, abs=1e-4)
+        assert ber <= 0.5
+
+    def test_ber_floored(self):
+        assert (
+            modulation.bit_error_rate(Modulation.OOK_NONCOHERENT, 60.0)
+            == modulation.BER_FLOOR
+        )
+
+    @given(
+        st.sampled_from(list(Modulation)),
+        st.floats(min_value=-20.0, max_value=30.0),
+    )
+    def test_ber_monotone_decreasing_in_snr(self, mod, snr):
+        assert modulation.bit_error_rate(mod, snr + 0.5) <= modulation.bit_error_rate(
+            mod, snr
+        )
+
+
+class TestRequiredSnr:
+    def test_inverts_noncoherent_formula(self):
+        snr = modulation.required_snr_db(Modulation.OOK_NONCOHERENT, 0.01)
+        assert modulation.bit_error_rate(
+            Modulation.OOK_NONCOHERENT, snr
+        ) == pytest.approx(0.01, rel=1e-6)
+
+    def test_inverts_coherent_by_bisection(self):
+        snr = modulation.required_snr_db(Modulation.FSK_COHERENT, 0.001)
+        assert modulation.bit_error_rate(
+            Modulation.FSK_COHERENT, snr
+        ) == pytest.approx(0.001, rel=1e-2)
+
+    def test_one_percent_ber_needs_about_9db_noncoherent(self):
+        snr = modulation.required_snr_db(Modulation.OOK_NONCOHERENT, 0.01)
+        assert snr == pytest.approx(8.93, abs=0.05)
+
+    def test_rejects_out_of_range_targets(self):
+        with pytest.raises(ValueError):
+            modulation.required_snr_db(Modulation.OOK_NONCOHERENT, 0.6)
+        with pytest.raises(ValueError):
+            modulation.required_snr_db(Modulation.OOK_NONCOHERENT, 0.0)
+
+    @given(st.floats(min_value=1e-8, max_value=0.4))
+    def test_roundtrip_noncoherent(self, target):
+        snr = modulation.required_snr_db(Modulation.FSK_NONCOHERENT, target)
+        assert modulation.bit_error_rate(
+            Modulation.FSK_NONCOHERENT, snr
+        ) == pytest.approx(target, rel=1e-6)
+
+
+class TestPacketErrorRate:
+    def test_zero_ber_never_errors(self):
+        assert modulation.packet_error_rate(0.0, 1000) == 0.0
+
+    def test_certain_ber_always_errors(self):
+        assert modulation.packet_error_rate(1.0, 10) == 1.0
+
+    def test_small_ber_approximates_n_times_ber(self):
+        per = modulation.packet_error_rate(1e-6, 100)
+        assert per == pytest.approx(1e-4, rel=1e-3)
+
+    def test_empty_packet_never_errors(self):
+        assert modulation.packet_error_rate(0.1, 0) == 0.0
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            modulation.packet_error_rate(0.1, -1)
+
+    def test_rejects_invalid_ber(self):
+        with pytest.raises(ValueError):
+            modulation.packet_error_rate(1.5, 10)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_per_is_probability_and_at_least_ber(self, ber, bits):
+        per = modulation.packet_error_rate(ber, bits)
+        assert 0.0 <= per <= 1.0
+        assert per >= ber - 1e-12
+
+    @given(st.floats(min_value=1e-6, max_value=0.1), st.integers(1, 1000))
+    def test_per_monotone_in_length(self, ber, bits):
+        assert modulation.packet_error_rate(ber, bits + 1) >= modulation.packet_error_rate(
+            ber, bits
+        )
+
+
+class TestGoodput:
+    def test_error_free_goodput_is_bitrate(self):
+        assert modulation.goodput_bps(1e6, 0.0, 256) == pytest.approx(1e6)
+
+    def test_goodput_degrades_with_ber(self):
+        clean = modulation.goodput_bps(1e6, 1e-5, 256)
+        dirty = modulation.goodput_bps(1e6, 1e-3, 256)
+        assert dirty < clean
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            modulation.goodput_bps(0.0, 0.01, 100)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.phy.noise."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import noise
+
+
+class TestThermalNoiseFloor:
+    def test_1hz_bandwidth_is_thermal_density(self):
+        assert noise.thermal_noise_floor_dbm(1.0) == pytest.approx(-173.98, abs=0.1)
+
+    def test_1mhz_bandwidth(self):
+        # -174 + 60 = -114 dBm for 1 MHz.
+        assert noise.thermal_noise_floor_dbm(1e6) == pytest.approx(-113.98, abs=0.1)
+
+    def test_noise_figure_adds_directly(self):
+        clean = noise.thermal_noise_floor_dbm(1e6)
+        noisy = noise.thermal_noise_floor_dbm(1e6, noise_figure_db=6.0)
+        assert noisy - clean == pytest.approx(6.0)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            noise.thermal_noise_floor_dbm(0.0)
+
+    def test_rejects_negative_noise_figure(self):
+        with pytest.raises(ValueError):
+            noise.thermal_noise_floor_dbm(1e6, noise_figure_db=-1.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_monotone_in_bandwidth(self, bw):
+        assert noise.thermal_noise_floor_dbm(bw * 2) > noise.thermal_noise_floor_dbm(bw)
+
+
+class TestNoiseBandwidth:
+    def test_matched_filter_equals_bitrate(self):
+        assert noise.noise_bandwidth_for_bitrate(100e3) == pytest.approx(100e3)
+
+    def test_rolloff_scales(self):
+        assert noise.noise_bandwidth_for_bitrate(100e3, rolloff=1.5) == pytest.approx(
+            150e3
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            noise.noise_bandwidth_for_bitrate(0.0)
+        with pytest.raises(ValueError):
+            noise.noise_bandwidth_for_bitrate(1e3, rolloff=0.0)
+
+
+class TestNoiseModel:
+    def test_floor_tracks_bitrate_by_10db_per_decade(self):
+        model = noise.NoiseModel()
+        assert model.floor_dbm(1_000_000) - model.floor_dbm(100_000) == pytest.approx(
+            10.0, abs=1e-6
+        )
+
+    def test_interference_dominates_when_strong(self):
+        model = noise.NoiseModel(interference_dbm=-60.0)
+        # Thermal floor at 10 kbps is ~ -128 dBm; interference wins.
+        assert model.floor_dbm(10_000) == pytest.approx(-60.0, abs=0.1)
+
+    def test_interference_none_is_pure_thermal(self):
+        model = noise.NoiseModel(noise_figure_db=0.0)
+        assert model.floor_dbm(1e6) == pytest.approx(
+            noise.thermal_noise_floor_dbm(1e6), abs=1e-9
+        )
+
+    def test_weak_interference_adds_3db_when_equal(self):
+        thermal = noise.thermal_noise_floor_dbm(1e6, 6.0)
+        model = noise.NoiseModel(noise_figure_db=6.0, interference_dbm=thermal)
+        assert model.floor_dbm(1e6) - thermal == pytest.approx(3.01, abs=0.01)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.phy.phase (the Fig 4 geometry)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.phase import PhaseCancellationModel, Position, snr_from_envelope_db
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0.0, 0.0).distance_to(Position(3.0, 4.0)) == pytest.approx(5.0)
+
+    @given(
+        st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2)
+    )
+    def test_distance_symmetric(self, x1, y1, x2, y2):
+        a, b = Position(x1, y1), Position(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestPhaseCancellationModel:
+    def setup_method(self):
+        self.model = PhaseCancellationModel()
+
+    def test_paper_antenna_placement_defaults(self):
+        assert self.model.tx_position == Position(0.95, 0.5)
+        assert self.model.rx_position == Position(1.05, 0.5)
+
+    def test_envelope_amplitude_non_negative(self):
+        for x in np.linspace(0.0, 2.0, 25):
+            assert self.model.envelope_amplitude(Position(x, 1.0)) >= 0.0
+
+    def test_nulls_exist_along_the_line(self):
+        # Fig 4(c): there are deep nulls close to the devices.
+        x = np.linspace(0.0, 2.0, 800)
+        profile = self.model.line_profile_db(x, 0.5)
+        assert profile.max() - profile.min() > 30.0
+
+    def test_signal_decays_far_from_devices(self):
+        near = self.model.envelope_signal_db(Position(1.0, 0.6))
+        far = self.model.envelope_signal_db(Position(1.0, 1.9))
+        assert near > far
+
+    def test_map_shape_follows_grid(self):
+        x = np.linspace(0.0, 2.0, 30)
+        y = np.linspace(0.0, 2.0, 20)
+        grid = self.model.signal_map_db(x, y)
+        assert grid.shape == (20, 30)
+
+    def test_map_agrees_with_scalar_model(self):
+        x = np.array([0.4, 1.3])
+        y = np.array([0.9])
+        grid = self.model.signal_map_db(x, y)
+        for i, xv in enumerate(x):
+            scalar = self.model.envelope_signal_db(Position(xv, 0.9))
+            assert grid[0, i] == pytest.approx(scalar, abs=1e-9)
+
+    def test_phase_offset_in_range(self):
+        theta = self.model.phase_offset_rad(Position(0.3, 1.2))
+        assert 0.0 <= theta <= math.pi
+
+    def test_envelope_tracks_cos_theta_when_background_dominates(self):
+        # With |V| << |V_bg|, A ~ 2 |V| |cos theta|.
+        tag = Position(0.5, 1.0)
+        theta = self.model.phase_offset_rad(tag)
+        v = abs(self.model.backscatter_vector(tag))
+        expected = 2.0 * v * abs(math.cos(theta))
+        assert self.model.envelope_amplitude(tag) == pytest.approx(expected, rel=0.05)
+
+    def test_null_when_orthogonal(self):
+        # Construct a model and scan for a point where theta ~ pi/2; the
+        # envelope there must be tiny relative to neighbours.
+        x = np.linspace(0.2, 1.8, 4000)
+        profile = self.model.line_profile_db(x, 0.5)
+        null_index = int(np.argmin(profile))
+        assert profile[null_index] < np.median(profile) - 20.0
+
+
+class TestSnrHelper:
+    def test_snr_is_difference(self):
+        assert snr_from_envelope_db(-40.0, -70.0) == pytest.approx(30.0)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.phy.propagation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import propagation
+from repro.phy.constants import CARRIER_FREQUENCY_HZ
+
+
+class TestFreeSpacePathLoss:
+    def test_matches_friis_at_one_metre_915mhz(self):
+        # FSPL(1 m, 915 MHz) = 20 log10(4 pi f / c) ~ 31.7 dB.
+        assert propagation.free_space_path_loss_db(1.0) == pytest.approx(31.7, abs=0.2)
+
+    def test_doubles_distance_adds_6db(self):
+        near = propagation.free_space_path_loss_db(1.0)
+        far = propagation.free_space_path_loss_db(2.0)
+        assert far - near == pytest.approx(6.02, abs=0.01)
+
+    def test_clamps_below_near_field_limit(self):
+        assert propagation.free_space_path_loss_db(
+            0.0
+        ) == propagation.free_space_path_loss_db(propagation.NEAR_FIELD_LIMIT_M)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            propagation.free_space_path_loss_db(-1.0)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            propagation.free_space_path_loss_db(1.0, frequency_hz=0.0)
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_monotone_in_distance(self, d):
+        assert propagation.free_space_path_loss_db(
+            d * 1.01
+        ) > propagation.free_space_path_loss_db(d)
+
+
+class TestLogDistancePathLoss:
+    def test_exponent_two_matches_free_space(self):
+        for d in (0.5, 1.0, 3.0, 10.0):
+            assert propagation.log_distance_path_loss_db(
+                d, path_loss_exponent=2.0
+            ) == pytest.approx(propagation.free_space_path_loss_db(d), abs=1e-9)
+
+    def test_higher_exponent_rolls_off_faster(self):
+        n2 = propagation.log_distance_path_loss_db(10.0, path_loss_exponent=2.0)
+        n3 = propagation.log_distance_path_loss_db(10.0, path_loss_exponent=3.0)
+        assert n3 - n2 == pytest.approx(10.0, abs=1e-6)  # 10*(3-2)*log10(10)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            propagation.log_distance_path_loss_db(1.0, path_loss_exponent=0.0)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            propagation.log_distance_path_loss_db(1.0, reference_distance_m=0.0)
+
+
+class TestBackscatterRoundTrip:
+    def test_equals_twice_one_way_plus_reflection(self):
+        d = 1.5
+        one_way = propagation.log_distance_path_loss_db(d)
+        round_trip = propagation.backscatter_round_trip_loss_db(d)
+        assert round_trip == pytest.approx(
+            2 * one_way + propagation.DEFAULT_BACKSCATTER_REFLECTION_LOSS_DB
+        )
+
+    def test_rolls_off_at_40db_per_decade(self):
+        near = propagation.backscatter_round_trip_loss_db(0.5)
+        far = propagation.backscatter_round_trip_loss_db(5.0)
+        assert far - near == pytest.approx(40.0, abs=0.01)
+
+    @given(st.floats(min_value=0.1, max_value=20.0))
+    def test_round_trip_always_worse_than_one_way(self, d):
+        one_way = propagation.log_distance_path_loss_db(d)
+        assert propagation.backscatter_round_trip_loss_db(d) > one_way
+
+
+class TestTwoRay:
+    def test_approaches_40db_per_decade_far_out(self):
+        # Beyond the crossover distance the two-ray model rolls off ~d^4.
+        d1, d2 = 200.0, 2000.0
+        l1 = propagation.two_ray_path_loss_db(d1)
+        l2 = propagation.two_ray_path_loss_db(d2)
+        assert l2 - l1 == pytest.approx(40.0, abs=2.0)
+
+    def test_rejects_non_positive_heights(self):
+        with pytest.raises(ValueError):
+            propagation.two_ray_path_loss_db(10.0, tx_height_m=0.0)
+
+    def test_oscillates_near_in(self):
+        # Constructive/destructive interference makes close-range loss
+        # non-monotone.
+        distances = np.linspace(1.0, 20.0, 200)
+        losses = [propagation.two_ray_path_loss_db(d) for d in distances]
+        diffs = np.diff(losses)
+        assert (diffs < 0).any() and (diffs > 0).any()
+
+
+class TestPathLossModel:
+    def test_loss_matches_function(self):
+        model = propagation.PathLossModel(exponent=2.5)
+        assert model.loss_db(3.0) == pytest.approx(
+            propagation.log_distance_path_loss_db(3.0, path_loss_exponent=2.5)
+        )
+
+    def test_shadowing_draw_centred_on_median(self):
+        rng = np.random.default_rng(0)
+        model = propagation.PathLossModel(shadowing_sigma_db=4.0)
+        draws = [model.loss_with_shadowing_db(2.0, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(model.loss_db(2.0), abs=0.3)
+
+    def test_zero_sigma_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        model = propagation.PathLossModel()
+        assert model.loss_with_shadowing_db(2.0, rng) == model.loss_db(2.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            propagation.PathLossModel(shadowing_sigma_db=-1.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            propagation.PathLossModel(exponent=-2.0)

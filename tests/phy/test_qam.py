@@ -1,0 +1,98 @@
+"""Unit tests for the 16-QAM backscatter extension."""
+
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.phy.link_budget import paper_link_profiles
+from repro.phy.modulation import Modulation, bit_error_rate
+from repro.phy.qam import (
+    QAM16_BITRATE_BPS,
+    QAM16_READER_POWER_W,
+    ber_qam16_coherent,
+    qam16_backscatter_budget,
+    qam16_operating_point,
+    qam16_required_snr_db,
+)
+
+
+class TestQam16Ber:
+    def test_needs_more_snr_than_ook(self):
+        from repro.phy.modulation import required_snr_db
+
+        qam = qam16_required_snr_db(0.01)
+        ook = required_snr_db(Modulation.OOK_NONCOHERENT, 0.01)
+        assert qam > ook - 3.0  # comparable order
+        # And far more than coherent FSK at low BER.
+        assert qam16_required_snr_db(1e-5) > required_snr_db(
+            Modulation.FSK_COHERENT, 1e-5
+        )
+
+    def test_monotone_in_snr(self):
+        snrs = [1.0, 3.0, 10.0, 30.0]
+        bers = [ber_qam16_coherent(s) for s in snrs]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_capped_and_floored(self):
+        assert ber_qam16_coherent(0.0) <= 0.5
+        assert ber_qam16_coherent(1e6) >= 0.0
+
+    def test_required_snr_inverts_ber(self):
+        snr = qam16_required_snr_db(1e-3)
+        assert ber_qam16_coherent(10.0 ** (snr / 10.0)) == pytest.approx(
+            1e-3, rel=1e-2
+        )
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            qam16_required_snr_db(0.6)
+
+
+class TestQamBudget:
+    def test_shorter_range_than_ook_backscatter(self):
+        ook = paper_link_profiles()[("backscatter", 1_000_000)]
+        qam = qam16_backscatter_budget(ook)
+        assert qam.max_range_m(QAM16_BITRATE_BPS) < ook.max_range_m(1_000_000)
+
+    def test_still_operational_at_contact(self):
+        ook = paper_link_profiles()[("backscatter", 1_000_000)]
+        qam = qam16_backscatter_budget(ook)
+        assert qam.is_operational(0.2, QAM16_BITRATE_BPS)
+
+
+class TestQamOperatingPoint:
+    def test_four_megabit_point(self):
+        point = qam16_operating_point()
+        assert point.mode is LinkMode.BACKSCATTER
+        assert point.bitrate_bps == QAM16_BITRATE_BPS
+
+    def test_tag_power_still_microwatts(self):
+        point = qam16_operating_point()
+        assert point.tx_w < 150e-6
+
+    def test_tx_efficiency_beats_ook_backscatter(self):
+        from repro.hardware.power_models import paper_mode_power
+
+        qam = qam16_operating_point()
+        ook = paper_mode_power(LinkMode.BACKSCATTER, 1_000_000)
+        assert qam.tx_bits_per_joule > ook.tx_bits_per_joule
+
+    def test_reader_pays_for_the_constellation(self):
+        point = qam16_operating_point()
+        assert point.rx_w == QAM16_READER_POWER_W
+        assert point.rx_w > 129e-3
+
+    def test_composes_with_offload_solver(self):
+        from repro.core.offload import solve_offload
+        from repro.core.regimes import LinkMap
+
+        points = LinkMap().available_powers(0.2) + [qam16_operating_point()]
+        solution = solve_offload(points, 1.0, 1000.0)
+        assert sum(solution.fractions) == pytest.approx(1.0)
+        # With a huge receiver battery, the QAM point's cheaper per-bit
+        # TX cost makes it attractive for the tiny transmitter.
+        used = {
+            (p.mode, p.bitrate_bps)
+            for p, f in zip(solution.points, solution.fractions)
+            if f > 1e-9
+        }
+        assert (LinkMode.BACKSCATTER, QAM16_BITRATE_BPS) in used

@@ -1,0 +1,112 @@
+"""Unit tests for link-quality estimation and probing."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap
+from repro.sim.estimation import PROBE_BITS, LinkProber, SnrEstimator
+from repro.sim.link import SimulatedLink
+
+
+class TestSnrEstimator:
+    def test_first_observation_is_estimate(self):
+        estimator = SnrEstimator()
+        estimator.observe(12.0)
+        assert estimator.estimate_db == 12.0
+
+    def test_ewma_converges_to_mean(self):
+        rng = np.random.default_rng(0)
+        estimator = SnrEstimator(alpha=0.2)
+        for _ in range(500):
+            estimator.observe(20.0 + rng.normal(0.0, 2.0))
+        assert estimator.estimate_db == pytest.approx(20.0, abs=1.0)
+
+    def test_confidence_gate(self):
+        estimator = SnrEstimator(min_samples=3)
+        estimator.observe(10.0)
+        assert not estimator.confident
+        estimator.observe(10.0)
+        estimator.observe(10.0)
+        assert estimator.confident
+
+    def test_estimate_before_observation_raises(self):
+        with pytest.raises(RuntimeError):
+            SnrEstimator().estimate_db
+
+    def test_reset(self):
+        estimator = SnrEstimator()
+        estimator.observe(10.0)
+        estimator.reset()
+        assert estimator.samples == 0
+        with pytest.raises(RuntimeError):
+            estimator.estimate_db
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SnrEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            SnrEstimator(min_samples=0)
+
+    def test_tracks_step_change(self):
+        estimator = SnrEstimator(alpha=0.5)
+        for _ in range(10):
+            estimator.observe(30.0)
+        for _ in range(10):
+            estimator.observe(10.0)
+        assert estimator.estimate_db == pytest.approx(10.0, abs=0.1)
+
+
+class TestLinkProber:
+    def _prober(self, distance=0.5, noise=1.0, seed=1):
+        rng = np.random.default_rng(seed)
+        link = SimulatedLink(LinkMap(), distance, rng)
+        return LinkProber(
+            link=link, rng=rng, measurement_noise_db=noise, probes_per_link=5
+        ), link
+
+    def test_noiseless_probe_matches_true_snr(self):
+        prober, link = self._prober(noise=0.0)
+        result = prober.probe(LinkMode.PASSIVE, 1_000_000)
+        assert result.report.snr_db == pytest.approx(
+            link.snr_db(LinkMode.PASSIVE, 1_000_000)
+        )
+
+    def test_noisy_probe_close_to_true_snr(self):
+        prober, link = self._prober(noise=1.5)
+        result = prober.probe(LinkMode.BACKSCATTER, 1_000_000)
+        true_snr = link.snr_db(LinkMode.BACKSCATTER, 1_000_000)
+        assert abs(result.report.snr_db - true_snr) < 4.0
+
+    def test_probe_energy_accounting(self):
+        prober, _ = self._prober()
+        result = prober.probe(LinkMode.BACKSCATTER, 1_000_000)
+        expected_air = 5 * PROBE_BITS / 1_000_000
+        assert result.air_time_s == pytest.approx(expected_air)
+        assert result.rx_energy_j == pytest.approx(129e-3 * expected_air)
+
+    def test_probe_all_covers_every_mode(self):
+        prober, _ = self._prober(distance=0.3)
+        modes = {r.report.mode for r in prober.probe_all()}
+        assert modes == set(LinkMode)
+
+    def test_viable_reports_prune_dead_links(self):
+        prober, _ = self._prober(distance=3.0, noise=0.0)
+        reports = prober.viable_reports()
+        modes = {r.mode for r in reports}
+        assert LinkMode.BACKSCATTER not in modes  # out of range at 3 m
+        assert LinkMode.ACTIVE in modes
+
+    def test_viable_reports_pick_highest_bitrate(self):
+        prober, _ = self._prober(distance=1.2, noise=0.0)
+        reports = {r.mode: r for r in prober.viable_reports()}
+        # Fig 14: backscatter runs at 100 kbps at 1.2 m.
+        assert reports[LinkMode.BACKSCATTER].bitrate_bps == 100_000
+
+    def test_rejects_bad_configuration(self):
+        rng = np.random.default_rng(0)
+        link = SimulatedLink(LinkMap(), 0.5, rng)
+        with pytest.raises(ValueError):
+            LinkProber(link=link, rng=rng, measurement_noise_db=-1.0)
+        with pytest.raises(ValueError):
+            LinkProber(link=link, rng=rng, probes_per_link=0)

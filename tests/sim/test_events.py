@@ -1,0 +1,67 @@
+"""Unit tests for the event calendar."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(3.0, lambda: fired.append("c"))
+        while (event := queue.pop_next()) is not None:
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(1.0, lambda: fired.append(2))
+        queue.schedule(1.0, lambda: fired.append(3))
+        while (event := queue.pop_next()) is not None:
+            event.callback()
+        assert fired == [1, 2, 3]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert queue.pop_next() is None
+
+    def test_cancelled_event_not_counted(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        handle = queue.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestHousekeeping:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop_next() is None
+        assert queue.peek_time() is None
+        assert len(queue) == 0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0

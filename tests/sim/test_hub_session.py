@@ -1,0 +1,164 @@
+"""Unit/integration tests for the packet-level hub session."""
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery, JOULES_PER_WATT_HOUR as WH
+from repro.net import TdmaSchedule
+from repro.net.session import HubClient, HubSession
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BraidioPolicy
+from repro.sim.session import FRAME_OVERHEAD_BITS
+from repro.sim.simulator import Simulator
+
+PAYLOAD_SHARE = 240 / (240 + FRAME_OVERHEAD_BITS)
+
+
+def _build_session(
+    hub_wh=2e-4,
+    client_whs=(2e-6, 1e-5),
+    distances=(0.4, 0.6),
+    weights=None,
+    seed=0,
+    **kwargs,
+):
+    sim = Simulator(seed=seed)
+    hub = BraidioRadio.for_device("iPhone 6S")
+    hub.battery = Battery(hub_wh)
+    clients = []
+    link_map = LinkMap()
+    for i, (wh, d) in enumerate(zip(client_whs, distances)):
+        radio = BraidioRadio.for_device("Apple Watch")
+        radio.battery = Battery(wh)
+        clients.append(
+            HubClient(
+                name=f"c{i}",
+                radio=radio,
+                link=SimulatedLink(link_map, d, sim.rng),
+                policy=BraidioPolicy(),
+            )
+        )
+    weights = weights or {c.name: 1.0 for c in clients}
+    tdma = TdmaSchedule(weights, round_packets=32)
+    session = HubSession(sim, hub, clients, tdma, **kwargs)
+    return sim, hub, clients, session
+
+
+class TestHubSession:
+    def test_runs_to_battery_death(self):
+        _, hub, clients, session = _build_session(apply_switch_costs=False)
+        metrics = session.run()
+        assert metrics.terminated_by == "battery"
+        assert metrics.packets_attempted > 0
+
+    def test_all_clients_served(self):
+        _, _, clients, session = _build_session(
+            apply_switch_costs=False, max_packets=640
+        )
+        session.run()
+        for client in clients:
+            assert client.metrics.packets_attempted > 0
+
+    def test_air_time_follows_weights(self):
+        _, _, clients, session = _build_session(
+            client_whs=(1e-4, 1e-4),
+            weights={"c0": 3.0, "c1": 1.0},
+            apply_switch_costs=False,
+            max_packets=960,
+        )
+        session.run()
+        ratio = (
+            clients[0].metrics.packets_attempted
+            / clients[1].metrics.packets_attempted
+        )
+        assert ratio == pytest.approx(3.0, rel=0.1)
+
+    def test_hub_energy_is_sum_of_client_rx(self):
+        _, hub, clients, session = _build_session(
+            apply_switch_costs=False, max_packets=500
+        )
+        metrics = session.run()
+        assert metrics.energy_b_j == pytest.approx(
+            sum(c.metrics.energy_b_j for c in clients), rel=1e-9
+        )
+
+    def test_dead_client_retires_but_session_continues(self):
+        _, _, clients, session = _build_session(
+            client_whs=(1e-7, 1e-4),  # c0 dies almost immediately
+            apply_switch_costs=False,
+        )
+        session.run()
+        assert clients[1].metrics.packets_attempted > (
+            clients[0].metrics.packets_attempted
+        )
+
+    def test_rejects_mismatched_tdma(self):
+        sim = Simulator()
+        hub = BraidioRadio.for_device("iPhone 6S")
+        client = HubClient(
+            "x",
+            BraidioRadio.for_device("Apple Watch"),
+            SimulatedLink(LinkMap(), 0.5, sim.rng),
+            BraidioPolicy(),
+        )
+        with pytest.raises(ValueError):
+            HubSession(sim, hub, [client], TdmaSchedule({"y": 1.0}))
+
+    def test_rejects_empty_clients(self):
+        sim = Simulator()
+        hub = BraidioRadio.for_device("iPhone 6S")
+        with pytest.raises(ValueError):
+            HubSession(sim, hub, [], TdmaSchedule({"x": 1.0}))
+
+
+class TestLpUpperBound:
+    def test_des_fleet_bits_bounded_by_lp(self):
+        # The fleet LP is the offline optimum; the online TDMA session
+        # cannot beat it, and with proportional controllers it should land
+        # within ~25% of it.
+        hub_wh, client_whs, distances = 2e-4, (2e-6, 1e-5), (0.4, 0.6)
+        _, _, clients, session = _build_session(
+            hub_wh=hub_wh,
+            client_whs=client_whs,
+            distances=distances,
+            apply_switch_costs=False,
+        )
+        metrics = session.run()
+        des_air_bits = metrics.bits_attempted / PAYLOAD_SHARE
+
+        # Solve the fleet LP on the same raw joule budgets (HubNetwork
+        # takes catalog devices, so use the flattened-cost helper
+        # directly).
+        from repro.net.hub import _flatten_costs
+        from scipy.optimize import linprog
+        import numpy as np
+
+        points = [
+            LinkMap().available_powers(d) for d in distances
+        ]
+        offsets, t_cost, r_cost = _flatten_costs(points)
+        energies = [wh * WH for wh in client_whs]
+        hub_energy = hub_wh * WH
+        n = len(t_cost)
+        a_rows = []
+        b_vals = []
+        for i, (start, end) in enumerate(offsets):
+            row = np.zeros(n)
+            row[start:end] = t_cost[start:end]
+            a_rows.append(row)
+            b_vals.append(energies[i])
+        a_rows.append(np.asarray(r_cost))
+        b_vals.append(hub_energy)
+        bit_unit = min(energies + [hub_energy]) / min(t_cost)
+        result = linprog(
+            -np.ones(n),
+            A_ub=np.vstack(a_rows) * bit_unit,
+            b_ub=np.asarray(b_vals),
+            bounds=[(0.0, None)] * n,
+            method="highs",
+        )
+        lp_bits = float(-result.fun) * bit_unit
+
+        assert des_air_bits <= lp_bits * 1.01
+        assert des_air_bits >= lp_bits * 0.7

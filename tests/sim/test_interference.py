@@ -1,0 +1,102 @@
+"""Unit tests for in-band interference injection and controller fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery
+from repro.sim.interference import BurstyInterferer, InterferedLink
+from repro.sim.policies import BraidioPolicy
+from repro.sim.session import CommunicationSession
+from repro.sim.simulator import Simulator
+
+
+def _interferer(seed=0, **kwargs):
+    return BurstyInterferer(np.random.default_rng(seed), **kwargs)
+
+
+class TestBurstyInterferer:
+    def test_starts_quiet(self):
+        assert not _interferer().is_active(0.0)
+
+    def test_duty_cycle_matches_dwell_ratio(self):
+        interferer = _interferer(seed=3, mean_on_s=1.0, mean_off_s=3.0)
+        duty = interferer.duty_cycle(2000.0)
+        assert duty == pytest.approx(0.25, abs=0.05)
+
+    def test_deterministic_per_seed(self):
+        a, b = _interferer(seed=5), _interferer(seed=5)
+        for t in (0.1, 1.0, 7.3, 42.0):
+            assert a.is_active(t) == b.is_active(t)
+
+    def test_penalty_zero_when_quiet(self):
+        interferer = _interferer()
+        assert interferer.snr_penalty_at(0.0) == 0.0
+
+    def test_penalty_applied_during_burst(self):
+        interferer = _interferer(seed=1, mean_on_s=5.0, mean_off_s=0.5)
+        burst_times = [t for t in np.linspace(0, 100, 500) if interferer.is_active(t)]
+        assert burst_times
+        assert interferer.snr_penalty_at(burst_times[0]) == interferer.penalty_db
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            BurstyInterferer(rng, mean_on_s=0.0)
+        with pytest.raises(ValueError):
+            BurstyInterferer(rng, snr_penalty_db=-1.0)
+        with pytest.raises(ValueError):
+            _interferer().is_active(-1.0)
+
+
+class TestInterferedLink:
+    def _link(self, seed=0, penalty=30.0):
+        rng = np.random.default_rng(seed)
+        interferer = BurstyInterferer(
+            rng, mean_on_s=5.0, mean_off_s=5.0, snr_penalty_db=penalty
+        )
+        return InterferedLink(LinkMap(), 0.5, rng, interferer)
+
+    def _burst_time(self, link):
+        for t in np.linspace(0.0, 200.0, 4000):
+            if link.interferer.is_active(float(t)):
+                return float(t)
+        raise AssertionError("no burst found")
+
+    def test_envelope_modes_penalized_during_burst(self):
+        link = self._link()
+        t = self._burst_time(link)
+        clean = SimulatedSnr = link.snr_db(LinkMode.BACKSCATTER, 1_000_000, 0.0)
+        assert link.snr_db(LinkMode.BACKSCATTER, 1_000_000, t) == pytest.approx(
+            clean - 30.0
+        )
+
+    def test_active_mode_immune(self):
+        link = self._link()
+        t = self._burst_time(link)
+        assert link.snr_db(LinkMode.ACTIVE, 1_000_000, t) == pytest.approx(
+            link.snr_db(LinkMode.ACTIVE, 1_000_000, 0.0)
+        )
+
+    def test_controller_falls_back_during_bursts(self):
+        sim = Simulator(seed=9)
+        interferer = BurstyInterferer(
+            sim.rng, mean_on_s=2.0, mean_off_s=2.0, snr_penalty_db=40.0
+        )
+        link = InterferedLink(LinkMap(), 0.5, sim.rng, interferer)
+        a = BraidioRadio.for_device("Apple Watch")
+        a.battery = Battery(5e-3)
+        b = BraidioRadio.for_device("iPhone 6S")
+        b.battery = Battery(5e-2)
+        policy = BraidioPolicy()
+        session = CommunicationSession(
+            sim, a, b, link, policy, max_time_s=10.0, max_packets=10**9
+        )
+        metrics = session.run()
+        # Bursts crush the backscatter mode; the failure-driven fallback
+        # must have fired and the session must survive on the active link.
+        assert policy.controller.fallbacks >= 1
+        assert metrics.mode_fractions().get(LinkMode.ACTIVE, 0.0) > 0.0
+        assert metrics.packets_delivered > 0

@@ -1,0 +1,156 @@
+"""Unit tests for the analytic lifetime engine (Fig 15-18 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import JOULES_PER_WATT_HOUR as WH
+from repro.sim.lifetime import (
+    best_single_mode_unidirectional,
+    bluetooth_bidirectional,
+    bluetooth_unidirectional,
+    braidio_bidirectional,
+    braidio_bidirectional_gain,
+    braidio_bidirectional_joint,
+    braidio_gain_over_best_mode,
+    braidio_gain_over_bluetooth,
+    braidio_unidirectional,
+)
+
+
+class TestUnidirectional:
+    def test_proportional_result_limited_by_both(self):
+        result = braidio_unidirectional(1.0 * WH, 10.0 * WH)
+        assert result.limited_by == "both"
+
+    def test_clamped_result_reports_bottleneck(self):
+        result = braidio_unidirectional(1e9, 1.0)
+        assert result.limited_by == "rx"
+
+    def test_bits_positive(self):
+        assert braidio_unidirectional(0.26 * WH, 99.5 * WH).total_bits > 0
+
+    def test_bluetooth_limited_by_smaller_battery(self):
+        small, big = 0.26 * WH, 99.5 * WH
+        assert bluetooth_unidirectional(small, big) == bluetooth_unidirectional(
+            small, small
+        )
+
+    def test_bluetooth_zero_for_dead_battery(self):
+        assert bluetooth_unidirectional(0.0, 1.0) == 0.0
+
+
+class TestPaperAnchors:
+    """The published gain anchors of §6.3."""
+
+    def test_equal_battery_diagonal_is_1_43(self):
+        e = 0.48 * WH
+        assert braidio_gain_over_bluetooth(e, e) == pytest.approx(1.43, abs=0.01)
+
+    def test_best_mode_diagonal_is_1_43(self):
+        e = 0.48 * WH
+        assert braidio_gain_over_best_mode(e, e) == pytest.approx(1.44, abs=0.01)
+
+    def test_corner_gains_two_orders_of_magnitude(self):
+        band, laptop = 0.26 * WH, 99.5 * WH
+        assert braidio_gain_over_bluetooth(band, laptop) > 100.0
+        assert braidio_gain_over_bluetooth(laptop, band) > 100.0
+
+    def test_bidirectional_diagonal_matches_fig17(self):
+        e = 0.26 * WH
+        assert braidio_bidirectional_gain(e, e) == pytest.approx(1.43, abs=0.01)
+
+    def test_bidirectional_beats_unidirectional_in_asym_corner(self):
+        # §6.3 scenario 2: "results are a bit better than the
+        # unidirectional case" for asymmetric pairs.
+        band, laptop = 0.26 * WH, 99.5 * WH
+        uni = braidio_gain_over_bluetooth(band, laptop)
+        bi = braidio_bidirectional_gain(band, laptop)
+        assert bi > uni
+
+    def test_gain_never_below_one(self):
+        for e1_wh, e2_wh in ((0.26, 0.26), (0.26, 6.55), (99.5, 0.26), (70.0, 74.9)):
+            gain = braidio_gain_over_bluetooth(e1_wh * WH, e2_wh * WH)
+            assert gain >= 1.0
+
+
+class TestBidirectionalMethods:
+    def test_joint_at_least_paper_method(self):
+        for e1, e2 in ((1.0, 1.0), (1.0, 50.0), (3.0, 7.0)):
+            paper = braidio_bidirectional(e1 * WH, e2 * WH).total_bits
+            joint = braidio_bidirectional_joint(e1 * WH, e2 * WH).total_bits
+            assert joint >= paper * (1.0 - 1e-9)
+
+    def test_joint_strictly_better_on_diagonal(self):
+        e = 1.0 * WH
+        paper = braidio_bidirectional(e, e).total_bits
+        joint = braidio_bidirectional_joint(e, e).total_bits
+        assert joint > 1.3 * paper
+
+    def test_bidirectional_mode_fractions_sum_to_one(self):
+        result = braidio_bidirectional(0.26 * WH, 6.55 * WH)
+        assert sum(result.mode_fractions.values()) == pytest.approx(1.0)
+
+    def test_joint_mode_fractions_sum_to_one(self):
+        result = braidio_bidirectional_joint(0.26 * WH, 6.55 * WH)
+        assert sum(result.mode_fractions.values()) == pytest.approx(1.0)
+
+    def test_zero_energy_yields_zero_bits(self):
+        assert braidio_bidirectional(0.0, 1.0).total_bits == 0.0
+        assert bluetooth_bidirectional(0.0, 1.0) == 0.0
+
+
+class TestBestSingleMode:
+    def test_equal_batteries_best_is_passive(self):
+        mode, _ = best_single_mode_unidirectional(1.0, 1.0)
+        assert mode is LinkMode.PASSIVE
+
+    def test_tiny_tx_best_is_backscatter(self):
+        mode, _ = best_single_mode_unidirectional(1e-3, 1.0)
+        assert mode is LinkMode.BACKSCATTER
+
+    def test_braidio_at_least_best_single(self):
+        for e1, e2 in ((1.0, 1.0), (1.0, 10.0), (10.0, 1.0)):
+            braidio = braidio_unidirectional(e1, e2).total_bits
+            _, single = best_single_mode_unidirectional(e1, e2)
+            assert braidio >= single * (1.0 - 1e-9)
+
+
+class TestDistanceDependence:
+    def test_gain_shrinks_with_distance(self):
+        band, laptop = 0.26 * WH, 99.5 * WH
+        close = braidio_gain_over_bluetooth(band, laptop, distance_m=0.3)
+        mid = braidio_gain_over_bluetooth(band, laptop, distance_m=1.2)
+        far = braidio_gain_over_bluetooth(band, laptop, distance_m=5.5)
+        assert close > mid > far
+        assert far == pytest.approx(1.0, abs=0.01)
+
+    def test_regime_b_still_helps_big_to_small(self):
+        # 3 m: backscatter gone, passive still offloads the receiver.
+        laptop, band = 99.5 * WH, 0.26 * WH
+        gain = braidio_gain_over_bluetooth(laptop, band, distance_m=3.0)
+        assert gain > 10.0
+
+
+class TestInvariants:
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bits_monotone_in_energy(self, e1, e2):
+        base = braidio_unidirectional(e1, e2).total_bits
+        richer = braidio_unidirectional(e1 * 1.5, e2 * 1.5).total_bits
+        assert richer >= base
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bidirectional_symmetric_in_energies(self, e1, e2):
+        forward = braidio_bidirectional(e1, e2).total_bits
+        backward = braidio_bidirectional(e2, e1).total_bits
+        assert forward == pytest.approx(backward, rel=1e-6)

@@ -1,0 +1,87 @@
+"""Unit tests for the stochastic link."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.core.regimes import LinkMap
+from repro.phy.fading import BlockFadingProcess, RayleighFading
+from repro.sim.link import SimulatedLink
+
+
+def _link(distance=0.5, seed=0, fading=None):
+    return SimulatedLink(
+        LinkMap(), distance, np.random.default_rng(seed), fading=fading
+    )
+
+
+class TestDeterministicQuantities:
+    def test_snr_falls_with_distance(self):
+        link = _link(0.5)
+        near = link.snr_db(LinkMode.BACKSCATTER, 1_000_000)
+        link.set_distance(1.5)
+        far = link.snr_db(LinkMode.BACKSCATTER, 1_000_000)
+        assert far < near
+
+    def test_ber_matches_budget(self):
+        link = _link(1.0)
+        link_map = LinkMap()
+        expected = link_map.budget(LinkMode.PASSIVE, 100_000).ber(1.0, 100_000)
+        assert link.ber(LinkMode.PASSIVE, 100_000) == pytest.approx(expected)
+
+    def test_set_distance_validates(self):
+        with pytest.raises(ValueError):
+            _link().set_distance(-1.0)
+
+    def test_expected_success_probability(self):
+        link = _link(0.88)
+        p = link.expected_packet_success(LinkMode.BACKSCATTER, 1_000_000, 328)
+        assert 0.0 < p < 1.0
+
+
+class TestStochasticDelivery:
+    def test_clean_link_always_delivers(self):
+        link = _link(0.2)
+        outcomes = [
+            link.packet_success(LinkMode.ACTIVE, 1_000_000, 328) for _ in range(200)
+        ]
+        assert all(outcomes)
+
+    def test_dead_link_never_delivers(self):
+        link = _link(5.0)  # far beyond backscatter range
+        outcomes = [
+            link.packet_success(LinkMode.BACKSCATTER, 1_000_000, 328)
+            for _ in range(50)
+        ]
+        assert not any(outcomes)
+
+    def test_marginal_link_loss_rate_matches_expectation(self):
+        link = _link(0.88, seed=5)
+        expected = link.expected_packet_success(LinkMode.BACKSCATTER, 1_000_000, 328)
+        n = 4000
+        delivered = sum(
+            link.packet_success(LinkMode.BACKSCATTER, 1_000_000, 328)
+            for _ in range(n)
+        )
+        assert delivered / n == pytest.approx(expected, abs=0.03)
+
+    def test_rejects_empty_packet(self):
+        with pytest.raises(ValueError):
+            _link().packet_success(LinkMode.ACTIVE, 1_000_000, 0)
+
+
+class TestFading:
+    def test_fading_perturbs_snr_over_time(self):
+        rng = np.random.default_rng(7)
+        fading = BlockFadingProcess(RayleighFading(), coherence_s=0.01, rng=rng)
+        link = _link(0.5, fading=fading)
+        snrs = {link.snr_db(LinkMode.PASSIVE, 1_000_000, t) for t in (0.0, 0.02, 0.04)}
+        assert len(snrs) > 1
+
+    def test_fading_constant_within_coherence_block(self):
+        rng = np.random.default_rng(8)
+        fading = BlockFadingProcess(RayleighFading(), coherence_s=1.0, rng=rng)
+        link = _link(0.5, fading=fading)
+        assert link.snr_db(LinkMode.PASSIVE, 1_000_000, 0.1) == link.snr_db(
+            LinkMode.PASSIVE, 1_000_000, 0.9
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for the mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery
+from repro.sim.link import SimulatedLink
+from repro.sim.mobility import (
+    LinearWalk,
+    MobilityDriver,
+    RandomWaypoint1D,
+    StaticPlacement,
+)
+from repro.sim.policies import BraidioPolicy
+from repro.sim.session import CommunicationSession
+from repro.sim.simulator import Simulator
+
+
+class TestStaticPlacement:
+    def test_constant(self):
+        model = StaticPlacement(1.5)
+        assert model.distance_at(0.0) == model.distance_at(100.0) == 1.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StaticPlacement(-1.0)
+        with pytest.raises(ValueError):
+            StaticPlacement(1.0).distance_at(-1.0)
+
+
+class TestLinearWalk:
+    def test_moves_at_speed(self):
+        walk = LinearWalk(start_m=0.3, speed_m_s=1.0, min_m=0.3, max_m=6.0)
+        assert walk.distance_at(0.0) == pytest.approx(0.3)
+        assert walk.distance_at(2.0) == pytest.approx(2.3)
+
+    def test_reflects_at_max(self):
+        walk = LinearWalk(start_m=0.3, speed_m_s=1.0, min_m=0.3, max_m=2.3)
+        assert walk.distance_at(2.0) == pytest.approx(2.3)
+        assert walk.distance_at(3.0) == pytest.approx(1.3)
+
+    def test_reflects_at_min(self):
+        walk = LinearWalk(start_m=2.0, speed_m_s=-1.0, min_m=0.5, max_m=6.0)
+        assert walk.distance_at(1.5) == pytest.approx(0.5)
+        assert walk.distance_at(2.5) == pytest.approx(1.5)
+
+    def test_stays_within_bounds_forever(self):
+        walk = LinearWalk(start_m=1.0, speed_m_s=1.7, min_m=0.3, max_m=4.0)
+        for t in np.linspace(0.0, 100.0, 500):
+            assert 0.3 <= walk.distance_at(float(t)) <= 4.0
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            LinearWalk(start_m=10.0, min_m=0.3, max_m=6.0)
+        with pytest.raises(ValueError):
+            LinearWalk(speed_m_s=0.0)
+
+
+class TestRandomWaypoint:
+    def test_deterministic_per_seed(self):
+        a = RandomWaypoint1D(np.random.default_rng(7), horizon_s=100.0)
+        b = RandomWaypoint1D(np.random.default_rng(7), horizon_s=100.0)
+        for t in (0.0, 10.0, 50.0, 99.0):
+            assert a.distance_at(t) == b.distance_at(t)
+
+    def test_stays_within_bounds(self):
+        model = RandomWaypoint1D(
+            np.random.default_rng(8), min_m=0.3, max_m=6.0, horizon_s=200.0
+        )
+        for t in np.linspace(0.0, 200.0, 400):
+            assert 0.3 <= model.distance_at(float(t)) <= 6.0
+
+    def test_query_order_independent(self):
+        model = RandomWaypoint1D(np.random.default_rng(9), horizon_s=50.0)
+        later = model.distance_at(40.0)
+        earlier = model.distance_at(5.0)
+        assert model.distance_at(40.0) == later
+        assert model.distance_at(5.0) == earlier
+
+    def test_pauses_hold_position(self):
+        model = RandomWaypoint1D(
+            np.random.default_rng(10), pause_s=5.0, horizon_s=100.0
+        )
+        # Find a pause segment: two consecutive trajectory points with the
+        # same position.
+        flats = [
+            (t0, t1)
+            for t0, t1, p0, p1 in zip(
+                model._times, model._times[1:], model._positions, model._positions[1:]
+            )
+            if p0 == p1
+        ]
+        assert flats
+        t0, t1 = flats[0]
+        mid = (t0 + t1) / 2.0
+        assert model.distance_at(mid) == model.distance_at(t0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint1D(np.random.default_rng(0), min_m=5.0, max_m=1.0)
+
+
+class TestMobilityDriver:
+    def test_driver_updates_link_and_policy(self):
+        sim = Simulator(seed=12)
+        a = BraidioRadio.for_device("Apple Watch")
+        a.battery = Battery(1e-2)
+        b = BraidioRadio.for_device("Surface Book")
+        b.battery = Battery(1.0)
+        link = SimulatedLink(LinkMap(), 0.3, sim.rng)
+        policy = BraidioPolicy()
+        session = CommunicationSession(sim, a, b, link, policy, max_packets=10**9)
+        walk = LinearWalk(start_m=0.3, speed_m_s=5.0, min_m=0.3, max_m=5.5)
+        driver = MobilityDriver(sim, link, [policy], walk, update_interval_s=0.05)
+        session.start()
+        driver.start()
+        sim.run(until_s=1.0)
+        assert driver.updates >= 15
+        assert link.distance_m == pytest.approx(walk.distance_at(1.0), abs=0.3)
+        # Walking 0.3 -> 5+ m forces at least one regime change / replan.
+        assert policy.controller.replans > 1
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            MobilityDriver(None, None, [], StaticPlacement(1.0), update_interval_s=0.0)

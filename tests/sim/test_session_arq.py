@@ -1,0 +1,123 @@
+"""Unit tests for ARQ and idle-power accounting in the session."""
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.hardware.battery import Battery
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BluetoothPolicy, BraidioPolicy, FixedModePolicy
+from repro.core.modes import LinkMode
+from repro.sim.session import FRAME_OVERHEAD_BITS, CommunicationSession
+from repro.sim.simulator import Simulator
+from repro.sim.traffic import ConstantBitrateTraffic, SaturatedTraffic
+
+
+def _session(policy, seed=0, distance=0.3, **kwargs):
+    sim = Simulator(seed=seed)
+    a = BraidioRadio.for_device("Nike Fuel Band")
+    a.battery = Battery(1e-5)
+    b = BraidioRadio.for_device("iPhone 6S")
+    b.battery = Battery(1e-3)
+    link = SimulatedLink(LinkMap(), distance, sim.rng)
+    session = CommunicationSession(sim, a, b, link, policy, **kwargs)
+    return session, a, b
+
+
+class TestArq:
+    def test_clean_link_no_retransmissions(self):
+        session, _, _ = _session(BraidioPolicy(), arq=True, max_packets=300)
+        metrics = session.run()
+        assert metrics.retransmissions == 0
+        assert metrics.arq_failures == 0
+        assert metrics.ack_bits == 300 * FRAME_OVERHEAD_BITS
+
+    def test_lossy_link_retransmits(self):
+        # 0.88 m: the 1 Mbps backscatter PER is ~0.9; a pinned-mode
+        # session must retransmit heavily.
+        session, _, _ = _session(
+            FixedModePolicy(LinkMode.BACKSCATTER),
+            distance=0.88,
+            arq=True,
+            max_retries=16,
+            max_packets=50,
+        )
+        metrics = session.run()
+        assert metrics.retransmissions > 50
+
+    def test_retry_budget_limits_attempts(self):
+        session, _, _ = _session(
+            FixedModePolicy(LinkMode.BACKSCATTER),
+            distance=0.88,
+            arq=True,
+            max_retries=1,
+            max_packets=100,
+        )
+        metrics = session.run()
+        assert metrics.arq_failures > 0
+        # At most one retry per frame.
+        assert metrics.retransmissions <= 100
+
+    def test_ack_energy_charged(self):
+        with_arq, _, _ = _session(BluetoothPolicy(), arq=True, max_packets=200)
+        without_arq, _, _ = _session(BluetoothPolicy(), arq=False, max_packets=200)
+        m_arq = with_arq.run()
+        m_plain = without_arq.run()
+        assert m_arq.total_energy_j > m_plain.total_energy_j
+        ratio = m_arq.total_energy_j / m_plain.total_energy_j
+        payload_bits = 240 + FRAME_OVERHEAD_BITS
+        expected = (payload_bits + FRAME_OVERHEAD_BITS) / payload_bits
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+    def test_delivery_counts_confirmed_only(self):
+        session, _, _ = _session(
+            FixedModePolicy(LinkMode.BACKSCATTER),
+            distance=0.85,
+            arq=True,
+            max_retries=32,
+            max_packets=60,
+        )
+        metrics = session.run()
+        assert metrics.packets_delivered <= metrics.packets_attempted
+        assert metrics.packets_delivered > 0
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            _session(BraidioPolicy(), arq=True, max_retries=-1)
+
+
+class TestIdlePower:
+    def test_gaps_drain_idle_power(self):
+        traffic = ConstantBitrateTraffic(
+            payload_bytes=30, offered_bps=50_000, link_bps=1_000_000
+        )
+        session, _, _ = _session(
+            BluetoothPolicy(), traffic=traffic, max_packets=200,
+            idle_power_w=(1e-4, 1e-4),
+        )
+        metrics = session.run()
+        assert metrics.idle_energy_j > 0.0
+
+    def test_saturated_traffic_has_no_idle_energy(self):
+        session, _, _ = _session(
+            BluetoothPolicy(), traffic=SaturatedTraffic(), max_packets=200
+        )
+        metrics = session.run()
+        assert metrics.idle_energy_j == 0.0
+
+    def test_idle_energy_proportional_to_gap(self):
+        slow = ConstantBitrateTraffic(payload_bytes=30, offered_bps=10_000)
+        fast = ConstantBitrateTraffic(payload_bytes=30, offered_bps=100_000)
+        session_slow, _, _ = _session(
+            BluetoothPolicy(), traffic=slow, max_packets=100,
+            idle_power_w=(1e-5, 1e-5),
+        )
+        session_fast, _, _ = _session(
+            BluetoothPolicy(), traffic=fast, max_packets=100,
+            idle_power_w=(1e-5, 1e-5),
+        )
+        assert session_slow.run().idle_energy_j > session_fast.run().idle_energy_j
+
+    def test_rejects_negative_idle_power(self):
+        with pytest.raises(ValueError):
+            _session(BraidioPolicy(), idle_power_w=(-1.0, 0.0))
