@@ -5,8 +5,6 @@ constellation demands a coherent reader (~250 mW) and ~6 dB more SNR, so
 the range shrinks.  The bench maps where the QAM point helps the offload
 optimizer."""
 
-import pytest
-
 from repro.analysis.reporting import format_table
 from repro.core.modes import LinkMode
 from repro.core.offload import solve_offload

@@ -11,6 +11,7 @@ collapses to ~1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from ..core.regimes import LinkMap
 from ..hardware.battery import JOULES_PER_WATT_HOUR
 from ..hardware.devices import device
 from ..sim.lifetime import bluetooth_unidirectional, braidio_unidirectional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> analysis)
+    from ..runtime import CampaignConfig
 
 #: The device pairs of Fig 18 (each swept in both directions).
 PAPER_PAIRS: tuple[tuple[str, str], ...] = (
@@ -53,35 +57,48 @@ def distance_gain_curve(
     rx_name: str,
     distances_m: np.ndarray | None = None,
     link_map: LinkMap | None = None,
+    campaign: "CampaignConfig | None" = None,
 ) -> DistanceGainCurve:
-    """Gain-vs-distance curve for one directed device pair."""
+    """Gain-vs-distance curve for one directed device pair.
+
+    Under the default paper calibration the sweep points run as one
+    campaign through :mod:`repro.runtime` (pass ``campaign`` to
+    parallelize or cache); a custom ``link_map`` computes inline.
+    """
     if distances_m is None:
         distances_m = np.linspace(0.3, 6.0, 39)
-    link_map = link_map if link_map is not None else LinkMap()
-    e_tx = device(tx_name).battery_wh * JOULES_PER_WATT_HOUR
-    e_rx = device(rx_name).battery_wh * JOULES_PER_WATT_HOUR
-    gains = []
-    for d in distances_m:
-        if not link_map.available_powers(d):
-            gains.append(float("nan"))
-            continue
-        braidio = braidio_unidirectional(e_tx, e_rx, float(d), link_map).total_bits
-        gains.append(braidio / bluetooth_unidirectional(e_tx, e_rx))
+    if link_map is None:
+        from ..runtime import run_campaign
+        from ..runtime.workloads import distance_curve_specs
+
+        specs = distance_curve_specs(tx_name, rx_name, distances_m)
+        result = run_campaign(specs, campaign).raise_on_failure()
+        gains = [m["gain"] for m in result.metrics]
+    else:
+        e_tx = device(tx_name).battery_wh * JOULES_PER_WATT_HOUR
+        e_rx = device(rx_name).battery_wh * JOULES_PER_WATT_HOUR
+        gains = []
+        for d in distances_m:
+            if not link_map.available_powers(d):
+                gains.append(float("nan"))
+                continue
+            braidio = braidio_unidirectional(e_tx, e_rx, float(d), link_map).total_bits
+            gains.append(braidio / bluetooth_unidirectional(e_tx, e_rx))
     return DistanceGainCurve(
         label=f"{tx_name} to {rx_name}",
         distances_m=np.asarray(distances_m, dtype=float),
-        gains=np.asarray(gains),
+        gains=np.asarray(gains, dtype=float),
     )
 
 
 def paper_distance_curves(
     distances_m: np.ndarray | None = None,
     link_map: LinkMap | None = None,
+    campaign: "CampaignConfig | None" = None,
 ) -> list[DistanceGainCurve]:
     """All six directed curves of Fig 18."""
-    link_map = link_map if link_map is not None else LinkMap()
     curves = []
     for a, b in PAPER_PAIRS:
-        curves.append(distance_gain_curve(a, b, distances_m, link_map))
-        curves.append(distance_gain_curve(b, a, distances_m, link_map))
+        curves.append(distance_gain_curve(a, b, distances_m, link_map, campaign))
+        curves.append(distance_gain_curve(b, a, distances_m, link_map, campaign))
     return curves

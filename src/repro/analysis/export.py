@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime import CampaignConfig
 
 from .ber_sweep import mode_ber_curves, reader_comparison_curves
 from .charge_pump_fig import charge_pump_figure
@@ -135,32 +138,50 @@ def _export_matrix(directory: Path, name: str, matrix) -> Path:
     return _write_rows(directory / name, header, rows)
 
 
-def export_fig15(directory: Path) -> Path:
+def export_fig15(
+    directory: Path, campaign: "CampaignConfig | None" = None
+) -> Path:
     """Fig 15 gain matrix."""
-    return _export_matrix(directory, "fig15_gain_matrix.csv", bluetooth_gain_matrix())
-
-
-def export_fig16(directory: Path) -> Path:
-    """Fig 16 best-single-mode matrix."""
-    return _export_matrix(directory, "fig16_vs_best_mode.csv", best_mode_gain_matrix())
-
-
-def export_fig17(directory: Path) -> Path:
-    """Fig 17 bidirectional matrix."""
     return _export_matrix(
-        directory, "fig17_bidirectional.csv", bidirectional_gain_matrix()
+        directory, "fig15_gain_matrix.csv", bluetooth_gain_matrix(campaign=campaign)
     )
 
 
-def export_fig18(directory: Path) -> Path:
+def export_fig16(
+    directory: Path, campaign: "CampaignConfig | None" = None
+) -> Path:
+    """Fig 16 best-single-mode matrix."""
+    return _export_matrix(
+        directory, "fig16_vs_best_mode.csv", best_mode_gain_matrix(campaign=campaign)
+    )
+
+
+def export_fig17(
+    directory: Path, campaign: "CampaignConfig | None" = None
+) -> Path:
+    """Fig 17 bidirectional matrix."""
+    return _export_matrix(
+        directory,
+        "fig17_bidirectional.csv",
+        bidirectional_gain_matrix(campaign=campaign),
+    )
+
+
+def export_fig18(
+    directory: Path, campaign: "CampaignConfig | None" = None
+) -> Path:
     """Fig 18 distance sweeps."""
-    curves = paper_distance_curves()
+    curves = paper_distance_curves(campaign=campaign)
     header = ["distance_m"] + [c.label for c in curves]
     rows = np.column_stack(
         [curves[0].distances_m] + [c.gains for c in curves]
     )
     return _write_rows(directory / "fig18_distance.csv", header, rows.tolist())
 
+
+#: Experiment ids whose exporter fans work through the campaign engine
+#: (accepts a ``campaign=`` CampaignConfig keyword).
+CAMPAIGN_AWARE: frozenset[str] = frozenset({"fig15", "fig16", "fig17", "fig18"})
 
 #: Experiment id -> exporter, the registry the CLI dispatches on.
 EXPORTERS: dict[str, Callable[[Path], Path]] = {
@@ -181,6 +202,17 @@ EXPORTERS: dict[str, Callable[[Path], Path]] = {
 }
 
 
-def export_all(directory: Path) -> list[Path]:
-    """Write every experiment's CSV into ``directory``."""
-    return [exporter(directory) for exporter in EXPORTERS.values()]
+def export_all(
+    directory: Path, campaign: "CampaignConfig | None" = None
+) -> list[Path]:
+    """Write every experiment's CSV into ``directory``.
+
+    ``campaign`` (worker count, cache directory) applies to the
+    campaign-aware exporters; the rest run inline as always.
+    """
+    return [
+        exporter(directory, campaign=campaign)
+        if name in CAMPAIGN_AWARE
+        else exporter(directory)
+        for name, exporter in EXPORTERS.items()
+    ]

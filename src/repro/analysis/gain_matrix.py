@@ -5,17 +5,25 @@ the x axis transmits to the device on the y axis, Braidio versus a
 baseline, with both starting from full batteries and running until either
 dies.  Fig 15 compares against Bluetooth, Fig 16 against the best single
 Braidio mode, Fig 17 repeats Fig 15 with bidirectional traffic.
+
+The hundred cells of a matrix are independent simulations, so under the
+default paper calibration they are submitted as one campaign through
+:mod:`repro.runtime` — pass a :class:`~repro.runtime.CampaignConfig` to
+fan them across worker processes and/or cache results on disk.  A custom
+``link_map`` or off-catalog device list bypasses the engine (results
+would not be content-addressable) and computes inline, exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..core.regimes import LinkMap
 from ..hardware.battery import JOULES_PER_WATT_HOUR
-from ..hardware.devices import DEVICES, DeviceSpec
+from ..hardware.devices import DEVICE_BY_NAME, DEVICES, DeviceSpec
 from ..sim.lifetime import (
     best_single_mode_unidirectional,
     bluetooth_bidirectional,
@@ -23,6 +31,9 @@ from ..sim.lifetime import (
     braidio_bidirectional,
     braidio_unidirectional,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> analysis)
+    from ..runtime import CampaignConfig
 
 
 @dataclass(frozen=True)
@@ -74,20 +85,61 @@ def _energies_j(devices: tuple[DeviceSpec, ...]) -> list[float]:
     return [d.battery_wh * JOULES_PER_WATT_HOUR for d in devices]
 
 
-def bluetooth_gain_matrix(
-    distance_m: float = 0.3,
-    devices: tuple[DeviceSpec, ...] = DEVICES,
-    link_map: LinkMap | None = None,
-) -> GainMatrix:
-    """Fig 15: Braidio over Bluetooth, unidirectional saturated traffic."""
-    link_map = link_map if link_map is not None else LinkMap()
+def _campaign_eligible(
+    devices: tuple[DeviceSpec, ...], link_map: LinkMap | None
+) -> bool:
+    """Whether the engine path applies: paper calibration, catalog devices
+    (cache keys and worker-side reconstruction assume both)."""
+    if link_map is not None:
+        return False
+    return all(DEVICE_BY_NAME.get(d.name) == d for d in devices)
+
+
+def _matrix_via_campaign(
+    job_kind: str,
+    distance_m: float,
+    devices: tuple[DeviceSpec, ...],
+    campaign: "CampaignConfig | None",
+) -> np.ndarray:
+    from ..runtime import run_campaign
+    from ..runtime.workloads import gain_matrix_specs
+
+    names = [d.name for d in devices]
+    specs = gain_matrix_specs(job_kind, distance_m, names)
+    result = run_campaign(specs, campaign).raise_on_failure()
+    gains = np.array([m["gain"] for m in result.metrics], dtype=float)
+    return gains.reshape(len(devices), len(devices))
+
+
+def _matrix_inline(
+    cell: Callable[[float, float], float],
+    devices: tuple[DeviceSpec, ...],
+) -> np.ndarray:
     energies = _energies_j(devices)
     gains = np.empty((len(devices), len(devices)))
     for x, e_tx in enumerate(energies):
         for y, e_rx in enumerate(energies):
-            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, link_map)
-            bluetooth = bluetooth_unidirectional(e_tx, e_rx)
-            gains[y][x] = braidio.total_bits / bluetooth
+            gains[y][x] = cell(e_tx, e_rx)
+    return gains
+
+
+def bluetooth_gain_matrix(
+    distance_m: float = 0.3,
+    devices: tuple[DeviceSpec, ...] = DEVICES,
+    link_map: LinkMap | None = None,
+    campaign: "CampaignConfig | None" = None,
+) -> GainMatrix:
+    """Fig 15: Braidio over Bluetooth, unidirectional saturated traffic."""
+    if _campaign_eligible(devices, link_map):
+        gains = _matrix_via_campaign("gain.bluetooth", distance_m, devices, campaign)
+    else:
+        resolved = link_map if link_map is not None else LinkMap()
+
+        def cell(e_tx: float, e_rx: float) -> float:
+            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, resolved)
+            return braidio.total_bits / bluetooth_unidirectional(e_tx, e_rx)
+
+        gains = _matrix_inline(cell, devices)
     return GainMatrix(devices=devices, gains=gains, kind="bluetooth")
 
 
@@ -95,16 +147,22 @@ def best_mode_gain_matrix(
     distance_m: float = 0.3,
     devices: tuple[DeviceSpec, ...] = DEVICES,
     link_map: LinkMap | None = None,
+    campaign: "CampaignConfig | None" = None,
 ) -> GainMatrix:
     """Fig 16: Braidio over the best single mode in isolation."""
-    link_map = link_map if link_map is not None else LinkMap()
-    energies = _energies_j(devices)
-    gains = np.empty((len(devices), len(devices)))
-    for x, e_tx in enumerate(energies):
-        for y, e_rx in enumerate(energies):
-            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, link_map)
-            _, best = best_single_mode_unidirectional(e_tx, e_rx, distance_m, link_map)
-            gains[y][x] = braidio.total_bits / best
+    if _campaign_eligible(devices, link_map):
+        gains = _matrix_via_campaign("gain.best_mode", distance_m, devices, campaign)
+    else:
+        resolved = link_map if link_map is not None else LinkMap()
+
+        def cell(e_tx: float, e_rx: float) -> float:
+            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, resolved)
+            _, best = best_single_mode_unidirectional(
+                e_tx, e_rx, distance_m, resolved
+            )
+            return braidio.total_bits / best
+
+        gains = _matrix_inline(cell, devices)
     return GainMatrix(devices=devices, gains=gains, kind="best-mode")
 
 
@@ -112,14 +170,19 @@ def bidirectional_gain_matrix(
     distance_m: float = 0.3,
     devices: tuple[DeviceSpec, ...] = DEVICES,
     link_map: LinkMap | None = None,
+    campaign: "CampaignConfig | None" = None,
 ) -> GainMatrix:
     """Fig 17: Braidio over Bluetooth with equal data in both directions."""
-    link_map = link_map if link_map is not None else LinkMap()
-    energies = _energies_j(devices)
-    gains = np.empty((len(devices), len(devices)))
-    for x, e_a in enumerate(energies):
-        for y, e_b in enumerate(energies):
-            braidio = braidio_bidirectional(e_a, e_b, distance_m, link_map)
-            bluetooth = bluetooth_bidirectional(e_a, e_b)
-            gains[y][x] = braidio.total_bits / bluetooth
+    if _campaign_eligible(devices, link_map):
+        gains = _matrix_via_campaign(
+            "gain.bidirectional", distance_m, devices, campaign
+        )
+    else:
+        resolved = link_map if link_map is not None else LinkMap()
+
+        def cell(e_a: float, e_b: float) -> float:
+            braidio = braidio_bidirectional(e_a, e_b, distance_m, resolved)
+            return braidio.total_bits / bluetooth_bidirectional(e_a, e_b)
+
+        gains = _matrix_inline(cell, devices)
     return GainMatrix(devices=devices, gains=gains, kind="bidirectional")

@@ -21,7 +21,7 @@ objective (maximize the minimum weighted per-client bits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

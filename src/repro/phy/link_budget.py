@@ -22,7 +22,6 @@ AS3993 reader   —         3.0 m     —
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 
 from .constants import CARRIER_FREQUENCY_HZ

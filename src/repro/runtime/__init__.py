@@ -1,0 +1,53 @@
+"""Parallel campaign engine.
+
+Fans embarrassingly-parallel simulation jobs (gain-matrix cells,
+distance-sweep points, Monte-Carlo samples) across worker processes with
+content-derived deterministic seeding, an on-disk result cache keyed by
+job fingerprint + calibration version, bounded retries and a structured
+run manifest.  See DESIGN.md §3 for the module inventory.
+"""
+
+from .cache import ResultCache, calibration_fingerprint
+from .executor import (
+    CampaignConfig,
+    CampaignError,
+    CampaignResult,
+    JobOutcome,
+    drain_manifests,
+    execute_job,
+    run_campaign,
+)
+from .jobs import JobSpec, job_runner, register_job_runner, registered_kinds
+from .progress import CampaignProgress, RunManifest
+from .seeding import campaign_seed_sequence, job_rng, job_seed_sequence
+from .workloads import (
+    CAMPAIGN_EXPERIMENTS,
+    campaign_specs,
+    distance_curve_specs,
+    gain_matrix_specs,
+)
+
+__all__ = [
+    "CAMPAIGN_EXPERIMENTS",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignProgress",
+    "CampaignResult",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
+    "RunManifest",
+    "calibration_fingerprint",
+    "campaign_seed_sequence",
+    "campaign_specs",
+    "distance_curve_specs",
+    "drain_manifests",
+    "execute_job",
+    "gain_matrix_specs",
+    "job_rng",
+    "job_runner",
+    "job_seed_sequence",
+    "register_job_runner",
+    "registered_kinds",
+    "run_campaign",
+]

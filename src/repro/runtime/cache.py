@@ -1,0 +1,147 @@
+"""On-disk result cache for campaign jobs.
+
+One JSON file per job, named by the job fingerprint, carrying the spec,
+the metrics and the calibration fingerprint the result was computed
+under.  Entries from a different calibration (anyone edits the link
+budgets or the power tables) are ignored rather than served stale.
+
+Layout::
+
+    <cache_dir>/
+        <job fingerprint>.json
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .jobs import JobSpec
+
+#: Schema version of the cache entry format itself.
+CACHE_FORMAT = 1
+
+
+@functools.lru_cache(maxsize=1)
+def calibration_fingerprint() -> str:
+    """Hash of the paper calibration the results depend on.
+
+    Covers every calibrated link budget and every per-mode power record,
+    so any change to the characterization invalidates cached results
+    automatically.
+    """
+    from ..core.modes import ALL_MODES
+    from ..hardware.power_models import paper_mode_power, supported_bitrates
+    from ..phy.link_budget import paper_link_profiles
+
+    lines = [
+        f"{name}:{bitrate}:{budget!r}"
+        for (name, bitrate), budget in sorted(paper_link_profiles().items())
+    ]
+    for mode in ALL_MODES:
+        for bitrate in supported_bitrates(mode):
+            lines.append(f"{mode.value}:{bitrate}:{paper_mode_power(mode, bitrate)!r}")
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+class ResultCache:
+    """Fingerprint-keyed JSON result store.
+
+    Args:
+        directory: cache root (created lazily on first write).
+        calibration: calibration fingerprint to key entries under;
+            defaults to the current paper calibration.
+    """
+
+    def __init__(self, directory: Path | str, calibration: str | None = None) -> None:
+        self._directory = Path(directory)
+        self._calibration = (
+            calibration if calibration is not None else calibration_fingerprint()
+        )
+
+    @property
+    def directory(self) -> Path:
+        """Cache root directory."""
+        return self._directory
+
+    @property
+    def calibration(self) -> str:
+        """Calibration fingerprint entries are keyed under."""
+        return self._calibration
+
+    def _path(self, spec: JobSpec) -> Path:
+        return self._directory / f"{spec.fingerprint()}.json"
+
+    def get(self, spec: JobSpec) -> dict | None:
+        """Cached metrics for ``spec``, or ``None`` on miss.
+
+        Corrupt, truncated or calibration-mismatched entries count as
+        misses.
+        """
+        path = self._path(spec)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("format") != CACHE_FORMAT:
+            return None
+        if entry.get("calibration") != self._calibration:
+            return None
+        metrics = entry.get("metrics")
+        return metrics if isinstance(metrics, dict) else None
+
+    def put(self, spec: JobSpec, metrics: dict) -> Path:
+        """Store ``metrics`` for ``spec`` atomically; returns the path."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "calibration": self._calibration,
+            "spec": spec.to_dict(),
+            "metrics": metrics,
+        }
+        payload = json.dumps(entry, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self._directory, prefix=".cache-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self._path(spec)
+
+    def __contains__(self, spec: JobSpec) -> bool:
+        return self.get(spec) is not None
+
+    def __len__(self) -> int:
+        if not self._directory.is_dir():
+            return 0
+        return sum(1 for _ in self._directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self._directory.is_dir():
+            for path in self._directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

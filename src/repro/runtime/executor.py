@@ -1,0 +1,372 @@
+"""Fault-tolerant campaign execution.
+
+``run_campaign`` takes a list of :class:`JobSpec` and returns one outcome
+per spec, in submission order.  Execution strategy:
+
+* **cache first** — jobs whose fingerprint is already in the result cache
+  (same calibration) are served without running anything;
+* **process pool** — remaining jobs are chunked and dispatched to a
+  ``ProcessPoolExecutor`` when ``n_jobs > 1``, with a per-job timeout
+  budget applied per chunk;
+* **bounded retry** — chunks that time out or die, and jobs that raise,
+  are retried serially in-process with exponential backoff, up to
+  ``max_retries`` extra attempts;
+* **graceful degradation** — if the pool cannot be created at all (some
+  sandboxes forbid semaphores) the whole campaign transparently runs
+  serially.
+
+Because every job's RNG derives from (campaign seed, spec fingerprint)
+(:mod:`repro.runtime.seeding`), outcomes are bit-identical whatever the
+worker count, chunking or execution order.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from .cache import ResultCache
+from .jobs import JobSpec, job_runner
+from .progress import CampaignProgress, RunManifest
+from .seeding import job_rng
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Execution knobs for one campaign.
+
+    Attributes:
+        n_jobs: worker processes; 1 means in-process serial execution.
+        timeout_s: per-job wall-time budget (pool mode only; pooled chunks
+            get ``len(chunk) * timeout_s``).  ``None`` disables timeouts.
+        max_retries: extra attempts after a job's first failure.
+        backoff_s: base of the exponential retry backoff.
+        chunk_size: jobs per pool task; defaults to an even split across
+            ``4 * n_jobs`` chunks.
+        campaign_seed: root seed for per-job RNG derivation.
+        cache_dir: result-cache directory, or ``None`` for no caching.
+        use_cache: when ``False`` the cache is neither read nor written
+            even if ``cache_dir`` is set.
+    """
+
+    n_jobs: int = 1
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    chunk_size: int | None = None
+    campaign_seed: int = 0
+    cache_dir: Path | str | None = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs!r}")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError(f"timeout must be positive, got {self.timeout_s!r}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.backoff_s < 0.0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff_s!r}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size!r}")
+
+    def serial(self) -> "CampaignConfig":
+        """A copy of this config forced to in-process execution."""
+        return replace(self, n_jobs=1)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """How one job settled.
+
+    Attributes:
+        spec: the job.
+        status: ``"completed"``, ``"failed"`` or ``"cached"``.
+        metrics: runner output (``None`` when failed).
+        error: last error string when failed.
+        attempts: executions performed (0 for cache hits).
+        duration_s: execution time of the last attempt (0 for cache hits).
+    """
+
+    spec: JobSpec
+    status: str
+    metrics: dict | None
+    error: str | None = None
+    attempts: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether usable metrics are available."""
+        return self.metrics is not None
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All outcomes of one campaign, in submission order."""
+
+    outcomes: tuple[JobOutcome, ...]
+    manifest: RunManifest
+
+    @property
+    def metrics(self) -> list[dict | None]:
+        """Per-job metrics in submission order (``None`` for failures)."""
+        return [o.metrics for o in self.outcomes]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        """The failed outcomes."""
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    def raise_on_failure(self) -> "CampaignResult":
+        """Raise if any job failed; returns self for chaining.
+
+        Raises:
+            CampaignError: listing up to three failing jobs.
+        """
+        failures = self.failures
+        if failures:
+            detail = "; ".join(
+                f"{o.spec.kind}[{o.spec.fingerprint()[:8]}]: {o.error}"
+                for o in failures[:3]
+            )
+            raise CampaignError(
+                f"{len(failures)}/{len(self.outcomes)} campaign jobs failed: {detail}"
+            )
+        return self
+
+
+class CampaignError(RuntimeError):
+    """Raised by :meth:`CampaignResult.raise_on_failure`."""
+
+
+#: Manifests of campaigns run since the last drain (newest last).  The CLI
+#: uses this to surface telemetry from campaigns that run behind library
+#: calls (e.g. ``export fig15 --jobs 4``) without threading a collector
+#: through every analysis signature.
+_MANIFESTS: list[RunManifest] = []
+_MANIFEST_LIMIT = 64
+
+
+def drain_manifests() -> list[RunManifest]:
+    """Return and clear the recorded campaign manifests."""
+    drained = list(_MANIFESTS)
+    _MANIFESTS.clear()
+    return drained
+
+
+def execute_job(spec: JobSpec, campaign_seed: int = 0) -> dict:
+    """Run one job in-process and return its metrics.
+
+    This is the unit workers execute; it resolves the runner from the
+    registry and hands it a content-derived RNG, so the result depends
+    only on (spec, campaign_seed).
+    """
+    runner = job_runner(spec.kind)
+    return runner(spec, job_rng(spec, campaign_seed))
+
+
+def _execute_chunk(
+    specs: list[JobSpec], campaign_seed: int
+) -> list[tuple[str, object, float]]:
+    """Worker entry point: run a chunk, never raising per-job errors.
+
+    Returns one ``(status, payload, duration_s)`` triple per spec, where
+    payload is the metrics dict on ``"ok"`` and the error string on
+    ``"error"``.
+    """
+    results: list[tuple[str, object, float]] = []
+    for spec in specs:
+        started = time.perf_counter()
+        try:
+            metrics = execute_job(spec, campaign_seed)
+        except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+            results.append(
+                ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - started)
+            )
+        else:
+            results.append(("ok", metrics, time.perf_counter() - started))
+    return results
+
+
+def _chunked(items: list, size: int) -> list[list]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def run_campaign(
+    specs: "list[JobSpec] | tuple[JobSpec, ...]",
+    config: CampaignConfig | None = None,
+) -> CampaignResult:
+    """Execute a campaign and return per-job outcomes plus a manifest."""
+    config = config if config is not None else CampaignConfig()
+    specs = list(specs)
+    progress = CampaignProgress(total=len(specs))
+    cache = (
+        ResultCache(config.cache_dir)
+        if (config.cache_dir is not None and config.use_cache)
+        else None
+    )
+
+    outcomes: dict[int, JobOutcome] = {}
+    pending: list[tuple[int, JobSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            outcomes[index] = JobOutcome(spec=spec, status="cached", metrics=hit)
+            progress.record(spec.kind, "cached")
+        else:
+            pending.append((index, spec))
+
+    if pending and config.n_jobs > 1:
+        pending = _run_pooled(pending, config, cache, progress, outcomes)
+    if pending:
+        _run_serial(pending, config, cache, progress, outcomes)
+
+    manifest = progress.manifest(
+        n_jobs=config.n_jobs,
+        calibration=cache.calibration if cache is not None else "",
+        campaign_seed=config.campaign_seed,
+    )
+    _MANIFESTS.append(manifest)
+    del _MANIFESTS[:-_MANIFEST_LIMIT]
+    return CampaignResult(
+        outcomes=tuple(outcomes[i] for i in range(len(specs))),
+        manifest=manifest,
+    )
+
+
+def _settle(
+    index: int,
+    spec: JobSpec,
+    status: str,
+    payload: object,
+    attempts: int,
+    duration_s: float,
+    cache: ResultCache | None,
+    progress: CampaignProgress,
+    outcomes: dict[int, JobOutcome],
+) -> None:
+    if status == "ok":
+        metrics = payload if isinstance(payload, dict) else {"value": payload}
+        if cache is not None:
+            cache.put(spec, metrics)
+        outcomes[index] = JobOutcome(
+            spec=spec,
+            status="completed",
+            metrics=metrics,
+            attempts=attempts,
+            duration_s=duration_s,
+        )
+        progress.record(spec.kind, "completed", retries=attempts - 1)
+    else:
+        outcomes[index] = JobOutcome(
+            spec=spec,
+            status="failed",
+            metrics=None,
+            error=str(payload),
+            attempts=attempts,
+            duration_s=duration_s,
+        )
+        progress.record(spec.kind, "failed", retries=max(attempts - 1, 0))
+
+
+def _run_pooled(
+    pending: list[tuple[int, JobSpec]],
+    config: CampaignConfig,
+    cache: ResultCache | None,
+    progress: CampaignProgress,
+    outcomes: dict[int, JobOutcome],
+) -> list:
+    """Dispatch ``pending`` through a process pool.
+
+    Returns the jobs that still need serial attention (chunk-level
+    timeouts, worker crashes, per-job errors — each retains one recorded
+    attempt).  Never raises: an unusable pool leaves everything pending.
+    """
+    import concurrent.futures as futures
+
+    try:
+        pool = futures.ProcessPoolExecutor(max_workers=config.n_jobs)
+    except (OSError, PermissionError, ValueError):
+        return pending  # sandbox without process support: degrade to serial
+
+    chunk_size = config.chunk_size or max(
+        1, math.ceil(len(pending) / (config.n_jobs * 4))
+    )
+    chunks = _chunked(pending, chunk_size)
+    leftovers: list[tuple[int, JobSpec, int, str]] = []
+    try:
+        submitted = {
+            pool.submit(
+                _execute_chunk, [spec for _, spec in chunk], config.campaign_seed
+            ): chunk
+            for chunk in chunks
+        }
+        for future, chunk in submitted.items():
+            timeout = (
+                config.timeout_s * len(chunk) if config.timeout_s is not None else None
+            )
+            try:
+                results = future.result(timeout=timeout)
+            except Exception as exc:  # noqa: BLE001 - timeout/crash: retry serially
+                future.cancel()
+                reason = f"pool chunk failed: {type(exc).__name__}: {exc}"
+                leftovers.extend(
+                    (index, spec, 1, reason) for index, spec in chunk
+                )
+                continue
+            for (index, spec), (status, payload, duration) in zip(chunk, results):
+                if status == "ok":
+                    _settle(
+                        index, spec, "ok", payload, 1, duration, cache, progress,
+                        outcomes,
+                    )
+                else:
+                    leftovers.append((index, spec, 1, str(payload)))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Serial retries must know these jobs already burned an attempt (and
+    # why it failed, in case no retry budget remains).
+    return leftovers
+
+
+def _run_serial(
+    pending: list,
+    config: CampaignConfig,
+    cache: ResultCache | None,
+    progress: CampaignProgress,
+    outcomes: dict[int, JobOutcome],
+) -> None:
+    """Run jobs in-process with bounded retry and exponential backoff."""
+    for entry in pending:
+        index, spec = entry[0], entry[1]
+        attempts = entry[2] if len(entry) > 2 else 0
+        error = entry[3] if len(entry) > 3 else "not attempted"
+        duration = 0.0
+        settled = False
+        while attempts <= config.max_retries:
+            if attempts > 0 and config.backoff_s > 0.0:
+                time.sleep(config.backoff_s * (2.0 ** (attempts - 1)))
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                metrics = execute_job(spec, config.campaign_seed)
+            except Exception as exc:  # noqa: BLE001 - retried then reported
+                error = f"{type(exc).__name__}: {exc}"
+                duration = time.perf_counter() - started
+            else:
+                duration = time.perf_counter() - started
+                _settle(
+                    index, spec, "ok", metrics, attempts, duration, cache, progress,
+                    outcomes,
+                )
+                settled = True
+                break
+        if not settled:
+            _settle(
+                index, spec, "error", error, attempts, duration, cache, progress,
+                outcomes,
+            )

@@ -1,0 +1,157 @@
+"""Campaign telemetry: live counters and the structured run manifest.
+
+The executor feeds a :class:`CampaignProgress` as jobs settle; at the end
+it freezes into a :class:`RunManifest` — the machine-readable record the
+CLI prints and (for ``export --cache-dir``) writes next to the CSVs, so a
+warm-cache rerun is verifiable from the ``cached`` count alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class CampaignProgress:
+    """Mutable counters for a running campaign."""
+
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    retries: int = 0
+    kinds: dict[str, int] = field(default_factory=dict)
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    def record(self, kind: str, status: str, retries: int = 0) -> None:
+        """Account one settled job.
+
+        Raises:
+            ValueError: for unknown status labels.
+        """
+        if status == "completed":
+            self.completed += 1
+        elif status == "failed":
+            self.failed += 1
+        elif status == "cached":
+            self.cached += 1
+        else:
+            raise ValueError(f"unknown job status {status!r}")
+        self.retries += retries
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+
+    @property
+    def settled(self) -> int:
+        """Jobs accounted so far (any status)."""
+        return self.completed + self.failed + self.cached
+
+    def elapsed_s(self) -> float:
+        """Wall time since the campaign started."""
+        return time.perf_counter() - self._started
+
+    def manifest(
+        self, n_jobs: int, calibration: str, campaign_seed: int
+    ) -> "RunManifest":
+        """Freeze the counters into a manifest."""
+        wall = self.elapsed_s()
+        executed = self.completed + self.failed
+        return RunManifest(
+            total=self.total,
+            completed=self.completed,
+            failed=self.failed,
+            cached=self.cached,
+            retries=self.retries,
+            wall_time_s=wall,
+            jobs_per_s=(executed / wall) if wall > 0.0 and executed else 0.0,
+            n_jobs=n_jobs,
+            calibration=calibration,
+            campaign_seed=campaign_seed,
+            kinds=dict(sorted(self.kinds.items())),
+        )
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Structured summary of one campaign run.
+
+    Attributes:
+        total: jobs submitted.
+        completed: jobs executed successfully this run.
+        failed: jobs that exhausted their retries.
+        cached: jobs served from the result cache (no simulation ran).
+        retries: extra attempts beyond each job's first.
+        wall_time_s: campaign wall-clock time.
+        jobs_per_s: executed jobs (completed + failed) per second.
+        n_jobs: configured worker count.
+        calibration: calibration fingerprint results were computed under.
+        campaign_seed: root seed of the per-job RNG derivation.
+        kinds: settled-job count per job kind.
+    """
+
+    total: int
+    completed: int
+    failed: int
+    cached: int
+    retries: int
+    wall_time_s: float
+    jobs_per_s: float
+    n_jobs: int
+    calibration: str
+    campaign_seed: int
+    kinds: dict[str, int]
+
+    def to_dict(self) -> dict[str, object]:
+        """Primitive form, ready for ``json.dumps``."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cached": self.cached,
+            "retries": self.retries,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "jobs_per_s": round(self.jobs_per_s, 3),
+            "n_jobs": self.n_jobs,
+            "calibration": self.calibration,
+            "campaign_seed": self.campaign_seed,
+            "kinds": self.kinds,
+        }
+
+    def to_json(self) -> str:
+        """Pretty JSON rendering."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: Path | str) -> Path:
+        """Write the manifest JSON to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @staticmethod
+    def merge(manifests: "list[RunManifest]") -> "RunManifest | None":
+        """Aggregate several campaign manifests (e.g. one per figure)
+        into a single record; ``None`` for an empty list."""
+        if not manifests:
+            return None
+        kinds: dict[str, int] = {}
+        for m in manifests:
+            for kind, count in m.kinds.items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        wall = sum(m.wall_time_s for m in manifests)
+        executed = sum(m.completed + m.failed for m in manifests)
+        return RunManifest(
+            total=sum(m.total for m in manifests),
+            completed=sum(m.completed for m in manifests),
+            failed=sum(m.failed for m in manifests),
+            cached=sum(m.cached for m in manifests),
+            retries=sum(m.retries for m in manifests),
+            wall_time_s=wall,
+            jobs_per_s=(executed / wall) if wall > 0.0 and executed else 0.0,
+            n_jobs=max(m.n_jobs for m in manifests),
+            calibration=manifests[0].calibration,
+            campaign_seed=manifests[0].campaign_seed,
+            kinds=dict(sorted(kinds.items())),
+        )

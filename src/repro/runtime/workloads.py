@@ -1,0 +1,198 @@
+"""Built-in campaign job runners and spec builders.
+
+Each runner is a pure function of (spec, rng): it reconstructs whatever
+model objects it needs from the spec's primitive fields (device *names*,
+distance, bitrate) under the default paper calibration, so specs stay
+picklable and results cacheable by content.  The shared
+:class:`~repro.core.regimes.LinkMap` is memoized per process — workers
+pay its construction cost once, not per job.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from .jobs import JobSpec, register_job_runner
+
+
+@functools.lru_cache(maxsize=1)
+def _link_map():
+    from ..core.regimes import LinkMap
+
+    return LinkMap()
+
+
+def _energy_j(device_name: str) -> float:
+    from ..hardware.battery import JOULES_PER_WATT_HOUR
+    from ..hardware.devices import device
+
+    return device(device_name).battery_wh * JOULES_PER_WATT_HOUR
+
+
+@register_job_runner("gain.bluetooth")
+def run_bluetooth_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Fig 15 cell: Braidio over Bluetooth, one-way saturated traffic."""
+    from ..sim.lifetime import bluetooth_unidirectional, braidio_unidirectional
+
+    e_tx = _energy_j(spec.tx_device)
+    e_rx = _energy_j(spec.rx_device)
+    braidio = braidio_unidirectional(e_tx, e_rx, spec.distance_m, _link_map())
+    baseline = bluetooth_unidirectional(e_tx, e_rx)
+    return {
+        "gain": braidio.total_bits / baseline,
+        "braidio_bits": braidio.total_bits,
+        "baseline_bits": baseline,
+        "limited_by": braidio.limited_by,
+    }
+
+
+@register_job_runner("gain.best_mode")
+def run_best_mode_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Fig 16 cell: Braidio over the best single mode in isolation."""
+    from ..sim.lifetime import (
+        best_single_mode_unidirectional,
+        braidio_unidirectional,
+    )
+
+    e_tx = _energy_j(spec.tx_device)
+    e_rx = _energy_j(spec.rx_device)
+    braidio = braidio_unidirectional(e_tx, e_rx, spec.distance_m, _link_map())
+    mode, baseline = best_single_mode_unidirectional(
+        e_tx, e_rx, spec.distance_m, _link_map()
+    )
+    return {
+        "gain": braidio.total_bits / baseline,
+        "braidio_bits": braidio.total_bits,
+        "baseline_bits": baseline,
+        "best_mode": mode.value,
+    }
+
+
+@register_job_runner("gain.bidirectional")
+def run_bidirectional_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Fig 17 cell: Braidio over Bluetooth with equal data both ways."""
+    from ..sim.lifetime import bluetooth_bidirectional, braidio_bidirectional
+
+    e_a = _energy_j(spec.tx_device)
+    e_b = _energy_j(spec.rx_device)
+    braidio = braidio_bidirectional(e_a, e_b, spec.distance_m, _link_map())
+    baseline = bluetooth_bidirectional(e_a, e_b)
+    return {
+        "gain": braidio.total_bits / baseline,
+        "braidio_bits": braidio.total_bits,
+        "baseline_bits": baseline,
+        "limited_by": braidio.limited_by,
+    }
+
+
+@register_job_runner("gain.distance")
+def run_distance_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Fig 18 point: gain over Bluetooth at one distance (NaN out of
+    range, matching the sweep's plotting convention)."""
+    from ..sim.lifetime import bluetooth_unidirectional, braidio_unidirectional
+
+    link_map = _link_map()
+    if not link_map.available_powers(spec.distance_m):
+        return {"gain": float("nan")}
+    e_tx = _energy_j(spec.tx_device)
+    e_rx = _energy_j(spec.rx_device)
+    braidio = braidio_unidirectional(e_tx, e_rx, spec.distance_m, link_map)
+    return {"gain": braidio.total_bits / bluetooth_unidirectional(e_tx, e_rx)}
+
+
+@register_job_runner("ber.montecarlo")
+def run_montecarlo_ber(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Monte-Carlo OOK envelope BER sample — the stochastic workload that
+    exercises the content-derived seeding (params: ``snr_db``,
+    ``n_bits``)."""
+    from ..phy.baseband import simulate_ook_envelope_ber
+
+    snr_db = float(spec.param("snr_db", "10.0"))
+    n_bits = int(spec.param("n_bits", "10000"))
+    measurement = simulate_ook_envelope_ber(snr_db, n_bits, rng)
+    low, high = measurement.confidence_interval()
+    return {
+        "ber": measurement.ber,
+        "errors": float(measurement.errors),
+        "bits": float(measurement.bits),
+        "ci_low": low,
+        "ci_high": high,
+    }
+
+
+def gain_matrix_specs(
+    kind: str, distance_m: float = 0.3, device_names: "list[str] | None" = None
+) -> list[JobSpec]:
+    """Row-major specs for one gain-matrix campaign (one per (rx, tx))."""
+    if device_names is None:
+        from ..hardware.devices import DEVICES
+
+        device_names = [d.name for d in DEVICES]
+    traffic = "bidirectional" if kind == "gain.bidirectional" else "saturated"
+    return [
+        JobSpec(
+            kind=kind,
+            tx_device=tx,
+            rx_device=rx,
+            distance_m=float(distance_m),
+            traffic=traffic,
+        )
+        for rx in device_names
+        for tx in device_names
+    ]
+
+
+def distance_curve_specs(
+    tx_device: str, rx_device: str, distances_m
+) -> list[JobSpec]:
+    """Specs for one directed gain-vs-distance curve."""
+    return [
+        JobSpec(
+            kind="gain.distance",
+            tx_device=tx_device,
+            rx_device=rx_device,
+            distance_m=float(d),
+        )
+        for d in distances_m
+    ]
+
+
+#: Experiment ids the ``campaign`` CLI can run through the engine.
+CAMPAIGN_EXPERIMENTS = ("fig15", "fig16", "fig17", "fig18", "mc-ber")
+
+
+def campaign_specs(experiment: str) -> list[JobSpec]:
+    """The job list behind one campaign-able experiment id.
+
+    Raises:
+        ValueError: for ids with no campaign decomposition.
+    """
+    if experiment == "fig15":
+        return gain_matrix_specs("gain.bluetooth")
+    if experiment == "fig16":
+        return gain_matrix_specs("gain.best_mode")
+    if experiment == "fig17":
+        return gain_matrix_specs("gain.bidirectional")
+    if experiment == "fig18":
+        from ..analysis.distance_sweep import PAPER_PAIRS
+
+        distances = np.linspace(0.3, 6.0, 39)
+        specs: list[JobSpec] = []
+        for a, b in PAPER_PAIRS:
+            specs.extend(distance_curve_specs(a, b, distances))
+            specs.extend(distance_curve_specs(b, a, distances))
+        return specs
+    if experiment == "mc-ber":
+        return [
+            JobSpec.with_params(
+                "ber.montecarlo",
+                {"snr_db": f"{snr_db:.1f}", "n_bits": 20000},
+            )
+            for snr_db in np.arange(4.0, 16.5, 0.5)
+        ]
+    raise ValueError(
+        f"no campaign decomposition for {experiment!r} "
+        f"(supported: {', '.join(CAMPAIGN_EXPERIMENTS)})"
+    )

@@ -1,0 +1,100 @@
+"""CLI coverage for the campaign engine flags and the fixed ``show``
+fallback renderer."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.export import CAMPAIGN_AWARE, EXPORTERS
+
+
+class TestShowFallback:
+    @pytest.mark.parametrize("experiment", ["fig1", "fig3", "fig6", "fig12"])
+    def test_every_advertised_id_renders(self, experiment, capsys):
+        # Regression: argparse advertises every EXPORTERS id as a choice,
+        # so each one must actually render instead of exiting with 2.
+        assert main(["show", experiment]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fallback_prints_exporter_csv(self, capsys):
+        assert main(["show", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "# fig6_antenna_diversity.csv" in out
+        assert "distance_m,without_db,with_db" in out
+
+    def test_multi_file_exporters_print_every_csv(self, capsys):
+        assert main(["show", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "# fig4b_phase_map.csv" in out
+        assert "# fig4c_line_profile.csv" in out
+
+
+class TestExportCampaignFlags:
+    def test_parallel_export_matches_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(["export", "fig15", str(serial_dir)]) == 0
+        assert main(["export", "fig15", str(parallel_dir), "--jobs", "2"]) == 0
+        serial_csv = (serial_dir / "fig15_gain_matrix.csv").read_bytes()
+        parallel_csv = (parallel_dir / "fig15_gain_matrix.csv").read_bytes()
+        assert serial_csv == parallel_csv
+
+    def test_warm_cache_skips_all_jobs(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        cache_dir = tmp_path / "cache"
+        argv = ["export", "fig15", str(out_dir), "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = (out_dir / "fig15_gain_matrix.csv").read_bytes()
+        capsys.readouterr()
+        assert main(argv) == 0
+        capsys.readouterr()
+        warm = (out_dir / "fig15_gain_matrix.csv").read_bytes()
+        assert cold == warm
+        manifest = json.loads((out_dir / "campaign_manifest.json").read_text())
+        assert manifest["cached"] == manifest["total"] == 100
+        assert manifest["completed"] == 0
+
+    def test_no_cache_leaves_cache_dir_empty(self, tmp_path):
+        out_dir = tmp_path / "out"
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "export", "fig15", str(out_dir),
+            "--cache-dir", str(cache_dir), "--no-cache",
+        ]) == 0
+        assert not list(cache_dir.glob("*.json")) if cache_dir.exists() else True
+
+    def test_campaign_aware_set_matches_exporters(self):
+        assert CAMPAIGN_AWARE <= set(EXPORTERS)
+
+
+class TestCampaignCommand:
+    def test_runs_and_prints_manifest(self, capsys):
+        assert main(["campaign", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15: 100 jobs" in out
+        manifest = json.loads(out[out.index("{"):])
+        assert manifest["total"] == 100
+        assert manifest["failed"] == 0
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        argv = ["campaign", "fig15", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        manifest = json.loads(out[out.index("{"):])
+        assert manifest["cached"] == 100
+        assert manifest["completed"] == 0
+
+    def test_manifest_file_written(self, tmp_path, capsys):
+        manifest_path = tmp_path / "run.json"
+        assert main(["campaign", "mc-ber", "--manifest", str(manifest_path)]) == 0
+        capsys.readouterr()
+        data = json.loads(manifest_path.read_text())
+        assert data["total"] == 25
+        assert "ber.montecarlo" in data["kinds"]
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "fig99"])

@@ -1,7 +1,5 @@
 """Unit tests for the table renderers (Table 1, 2, 5, Fig 1)."""
 
-import pytest
-
 from repro.analysis.tables import (
     fig1_rows,
     render_fig1,

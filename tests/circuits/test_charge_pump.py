@@ -1,14 +1,12 @@
 """Unit tests for the Dickson charge-pump simulator (Fig 3)."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.charge_pump import (
-    ChargePumpResult,
     DicksonChargePump,
     boost_versus_stages,
 )
-from repro.circuits.components import Capacitor, Diode, Resistor
+from repro.circuits.components import Resistor
 
 
 class TestFig3Reproduction:

@@ -1,7 +1,6 @@
 """Unit tests for the composed passive receive chain (§3.2)."""
 
 import numpy as np
-import pytest
 
 from repro.circuits.receiver_chain import (
     PassiveReceiverChain,

@@ -13,7 +13,7 @@ from repro.core.offload import (
     verify_with_linprog,
 )
 from repro.core.regimes import LinkMap
-from repro.hardware.power_models import ModePower, paper_mode_power
+from repro.hardware.power_models import paper_mode_power
 
 
 def _full_mode_set():

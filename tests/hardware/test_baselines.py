@@ -5,7 +5,6 @@ import pytest
 from repro.hardware.baselines import (
     AS3993,
     BLUETOOTH_CHIPS,
-    BRAIDIO_READER_POWER_W,
     CC2541,
     CC2640,
     COMMERCIAL_READERS,

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.hardware.battery import Battery, BatteryEmptyError, JOULES_PER_WATT_HOUR
+from repro.hardware.battery import Battery, BatteryEmptyError
 
 
 class TestConstruction:

@@ -7,8 +7,6 @@ EXPERIMENTS.md and asserted here at our measured values with the paper's
 value noted.
 """
 
-import math
-
 import pytest
 
 from repro.analysis.ber_sweep import reader_comparison_curves

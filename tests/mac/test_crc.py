@@ -1,6 +1,5 @@
 """Unit tests for CRC-16-CCITT."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,14 +1,11 @@
 """Unit tests for repro.phy.propagation."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.phy import propagation
-from repro.phy.constants import CARRIER_FREQUENCY_HZ
 
 
 class TestFreeSpacePathLoss:

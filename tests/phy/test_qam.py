@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.modes import LinkMode
 from repro.phy.link_budget import paper_link_profiles
-from repro.phy.modulation import Modulation, bit_error_rate
+from repro.phy.modulation import Modulation
 from repro.phy.qam import (
     QAM16_BITRATE_BPS,
     QAM16_READER_POWER_W,

@@ -1,0 +1,74 @@
+"""Unit tests for the on-disk result cache."""
+
+import json
+
+from repro.runtime.cache import ResultCache, calibration_fingerprint
+from repro.runtime.jobs import JobSpec
+
+
+def _spec(**kwargs):
+    defaults = dict(kind="gain.bluetooth", tx_device="Apple Watch",
+                    rx_device="iPhone 6S")
+    defaults.update(kwargs)
+    return JobSpec(**defaults)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        cache.put(spec, {"gain": 1.43})
+        assert cache.get(spec) == {"gain": 1.43}
+        assert spec in cache
+        assert len(cache) == 1
+
+    def test_float_fidelity(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = 1.4298816935886345
+        cache.put(_spec(), {"gain": value, "nan": float("nan")})
+        loaded = cache.get(_spec())
+        assert loaded["gain"] == value  # bit-exact JSON round-trip
+        assert loaded["nan"] != loaded["nan"]
+
+    def test_keyed_by_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_spec(distance_m=0.3), {"gain": 1.0})
+        assert cache.get(_spec(distance_m=0.5)) is None
+
+    def test_calibration_mismatch_is_a_miss(self, tmp_path):
+        ResultCache(tmp_path, calibration="old-cal").put(_spec(), {"gain": 2.0})
+        assert ResultCache(tmp_path, calibration="new-cal").get(_spec()) is None
+        assert ResultCache(tmp_path, calibration="old-cal").get(_spec()) == {
+            "gain": 2.0
+        }
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(_spec(), {"gain": 1.0})
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(_spec()) is None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(_spec(), {"gain": 1.0})
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert cache.get(_spec()) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_spec(seed=0), {"gain": 1.0})
+        cache.put(_spec(seed=1), {"gain": 2.0})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_missing_directory_reads_as_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.get(_spec()) is None
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+    def test_default_calibration_fingerprint_is_stable(self):
+        assert calibration_fingerprint() == calibration_fingerprint()
+        assert len(calibration_fingerprint()) == 16
+        assert ResultCache("unused").calibration == calibration_fingerprint()

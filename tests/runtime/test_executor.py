@@ -1,0 +1,171 @@
+"""Campaign executor tests: determinism across worker counts, caching,
+retry/fallback fault tolerance."""
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    CampaignConfig,
+    CampaignError,
+    run_campaign,
+)
+from repro.runtime.jobs import JobSpec, register_job_runner
+from repro.runtime.workloads import campaign_specs
+
+
+@register_job_runner("test.echo")
+def _echo(spec, rng):
+    return {"seed": spec.seed, "draw": float(rng.random())}
+
+
+@register_job_runner("test.fail")
+def _fail(spec, rng):
+    raise RuntimeError("always broken")
+
+
+_FLAKY_CALLS = {"count": 0}
+
+
+@register_job_runner("test.flaky")
+def _flaky(spec, rng):
+    _FLAKY_CALLS["count"] += 1
+    failures = int(spec.param("failures", "1"))
+    if _FLAKY_CALLS["count"] <= failures:
+        raise RuntimeError(f"transient #{_FLAKY_CALLS['count']}")
+    return {"ok": 1.0}
+
+
+def _mc_specs(n=6):
+    return [
+        JobSpec.with_params("ber.montecarlo", {"snr_db": "9.0", "n_bits": 4000},
+                            seed=i)
+        for i in range(n)
+    ]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_jobs": 0},
+            {"timeout_s": 0.0},
+            {"max_retries": -1},
+            {"backoff_s": -0.1},
+            {"chunk_size": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignConfig(**kwargs)
+
+    def test_serial_copy(self):
+        config = CampaignConfig(n_jobs=8, campaign_seed=5)
+        serial = config.serial()
+        assert serial.n_jobs == 1
+        assert serial.campaign_seed == 5
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_runs_are_bit_identical(self):
+        """ISSUE regression: n_jobs=1 and n_jobs=4 over the same JobSpec
+        list must produce bit-identical metric dictionaries."""
+        specs = _mc_specs() + campaign_specs("fig15")[:4]
+        serial = run_campaign(specs, CampaignConfig(n_jobs=1, campaign_seed=11))
+        parallel = run_campaign(specs, CampaignConfig(n_jobs=4, campaign_seed=11))
+        assert serial.metrics == parallel.metrics
+        assert all(o.status == "completed" for o in parallel.outcomes)
+
+    def test_chunking_does_not_change_results(self):
+        specs = _mc_specs()
+        small = run_campaign(specs, CampaignConfig(n_jobs=2, chunk_size=1))
+        large = run_campaign(specs, CampaignConfig(n_jobs=2, chunk_size=6))
+        assert small.metrics == large.metrics
+
+    def test_outcomes_follow_submission_order(self):
+        specs = [JobSpec(kind="test.echo", seed=i) for i in range(10)]
+        result = run_campaign(specs, CampaignConfig(n_jobs=3, chunk_size=2))
+        assert [o.spec.seed for o in result.outcomes] == list(range(10))
+        assert [m["seed"] for m in result.metrics] == list(range(10))
+
+
+class TestCaching:
+    def test_warm_cache_skips_every_job(self, tmp_path):
+        specs = campaign_specs("fig15")[:6]
+        config = CampaignConfig(cache_dir=tmp_path)
+        cold = run_campaign(specs, config)
+        warm = run_campaign(specs, config)
+        assert cold.manifest.completed == 6
+        assert warm.manifest.cached == 6
+        assert warm.manifest.completed == 0
+        assert warm.metrics == cold.metrics
+
+    def test_no_cache_flag_disables_reads_and_writes(self, tmp_path):
+        specs = campaign_specs("fig15")[:2]
+        run_campaign(specs, CampaignConfig(cache_dir=tmp_path, use_cache=False))
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_cached_outcomes_have_zero_attempts(self, tmp_path):
+        specs = campaign_specs("fig15")[:2]
+        config = CampaignConfig(cache_dir=tmp_path)
+        run_campaign(specs, config)
+        warm = run_campaign(specs, config)
+        assert all(o.status == "cached" and o.attempts == 0
+                   for o in warm.outcomes)
+
+
+class TestFaultTolerance:
+    def test_failing_job_exhausts_retries(self):
+        result = run_campaign(
+            [JobSpec(kind="test.fail")],
+            CampaignConfig(max_retries=2, backoff_s=0.0),
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3  # first try + 2 retries
+        assert "always broken" in outcome.error
+        assert result.manifest.failed == 1
+        assert result.manifest.retries == 2
+
+    def test_flaky_job_recovers_on_retry(self):
+        _FLAKY_CALLS["count"] = 0
+        result = run_campaign(
+            [JobSpec.with_params("test.flaky", {"failures": 2})],
+            CampaignConfig(max_retries=2, backoff_s=0.0),
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "completed"
+        assert outcome.attempts == 3
+        assert outcome.metrics == {"ok": 1.0}
+
+    def test_failure_does_not_poison_other_jobs(self):
+        specs = [
+            JobSpec(kind="test.echo", seed=0),
+            JobSpec(kind="test.fail"),
+            JobSpec(kind="test.echo", seed=2),
+        ]
+        result = run_campaign(specs, CampaignConfig(max_retries=0, backoff_s=0.0))
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == ["completed", "failed", "completed"]
+        with pytest.raises(CampaignError, match="1/3"):
+            result.raise_on_failure()
+
+    def test_unknown_kind_fails_cleanly(self):
+        result = run_campaign(
+            [JobSpec(kind="no.such.kind")],
+            CampaignConfig(max_retries=0, backoff_s=0.0),
+        )
+        assert result.outcomes[0].status == "failed"
+        assert "no job runner" in result.outcomes[0].error
+
+    def test_pool_unavailable_degrades_to_serial(self, monkeypatch):
+        import concurrent.futures as futures
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", broken_pool)
+        specs = _mc_specs(3)
+        result = run_campaign(specs, CampaignConfig(n_jobs=4))
+        assert all(o.status == "completed" for o in result.outcomes)
+        baseline = run_campaign(specs, CampaignConfig(n_jobs=1))
+        assert result.metrics == baseline.metrics

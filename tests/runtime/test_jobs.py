@@ -1,0 +1,99 @@
+"""Unit tests for JobSpec and the runner registry."""
+
+import pytest
+
+from repro.runtime.jobs import (
+    JobSpec,
+    job_runner,
+    register_job_runner,
+    registered_kinds,
+)
+
+
+class TestJobSpec:
+    def test_frozen_and_hashable(self):
+        spec = JobSpec(kind="gain.bluetooth", tx_device="Apple Watch")
+        assert spec in {spec}
+        with pytest.raises(AttributeError):
+            spec.kind = "other"
+
+    def test_rejects_empty_kind(self):
+        with pytest.raises(ValueError):
+            JobSpec(kind="")
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(ValueError):
+            JobSpec(kind="x", distance_m=0.0)
+
+    def test_params_are_canonically_sorted(self):
+        a = JobSpec(kind="x", params=(("b", "2"), ("a", "1")))
+        b = JobSpec(kind="x", params=(("a", "1"), ("b", "2")))
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_with_params_and_lookup(self):
+        spec = JobSpec.with_params("x", {"snr_db": 10.5, "n_bits": 1000})
+        assert spec.param("snr_db") == "10.5"
+        assert spec.param("n_bits") == "1000"
+        assert spec.param("missing", "fallback") == "fallback"
+
+    def test_fingerprint_is_stable_and_content_addressed(self):
+        spec = JobSpec(kind="gain.bluetooth", tx_device="Apple Watch",
+                       rx_device="iPhone 6S", distance_m=0.3)
+        again = JobSpec(kind="gain.bluetooth", tx_device="Apple Watch",
+                        rx_device="iPhone 6S", distance_m=0.3)
+        assert spec.fingerprint() == again.fingerprint()
+        assert len(spec.fingerprint()) == 64
+
+    def test_fingerprint_distinguishes_fields(self):
+        base = JobSpec(kind="gain.bluetooth", tx_device="Apple Watch")
+        prints = {
+            base.fingerprint(),
+            JobSpec(kind="gain.bluetooth", tx_device="Pebble Watch").fingerprint(),
+            JobSpec(kind="gain.best_mode", tx_device="Apple Watch").fingerprint(),
+            JobSpec(kind="gain.bluetooth", tx_device="Apple Watch",
+                    seed=1).fingerprint(),
+            JobSpec(kind="gain.bluetooth", tx_device="Apple Watch",
+                    distance_m=0.5).fingerprint(),
+        }
+        assert len(prints) == 5
+
+    def test_dict_roundtrip(self):
+        spec = JobSpec.with_params(
+            "ber.montecarlo", {"snr_db": "8.0"},
+            distance_m=1.25, seed=3, bitrate_bps=100_000,
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            JobSpec.from_dict({"kind": "x", "bogus": 1})
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        kinds = registered_kinds()
+        for kind in ("gain.bluetooth", "gain.best_mode", "gain.bidirectional",
+                     "gain.distance", "ber.montecarlo"):
+            assert kind in kinds
+
+    def test_unknown_kind_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="gain.bluetooth"):
+            job_runner("no.such.kind")
+
+    def test_duplicate_registration_rejected(self):
+        @register_job_runner("test.dupe")
+        def first(spec, rng):
+            return {}
+
+        with pytest.raises(ValueError):
+            @register_job_runner("test.dupe")
+            def second(spec, rng):
+                return {}
+
+    def test_reregistering_same_function_is_idempotent(self):
+        @register_job_runner("test.idempotent")
+        def runner(spec, rng):
+            return {}
+
+        assert register_job_runner("test.idempotent")(runner) is runner

@@ -1,0 +1,83 @@
+"""Workload runners must reproduce the analysis drivers exactly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance_sweep import distance_gain_curve
+from repro.analysis.gain_matrix import bluetooth_gain_matrix
+from repro.core.regimes import LinkMap
+from repro.runtime.executor import CampaignConfig, run_campaign
+from repro.runtime.jobs import JobSpec
+from repro.runtime.workloads import (
+    CAMPAIGN_EXPERIMENTS,
+    campaign_specs,
+    distance_curve_specs,
+    gain_matrix_specs,
+)
+
+
+class TestSpecBuilders:
+    def test_gain_matrix_specs_cover_all_pairs(self):
+        specs = gain_matrix_specs("gain.bluetooth")
+        assert len(specs) == 100
+        assert len(set(specs)) == 100
+
+    def test_distance_curve_specs(self):
+        specs = distance_curve_specs("iPhone 6S", "Apple Watch", [0.3, 1.0])
+        assert [s.distance_m for s in specs] == [0.3, 1.0]
+        assert all(s.kind == "gain.distance" for s in specs)
+
+    @pytest.mark.parametrize("experiment", CAMPAIGN_EXPERIMENTS)
+    def test_every_campaign_experiment_builds(self, experiment):
+        specs = campaign_specs(experiment)
+        assert specs
+        assert len(set(specs)) == len(specs)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="fig15"):
+            campaign_specs("fig99")
+
+
+class TestRunnersMatchInlinePaths:
+    def test_matrix_engine_path_equals_inline_path(self):
+        # Passing an explicit LinkMap forces the pre-engine inline loop;
+        # the default path goes through the campaign engine.  Cells must
+        # be bit-identical.
+        engine = bluetooth_gain_matrix()
+        inline = bluetooth_gain_matrix(link_map=LinkMap())
+        assert np.array_equal(engine.gains, inline.gains)
+
+    def test_distance_engine_path_equals_inline_path(self):
+        distances = np.array([0.3, 1.5, 3.0, 100.0])
+        engine = distance_gain_curve("iPhone 6S", "Apple Watch", distances)
+        inline = distance_gain_curve(
+            "iPhone 6S", "Apple Watch", distances, link_map=LinkMap()
+        )
+        assert np.array_equal(engine.gains, inline.gains, equal_nan=True)
+        assert math.isnan(engine.gains[-1])
+
+    def test_montecarlo_runner_uses_derived_rng(self):
+        spec = JobSpec.with_params(
+            "ber.montecarlo", {"snr_db": "9.0", "n_bits": 2000}
+        )
+        a = run_campaign([spec], CampaignConfig(campaign_seed=5)).metrics[0]
+        b = run_campaign([spec], CampaignConfig(campaign_seed=5)).metrics[0]
+        c = run_campaign([spec], CampaignConfig(campaign_seed=6)).metrics[0]
+        assert a == b
+        assert a != c
+        assert 0.0 < a["ber"] < 0.5
+
+
+class TestCampaignEligibility:
+    def test_custom_devices_bypass_engine(self):
+        from repro.hardware.devices import DeviceSpec
+
+        customs = (
+            DeviceSpec("Tiny Tag", 0.01, "wearable"),
+            DeviceSpec("Big Rig", 50.0, "laptop"),
+        )
+        matrix = bluetooth_gain_matrix(devices=customs)
+        assert matrix.gains.shape == (2, 2)
+        assert (matrix.gains >= 1.0 - 1e-9).all()

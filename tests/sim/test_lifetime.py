@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.modes import LinkMode
-from repro.core.regimes import LinkMap
 from repro.hardware.battery import JOULES_PER_WATT_HOUR as WH
 from repro.sim.lifetime import (
     best_single_mode_unidirectional,

@@ -10,7 +10,7 @@ from repro.sim.link import SimulatedLink
 from repro.sim.policies import BluetoothPolicy, BraidioPolicy, FixedModePolicy
 from repro.sim.session import FRAME_OVERHEAD_BITS, CommunicationSession
 from repro.sim.simulator import Simulator
-from repro.sim.traffic import BidirectionalTraffic, SaturatedTraffic
+from repro.sim.traffic import BidirectionalTraffic
 
 
 def _radios(wh_a=1e-5, wh_b=1e-3):
