@@ -2,7 +2,11 @@
 
 Not a paper figure — this tracks the simulator's own speed (packets
 simulated per wall-clock second) so regressions in the hot path show up
-in the benchmark history."""
+in the benchmark history.  The second bench runs the identical session
+with link-outcome memoization disabled, so the cache's contribution is
+visible in the same history (the two sessions produce bit-identical
+metrics; ``tests/sim/test_link_cache.py`` enforces that).
+"""
 
 from repro.core.braidio import BraidioRadio
 from repro.core.regimes import LinkMap
@@ -15,13 +19,13 @@ from repro.sim.simulator import Simulator
 PACKETS = 5_000
 
 
-def _run_session():
+def _run_session(cache=True):
     sim = Simulator(seed=0)
     a = BraidioRadio.for_device("Apple Watch")
     a.battery = Battery(1.0)
     b = BraidioRadio.for_device("iPhone 6S")
     b.battery = Battery(1.0)
-    link = SimulatedLink(LinkMap(), 0.4, sim.rng)
+    link = SimulatedLink(LinkMap(), 0.4, sim.rng, cache=cache)
     session = CommunicationSession(
         sim, a, b, link, BraidioPolicy(), max_packets=PACKETS
     )
@@ -35,6 +39,17 @@ def test_performance_des_throughput(benchmark):
     mean_s = benchmark.stats.stats.mean
     print(f"\nDES throughput: {PACKETS / mean_s:,.0f} packets/s "
           f"({mean_s * 1e3:.1f} ms per {PACKETS}-packet session)")
-    # Guard rail: the simulator should stay above 20k packets/s on any
-    # reasonable machine.
+    # Guard rail: with the memoized hot path the simulator should stay
+    # above 60k packets/s on any reasonable machine (3x the pre-cache
+    # rail of 20k; the reference machine measures ~200k).
+    assert PACKETS / mean_s > 60_000
+
+
+def test_performance_des_throughput_uncached(benchmark):
+    metrics = benchmark(_run_session, cache=False)
+    assert metrics.packets_attempted == PACKETS
+    mean_s = benchmark.stats.stats.mean
+    print(f"\nDES throughput (uncached): {PACKETS / mean_s:,.0f} packets/s "
+          f"({mean_s * 1e3:.1f} ms per {PACKETS}-packet session)")
+    # The pre-memoization rail still holds with the cache off.
     assert PACKETS / mean_s > 20_000

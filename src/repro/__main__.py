@@ -8,6 +8,7 @@ Usage::
     python -m repro export all out/      # write every experiment's CSV
     python -m repro export fig15 out/ --jobs 4 --cache-dir .cache/
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
+    python -m repro profile fig18 --top 30          # cProfile an experiment
 
 The ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags drive the
 campaign engine (:mod:`repro.runtime`): figure-level work fans across
@@ -99,6 +100,25 @@ def _show_exported(experiment: str) -> int:
         for csv_path in sorted(Path(tmp).glob("*.csv")):
             print(f"# {csv_path.name}")
             print(csv_path.read_text().rstrip("\n"))
+    return 0
+
+
+def _profile(experiment: str, top: int, sort: str) -> int:
+    """Run one experiment's exporter under cProfile and print the top-N
+    entries, so perf work can locate the next bottleneck."""
+    import cProfile
+    import pstats
+
+    from .analysis.export import EXPORTERS
+
+    exporter = EXPORTERS[experiment]
+    profiler = cProfile.Profile()
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        profiler.enable()
+        exporter(Path(tmp))
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort).print_stats(top)
     return 0
 
 
@@ -206,6 +226,19 @@ def main(argv: list[str] | None = None) -> int:
     export.add_argument("experiment", choices=sorted(EXPORTERS) + ["all"])
     export.add_argument("directory", type=Path)
     _add_campaign_flags(export)
+    profile = subparsers.add_parser(
+        "profile",
+        help="run one experiment under cProfile and print the hottest entries",
+    )
+    profile.add_argument("experiment", choices=sorted(EXPORTERS))
+    profile.add_argument(
+        "--top", type=_positive_int, default=25, metavar="N",
+        help="number of entries to print (default 25)",
+    )
+    profile.add_argument(
+        "--sort", choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative", help="pstats sort key (default cumulative)",
+    )
     campaign = subparsers.add_parser(
         "campaign",
         help="run experiment campaigns through the parallel engine "
@@ -239,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if all(row.within_tolerance for row in rows) else 1
     if args.command == "show":
         return _show(args.experiment)
+    if args.command == "profile":
+        return _profile(args.experiment, args.top, args.sort)
     if args.command == "campaign":
         return _run_campaign_command(args)
 

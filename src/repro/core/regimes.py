@@ -23,7 +23,12 @@ from ..hardware.power_models import (
     supported_bitrates,
 )
 from ..phy.link_budget import OPERATIONAL_BER, LinkBudget, paper_link_profiles
+from ..phy.modulation import packet_error_rate
 from .modes import ALL_MODES, LinkMode
+
+#: Entries kept in a LinkMap's per-distance availability memo before it is
+#: dropped wholesale (guards distance sweeps against unbounded growth).
+_AVAILABILITY_CACHE_MAX = 4096
 
 
 class Regime(enum.Enum):
@@ -106,6 +111,12 @@ class LinkMap:
         self._target_ber = target_ber
         self._packet_bits = packet_bits
         self._max_packet_error = max_packet_error
+        # Budgets and availability are pure functions of the (immutable)
+        # profile set, so both are memoized: budgets for the per-packet
+        # (mode, bitrate) lookup, availability for the per-distance scans
+        # the controller and policies repeat.
+        self._budget_cache: dict[tuple[LinkMode, int], LinkBudget] = {}
+        self._availability_cache: dict[tuple[LinkMode, float], ModeAvailability] = {}
 
     @property
     def target_ber(self) -> float:
@@ -118,10 +129,28 @@ class LinkMap:
         Raises:
             KeyError: if the combination is not characterized.
         """
-        return self._profiles[(mode.link_budget_name, bitrate_bps)]
+        key = (mode, bitrate_bps)
+        budget = self._budget_cache.get(key)
+        if budget is None:
+            budget = self._profiles[(mode.link_budget_name, bitrate_bps)]
+            self._budget_cache[key] = budget
+        return budget
 
     def availability(self, mode: LinkMode, distance_m: float) -> ModeAvailability:
         """Best supported bitrate of ``mode`` at ``distance_m``."""
+        key = (mode, distance_m)
+        cached = self._availability_cache.get(key)
+        if cached is not None:
+            return cached
+        entry = self._availability_uncached(mode, distance_m)
+        if len(self._availability_cache) >= _AVAILABILITY_CACHE_MAX:
+            self._availability_cache.clear()
+        self._availability_cache[key] = entry
+        return entry
+
+    def _availability_uncached(
+        self, mode: LinkMode, distance_m: float
+    ) -> ModeAvailability:
         for bitrate in supported_bitrates(mode):
             key = (mode.link_budget_name, bitrate)
             if key not in self._profiles:
@@ -131,8 +160,6 @@ class LinkMap:
             if ber > self._target_ber:
                 continue
             if self._packet_bits is not None:
-                from ..phy.modulation import packet_error_rate
-
                 if packet_error_rate(ber, self._packet_bits) > self._max_packet_error:
                     continue
             return ModeAvailability(mode=mode, best_bitrate_bps=bitrate, ber=ber)

@@ -74,6 +74,10 @@ class ModeSchedule:
         self._modes = tuple(mode for mode, _ in items)
         self._fractions = {mode: share / total for mode, share in items}
         self._period = period_packets
+        # mode_for_packet walks packets sequentially, re-deriving the same
+        # round's apportionment `period` times in a row — memoize the last
+        # round computed (the counts are a pure function of the index).
+        self._last_round: tuple[int, list[tuple[LinkMode, int]]] | None = None
 
     @property
     def period_packets(self) -> int:
@@ -92,6 +96,9 @@ class ModeSchedule:
         ``floor(cumulative quota)`` over the round, and one mode absorbs
         the slack so the round always sums to the period.
         """
+        cached = self._last_round
+        if cached is not None and cached[0] == round_index:
+            return cached[1]
         counts: list[tuple[LinkMode, int]] = []
         allocated = 0
         start = round_index * self._period
@@ -104,6 +111,7 @@ class ModeSchedule:
         # The dominant mode takes whatever remains (its own quota plus
         # rounding slack), keeping each round exactly `period` packets.
         counts.insert(0, (self._modes[0], self._period - allocated))
+        self._last_round = (round_index, counts)
         return counts
 
     def entries_for_round(self, round_index: int) -> tuple[ScheduleEntry, ...]:

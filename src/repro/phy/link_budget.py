@@ -23,6 +23,7 @@ AS3993 reader   —         3.0 m     —
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from .constants import CARRIER_FREQUENCY_HZ
 from .modulation import Modulation, bit_error_rate, required_snr_db
@@ -88,11 +89,15 @@ class LinkBudget:
 
     def noise_floor_dbm(self, bitrate_bps: float) -> float:
         """Effective noise floor: thermal noise or the detector floor,
-        whichever dominates."""
-        thermal = self.noise.floor_dbm(bitrate_bps)
-        if self.detector_floor_dbm is None:
-            return thermal
-        return max(thermal, self.detector_floor_dbm)
+        whichever dominates.
+
+        Memoized per (noise model, floor, bitrate): the floor is constant
+        across every packet of a (mode, bitrate) pair, so the ``log10``
+        behind it is paid once instead of per call.
+        """
+        return _cached_noise_floor_dbm(
+            self.noise, self.detector_floor_dbm, bitrate_bps
+        )
 
     def snr_db(self, distance_m: float, bitrate_bps: float) -> float:
         """Post-detection SNR in dB at ``distance_m`` and ``bitrate_bps``."""
@@ -153,6 +158,16 @@ class LinkBudget:
         uncalibrated = replace(self, margin_db=0.0)
         snr_at_range = uncalibrated.snr_db(target_range_m, bitrate_bps)
         return replace(self, margin_db=needed_snr - snr_at_range)
+
+
+@lru_cache(maxsize=256)
+def _cached_noise_floor_dbm(
+    noise: NoiseModel, detector_floor_dbm: float | None, bitrate_bps: float
+) -> float:
+    thermal = noise.floor_dbm(bitrate_bps)
+    if detector_floor_dbm is None:
+        return thermal
+    return max(thermal, detector_floor_dbm)
 
 
 def _one_way_noise() -> NoiseModel:
@@ -226,9 +241,8 @@ PAPER_RANGES_M: dict[tuple[str, int], float] = {
 }
 
 
-def paper_link_profiles() -> dict[tuple[str, int], LinkBudget]:
-    """Link budgets calibrated so each (link, bitrate) pair reproduces the
-    paper's measured operating range exactly."""
+@lru_cache(maxsize=1)
+def _paper_link_profiles_cached() -> dict[tuple[str, int], LinkBudget]:
     bases = {
         "backscatter": backscatter_link_budget(),
         "passive": passive_link_budget(),
@@ -241,6 +255,16 @@ def paper_link_profiles() -> dict[tuple[str, int], LinkBudget]:
             target_range, bitrate
         )
     return profiles
+
+
+def paper_link_profiles() -> dict[tuple[str, int], LinkBudget]:
+    """Link budgets calibrated so each (link, bitrate) pair reproduces the
+    paper's measured operating range exactly.
+
+    Calibration (a bisection per pair) runs once per process; callers get
+    a fresh shallow copy of the mapping over the shared frozen budgets.
+    """
+    return dict(_paper_link_profiles_cached())
 
 
 def link_max_ranges() -> dict[tuple[str, int], float]:

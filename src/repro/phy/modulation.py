@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from enum import Enum
+from functools import lru_cache
 
 from .constants import db_to_linear
 
@@ -75,11 +76,14 @@ def bit_error_rate(modulation: Modulation, snr_db: float) -> float:
     return _BER_FUNCTIONS[modulation](db_to_linear(snr_db))
 
 
+@lru_cache(maxsize=256)
 def required_snr_db(modulation: Modulation, target_ber: float) -> float:
     """Smallest SNR (dB) at which ``modulation`` achieves ``target_ber``.
 
     Inverts the BER expressions analytically where possible and by bisection
-    for the coherent case.
+    for the coherent case.  Memoized — the coherent bisection costs 200
+    BER evaluations and is re-requested with the same handful of targets
+    by every calibration pass.
 
     Raises:
         ValueError: if ``target_ber`` is outside (BER_FLOOR, 0.5).

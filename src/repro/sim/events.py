@@ -1,20 +1,27 @@
 """Event calendar for the discrete-event simulator.
 
-A binary-heap priority queue of (time, sequence, callback) entries.  The
+A binary-heap priority queue of (time, sequence, handle) entries.  The
 monotonically increasing sequence number makes ordering stable for events
 scheduled at the same instant and keeps the heap comparison away from the
 (uncomparable) callbacks.
+
+The queue is on the per-packet hot path (one schedule + one pop per
+packet), so the classes are ``__slots__``-based and the queue keeps an
+O(1) live-event count: cancelled entries are tallied as they are marked
+and the heap is compacted in place once they outnumber the live ones.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
+
+#: Heaps smaller than this are never compacted — rebuilding them costs
+#: more than the dead entries they carry.
+COMPACTION_MIN_HEAP = 64
 
 
-@dataclass(frozen=True)
 class Event:
     """A scheduled event.
 
@@ -22,34 +29,60 @@ class Event:
         time_s: absolute firing time.
         sequence: tie-breaking insertion order.
         callback: zero-argument callable run when the event fires.
-        cancelled: cooperative cancellation flag (mutable via object magic
-            is avoided — see :class:`EventHandle`).
     """
 
-    time_s: float
-    sequence: int
-    callback: Callable[[], None]
+    __slots__ = ("time_s", "sequence", "callback")
+
+    def __init__(
+        self, time_s: float, sequence: int, callback: Callable[[], None]
+    ) -> None:
+        self.time_s = time_s
+        self.sequence = sequence
+        self.callback = callback
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event(time_s={self.time_s!r}, sequence={self.sequence!r})"
 
 
-@dataclass
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`; lets the owner
-    cancel a pending event."""
+    cancel a pending event.
 
-    event: Event
-    cancelled: bool = False
+    Cancellation is cooperative: the entry stays in the heap and is
+    skipped (and counted) when encountered.  Handles report back to their
+    owning queue so the live-event count stays O(1).
+    """
+
+    __slots__ = ("event", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        event: Event,
+        cancelled: bool = False,
+        queue: "Optional[EventQueue]" = None,
+    ) -> None:
+        self.event = event
+        self.cancelled = cancelled
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the queue skips it when popped (idempotent)."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancelled()
+                self._queue = None
 
 
-@dataclass
 class EventQueue:
-    """A time-ordered event queue."""
+    """A time-ordered event queue with an O(1) live count."""
 
-    _heap: list[tuple[float, int, EventHandle]] = field(default_factory=list)
-    _counter: "itertools.count[int]" = field(default_factory=itertools.count)
+    __slots__ = ("_heap", "_counter", "_cancelled")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._counter = itertools.count()
+        self._cancelled = 0
 
     def schedule(self, time_s: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute ``time_s``.
@@ -59,28 +92,54 @@ class EventQueue:
         """
         if time_s < 0.0:
             raise ValueError(f"event time must be non-negative, got {time_s!r}")
-        handle = EventHandle(Event(time_s, next(self._counter), callback))
-        heapq.heappush(self._heap, (time_s, handle.event.sequence, handle))
+        sequence = next(self._counter)
+        handle = EventHandle(Event(time_s, sequence, callback), queue=self)
+        heapq.heappush(self._heap, (time_s, sequence, handle))
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Tally one newly cancelled pending entry; compact when dead
+        entries dominate the heap."""
+        self._cancelled += 1
+        if (
+            len(self._heap) >= COMPACTION_MIN_HEAP
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        live = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled = 0
 
     def pop_next(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or ``None``
         when the queue is exhausted."""
-        while self._heap:
-            _, _, handle = heapq.heappop(self._heap)
-            if not handle.cancelled:
-                return handle.event
+        heap = self._heap
+        while heap:
+            _, _, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                self._cancelled -= 1
+                continue
+            # A cancel() after the pop must not skew the live count.
+            handle._queue = None
+            return handle.event
         return None
 
     def peek_time(self) -> float | None:
         """Firing time of the earliest pending event, or ``None``."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        return len(self._heap) - self._cancelled
 
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()
+        self._cancelled = 0

@@ -105,7 +105,9 @@ class InterferedLink(SimulatedLink):
         interferer: BurstyInterferer,
         fading: BlockFadingProcess | None = None,
     ) -> None:
-        super().__init__(link_map, distance_m, rng, fading=fading)
+        # The burst penalty makes the SNR time-varying even on a static
+        # channel, so the per-(mode, bitrate) memoization must stay off.
+        super().__init__(link_map, distance_m, rng, fading=fading, cache=False)
         self._interferer = interferer
 
     @property

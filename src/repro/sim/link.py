@@ -4,6 +4,17 @@ Wraps the calibrated link budgets with optional block fading and delivers
 per-packet outcomes: given (mode, bitrate, bits, time), draw whether the
 packet survived.  SNR observations (what probe packets would measure) are
 also exposed for the controller.
+
+Hot-path contract: with no fading process attached (the paper's cleared,
+static room) the SNR, BER and packet error rate of a (mode, bitrate,
+packet size) triple are pure functions of the current distance, so the
+link memoizes them instead of re-deriving the full budget chain
+(``log10`` path loss, noise floor, ``exp``/``erfc`` BER, PER power) for
+every packet.  The caches are keyed by (mode, bitrate[, packet_bits]) at
+the current distance and invalidated by :meth:`set_distance`; attaching a
+fading process bypasses them entirely.  Cached lookups never consume
+randomness — the single ``rng.random()`` draw per packet is unchanged —
+so cached and uncached runs are bit-identical.
 """
 
 from __future__ import annotations
@@ -26,7 +37,23 @@ class SimulatedLink:
         fading: optional time-correlated fading process applied (in dB) on
             top of the deterministic budget; ``None`` models the paper's
             cleared, static room.
+        cache: memoize per-(mode, bitrate, packet size) link outcomes when
+            no fading process is attached.  Disabling it only costs speed;
+            results are identical either way.  Subclasses whose ``snr_db``
+            varies with time through anything other than ``fading`` (e.g.
+            :class:`~repro.sim.interference.InterferedLink`) must pass
+            ``cache=False``.
     """
+
+    __slots__ = (
+        "_link_map",
+        "_distance_m",
+        "_rng",
+        "_fading",
+        "_cache_enabled",
+        "_snr_cache",
+        "_per_cache",
+    )
 
     def __init__(
         self,
@@ -34,6 +61,7 @@ class SimulatedLink:
         distance_m: float,
         rng: np.random.Generator,
         fading: BlockFadingProcess | None = None,
+        cache: bool = True,
     ) -> None:
         if distance_m < 0.0:
             raise ValueError("distance must be non-negative")
@@ -41,34 +69,74 @@ class SimulatedLink:
         self._distance_m = distance_m
         self._rng = rng
         self._fading = fading
+        self._cache_enabled = cache
+        # SNR in dB per (mode, bitrate); PER per (mode, bitrate, bits).
+        # Both implicitly keyed by the current distance: set_distance
+        # invalidates them.
+        self._snr_cache: dict[tuple[LinkMode, int], float] = {}
+        self._per_cache: dict[tuple[LinkMode, int, int], float] = {}
 
     @property
     def distance_m(self) -> float:
         """Current separation in metres."""
         return self._distance_m
 
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether static-channel memoization is active (ignored under
+        fading)."""
+        return self._cache_enabled
+
     def set_distance(self, distance_m: float) -> None:
-        """Move the end points to a new separation.
+        """Move the end points to a new separation (invalidates the
+        memoized link outcomes).
 
         Raises:
             ValueError: for negative distances.
         """
         if distance_m < 0.0:
             raise ValueError("distance must be non-negative")
+        if distance_m != self._distance_m:
+            self._snr_cache.clear()
+            self._per_cache.clear()
         self._distance_m = distance_m
 
     def snr_db(self, mode: LinkMode, bitrate_bps: int, time_s: float = 0.0) -> float:
         """Instantaneous SNR of ``mode`` at ``bitrate_bps``."""
+        if self._fading is None and self._cache_enabled:
+            return self._static_snr_db(mode, bitrate_bps)
         budget = self._link_map.budget(mode, bitrate_bps)
         snr = budget.snr_db(self._distance_m, bitrate_bps)
         if self._fading is not None:
             snr += self._fading.gain_db_at(time_s)
         return snr
 
+    def _static_snr_db(self, mode: LinkMode, bitrate_bps: int) -> float:
+        key = (mode, bitrate_bps)
+        snr = self._snr_cache.get(key)
+        if snr is None:
+            budget = self._link_map.budget(mode, bitrate_bps)
+            snr = budget.snr_db(self._distance_m, bitrate_bps)
+            self._snr_cache[key] = snr
+        return snr
+
     def ber(self, mode: LinkMode, bitrate_bps: int, time_s: float = 0.0) -> float:
         """Instantaneous BER of ``mode`` at ``bitrate_bps``."""
         budget = self._link_map.budget(mode, bitrate_bps)
         return bit_error_rate(budget.modulation, self.snr_db(mode, bitrate_bps, time_s))
+
+    def _packet_error_rate(
+        self, mode: LinkMode, bitrate_bps: int, packet_bits: int, time_s: float
+    ) -> float:
+        """PER of one packet shape, memoized on the static channel."""
+        if self._fading is not None or not self._cache_enabled:
+            return packet_error_rate(self.ber(mode, bitrate_bps, time_s), packet_bits)
+        key = (mode, bitrate_bps, packet_bits)
+        per = self._per_cache.get(key)
+        if per is None:
+            per = packet_error_rate(self.ber(mode, bitrate_bps, time_s), packet_bits)
+            self._per_cache[key] = per
+        return per
 
     def packet_success(
         self, mode: LinkMode, bitrate_bps: int, packet_bits: int, time_s: float = 0.0
@@ -80,7 +148,7 @@ class SimulatedLink:
         """
         if packet_bits <= 0:
             raise ValueError("packet size must be positive")
-        per = packet_error_rate(self.ber(mode, bitrate_bps, time_s), packet_bits)
+        per = self._packet_error_rate(mode, bitrate_bps, packet_bits, time_s)
         return bool(self._rng.random() >= per)
 
     def expected_packet_success(
@@ -89,6 +157,4 @@ class SimulatedLink:
         """Deterministic delivery probability (for analytic cross-checks)."""
         if packet_bits <= 0:
             raise ValueError("packet size must be positive")
-        return 1.0 - packet_error_rate(
-            self.ber(mode, bitrate_bps, time_s), packet_bits
-        )
+        return 1.0 - self._packet_error_rate(mode, bitrate_bps, packet_bits, time_s)

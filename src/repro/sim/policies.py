@@ -25,7 +25,11 @@ from ..hardware.power_models import ModePower
 
 @dataclass(frozen=True)
 class PacketDecision:
-    """The policy's verdict for one packet."""
+    """The policy's verdict for one packet.
+
+    Frozen and value-like: policies are free to hand back the same cached
+    instance for every packet whose verdict is unchanged.
+    """
 
     mode: LinkMode
     bitrate_bps: int
@@ -34,10 +38,25 @@ class PacketDecision:
 
 
 class BraidioPolicy:
-    """Energy-aware carrier offload (the paper's contribution)."""
+    """Energy-aware carrier offload (the paper's contribution).
+
+    Per-packet decisions follow the committed schedule, so the *mode* can
+    change packet to packet — but the (mode, bitrate, powers) tuple for a
+    given mode only changes when the controller re-plans.  Decisions are
+    therefore cached per mode and invalidated on every re-plan (tracked
+    via the controller's ``replans`` counter, which also covers fallback
+    and re-probe re-plans).
+    """
+
+    #: Sessions may skip ``next_packet()`` only when this is a non-None
+    #: epoch that has not changed.  ``None`` signals "call every packet" —
+    #: required here because the schedule itself advances per packet.
+    decision_epoch: None = None
 
     def __init__(self, controller: DynamicOffloadController | None = None) -> None:
         self._controller = controller or DynamicOffloadController()
+        self._decision_plan_epoch = -1
+        self._decisions: dict[LinkMode, PacketDecision] = {}
 
     @property
     def controller(self) -> DynamicOffloadController:
@@ -50,14 +69,23 @@ class BraidioPolicy:
 
     def next_packet(self) -> PacketDecision:
         """Mode/power for the next packet per the committed schedule."""
-        mode, bitrate = self._controller.next_packet_mode()
-        power = self._controller.plan.power_for(mode)
-        return PacketDecision(
-            mode=mode,
-            bitrate_bps=bitrate,
-            tx_power_w=power.tx_w,
-            rx_power_w=power.rx_w,
-        )
+        controller = self._controller
+        mode, bitrate = controller.next_packet_mode()
+        epoch = controller.replans
+        if epoch != self._decision_plan_epoch:
+            self._decisions.clear()
+            self._decision_plan_epoch = epoch
+        decision = self._decisions.get(mode)
+        if decision is None or decision.bitrate_bps != bitrate:
+            power = controller.plan.power_for(mode)
+            decision = PacketDecision(
+                mode=mode,
+                bitrate_bps=bitrate,
+                tx_power_w=power.tx_w,
+                rx_power_w=power.rx_w,
+            )
+            self._decisions[mode] = decision
+        return decision
 
     def record_outcome(self, mode: LinkMode, success: bool) -> None:
         """Feed back packet outcomes (drives fallback)."""
@@ -89,6 +117,8 @@ class FixedModePolicy:
         self._mode = mode
         self._link_map = link_map if link_map is not None else LinkMap()
         self._power: ModePower | None = None
+        self._decision: PacketDecision | None = None
+        self.decision_epoch = 0
 
     def start(self, distance_m: float, e1_j: float, e2_j: float) -> None:
         """Resolve the best bitrate for the pinned mode at this distance."""
@@ -98,21 +128,25 @@ class FixedModePolicy:
                 f"{self._mode} does not operate at {distance_m} m"
             )
         self._power = availability.power()
-
-    def next_packet(self) -> PacketDecision:
-        """Always the pinned mode.
-
-        Raises:
-            RuntimeError: before :meth:`start`.
-        """
-        if self._power is None:
-            raise RuntimeError("policy not started")
-        return PacketDecision(
+        # The verdict is frozen until the next start/update_distance, so
+        # build it once and bump the epoch for session-side caching.
+        self._decision = PacketDecision(
             mode=self._mode,
             bitrate_bps=self._power.bitrate_bps,
             tx_power_w=self._power.tx_w,
             rx_power_w=self._power.rx_w,
         )
+        self.decision_epoch += 1
+
+    def next_packet(self) -> PacketDecision:
+        """Always the pinned mode (the same cached instance every packet).
+
+        Raises:
+            RuntimeError: before :meth:`start`.
+        """
+        if self._decision is None:
+            raise RuntimeError("policy not started")
+        return self._decision
 
     def record_outcome(self, mode: LinkMode, success: bool) -> None:
         """Fixed policy ignores outcomes (no adaptation)."""
@@ -128,20 +162,25 @@ class FixedModePolicy:
 class BluetoothPolicy:
     """Symmetric Bluetooth baseline: the active link at CC2541 power."""
 
+    #: The baseline never adapts, so one epoch covers the whole session.
+    decision_epoch = 0
+
     def __init__(self, baseline: BluetoothBaseline | None = None) -> None:
         self._baseline = baseline or BluetoothBaseline()
-
-    def start(self, distance_m: float, e1_j: float, e2_j: float) -> None:
-        """Bluetooth needs no negotiation."""
-
-    def next_packet(self) -> PacketDecision:
-        """Always the active link at the baseline's symmetric power."""
-        return PacketDecision(
+        self._decision = PacketDecision(
             mode=LinkMode.ACTIVE,
             bitrate_bps=self._baseline.bitrate_bps,
             tx_power_w=self._baseline.tx_power_w,
             rx_power_w=self._baseline.rx_power_w,
         )
+
+    def start(self, distance_m: float, e1_j: float, e2_j: float) -> None:
+        """Bluetooth needs no negotiation."""
+
+    def next_packet(self) -> PacketDecision:
+        """Always the active link at the baseline's symmetric power (the
+        same cached instance every packet)."""
+        return self._decision
 
     def record_outcome(self, mode: LinkMode, success: bool) -> None:
         """No adaptation."""

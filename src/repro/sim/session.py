@@ -100,13 +100,25 @@ class CommunicationSession:
         self._last_mode: LinkMode | None = None
         self._finished = False
 
+        # Steady-state hot-path invariants, hoisted out of _send_packet:
+        # every traffic pattern has a per-session-constant payload size,
+        # and endpoint pairs per direction never change.
+        self._payload_bits = 8 * self._traffic.payload_bytes
+        self._air_bits = self._payload_bits + FRAME_OVERHEAD_BITS
+        self._endpoint_pairs = ((device_a, device_b), (device_b, device_a))
+        # Per-direction decision cache: policies whose verdict cannot
+        # change between re-plans advertise a non-None ``decision_epoch``;
+        # the session then skips next_packet() until the epoch moves.
+        self._cached_decisions: list[object | None] = [None, None]
+        self._cached_epochs: list[int | None] = [None, None]
+
     @property
     def finished(self) -> bool:
         """Whether the session hit a stop condition."""
         return self._finished
 
     def _endpoints(self, direction: int) -> tuple[BraidioRadio, BraidioRadio]:
-        return (self._a, self._b) if direction == 0 else (self._b, self._a)
+        return self._endpoint_pairs[direction]
 
     def start(self) -> None:
         """Negotiate policies and schedule the first packet.
@@ -150,12 +162,18 @@ class CommunicationSession:
             return
 
         direction = self._traffic.direction_for_packet(self._packet_index)
-        tx, rx = self._endpoints(direction)
+        tx, rx = self._endpoint_pairs[direction]
         policy = self._policies[direction]
-        decision = policy.next_packet()
+        epoch = getattr(policy, "decision_epoch", None)
+        if epoch is not None and epoch == self._cached_epochs[direction]:
+            decision = self._cached_decisions[direction]
+        else:
+            decision = policy.next_packet()
+            self._cached_epochs[direction] = epoch
+            self._cached_decisions[direction] = decision
 
-        payload_bits = 8 * self._traffic.payload_bytes
-        air_bits = payload_bits + FRAME_OVERHEAD_BITS
+        payload_bits = self._payload_bits
+        air_bits = self._air_bits
         duration_s = air_bits / decision.bitrate_bps
 
         # Table 5 switching overhead on mode transitions.

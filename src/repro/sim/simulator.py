@@ -75,11 +75,22 @@ class Simulator:
         Time advances to ``until_s`` even if the queue drains earlier, so
         repeated bounded runs observe a consistent clock.
         """
+        if until_s is None and max_events is None:
+            # Unbounded fast path: no per-event bound checks and a single
+            # heap operation per event (no peek-then-pop double scan).
+            pop_next = self._queue.pop_next
+            while (event := pop_next()) is not None:
+                self._now_s = event.time_s
+                event.callback()
+                self._event_count += 1
+            return
+        peek_time = self._queue.peek_time
+        pop_next = self._queue.pop_next
         fired = 0
         while True:
             if max_events is not None and fired >= max_events:
                 return
-            next_time = self._queue.peek_time()
+            next_time = peek_time()
             if next_time is None:
                 if until_s is not None:
                     self._now_s = max(self._now_s, until_s)
@@ -87,7 +98,7 @@ class Simulator:
             if until_s is not None and next_time > until_s:
                 self._now_s = until_s
                 return
-            event = self._queue.pop_next()
+            event = pop_next()
             if event is None:
                 continue
             self._now_s = event.time_s

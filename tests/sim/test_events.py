@@ -53,6 +53,57 @@ class TestCancellation:
         assert queue.peek_time() == 2.0
 
 
+class TestLiveCountAndCompaction:
+    def test_len_tracks_cancellations(self):
+        queue = EventQueue()
+        handles = [queue.schedule(float(i), lambda: None) for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert len(queue) == 6
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        handle = queue.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pop_next() is handle.event
+        handle.cancel()  # already fired; must not decrement the live count
+        assert len(queue) == 1
+        assert queue.pop_next() is not None
+        assert queue.pop_next() is None
+
+    def test_compaction_shrinks_heap_and_preserves_order(self):
+        queue = EventQueue()
+        fired = []
+        handles = [
+            queue.schedule(float(i), lambda i=i: fired.append(i)) for i in range(100)
+        ]
+        for handle in handles[::2]:  # cancel 50 of 100 -> majority dead soon
+            handle.cancel()
+        handles[1].cancel()  # tips cancelled past half the heap
+        assert len(queue._heap) < 100  # physically compacted
+        assert len(queue) == 49
+        while (event := queue.pop_next()) is not None:
+            event.callback()
+        assert fired == [i for i in range(3, 100, 2)]
+
+    def test_small_heaps_skip_compaction(self):
+        queue = EventQueue()
+        handles = [queue.schedule(float(i), lambda: None) for i in range(8)]
+        for handle in handles[:6]:
+            handle.cancel()
+        # Below the compaction floor the dead entries stay until popped.
+        assert len(queue._heap) == 8
+        assert len(queue) == 2
+
+
 class TestHousekeeping:
     def test_empty_queue(self):
         queue = EventQueue()

@@ -59,6 +59,55 @@ class TestFixedModePolicy:
         with pytest.raises(RuntimeError):
             FixedModePolicy(LinkMode.ACTIVE).next_packet()
 
+
+class TestDecisionCaching:
+    def test_fixed_policy_returns_cached_instance(self):
+        policy = FixedModePolicy(LinkMode.PASSIVE)
+        policy.start(1.0, 1.0, 1.0)
+        assert policy.next_packet() is policy.next_packet()
+
+    def test_fixed_policy_epoch_bumps_on_distance_update(self):
+        policy = FixedModePolicy(LinkMode.BACKSCATTER)
+        policy.start(0.5, 1.0, 1.0)
+        first = policy.next_packet()
+        epoch = policy.decision_epoch
+        policy.update_distance(1.2)  # 1 Mbps -> 100 kbps step
+        assert policy.decision_epoch != epoch
+        second = policy.next_packet()
+        assert second is not first
+        assert second.bitrate_bps == 100_000
+
+    def test_bluetooth_policy_returns_cached_instance(self):
+        policy = BluetoothPolicy()
+        policy.start(1.0, 1.0, 1.0)
+        assert policy.next_packet() is policy.next_packet()
+        assert policy.decision_epoch == 0
+
+    def test_braidio_policy_epoch_is_none(self):
+        # The schedule advances per packet, so sessions must keep calling.
+        assert BraidioPolicy.decision_epoch is None
+
+    def test_braidio_reuses_decision_within_plan(self):
+        policy = BraidioPolicy()
+        policy.start(0.3, 1.0, 1000.0)
+        by_mode = {}
+        for _ in range(64):
+            decision = policy.next_packet()
+            assert by_mode.setdefault(decision.mode, decision) is decision
+
+    def test_braidio_rebuilds_decisions_after_replan(self):
+        policy = BraidioPolicy()
+        policy.start(0.3, 1.0, 1000.0)
+        before = next(
+            d for d in (policy.next_packet() for _ in range(64))
+            if d.mode is LinkMode.BACKSCATTER
+        )
+        for _ in range(16):  # trips the failure fallback -> re-plan
+            policy.record_outcome(LinkMode.BACKSCATTER, False)
+        assert policy.controller.fallbacks == 1
+        after = policy.next_packet()
+        assert after is not before
+
     def test_update_distance_rebinds_bitrate(self):
         policy = FixedModePolicy(LinkMode.BACKSCATTER)
         policy.start(0.3, 1.0, 1.0)
