@@ -9,6 +9,7 @@ Usage::
     python -m repro export fig15 out/ --jobs 4 --cache-dir .cache/
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
     python -m repro profile fig18 --top 30          # cProfile an experiment
+    python -m repro energy braidio-arq              # ledger breakdown table
 
 The ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags drive the
 campaign engine (:mod:`repro.runtime`): figure-level work fans across
@@ -100,6 +101,22 @@ def _show_exported(experiment: str) -> int:
         for csv_path in sorted(Path(tmp).glob("*.csv")):
             print(f"# {csv_path.name}")
             print(csv_path.read_text().rstrip("\n"))
+    return 0
+
+
+def _energy(args: argparse.Namespace) -> int:
+    """Print the per-device, per-category ledger breakdown of one
+    profiled session (the ``energy`` subcommand)."""
+    from .analysis.energy_report import render_energy
+
+    print(
+        render_energy(
+            args.experiment,
+            distance_m=args.distance,
+            packets=args.packets,
+            seed=args.seed,
+        )
+    )
     return 0
 
 
@@ -239,6 +256,25 @@ def main(argv: list[str] | None = None) -> int:
         "--sort", choices=["cumulative", "tottime", "ncalls"],
         default="cumulative", help="pstats sort key (default cumulative)",
     )
+    from .analysis.energy_report import ENERGY_PROFILES
+
+    energy = subparsers.add_parser(
+        "energy",
+        help="print the per-device, per-category energy ledger breakdown "
+        "of a profiled session",
+    )
+    energy.add_argument("experiment", choices=list(ENERGY_PROFILES))
+    energy.add_argument(
+        "--distance", type=float, default=0.5, metavar="M",
+        help="device separation in metres (default 0.5)",
+    )
+    energy.add_argument(
+        "--packets", type=_positive_int, default=2000, metavar="N",
+        help="packet budget for the session (default 2000)",
+    )
+    energy.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
     campaign = subparsers.add_parser(
         "campaign",
         help="run experiment campaigns through the parallel engine "
@@ -274,6 +310,8 @@ def main(argv: list[str] | None = None) -> int:
         return _show(args.experiment)
     if args.command == "profile":
         return _profile(args.experiment, args.top, args.sort)
+    if args.command == "energy":
+        return _energy(args)
     if args.command == "campaign":
         return _run_campaign_command(args)
 

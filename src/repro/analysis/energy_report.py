@@ -1,0 +1,177 @@
+"""Per-device, per-category energy breakdowns of representative sessions.
+
+The ledger (DESIGN.md §8) attributes every charged joule to a category;
+this module runs short, deterministic DES sessions over a set of named
+profiles and renders the attribution — as a text table for the
+``python -m repro energy`` subcommand, as CSV rows for the ``energy``
+exporter, and as plain dicts for the ``session.energy`` campaign runner.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..core.braidio import BraidioRadio
+from ..core.modes import LinkMode
+from ..core.regimes import LinkMap
+from ..energy import CATEGORIES, LedgerSnapshot
+from ..hardware.battery import Battery
+from ..sim.link import SimulatedLink
+from ..sim.policies import BluetoothPolicy, BraidioPolicy, FixedModePolicy
+from ..sim.results import SessionMetrics
+from ..sim.session import CommunicationSession
+from ..sim.simulator import Simulator
+from ..sim.traffic import BidirectionalTraffic, ConstantBitrateTraffic
+
+#: Default end points for the profiled sessions (paper's watch -> phone).
+DEFAULT_DEVICES = ("Apple Watch", "iPhone 6S")
+
+
+def _session_kwargs(profile: str) -> dict:
+    """Session constructor arguments for one named profile.
+
+    Raises:
+        ValueError: for unknown profile names.
+    """
+    if profile == "braidio":
+        return {"policy_ab": BraidioPolicy()}
+    if profile == "braidio-arq":
+        return {"policy_ab": BraidioPolicy(), "arq": True}
+    if profile == "backscatter-arq":
+        return {"policy_ab": FixedModePolicy(LinkMode.BACKSCATTER), "arq": True}
+    if profile == "bluetooth":
+        return {"policy_ab": BluetoothPolicy()}
+    if profile == "bidirectional":
+        return {
+            "policy_ab": BraidioPolicy(),
+            "policy_ba": BraidioPolicy(),
+            "traffic": BidirectionalTraffic(),
+        }
+    if profile == "idle":
+        return {
+            "policy_ab": BraidioPolicy(),
+            "traffic": ConstantBitrateTraffic(offered_bps=50_000.0),
+        }
+    if profile == "harvest":
+        from ..hardware.harvesting import RfHarvester
+
+        return {
+            "policy_ab": FixedModePolicy(LinkMode.BACKSCATTER),
+            "tag_harvester": RfHarvester(),
+        }
+    raise ValueError(
+        f"unknown energy profile {profile!r} "
+        f"(known: {', '.join(ENERGY_PROFILES)})"
+    )
+
+
+#: Named session profiles the energy tooling can run.
+ENERGY_PROFILES: tuple[str, ...] = (
+    "braidio",
+    "braidio-arq",
+    "backscatter-arq",
+    "bluetooth",
+    "bidirectional",
+    "idle",
+    "harvest",
+)
+
+
+def run_energy_session(
+    profile: str,
+    distance_m: float = 0.5,
+    packets: int = 2000,
+    seed: int = 0,
+    battery_wh: float = 1.0,
+    devices: Sequence[str] = DEFAULT_DEVICES,
+) -> SessionMetrics:
+    """Run one profiled session and return its ledger-backed metrics.
+
+    Deterministic in all arguments (fresh kernel seeded with ``seed``).
+
+    Raises:
+        ValueError: for unknown profile names.
+    """
+    kwargs = _session_kwargs(profile)
+    if profile == "harvest":
+        distance_m = min(distance_m, 0.4)  # stay in backscatter range
+    simulator = Simulator(seed=seed)
+    device_a = BraidioRadio.for_device(devices[0])
+    device_a.battery = Battery(battery_wh)
+    device_b = BraidioRadio.for_device(devices[1])
+    device_b.battery = Battery(battery_wh)
+    link = SimulatedLink(LinkMap(), distance_m, simulator.rng)
+    session = CommunicationSession(
+        simulator,
+        device_a,
+        device_b,
+        link,
+        max_packets=packets,
+        **kwargs,
+    )
+    return session.run()
+
+
+def breakdown_rows(
+    profiles: "Iterable[str] | None" = None,
+    distance_m: float = 0.5,
+    packets: int = 2000,
+    seed: int = 0,
+) -> tuple[list[str], list[list[object]]]:
+    """(header, rows) of the per-account category breakdown, one row per
+    (profile, ledger account)."""
+    header = (
+        ["experiment", "account", "device"]
+        + [f"{c.label}_j" for c in CATEGORIES]
+        + ["metered_total_j", "attributed_j", "remaining_j", "capacity_j"]
+    )
+    rows: list[list[object]] = []
+    for profile in profiles if profiles is not None else ENERGY_PROFILES:
+        metrics = run_energy_session(
+            profile, distance_m=distance_m, packets=packets, seed=seed
+        )
+        for account in metrics.ledger_snapshot().accounts:
+            rows.append(
+                [profile, account.name, account.label]
+                + [account.categories[c] for c in CATEGORIES]
+                + [
+                    account.metered_j,
+                    account.attributed_j,
+                    account.remaining_j,
+                    account.capacity_j,
+                ]
+            )
+    return header, rows
+
+
+def render_energy(
+    profile: str,
+    distance_m: float = 0.5,
+    packets: int = 2000,
+    seed: int = 0,
+) -> str:
+    """The ``python -m repro energy`` view: the per-device, per-category
+    ledger table plus a one-line session summary."""
+    metrics = run_energy_session(
+        profile, distance_m=distance_m, packets=packets, seed=seed
+    )
+    snapshot = metrics.ledger_snapshot()
+    summary = (
+        f"{profile}: {metrics.packets_delivered}/{metrics.packets_attempted} "
+        f"packets in {metrics.duration_s:.3f}s at {distance_m} m "
+        f"(terminated by {metrics.terminated_by or 'n/a'}, "
+        f"{metrics.mode_switches} mode switches)"
+    )
+    return summary + "\n\n" + snapshot.format_table()
+
+
+def snapshot_report(snapshot: LedgerSnapshot) -> dict[str, object]:
+    """JSON-safe breakdown used by the ``session.energy`` campaign runner
+    and embedded in run manifests."""
+    return {
+        "energy_breakdown_j": snapshot.category_totals(),
+        "accounts": [entry.to_dict() for entry in snapshot.accounts],
+        "switch_pool_j": snapshot.switch_pool_j,
+        "idle_pool_j": snapshot.idle_pool_j,
+    }

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from .ber_sweep import mode_ber_curves, reader_comparison_curves
 from .charge_pump_fig import charge_pump_figure
 from .distance_sweep import paper_distance_curves
+from .energy_report import breakdown_rows
 from .gain_matrix import (
     best_mode_gain_matrix,
     bidirectional_gain_matrix,
@@ -179,6 +180,13 @@ def export_fig18(
     return _write_rows(directory / "fig18_distance.csv", header, rows.tolist())
 
 
+def export_energy(directory: Path) -> Path:
+    """Per-device, per-category ledger breakdown of the profiled
+    sessions (see :mod:`repro.analysis.energy_report`)."""
+    header, rows = breakdown_rows()
+    return _write_rows(directory / "energy_breakdown.csv", header, rows)
+
+
 #: Experiment ids whose exporter fans work through the campaign engine
 #: (accepts a ``campaign=`` CampaignConfig keyword).
 CAMPAIGN_AWARE: frozenset[str] = frozenset({"fig15", "fig16", "fig17", "fig18"})
@@ -199,6 +207,7 @@ EXPORTERS: dict[str, Callable[[Path], Path]] = {
     "fig16": export_fig16,
     "fig17": export_fig17,
     "fig18": export_fig18,
+    "energy": export_energy,
 }
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..energy.budget import EnergyBudget
 from ..hardware.battery import Battery
 from ..hardware.braidio_board import BraidioBoard
 from ..hardware.devices import DeviceSpec, device
@@ -52,6 +53,10 @@ class BraidioRadio:
     def name(self) -> str:
         """Host device name."""
         return self.spec.name
+
+    def energy_budget(self) -> EnergyBudget:
+        """A planning-layer view of this radio's remaining energy."""
+        return EnergyBudget.from_battery(self.battery, source=self.spec.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BraidioRadio({self.spec.name!r}, {self.battery!r})"
@@ -96,13 +101,11 @@ def plan_transfer(
         InfeasibleOffloadError: if no mode works at ``distance_m``.
     """
     controller = DynamicOffloadController(link_map=link_map)
-    plan = controller.start(
-        distance_m, transmitter.battery.remaining_j, receiver.battery.remaining_j
-    )
+    tx_budget = transmitter.energy_budget()
+    rx_budget = receiver.energy_budget()
+    plan = controller.start(distance_m, tx_budget, rx_budget)
     solution = plan.solution
-    bits = solution.total_bits(
-        transmitter.battery.remaining_j, receiver.battery.remaining_j
-    )
+    bits = solution.total_bits(tx_budget, rx_budget)
     mean_rate = solution.mean_bitrate_bps()
     tx_power = solution.tx_energy_per_bit_j * mean_rate
     rx_power = solution.rx_energy_per_bit_j * mean_rate

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..energy.budget import BudgetLike, as_joules
 from ..hardware.power_models import ModePower
 from ..mac.scheduler import ModeSchedule
 from .modes import LinkMode
@@ -148,21 +149,26 @@ class DynamicOffloadController:
         """The availability map the controller plans against."""
         return self._link_map
 
-    def start(self, distance_m: float, e1_j: float, e2_j: float) -> OffloadPlan:
+    def start(
+        self, distance_m: float, e1_j: BudgetLike, e2_j: BudgetLike
+    ) -> OffloadPlan:
         """Initial negotiation: prune, solve, schedule.
+
+        Budgets may be raw joules or :class:`~repro.energy.EnergyBudget`
+        views (e.g. a ledger account's).
 
         Raises:
             InfeasibleOffloadError: if no mode works at ``distance_m``.
         """
         self._distance_m = distance_m
-        self._e1_j = e1_j
-        self._e2_j = e2_j
+        self._e1_j = as_joules(e1_j)
+        self._e2_j = as_joules(e2_j)
         self._plan = self._compute_plan()
         self._last_plan_packet = self._packet_index
         return self._plan
 
     def start_from_reports(
-        self, reports, e1_j: float, e2_j: float, max_ber: float | None = None
+        self, reports, e1_j: BudgetLike, e2_j: BudgetLike, max_ber: float | None = None
     ) -> OffloadPlan:
         """Negotiate from *measured* link quality instead of the oracle
         availability map — the §4.2 flow where probe packets determine the
@@ -194,6 +200,8 @@ class DynamicOffloadController:
         candidates = [
             paper_mode_power(mode, bitrate) for mode, bitrate in best.items()
         ]
+        e1_j = as_joules(e1_j)
+        e2_j = as_joules(e2_j)
         self._e1_j = e1_j
         self._e2_j = e2_j
         solution = solve_offload(candidates, e1_j, e2_j)
@@ -279,10 +287,12 @@ class DynamicOffloadController:
         self.fallbacks += 1
         self._replan()
 
-    def update_energy(self, e1_j: float, e2_j: float) -> None:
+    def update_energy(self, e1_j: BudgetLike, e2_j: BudgetLike) -> None:
         """Refresh battery levels; re-plans when the ratio drifts by more
         than 10% (the paper re-computes "if SNR or loss rate changes
         significantly"; energy drift matters on the same grounds)."""
+        e1_j = as_joules(e1_j)
+        e2_j = as_joules(e2_j)
         if e1_j <= 0.0 or e2_j <= 0.0:
             raise ValueError("energies must stay positive while operating")
         old_ratio = self._e1_j / self._e2_j

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..energy.budget import BudgetLike, as_joules
 from ..hardware.power_models import ModePower
 from .modes import LinkMode
 
@@ -75,8 +76,10 @@ class OffloadSolution:
         """Eq 1 objective value."""
         return self.tx_energy_per_bit_j + self.rx_energy_per_bit_j
 
-    def total_bits(self, e1_j: float, e2_j: float) -> float:
+    def total_bits(self, e1_j: BudgetLike, e2_j: BudgetLike) -> float:
         """Bits deliverable before either battery dies under this mix."""
+        e1_j = as_joules(e1_j)
+        e2_j = as_joules(e2_j)
         if e1_j <= 0.0 or e2_j <= 0.0:
             return 0.0
         tx_per_bit = self.tx_energy_per_bit_j
@@ -113,7 +116,7 @@ def _ratio_of(point: ModePower) -> float:
 
 
 def solve_offload(
-    points: Sequence[ModePower], e1_j: float, e2_j: float
+    points: Sequence[ModePower], e1_j: BudgetLike, e2_j: BudgetLike
 ) -> OffloadSolution:
     """Solve Eq 1 for the given candidate points and end-point energies.
 
@@ -132,6 +135,8 @@ def solve_offload(
     """
     if not points:
         raise InfeasibleOffloadError("no operating points available")
+    e1_j = as_joules(e1_j)
+    e2_j = as_joules(e2_j)
     if e1_j <= 0.0 or e2_j <= 0.0:
         raise ValueError("both end points need positive energy")
 
@@ -225,7 +230,7 @@ def _pure_solution(
 
 
 def verify_with_linprog(
-    points: Sequence[ModePower], e1_j: float, e2_j: float
+    points: Sequence[ModePower], e1_j: BudgetLike, e2_j: BudgetLike
 ) -> OffloadSolution | None:
     """Solve the same LP with :func:`scipy.optimize.linprog` (HiGHS).
 
@@ -236,6 +241,8 @@ def verify_with_linprog(
 
     if not points:
         raise InfeasibleOffloadError("no operating points available")
+    e1_j = as_joules(e1_j)
+    e2_j = as_joules(e2_j)
     rho = e1_j / e2_j
     costs = [p.tx_energy_per_bit_j + p.rx_energy_per_bit_j for p in points]
     g = [p.tx_energy_per_bit_j - rho * p.rx_energy_per_bit_j for p in points]
@@ -261,7 +268,7 @@ def verify_with_linprog(
 
 
 def solve_max_bits(
-    points: Sequence[ModePower], e1_j: float, e2_j: float
+    points: Sequence[ModePower], e1_j: BudgetLike, e2_j: BudgetLike
 ) -> OffloadSolution:
     """Maximize deliverable bits with *soft* proportionality.
 
@@ -282,6 +289,8 @@ def solve_max_bits(
     """
     if not points:
         raise InfeasibleOffloadError("no operating points available")
+    e1_j = as_joules(e1_j)
+    e2_j = as_joules(e2_j)
     if e1_j <= 0.0 or e2_j <= 0.0:
         raise ValueError("both end points need positive energy")
 
@@ -330,7 +339,7 @@ def solve_max_bits(
 
 
 def best_single_mode(
-    points: Sequence[ModePower], e1_j: float, e2_j: float
+    points: Sequence[ModePower], e1_j: BudgetLike, e2_j: BudgetLike
 ) -> tuple[ModePower, float]:
     """The single operating point that maximizes deliverable bits (the
     Fig 16 baseline: "the best of the three modes in isolation").
@@ -343,6 +352,8 @@ def best_single_mode(
     """
     if not points:
         raise InfeasibleOffloadError("no operating points available")
+    e1_j = as_joules(e1_j)
+    e2_j = as_joules(e2_j)
 
     def bits(p: ModePower) -> float:
         if e1_j <= 0.0 or e2_j <= 0.0:

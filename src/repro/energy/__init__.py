@@ -1,0 +1,36 @@
+"""Attributed energy accounting (ledger, budgets, snapshots).
+
+The one place joules are charged, attributed, and read.  See DESIGN.md §8
+for the ledger contract.
+"""
+
+from ..hardware.battery import BatteryEmptyError
+from .budget import JOULES_PER_WATT_HOUR, BudgetLike, EnergyBudget, as_joules
+from .ledger import (
+    CATEGORIES,
+    N_CATEGORIES,
+    AccountSnapshot,
+    ChargeCategory,
+    EnergyLedger,
+    LedgerAccount,
+    LedgerSnapshot,
+    conservation_residual_j,
+    merge_category_totals,
+)
+
+__all__ = [
+    "AccountSnapshot",
+    "BatteryEmptyError",
+    "BudgetLike",
+    "CATEGORIES",
+    "ChargeCategory",
+    "EnergyBudget",
+    "EnergyLedger",
+    "JOULES_PER_WATT_HOUR",
+    "LedgerAccount",
+    "LedgerSnapshot",
+    "N_CATEGORIES",
+    "as_joules",
+    "conservation_residual_j",
+    "merge_category_totals",
+]

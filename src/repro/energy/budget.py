@@ -1,0 +1,108 @@
+"""Energy budget views for the planning layers.
+
+The offload optimization, the analytic lifetime engine and the hub LP all
+reason about "how many joules does this end point have left".  Before the
+ledger refactor each of them re-derived that number from a different
+source (a raw ``battery.remaining_j`` float, a ``battery_wh * 3600``
+product, a protocol announcement).  :class:`EnergyBudget` is the one view
+they now share: a frozen snapshot of available energy, optionally tagged
+with its capacity and provenance, convertible from any energy store the
+codebase has.
+
+Planning entry points accept ``float | EnergyBudget`` and normalize via
+:func:`as_joules`, so existing float-based callers (and tests) keep
+working unchanged while ledger-backed callers pass attributed views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.battery import Battery
+
+#: Joules per watt-hour (mirrors :mod:`repro.hardware.battery`).
+JOULES_PER_WATT_HOUR = 3600.0
+
+
+class _HasBatteryWh(Protocol):
+    """Anything with a nameplate watt-hour rating and a name (device specs)."""
+
+    @property
+    def battery_wh(self) -> float: ...
+
+    @property
+    def name(self) -> str: ...
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """A read-only view of the energy available to one end point.
+
+    Attributes:
+        available_j: joules the planner may spend.
+        capacity_j: nameplate capacity in joules, or ``None`` when the
+            view is not backed by a bounded store.
+        source: provenance label (device or ledger-account name; "" when
+            anonymous).
+    """
+
+    available_j: float
+    capacity_j: "float | None" = None
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.available_j < 0.0:
+            raise ValueError(f"available energy must be >= 0, got {self.available_j!r}")
+        if self.capacity_j is not None and self.capacity_j < self.available_j:
+            raise ValueError(
+                f"capacity {self.capacity_j!r} J below available {self.available_j!r} J"
+            )
+
+    @property
+    def available_wh(self) -> float:
+        """Available energy in watt-hours."""
+        return self.available_j / JOULES_PER_WATT_HOUR
+
+    @property
+    def state_of_charge(self) -> "float | None":
+        """Available / capacity, or ``None`` for unbounded views."""
+        if self.capacity_j is None or self.capacity_j == 0.0:
+            return None
+        return self.available_j / self.capacity_j
+
+    @classmethod
+    def from_battery(cls, battery: "Battery", source: str = "") -> "EnergyBudget":
+        """Snapshot a live battery."""
+        return cls(
+            available_j=battery.remaining_j,
+            capacity_j=battery.capacity_j,
+            source=source,
+        )
+
+    @classmethod
+    def from_wh(cls, watt_hours: float, source: str = "") -> "EnergyBudget":
+        """A fresh store of ``watt_hours`` (capacity == available)."""
+        joules = watt_hours * JOULES_PER_WATT_HOUR
+        return cls(available_j=joules, capacity_j=joules, source=source)
+
+    @classmethod
+    def from_device(cls, spec: _HasBatteryWh) -> "EnergyBudget":
+        """A fresh budget for a Fig 1 catalog device spec."""
+        return cls.from_wh(spec.battery_wh, source=spec.name)
+
+
+#: What planning entry points accept wherever joules are expected.
+BudgetLike = Union[float, int, EnergyBudget]
+
+
+def as_joules(value: BudgetLike) -> float:
+    """Normalize a budget-like value to raw joules.
+
+    Floats (and ints / numpy scalars) pass through unchanged, so the
+    pre-ledger call sites keep their exact numeric behavior.
+    """
+    if isinstance(value, EnergyBudget):
+        return value.available_j
+    return float(value)

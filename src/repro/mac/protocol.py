@@ -18,9 +18,14 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..modes import LinkMode
 from .frames import Frame, FrameType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..energy import EnergyBudget, LedgerAccount
+    from ..hardware.battery import Battery
 
 _MODE_CODES = {LinkMode.ACTIVE: 0, LinkMode.PASSIVE: 1, LinkMode.BACKSCATTER: 2}
 _MODE_FROM_CODE = {v: k for k, v in _MODE_CODES.items()}
@@ -65,6 +70,34 @@ class BatteryStatus:
         except struct.error as exc:
             raise ProtocolError(f"bad battery payload: {exc}") from exc
         return cls(remaining_j=remaining, capacity_j=capacity)
+
+    @classmethod
+    def from_battery(cls, battery: "Battery") -> "BatteryStatus":
+        """Announce a live battery's state."""
+        return cls(remaining_j=battery.remaining_j, capacity_j=battery.capacity_j)
+
+    @classmethod
+    def from_account(cls, account: "LedgerAccount") -> "BatteryStatus":
+        """Announce the state of a ledger account's capacity store.
+
+        Raises:
+            ValueError: for metering-only accounts (nothing to announce).
+        """
+        battery = account.battery
+        if battery is None:
+            raise ValueError(
+                f"ledger account {account.name!r} has no battery to announce"
+            )
+        return cls.from_battery(battery)
+
+    def as_budget(self) -> "EnergyBudget":
+        """The planning-layer view of this announcement (what the peer
+        may assume about our remaining energy)."""
+        from ..energy import EnergyBudget
+
+        return EnergyBudget(
+            available_j=self.remaining_j, capacity_j=self.capacity_j
+        )
 
 
 @dataclass(frozen=True)

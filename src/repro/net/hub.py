@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.modes import LinkMode
 from ..core.regimes import LinkMap
-from ..hardware.battery import JOULES_PER_WATT_HOUR
+from ..energy import BudgetLike, EnergyBudget, as_joules
 from ..hardware.devices import DeviceSpec, device
 from ..hardware.power_models import ModePower
 
@@ -146,23 +146,42 @@ class HubNetwork:
             points.append(available)
         return points
 
-    def plan(self, objective: str = "total") -> HubPlan:
+    def plan(
+        self,
+        objective: str = "total",
+        client_budgets: "dict[str, BudgetLike] | None" = None,
+        hub_budget: "BudgetLike | None" = None,
+    ) -> HubPlan:
         """Solve the fleet allocation.
 
         Args:
             objective: "total" (maximize fleet bits) or "maxmin"
                 (maximize the minimum weight-normalized per-client bits).
+            client_budgets: optional per-client energy budgets (name ->
+                joules or :class:`~repro.energy.EnergyBudget`, e.g. a live
+                ledger account's view).  Defaults to each client's fresh
+                nameplate battery.
+            hub_budget: optional hub energy budget (same forms); defaults
+                to the hub's fresh nameplate battery.
 
         Raises:
-            ValueError: on unknown objectives or out-of-range clients.
+            ValueError: on unknown objectives, out-of-range clients, or
+                ``client_budgets`` not covering every client.
         """
         if objective not in ("total", "maxmin"):
             raise ValueError(f"unknown objective {objective!r}")
         points = self._candidate_points()
-        energies = [
-            c.spec.battery_wh * JOULES_PER_WATT_HOUR for c in self._clients
-        ]
-        hub_energy = self._hub.battery_wh * JOULES_PER_WATT_HOUR
+        if client_budgets is None:
+            budgets = [EnergyBudget.from_device(c.spec) for c in self._clients]
+        else:
+            missing = {c.name for c in self._clients} - set(client_budgets)
+            if missing:
+                raise ValueError(f"missing budgets for clients {sorted(missing)}")
+            budgets = [client_budgets[c.name] for c in self._clients]
+        energies = [as_joules(b) for b in budgets]
+        if hub_budget is None:
+            hub_budget = EnergyBudget.from_device(self._hub)
+        hub_energy = as_joules(hub_budget)
         if objective == "total":
             solution = self._solve_total(points, energies, hub_energy)
         else:

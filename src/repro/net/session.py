@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.braidio import BraidioRadio
+from ..energy import ChargeCategory
 from ..hardware.battery import BatteryEmptyError
 from ..hardware.switching import switch_cost
 from ..modes import LinkMode
@@ -21,6 +22,12 @@ from ..sim.results import SessionMetrics
 from ..sim.session import FRAME_OVERHEAD_BITS
 from ..sim.simulator import Simulator
 from .tdma import TdmaSchedule
+
+# Category indices hoisted for the per-packet path (see DESIGN.md §8).
+_TX_AIR = int(ChargeCategory.TX_AIR)
+_RX_AIR = int(ChargeCategory.RX_AIR)
+_CARRIER = int(ChargeCategory.CARRIER)
+_MODE_SWITCH = int(ChargeCategory.MODE_SWITCH)
 
 
 @dataclass
@@ -98,6 +105,19 @@ class HubSession:
         self._exhausted: set[str] = set()
         self._finished = False
         self.hub_metrics = SessionMetrics()
+        # Each client's ledger binds its own battery as account "a" and
+        # the *shared* hub battery as account "b" — drains route through
+        # the client's ledger.  The hub-side metrics ledger stays
+        # metering-only (unbound) so the shared battery is never drained
+        # twice for the same packet.
+        self._accounts: dict[str, tuple[object, object]] = {}
+        for c in clients:
+            account_a = c.metrics.ledger.account("a")
+            account_b = c.metrics.ledger.account("b")
+            account_a.bind_battery(c.radio.battery)
+            account_b.bind_battery(hub.battery)
+            self._accounts[c.name] = (account_a, account_b)
+        self._hub_account = self.hub_metrics.ledger.account("b")
 
     @property
     def finished(self) -> bool:
@@ -166,6 +186,7 @@ class HubSession:
         decision = client.policy.next_packet()
         air_bits = self._payload_bits + FRAME_OVERHEAD_BITS
         duration_s = air_bits / decision.bitrate_bps
+        client_account, shared_account = self._accounts[client.name]
 
         if (
             self._apply_switch_costs
@@ -174,12 +195,15 @@ class HubSession:
         ):
             cost = switch_cost(decision.mode, bitrate_bps=decision.bitrate_bps)
             try:
-                client.radio.battery.drain_energy(cost.tx_j)
-                self._hub.battery.drain_energy(cost.rx_j)
+                client_account.drain(cost.tx_j)
+                shared_account.drain(cost.rx_j)
             except BatteryEmptyError:
                 self._retire_or_finish(client)
                 return
-            client.metrics.switch_energy_j += cost.total_j
+            client_account.note(_MODE_SWITCH, cost.tx_j)
+            shared_account.note(_MODE_SWITCH, cost.rx_j)
+            self._hub_account.note(_MODE_SWITCH, cost.rx_j)
+            client.metrics.ledger.pool_switch(cost.total_j)
             client.metrics.mode_switches += 1
         self._last_mode[client.name] = decision.mode
 
@@ -189,16 +213,20 @@ class HubSession:
         tx_energy = decision.tx_power_w * duration_s
         rx_energy = decision.rx_power_w * duration_s
         try:
-            client.radio.battery.drain_energy(tx_energy)
-            self._hub.battery.drain_energy(rx_energy)
+            client_account.drain(tx_energy)
+            shared_account.drain(rx_energy)
         except BatteryEmptyError:
             client.metrics.record_packet(decision.mode, self._payload_bits, False)
             self._retire_or_finish(client)
             return
 
-        client.metrics.energy_a_j += tx_energy
-        client.metrics.energy_b_j += rx_energy
-        self.hub_metrics.energy_b_j += rx_energy
+        rx_category = _CARRIER if decision.mode is LinkMode.BACKSCATTER else _RX_AIR
+        client_account.note(_TX_AIR, tx_energy)
+        client_account.meter(tx_energy)
+        shared_account.note(rx_category, rx_energy)
+        shared_account.meter(rx_energy)
+        self._hub_account.note(rx_category, rx_energy)
+        self._hub_account.meter(rx_energy)
         client.metrics.record_packet(decision.mode, self._payload_bits, success)
         self.hub_metrics.record_packet(decision.mode, self._payload_bits, success)
         client.policy.record_outcome(decision.mode, success)

@@ -229,6 +229,23 @@ def run_campaign(
         calibration=cache.calibration if cache is not None else "",
         campaign_seed=config.campaign_seed,
     )
+    # Jobs that report a ledger breakdown get their category totals
+    # merged into the manifest, so campaign records carry the attributed
+    # energy picture alongside the throughput counters.
+    energy: dict[str, float] | None = None
+    for index in range(len(specs)):
+        metrics = outcomes[index].metrics
+        if not isinstance(metrics, dict):
+            continue
+        breakdown = metrics.get("energy_breakdown_j")
+        if not isinstance(breakdown, dict):
+            continue
+        if energy is None:
+            energy = {}
+        for label, value in breakdown.items():
+            energy[label] = energy.get(label, 0.0) + float(value)
+    if energy is not None:
+        manifest = replace(manifest, energy=energy)
     _MANIFESTS.append(manifest)
     del _MANIFESTS[:-_MANIFEST_LIMIT]
     return CampaignResult(

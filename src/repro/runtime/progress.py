@@ -89,6 +89,9 @@ class RunManifest:
         calibration: calibration fingerprint results were computed under.
         campaign_seed: root seed of the per-job RNG derivation.
         kinds: settled-job count per job kind.
+        energy: merged ledger category totals (label -> joules) of jobs
+            that reported an energy breakdown, or ``None`` when the
+            campaign carried none (omitted from the JSON form).
     """
 
     total: int
@@ -102,10 +105,11 @@ class RunManifest:
     calibration: str
     campaign_seed: int
     kinds: dict[str, int]
+    energy: "dict[str, float] | None" = None
 
     def to_dict(self) -> dict[str, object]:
         """Primitive form, ready for ``json.dumps``."""
-        return {
+        out: dict[str, object] = {
             "total": self.total,
             "completed": self.completed,
             "failed": self.failed,
@@ -118,6 +122,9 @@ class RunManifest:
             "campaign_seed": self.campaign_seed,
             "kinds": self.kinds,
         }
+        if self.energy is not None:
+            out["energy"] = self.energy
+        return out
 
     def to_json(self) -> str:
         """Pretty JSON rendering."""
@@ -142,6 +149,14 @@ class RunManifest:
                 kinds[kind] = kinds.get(kind, 0) + count
         wall = sum(m.wall_time_s for m in manifests)
         executed = sum(m.completed + m.failed for m in manifests)
+        energy: dict[str, float] | None = None
+        for m in manifests:
+            if m.energy is None:
+                continue
+            if energy is None:
+                energy = {}
+            for label, value in m.energy.items():
+                energy[label] = energy.get(label, 0.0) + value
         return RunManifest(
             total=sum(m.total for m in manifests),
             completed=sum(m.completed for m in manifests),
@@ -154,4 +169,5 @@ class RunManifest:
             calibration=manifests[0].calibration,
             campaign_seed=manifests[0].campaign_seed,
             kinds=dict(sorted(kinds.items())),
+            energy=energy,
         )

@@ -24,11 +24,16 @@ def _link_map():
     return LinkMap()
 
 
-def _energy_j(device_name: str) -> float:
-    from ..hardware.battery import JOULES_PER_WATT_HOUR
+def _energy_budget(device_name: str):
+    """A fresh :class:`~repro.energy.EnergyBudget` for a catalog device.
+
+    Numerically identical to the former raw ``battery_wh * 3600`` float —
+    the lifetime entry points coerce the view back via ``as_joules``.
+    """
+    from ..energy import EnergyBudget
     from ..hardware.devices import device
 
-    return device(device_name).battery_wh * JOULES_PER_WATT_HOUR
+    return EnergyBudget.from_device(device(device_name))
 
 
 @register_job_runner("gain.bluetooth")
@@ -36,8 +41,8 @@ def run_bluetooth_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
     """Fig 15 cell: Braidio over Bluetooth, one-way saturated traffic."""
     from ..sim.lifetime import bluetooth_unidirectional, braidio_unidirectional
 
-    e_tx = _energy_j(spec.tx_device)
-    e_rx = _energy_j(spec.rx_device)
+    e_tx = _energy_budget(spec.tx_device)
+    e_rx = _energy_budget(spec.rx_device)
     braidio = braidio_unidirectional(e_tx, e_rx, spec.distance_m, _link_map())
     baseline = bluetooth_unidirectional(e_tx, e_rx)
     return {
@@ -56,8 +61,8 @@ def run_best_mode_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
         braidio_unidirectional,
     )
 
-    e_tx = _energy_j(spec.tx_device)
-    e_rx = _energy_j(spec.rx_device)
+    e_tx = _energy_budget(spec.tx_device)
+    e_rx = _energy_budget(spec.rx_device)
     braidio = braidio_unidirectional(e_tx, e_rx, spec.distance_m, _link_map())
     mode, baseline = best_single_mode_unidirectional(
         e_tx, e_rx, spec.distance_m, _link_map()
@@ -75,8 +80,8 @@ def run_bidirectional_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
     """Fig 17 cell: Braidio over Bluetooth with equal data both ways."""
     from ..sim.lifetime import bluetooth_bidirectional, braidio_bidirectional
 
-    e_a = _energy_j(spec.tx_device)
-    e_b = _energy_j(spec.rx_device)
+    e_a = _energy_budget(spec.tx_device)
+    e_b = _energy_budget(spec.rx_device)
     braidio = braidio_bidirectional(e_a, e_b, spec.distance_m, _link_map())
     baseline = bluetooth_bidirectional(e_a, e_b)
     return {
@@ -96,8 +101,8 @@ def run_distance_gain(spec: JobSpec, rng: np.random.Generator) -> dict:
     link_map = _link_map()
     if not link_map.available_powers(spec.distance_m):
         return {"gain": float("nan")}
-    e_tx = _energy_j(spec.tx_device)
-    e_rx = _energy_j(spec.rx_device)
+    e_tx = _energy_budget(spec.tx_device)
+    e_rx = _energy_budget(spec.rx_device)
     braidio = braidio_unidirectional(e_tx, e_rx, spec.distance_m, link_map)
     return {"gain": braidio.total_bits / bluetooth_unidirectional(e_tx, e_rx)}
 
@@ -120,6 +125,49 @@ def run_montecarlo_ber(spec: JobSpec, rng: np.random.Generator) -> dict:
         "ci_low": low,
         "ci_high": high,
     }
+
+
+@register_job_runner("session.energy")
+def run_session_energy(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Ledger-attributed energy breakdown of one profiled DES session
+    (params: ``profile``, ``packets``, ``seed``; deterministic in the
+    spec alone, like the gain runners)."""
+    from ..analysis.energy_report import run_energy_session, snapshot_report
+
+    profile = spec.param("profile", "braidio")
+    packets = int(spec.param("packets", "2000"))
+    seed = int(spec.param("seed", "0"))
+    metrics = run_energy_session(
+        profile, distance_m=spec.distance_m, packets=packets, seed=seed
+    )
+    report = snapshot_report(metrics.ledger_snapshot())
+    report.update(
+        {
+            "profile": profile,
+            "packets_attempted": metrics.packets_attempted,
+            "packets_delivered": metrics.packets_delivered,
+            "duration_s": metrics.duration_s,
+            "energy_a_j": metrics.energy_a_j,
+            "energy_b_j": metrics.energy_b_j,
+        }
+    )
+    return report
+
+
+def energy_breakdown_specs(
+    distance_m: float = 0.5, packets: int = 2000, seed: int = 0
+) -> "list[JobSpec]":
+    """One ``session.energy`` job per named energy profile."""
+    from ..analysis.energy_report import ENERGY_PROFILES
+
+    return [
+        JobSpec.with_params(
+            "session.energy",
+            {"profile": profile, "packets": packets, "seed": seed},
+            distance_m=float(distance_m),
+        )
+        for profile in ENERGY_PROFILES
+    ]
 
 
 def gain_matrix_specs(
@@ -160,7 +208,7 @@ def distance_curve_specs(
 
 
 #: Experiment ids the ``campaign`` CLI can run through the engine.
-CAMPAIGN_EXPERIMENTS = ("fig15", "fig16", "fig17", "fig18", "mc-ber")
+CAMPAIGN_EXPERIMENTS = ("fig15", "fig16", "fig17", "fig18", "mc-ber", "energy")
 
 
 def campaign_specs(experiment: str) -> list[JobSpec]:
@@ -184,6 +232,8 @@ def campaign_specs(experiment: str) -> list[JobSpec]:
             specs.extend(distance_curve_specs(a, b, distances))
             specs.extend(distance_curve_specs(b, a, distances))
         return specs
+    if experiment == "energy":
+        return energy_breakdown_specs()
     if experiment == "mc-ber":
         return [
             JobSpec.with_params(

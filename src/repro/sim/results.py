@@ -1,15 +1,27 @@
-"""Metric collection for simulated sessions."""
+"""Metric collection for simulated sessions, backed by the energy ledger."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from ..core.modes import LinkMode
+from ..energy import ChargeCategory, EnergyLedger, LedgerSnapshot
 
 
-@dataclass
 class SessionMetrics:
     """Accumulated statistics of one simulated session.
+
+    Counters (packets, bits, switches, …) are plain attributes.  The
+    energy totals are *views over an* :class:`~repro.energy.EnergyLedger`:
+    ``energy_a_j`` / ``energy_b_j`` read the metered totals of ledger
+    accounts ``"a"`` / ``"b"``, while ``switch_energy_j`` /
+    ``idle_energy_j`` read the ledger's pooled accumulators.  Totals are
+    bit-identical to the pre-ledger scalar accumulation; the ledger adds
+    the per-category attribution exposed by :meth:`energy_breakdown`.
+
+    Assignment to the energy properties still works (the setters rebase
+    the underlying ledger counters), so existing callers that built
+    metrics by hand keep functioning.
 
     Attributes:
         bits_delivered: payload bits successfully received.
@@ -25,23 +37,102 @@ class SessionMetrics:
         arq_failures: frames abandoned after the retry budget.
         ack_bits: bits spent on acknowledgements.
         idle_energy_j: energy burned at idle/sleep draw between packets.
+        ledger: the backing :class:`~repro.energy.EnergyLedger`.
     """
 
-    bits_delivered: int = 0
-    bits_attempted: int = 0
-    packets_delivered: int = 0
-    packets_attempted: int = 0
-    energy_a_j: float = 0.0
-    energy_b_j: float = 0.0
-    switch_energy_j: float = 0.0
-    mode_packets: dict[LinkMode, int] = field(default_factory=dict)
-    mode_switches: int = 0
-    duration_s: float = 0.0
-    terminated_by: str = ""
-    retransmissions: int = 0
-    arq_failures: int = 0
-    ack_bits: int = 0
-    idle_energy_j: float = 0.0
+    __slots__ = (
+        "bits_delivered",
+        "bits_attempted",
+        "packets_delivered",
+        "packets_attempted",
+        "mode_packets",
+        "mode_switches",
+        "duration_s",
+        "terminated_by",
+        "retransmissions",
+        "arq_failures",
+        "ack_bits",
+        "ledger",
+        "_account_a",
+        "_account_b",
+    )
+
+    def __init__(self, ledger: Optional[EnergyLedger] = None) -> None:
+        self.bits_delivered = 0
+        self.bits_attempted = 0
+        self.packets_delivered = 0
+        self.packets_attempted = 0
+        self.mode_packets: Dict[LinkMode, int] = {}
+        self.mode_switches = 0
+        self.duration_s = 0.0
+        self.terminated_by = ""
+        self.retransmissions = 0
+        self.arq_failures = 0
+        self.ack_bits = 0
+        if ledger is None:
+            ledger = EnergyLedger.for_pair()
+        self.ledger = ledger
+        self._account_a = ledger.account("a")
+        self._account_b = ledger.account("b")
+
+    # -- energy views over the ledger -----------------------------------
+
+    @property
+    def energy_a_j(self) -> float:
+        """Energy drained from device A (metered total of account "a")."""
+        return self._account_a.metered_j
+
+    @energy_a_j.setter
+    def energy_a_j(self, value: float) -> None:
+        self._account_a.set_metered_j(value)
+
+    @property
+    def energy_b_j(self) -> float:
+        """Energy drained from device B (metered total of account "b")."""
+        return self._account_b.metered_j
+
+    @energy_b_j.setter
+    def energy_b_j(self, value: float) -> None:
+        self._account_b.set_metered_j(value)
+
+    @property
+    def switch_energy_j(self) -> float:
+        """Pooled two-sided mode-switch energy."""
+        return self.ledger.switch_energy_j
+
+    @switch_energy_j.setter
+    def switch_energy_j(self, value: float) -> None:
+        self.ledger.set_switch_energy_j(value)
+
+    @property
+    def idle_energy_j(self) -> float:
+        """Pooled two-sided idle energy."""
+        return self.ledger.idle_energy_j
+
+    @idle_energy_j.setter
+    def idle_energy_j(self, value: float) -> None:
+        self.ledger.set_idle_energy_j(value)
+
+    def energy_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Account name -> category label -> attributed joules."""
+        return {
+            account.name: {c.label: account.category_j(c) for c in ChargeCategory}
+            for account in self.ledger
+        }
+
+    def ledger_snapshot(self) -> LedgerSnapshot:
+        """Freeze the backing ledger (accounts, categories, pools)."""
+        return self.ledger.snapshot()
+
+    def switch_energy_a_j(self) -> float:
+        """Device A's attributed share of the mode-switch energy."""
+        return self._account_a.category_j(ChargeCategory.MODE_SWITCH)
+
+    def switch_energy_b_j(self) -> float:
+        """Device B's attributed share of the mode-switch energy."""
+        return self._account_b.category_j(ChargeCategory.MODE_SWITCH)
+
+    # -- derived metrics -------------------------------------------------
 
     @property
     def packet_delivery_ratio(self) -> float:
@@ -84,3 +175,48 @@ class SessionMetrics:
         if delivered:
             self.packets_delivered += 1
             self.bits_delivered += bits
+
+    # -- value semantics (matches the former dataclass) ------------------
+
+    def _comparable_state(self) -> tuple:
+        return (
+            self.bits_delivered,
+            self.bits_attempted,
+            self.packets_delivered,
+            self.packets_attempted,
+            self.mode_packets,
+            self.mode_switches,
+            self.duration_s,
+            self.terminated_by,
+            self.retransmissions,
+            self.arq_failures,
+            self.ack_bits,
+            self.ledger.comparable_state(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SessionMetrics):
+            return NotImplemented
+        return self._comparable_state() == other._comparable_state()
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the dataclass
+
+    def __repr__(self) -> str:
+        return (
+            "SessionMetrics("
+            f"bits_delivered={self.bits_delivered}, "
+            f"bits_attempted={self.bits_attempted}, "
+            f"packets_delivered={self.packets_delivered}, "
+            f"packets_attempted={self.packets_attempted}, "
+            f"energy_a_j={self.energy_a_j}, "
+            f"energy_b_j={self.energy_b_j}, "
+            f"switch_energy_j={self.switch_energy_j}, "
+            f"mode_packets={self.mode_packets}, "
+            f"mode_switches={self.mode_switches}, "
+            f"duration_s={self.duration_s}, "
+            f"terminated_by={self.terminated_by!r}, "
+            f"retransmissions={self.retransmissions}, "
+            f"arq_failures={self.arq_failures}, "
+            f"ack_bits={self.ack_bits}, "
+            f"idle_energy_j={self.idle_energy_j})"
+        )

@@ -1,9 +1,17 @@
 """A simulated communication session between two Braidio end points.
 
-Packets are scheduled as discrete events; every packet drains both
-batteries according to the policy's per-side power, pays Table 5 switching
-costs on mode transitions, and feeds its outcome back to the policy (which
-is how the dynamic fallback of §4.2 engages).
+Packets are scheduled as discrete events; every packet charges both
+sides' ledger accounts according to the policy's per-side power, pays
+Table 5 switching costs on mode transitions, and feeds its outcome back
+to the policy (which is how the dynamic fallback of §4.2 engages).
+
+Energy flows through the :class:`~repro.energy.EnergyLedger` (DESIGN.md
+§8): batteries are the capacity stores behind the session's two ledger
+accounts, every drain is paired with category attribution (tx_air,
+rx_air/carrier, ack, mode_switch, idle, harvest_credit), and the legacy
+``SessionMetrics`` totals are metered with the exact same combined
+floating-point amounts — in the same order — as the pre-ledger code, so
+end-of-session numbers stay bit-identical.
 
 Bidirectional traffic uses one policy per direction, because the offload
 optimization is direction-specific (T_i applies to whoever holds the data).
@@ -13,6 +21,7 @@ from __future__ import annotations
 
 from ..core.braidio import BraidioRadio
 from ..core.modes import LinkMode
+from ..energy import ChargeCategory, EnergyLedger
 from ..hardware.battery import BatteryEmptyError
 from ..hardware.switching import switch_cost
 from ..mac.frames import Frame, FrameType
@@ -26,6 +35,16 @@ from .traffic import SaturatedTraffic
 FRAME_OVERHEAD_BITS = len(PREAMBLE_BITS) + 8 * (
     len(Frame(FrameType.DATA, 0).encode())
 )
+
+# Category indices hoisted to module level so the per-packet path indexes
+# pre-allocated lists without enum attribute lookups.
+_TX_AIR = int(ChargeCategory.TX_AIR)
+_RX_AIR = int(ChargeCategory.RX_AIR)
+_ACK = int(ChargeCategory.ACK)
+_CARRIER = int(ChargeCategory.CARRIER)
+_MODE_SWITCH = int(ChargeCategory.MODE_SWITCH)
+_IDLE = int(ChargeCategory.IDLE)
+_HARVEST_CREDIT = int(ChargeCategory.HARVEST_CREDIT)
 
 
 class CommunicationSession:
@@ -94,7 +113,13 @@ class CommunicationSession:
         self._idle_power_w = idle_power_w
         self._tag_harvester = tag_harvester
 
-        self.metrics = SessionMetrics()
+        self.ledger = EnergyLedger.for_pair(
+            device_a.battery,
+            device_b.battery,
+            label_a=device_a.name,
+            label_b=device_b.name,
+        )
+        self.metrics = SessionMetrics(self.ledger)
         self._packet_index = 0
         self._retries_used = 0
         self._last_mode: LinkMode | None = None
@@ -106,6 +131,9 @@ class CommunicationSession:
         self._payload_bits = 8 * self._traffic.payload_bytes
         self._air_bits = self._payload_bits + FRAME_OVERHEAD_BITS
         self._endpoint_pairs = ((device_a, device_b), (device_b, device_a))
+        account_a = self.ledger.account("a")
+        account_b = self.ledger.account("b")
+        self._account_pairs = ((account_a, account_b), (account_b, account_a))
         # Per-direction decision cache: policies whose verdict cannot
         # change between re-plans advertise a non-None ``decision_epoch``;
         # the session then skips next_packet() until the epoch moves.
@@ -162,7 +190,7 @@ class CommunicationSession:
             return
 
         direction = self._traffic.direction_for_packet(self._packet_index)
-        tx, rx = self._endpoint_pairs[direction]
+        tx_account, rx_account = self._account_pairs[direction]
         policy = self._policies[direction]
         epoch = getattr(policy, "decision_epoch", None)
         if epoch is not None and epoch == self._cached_epochs[direction]:
@@ -176,17 +204,22 @@ class CommunicationSession:
         air_bits = self._air_bits
         duration_s = air_bits / decision.bitrate_bps
 
-        # Table 5 switching overhead on mode transitions.
+        # Table 5 switching overhead on mode transitions.  Switch energy
+        # drains both batteries and is attributed per device, but has
+        # never counted toward the metered energy_a_j/energy_b_j totals —
+        # only the pooled switch counter.
         if self._apply_switch_costs and self._last_mode is not None:
             if decision.mode is not self._last_mode:
                 cost = switch_cost(decision.mode, bitrate_bps=decision.bitrate_bps)
                 try:
-                    tx.battery.drain_energy(cost.tx_j)
-                    rx.battery.drain_energy(cost.rx_j)
+                    tx_account.drain(cost.tx_j)
+                    rx_account.drain(cost.rx_j)
                 except BatteryEmptyError:
                     self._terminate("battery")
                     return
-                self.metrics.switch_energy_j += cost.total_j
+                tx_account.note(_MODE_SWITCH, cost.tx_j)
+                rx_account.note(_MODE_SWITCH, cost.rx_j)
+                self.ledger.pool_switch(cost.total_j)
                 self.metrics.mode_switches += 1
         elif self._last_mode is not None and decision.mode is not self._last_mode:
             self.metrics.mode_switches += 1
@@ -196,20 +229,24 @@ class CommunicationSession:
             decision.mode, decision.bitrate_bps, air_bits, self._sim.now_s
         )
 
+        is_backscatter = decision.mode is LinkMode.BACKSCATTER
         tx_energy = decision.tx_power_w * duration_s
         rx_energy = decision.rx_power_w * duration_s
+        tx_air_j = tx_energy
+        rx_air_j = rx_energy
+        harvest_credit_j = 0.0
+        tx_ack_j = 0.0
+        rx_ack_j = 0.0
 
         # Harvesting extension: while backscattering, the tag sits in the
         # reader's carrier field and banks energy against its own draw.
-        if (
-            self._tag_harvester is not None
-            and decision.mode is LinkMode.BACKSCATTER
-        ):
+        if self._tag_harvester is not None and is_backscatter:
             harvested = (
                 self._tag_harvester.harvested_power_w(self._link.distance_m)
                 * duration_s
             )
             tx_energy = max(tx_energy - harvested, 0.0)
+            harvest_credit_j = tx_air_j - tx_energy
 
         confirmed = success
         if self._arq:
@@ -218,8 +255,10 @@ class CommunicationSession:
             # air time.
             ack_duration_s = FRAME_OVERHEAD_BITS / decision.bitrate_bps
             duration_s += ack_duration_s
-            tx_energy += decision.tx_power_w * ack_duration_s
-            rx_energy += decision.rx_power_w * ack_duration_s
+            tx_ack_j = decision.tx_power_w * ack_duration_s
+            rx_ack_j = decision.rx_power_w * ack_duration_s
+            tx_energy += tx_ack_j
+            rx_energy += rx_ack_j
             self.metrics.ack_bits += FRAME_OVERHEAD_BITS
             if success:
                 ack_success = self._link.packet_success(
@@ -231,15 +270,26 @@ class CommunicationSession:
                 confirmed = ack_success
 
         try:
-            tx.battery.drain_energy(tx_energy)
-            rx.battery.drain_energy(rx_energy)
+            tx_account.drain(tx_energy)
+            rx_account.drain(rx_energy)
         except BatteryEmptyError:
+            # The fatal packet is still metered/attributed even though
+            # the drain was only partial (historical semantics; shows up
+            # as a conservation residual on battery-death sessions).
             self.metrics.record_packet(decision.mode, payload_bits, False)
-            self._account_energy(direction, tx_energy, rx_energy)
+            self._book_packet(
+                tx_account, rx_account, is_backscatter,
+                tx_air_j, rx_air_j, tx_ack_j, rx_ack_j, harvest_credit_j,
+                tx_energy, rx_energy,
+            )
             self._terminate("battery")
             return
 
-        self._account_energy(direction, tx_energy, rx_energy)
+        self._book_packet(
+            tx_account, rx_account, is_backscatter,
+            tx_air_j, rx_air_j, tx_ack_j, rx_ack_j, harvest_credit_j,
+            tx_energy, rx_energy,
+        )
         self.metrics.record_packet(decision.mode, payload_bits, confirmed)
         policy.record_outcome(decision.mode, success)
 
@@ -272,21 +322,48 @@ class CommunicationSession:
             # Both radios drop to their sleep draw between packets.
             idle_a = self._idle_power_w[0] * gap_s
             idle_b = self._idle_power_w[1] * gap_s
+            account_a, account_b = self._account_pairs[0]
             try:
-                self._a.battery.drain_energy(idle_a)
-                self._b.battery.drain_energy(idle_b)
+                account_a.drain(idle_a)
+                account_b.drain(idle_b)
             except BatteryEmptyError:
                 self._terminate("battery")
                 return
-            self.metrics.energy_a_j += idle_a
-            self.metrics.energy_b_j += idle_b
-            self.metrics.idle_energy_j += idle_a + idle_b
+            account_a.note(_IDLE, idle_a)
+            account_b.note(_IDLE, idle_b)
+            account_a.meter(idle_a)
+            account_b.meter(idle_b)
+            self.ledger.pool_idle(idle_a + idle_b)
         self._sim.schedule_in(duration_s + gap_s, self._send_packet)
 
-    def _account_energy(self, direction: int, tx_j: float, rx_j: float) -> None:
-        if direction == 0:
-            self.metrics.energy_a_j += tx_j
-            self.metrics.energy_b_j += rx_j
-        else:
-            self.metrics.energy_b_j += tx_j
-            self.metrics.energy_a_j += rx_j
+    @staticmethod
+    def _book_packet(
+        tx_account,
+        rx_account,
+        is_backscatter: bool,
+        tx_air_j: float,
+        rx_air_j: float,
+        tx_ack_j: float,
+        rx_ack_j: float,
+        harvest_credit_j: float,
+        tx_energy_j: float,
+        rx_energy_j: float,
+    ) -> None:
+        """Attribute one packet's energy and meter the legacy totals.
+
+        Attribution uses the component values (air / ack / harvest) while
+        metering uses the exact combined ``tx_energy_j``/``rx_energy_j``
+        floats the pre-ledger code accumulated — keeping energy_a_j and
+        energy_b_j bit-identical.  On a backscatter packet the receiving
+        side's air time is carrier generation (the reader powers the
+        carrier the tag reflects).
+        """
+        tx_account.note(_TX_AIR, tx_air_j)
+        rx_account.note(_CARRIER if is_backscatter else _RX_AIR, rx_air_j)
+        if tx_ack_j != 0.0 or rx_ack_j != 0.0:
+            tx_account.note(_ACK, tx_ack_j)
+            rx_account.note(_ACK, rx_ack_j)
+        if harvest_credit_j != 0.0:
+            tx_account.note(_HARVEST_CREDIT, harvest_credit_j)
+        tx_account.meter(tx_energy_j)
+        rx_account.meter(rx_energy_j)

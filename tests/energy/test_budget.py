@@ -1,0 +1,83 @@
+"""Unit tests for the EnergyBudget planning view."""
+
+import pytest
+
+from repro.energy import JOULES_PER_WATT_HOUR, EnergyBudget, as_joules
+from repro.hardware.battery import Battery
+from repro.hardware.devices import device
+
+
+class TestConstruction:
+    def test_plain_view(self):
+        budget = EnergyBudget(available_j=10.0)
+        assert budget.available_j == 10.0
+        assert budget.capacity_j is None
+        assert budget.source == ""
+
+    def test_rejects_negative_available(self):
+        with pytest.raises(ValueError):
+            EnergyBudget(available_j=-1.0)
+
+    def test_rejects_capacity_below_available(self):
+        with pytest.raises(ValueError):
+            EnergyBudget(available_j=10.0, capacity_j=5.0)
+
+    def test_frozen(self):
+        budget = EnergyBudget(available_j=1.0)
+        with pytest.raises(AttributeError):
+            budget.available_j = 2.0
+
+
+class TestViews:
+    def test_available_wh(self):
+        budget = EnergyBudget(available_j=7200.0)
+        assert budget.available_wh == pytest.approx(2.0)
+
+    def test_state_of_charge(self):
+        budget = EnergyBudget(available_j=900.0, capacity_j=3600.0)
+        assert budget.state_of_charge == pytest.approx(0.25)
+
+    def test_state_of_charge_unbounded(self):
+        assert EnergyBudget(available_j=1.0).state_of_charge is None
+
+
+class TestConversions:
+    def test_from_battery_snapshot(self):
+        battery = Battery(1.0)
+        battery.drain_energy(600.0)
+        budget = EnergyBudget.from_battery(battery, source="tag")
+        assert budget.available_j == battery.remaining_j
+        assert budget.capacity_j == battery.capacity_j
+        assert budget.source == "tag"
+        # A snapshot, not a live view.
+        battery.drain_energy(600.0)
+        assert budget.available_j != battery.remaining_j
+
+    def test_from_wh_matches_raw_product_exactly(self):
+        # The lifetime engine fed raw `wh * 3600.0` floats before the
+        # refactor; the budget view must reproduce them bit-for-bit.
+        for wh in (0.26, 1.0, 10.3, 99.5):
+            assert EnergyBudget.from_wh(wh).available_j == wh * JOULES_PER_WATT_HOUR
+
+    def test_from_device(self):
+        spec = device("Apple Watch")
+        budget = EnergyBudget.from_device(spec)
+        assert budget.available_j == spec.battery_wh * JOULES_PER_WATT_HOUR
+        assert budget.capacity_j == budget.available_j
+        assert budget.source == "Apple Watch"
+
+
+class TestAsJoules:
+    def test_float_passes_through_exactly(self):
+        value = 0.1 + 0.2  # a float with no short decimal form
+        assert as_joules(value) == value
+
+    def test_int_coerces(self):
+        assert as_joules(3600) == 3600.0
+
+    def test_budget_unwraps(self):
+        assert as_joules(EnergyBudget(available_j=42.0)) == 42.0
+
+    def test_numpy_scalar(self):
+        np = pytest.importorskip("numpy")
+        assert as_joules(np.float64(1.5)) == 1.5

@@ -46,6 +46,30 @@ class TestDrain:
             battery.drain_energy(1.0)
         assert battery.is_empty
 
+    def test_drain_to_exactly_zero(self):
+        battery = Battery(1.0)
+        battery.drain_energy(battery.remaining_j)  # the full charge is legal
+        assert battery.remaining_j == 0.0
+        assert battery.is_empty
+        battery.drain_energy(0.0)  # still legal on an empty battery
+
+    def test_overdrain_leaves_remaining_uncorrupted(self):
+        # A failed drain must clamp to exactly zero, never go negative or
+        # keep the pre-drain charge.
+        battery = Battery(1.0)
+        battery.drain_energy(3000.0)
+        with pytest.raises(BatteryEmptyError):
+            battery.drain_energy(601.0)
+        assert battery.remaining_j == 0.0
+        assert battery.state_of_charge == 0.0
+        with pytest.raises(BatteryEmptyError):
+            battery.drain_energy(1e-12)  # stays empty, keeps raising
+
+    def test_drain_power_zero_duration(self):
+        battery = Battery(1.0)
+        battery.drain_power(56e-3, 0.0)
+        assert battery.remaining_j == battery.capacity_j
+
     def test_rejects_negative_drain(self):
         with pytest.raises(ValueError):
             Battery(1.0).drain_energy(-1.0)

@@ -131,6 +131,14 @@ class TestSessionRegression:
         uncached = _run_session(BraidioPolicy(), cache=False)
         assert cached == uncached
 
+    def test_cached_and_uncached_ledgers_identical(self):
+        # Equality already covers the metered totals; the full ledger
+        # snapshot (per-category attribution, pools, battery state) must
+        # match bit-for-bit as well.
+        cached = _run_session(BraidioPolicy(), cache=True)
+        uncached = _run_session(BraidioPolicy(), cache=False)
+        assert cached.ledger_snapshot() == uncached.ledger_snapshot()
+
     def test_cached_and_uncached_identical_with_arq(self):
         cached = _run_session(
             FixedModePolicy(LinkMode.BACKSCATTER), cache=True, arq=True
