@@ -5,11 +5,16 @@ simulated per wall-clock second) so regressions in the hot path show up
 in the benchmark history.  The second bench runs the identical session
 with link-outcome memoization disabled, so the cache's contribution is
 visible in the same history (the two sessions produce bit-identical
-metrics; ``tests/sim/test_link_cache.py`` enforces that).
+metrics; ``tests/sim/test_link_cache.py`` enforces that).  The third
+check guards the fault-injection hooks: with an empty plan armed they
+must stay within 5% of the unarmed hot path.
 """
+
+import time
 
 from repro.core.braidio import BraidioRadio
 from repro.core.regimes import LinkMap
+from repro.faults import FaultInjector, FaultPlan
 from repro.hardware.battery import Battery
 from repro.sim.link import SimulatedLink
 from repro.sim.policies import BraidioPolicy
@@ -19,7 +24,7 @@ from repro.sim.simulator import Simulator
 PACKETS = 5_000
 
 
-def _run_session(cache=True):
+def _run_session(cache=True, arm_empty_plan=False):
     sim = Simulator(seed=0)
     a = BraidioRadio.for_device("Apple Watch")
     a.battery = Battery(1.0)
@@ -29,6 +34,8 @@ def _run_session(cache=True):
     session = CommunicationSession(
         sim, a, b, link, BraidioPolicy(), max_packets=PACKETS
     )
+    if arm_empty_plan:
+        FaultInjector(FaultPlan.empty()).arm(session)
     return session.run()
 
 
@@ -53,3 +60,30 @@ def test_performance_des_throughput_uncached(benchmark):
           f"({mean_s * 1e3:.1f} ms per {PACKETS}-packet session)")
     # The pre-memoization rail still holds with the cache off.
     assert PACKETS / mean_s > 20_000
+
+
+def test_fault_hooks_add_under_five_percent_when_idle():
+    """ISSUE guard: arming an empty fault plan must cost <5% throughput.
+
+    Baseline and armed runs are interleaved and the best-of-N times
+    compared, so scheduler noise affects both sides equally.  A small
+    absolute slack keeps sub-millisecond jitter from flaking the ratio
+    on loaded CI machines.
+    """
+    reps = 7
+    baseline_s = armed_s = float("inf")
+    _run_session()  # warm import/JIT-ish caches outside the timed loop
+    _run_session(arm_empty_plan=True)
+    for _ in range(reps):
+        start = time.perf_counter()
+        plain = _run_session()
+        baseline_s = min(baseline_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        armed = _run_session(arm_empty_plan=True)
+        armed_s = min(armed_s, time.perf_counter() - start)
+    # The hooks must also not change the results at all.
+    assert armed._comparable_state() == plain._comparable_state()
+    overhead = armed_s / baseline_s - 1.0
+    print(f"\nidle fault-hook overhead: {overhead * 100:+.2f}% "
+          f"(baseline {baseline_s * 1e3:.1f} ms, armed {armed_s * 1e3:.1f} ms)")
+    assert armed_s <= baseline_s * 1.05 + 2e-3

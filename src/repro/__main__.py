@@ -10,6 +10,7 @@ Usage::
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
     python -m repro profile fig18 --top 30          # cProfile an experiment
     python -m repro energy braidio-arq              # ledger breakdown table
+    python -m repro faults chaos                    # chaos run + recovery table
 
 The ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags drive the
 campaign engine (:mod:`repro.runtime`): figure-level work fans across
@@ -111,6 +112,22 @@ def _energy(args: argparse.Namespace) -> int:
 
     print(
         render_energy(
+            args.experiment,
+            distance_m=args.distance,
+            packets=args.packets,
+            seed=args.seed,
+        )
+    )
+    return 0
+
+
+def _faults(args: argparse.Namespace) -> int:
+    """Print one chaos profile's fault timeline and recovery metrics
+    (the ``faults`` subcommand)."""
+    from .faults import render_faults
+
+    print(
+        render_faults(
             args.experiment,
             distance_m=args.distance,
             packets=args.packets,
@@ -275,6 +292,25 @@ def main(argv: list[str] | None = None) -> int:
     energy.add_argument(
         "--seed", type=int, default=0, help="simulation seed (default 0)"
     )
+    from .faults import FAULT_PROFILES
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="run a hardened session under a named fault profile and "
+        "print the fault timeline plus recovery metrics",
+    )
+    faults.add_argument("experiment", choices=list(FAULT_PROFILES))
+    faults.add_argument(
+        "--distance", type=float, default=0.5, metavar="M",
+        help="device separation in metres (default 0.5)",
+    )
+    faults.add_argument(
+        "--packets", type=_positive_int, default=2000, metavar="N",
+        help="packet budget for the session (default 2000)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
     campaign = subparsers.add_parser(
         "campaign",
         help="run experiment campaigns through the parallel engine "
@@ -312,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
         return _profile(args.experiment, args.top, args.sort)
     if args.command == "energy":
         return _energy(args)
+    if args.command == "faults":
+        return _faults(args)
     if args.command == "campaign":
         return _run_campaign_command(args)
 

@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 from ..core.braidio import BraidioRadio
 from ..core.modes import LinkMode
 from ..core.regimes import LinkMap
-from ..energy import CATEGORIES, LedgerSnapshot
+from ..energy import LEGACY_CATEGORIES, LedgerSnapshot
 from ..hardware.battery import Battery
 from ..sim.link import SimulatedLink
 from ..sim.policies import BluetoothPolicy, BraidioPolicy, FixedModePolicy
@@ -120,10 +120,15 @@ def breakdown_rows(
     seed: int = 0,
 ) -> tuple[list[str], list[list[object]]]:
     """(header, rows) of the per-account category breakdown, one row per
-    (profile, ledger account)."""
+    (profile, ledger account).
+
+    The schema is pinned to :data:`~repro.energy.LEGACY_CATEGORIES` so
+    the ``energy`` CSV stays bit-identical across the fault-injection
+    subsystem; the fault categories live in the ``faults`` exporter.
+    """
     header = (
         ["experiment", "account", "device"]
-        + [f"{c.label}_j" for c in CATEGORIES]
+        + [f"{c.label}_j" for c in LEGACY_CATEGORIES]
         + ["metered_total_j", "attributed_j", "remaining_j", "capacity_j"]
     )
     rows: list[list[object]] = []
@@ -134,7 +139,7 @@ def breakdown_rows(
         for account in metrics.ledger_snapshot().accounts:
             rows.append(
                 [profile, account.name, account.label]
-                + [account.categories[c] for c in CATEGORIES]
+                + [account.categories[c] for c in LEGACY_CATEGORIES]
                 + [
                     account.metered_j,
                     account.attributed_j,

@@ -187,6 +187,17 @@ def export_energy(directory: Path) -> Path:
     return _write_rows(directory / "energy_breakdown.csv", header, rows)
 
 
+def export_faults(directory: Path) -> Path:
+    """Recovery/resilience metrics of the named chaos profiles (see
+    :mod:`repro.faults.profiles`): one row per profile with outage
+    seconds, recovery latency, re-syncs/reboots, and the retransmit/fault
+    energy attribution."""
+    from ..faults import recovery_rows
+
+    header, rows = recovery_rows()
+    return _write_rows(directory / "fault_recovery.csv", header, rows)
+
+
 #: Experiment ids whose exporter fans work through the campaign engine
 #: (accepts a ``campaign=`` CampaignConfig keyword).
 CAMPAIGN_AWARE: frozenset[str] = frozenset({"fig15", "fig16", "fig17", "fig18"})
@@ -208,6 +219,7 @@ EXPORTERS: dict[str, Callable[[Path], Path]] = {
     "fig17": export_fig17,
     "fig18": export_fig18,
     "energy": export_energy,
+    "faults": export_faults,
 }
 
 

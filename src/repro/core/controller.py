@@ -69,12 +69,20 @@ class OffloadPlan:
 
 @dataclass
 class _ModeHealth:
-    """Sliding failure statistics for one mode."""
+    """Sliding failure statistics for one mode.
+
+    Beyond the failure window, each mode carries a blacklist state:
+    ``strikes`` counts consecutive exclusions (the back-off doubles per
+    strike) and ``clean_streak`` counts successes since the last failure
+    (a full window of clean packets decays one strike).
+    """
 
     successes: int = 0
     failures: int = 0
     excluded_until_packet: int | None = None
     outcomes: list[bool] = field(default_factory=list)
+    strikes: int = 0
+    clean_streak: int = 0
 
     def record(self, ok: bool, window: int) -> None:
         self.outcomes.append(ok)
@@ -101,7 +109,11 @@ class DynamicOffloadController:
         recompute_interval_packets: packets between periodic re-plans.
         failure_window: sliding window for per-mode failure statistics.
         failure_threshold: recent failure rate that triggers fallback.
-        reprobe_packets: back-off before a failed mode is retried.
+        reprobe_packets: back-off before a failed mode is retried; doubles
+            with each consecutive strike, up to ``max_backoff_doublings``.
+        max_backoff_doublings: cap on the exponential back-off growth (a
+            mode with ``n`` strikes waits
+            ``reprobe_packets * 2**min(n - 1, cap)`` packets).
     """
 
     def __init__(
@@ -112,11 +124,14 @@ class DynamicOffloadController:
         failure_window: int = 16,
         failure_threshold: float = 0.5,
         reprobe_packets: int = 2048,
+        max_backoff_doublings: int = 4,
     ) -> None:
         if period_packets <= 0 or recompute_interval_packets <= 0:
             raise ValueError("packet intervals must be positive")
         if failure_window <= 0 or reprobe_packets <= 0:
             raise ValueError("window and back-off must be positive")
+        if max_backoff_doublings < 0:
+            raise ValueError("back-off doubling cap must be non-negative")
         if not 0.0 < failure_threshold <= 1.0:
             raise ValueError("failure threshold must be in (0, 1]")
 
@@ -126,6 +141,7 @@ class DynamicOffloadController:
         self._failure_window = failure_window
         self._failure_threshold = failure_threshold
         self._reprobe_packets = reprobe_packets
+        self._max_backoff_doublings = max_backoff_doublings
 
         self._plan: OffloadPlan | None = None
         self._packet_index = 0
@@ -138,6 +154,7 @@ class DynamicOffloadController:
         }
         self.replans = 0
         self.fallbacks = 0
+        self.forced_active = 0
 
     @property
     def plan(self) -> OffloadPlan | None:
@@ -238,8 +255,24 @@ class DynamicOffloadController:
             candidates.append(availability.power())
         return candidates
 
+    def _forced_active_candidates(self) -> list[ModePower]:
+        """Last-resort candidate set when exclusions empty the normal one:
+        whatever the link still physically offers, preferring the
+        self-powered active mode (the §4.2 "simply falls back to the
+        active mode" contract must hold even mid-blacklist)."""
+        available = [
+            a for a in self._link_map.available_modes(self._distance_m) if a.available
+        ]
+        if not available:
+            return []
+        self.forced_active += 1
+        active = [a.power() for a in available if a.mode is LinkMode.ACTIVE]
+        return active if active else [a.power() for a in available]
+
     def _compute_plan(self) -> OffloadPlan:
         candidates = self._candidate_powers()
+        if not candidates:
+            candidates = self._forced_active_candidates()
         if not candidates:
             raise InfeasibleOffloadError(
                 f"no operating mode available at {self._distance_m} m"
@@ -267,12 +300,37 @@ class DynamicOffloadController:
         self._packet_index += 1
         if self._packet_index - self._last_plan_packet >= self._recompute_interval:
             self._replan()
+        elif self._clear_expired_exclusions():
+            # A blacklisted mode's back-off just lapsed: readmit it now
+            # instead of waiting for the periodic recompute.
+            self._replan()
         return mode, self._plan.bitrates[mode]
 
+    def _clear_expired_exclusions(self) -> bool:
+        cleared = False
+        for health in self._health.values():
+            until = health.excluded_until_packet
+            if until is not None and self._packet_index >= until:
+                health.excluded_until_packet = None
+                cleared = True
+        return cleared
+
     def record_outcome(self, mode: LinkMode, success: bool) -> None:
-        """Feed back a packet outcome; may trigger active-mode fallback."""
+        """Feed back a packet outcome; may trigger active-mode fallback.
+
+        Clean traffic also decays the blacklist: a full failure window of
+        consecutive successes forgives one strike, so a mode that failed
+        during a transient fault earns its short back-off again.
+        """
         health = self._health[mode]
         health.record(success, self._failure_window)
+        if success:
+            health.clean_streak += 1
+            if health.strikes > 0 and health.clean_streak >= self._failure_window:
+                health.strikes -= 1
+                health.clean_streak = 0
+        else:
+            health.clean_streak = 0
         if (
             mode is not LinkMode.ACTIVE
             and len(health.outcomes) >= self._failure_window
@@ -282,8 +340,12 @@ class DynamicOffloadController:
 
     def _exclude(self, mode: LinkMode) -> None:
         health = self._health[mode]
-        health.excluded_until_packet = self._packet_index + self._reprobe_packets
+        health.strikes += 1
+        doublings = min(health.strikes - 1, self._max_backoff_doublings)
+        backoff = self._reprobe_packets * (2 ** doublings)
+        health.excluded_until_packet = self._packet_index + backoff
         health.outcomes.clear()
+        health.clean_streak = 0
         self.fallbacks += 1
         self._replan()
 

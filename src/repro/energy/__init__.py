@@ -8,6 +8,7 @@ from ..hardware.battery import BatteryEmptyError
 from .budget import JOULES_PER_WATT_HOUR, BudgetLike, EnergyBudget, as_joules
 from .ledger import (
     CATEGORIES,
+    LEGACY_CATEGORIES,
     N_CATEGORIES,
     AccountSnapshot,
     ChargeCategory,
@@ -27,6 +28,7 @@ __all__ = [
     "EnergyBudget",
     "EnergyLedger",
     "JOULES_PER_WATT_HOUR",
+    "LEGACY_CATEGORIES",
     "LedgerAccount",
     "LedgerSnapshot",
     "N_CATEGORIES",

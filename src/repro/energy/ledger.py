@@ -65,6 +65,13 @@ class ChargeCategory(enum.IntEnum):
     #: stored positive and *subtracted* when reconciling against battery
     #: deltas (it offsets draw rather than causing it).
     HARVEST_CREDIT = 6
+    #: Air-time energy spent retransmitting during fault recovery (ARQ
+    #: retries in fault-armed sessions; replaces TX_AIR/RX_AIR for those
+    #: packets so the recovery cost is separable without double counting).
+    RETRANSMIT = 7
+    #: Energy removed by injected faults (battery step-drains); charged so
+    #: conservation still reconciles under fault schedules.
+    FAULT = 8
 
     @property
     def label(self) -> str:
@@ -77,6 +84,14 @@ N_CATEGORIES = len(ChargeCategory)
 
 #: All categories, in index order.
 CATEGORIES: Tuple[ChargeCategory, ...] = tuple(ChargeCategory)
+
+#: The categories that predate the fault-injection subsystem.  The
+#: ``energy`` CSV exporter pins its schema to this tuple so existing
+#: outputs stay bit-identical; the fault categories are surfaced by the
+#: ``faults`` exporter and the session recovery metrics instead.
+LEGACY_CATEGORIES: Tuple[ChargeCategory, ...] = CATEGORIES[
+    : ChargeCategory.HARVEST_CREDIT + 1
+]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,46 @@
+"""Deterministic, seed-driven fault injection (DESIGN.md §9).
+
+Declarative :class:`FaultPlan` schedules compile — via a
+:class:`FaultInjector` — into DES events on a session's simulator,
+without perturbing the link RNG draw order.  Named chaos profiles,
+the recovery-metric CSV rows, and the ``python -m repro faults`` view
+live in :mod:`repro.faults.profiles`.
+"""
+
+from .injector import HUB_KINDS, FaultInjector
+from .plan import (
+    FAULT_SCHEMA_VERSION,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    validate_windows,
+)
+from .profiles import (
+    FAULT_PROFILES,
+    RECOVERY_FIELDS,
+    fault_plan_for,
+    recovery_report,
+    recovery_rows,
+    render_faults,
+    run_fault_session,
+)
+from .seeding import fault_rng, fault_seed_sequence
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FAULT_SCHEMA_VERSION",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HUB_KINDS",
+    "RECOVERY_FIELDS",
+    "fault_plan_for",
+    "fault_rng",
+    "fault_seed_sequence",
+    "recovery_report",
+    "recovery_rows",
+    "render_faults",
+    "run_fault_session",
+    "validate_windows",
+]

@@ -1,0 +1,41 @@
+"""Deterministic RNG derivation for fault injection.
+
+The injector owns a private random stream so its draws (ACK-corruption
+coin flips) never perturb the simulator's link RNG: an armed session
+consumes exactly the same link-stream values as an unarmed one.  The
+stream is derived content-addressed from the fault plan's fingerprint —
+the same ``SeedSequence`` spawn-key discipline as
+:mod:`repro.runtime.seeding` — so a (seed, plan) pair always produces
+the same fault stream regardless of worker count or execution order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plan import FaultPlan
+
+#: Number of 32-bit words of the plan fingerprint folded into the key.
+_FINGERPRINT_WORDS = 4
+
+#: Domain-separation word so fault streams can never collide with the
+#: campaign job streams derived off the same root seed.
+_FAULT_DOMAIN = 0xFA0175
+
+
+def fault_seed_sequence(plan: FaultPlan, seed: int = 0) -> np.random.SeedSequence:
+    """Child sequence for one (seed, plan) pair, derived content-addressed."""
+    root = np.random.SeedSequence(seed)
+    digest = int(plan.fingerprint(), 16)
+    words = tuple(
+        (digest >> (32 * i)) & 0xFFFFFFFF for i in range(_FINGERPRINT_WORDS)
+    )
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (_FAULT_DOMAIN,) + words,
+    )
+
+
+def fault_rng(plan: FaultPlan, seed: int = 0) -> np.random.Generator:
+    """Fresh deterministic generator for one (seed, plan) pair."""
+    return np.random.default_rng(fault_seed_sequence(plan, seed))

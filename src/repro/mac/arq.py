@@ -10,6 +10,19 @@ sender and receiver (over the simulator's lossy link) and reports timer
 expiry.  ACKs ride the reverse link of whatever mode is active — e.g. in
 backscatter mode the data receiver (which owns the carrier) simply
 OOK-keys the ACK downlink that the tag's envelope detector reads.
+
+Sender state machine (one outstanding frame, bounded retries)::
+
+    IDLE ──send()──────────────────────────────▶ AWAITING_ACK
+    AWAITING_ACK ──on_ack(matching seq)────────▶ IDLE    (seq advances)
+    AWAITING_ACK ──on_timeout(), budget left───▶ AWAITING_ACK  (retransmit)
+    AWAITING_ACK ──on_timeout(), budget spent──▶ FAILED  (terminal)
+    FAILED ──reset()───────────────────────────▶ IDLE    (seq skipped)
+
+FAILED is terminal until :meth:`ArqSender.reset`: both :meth:`ArqSender.send`
+and :meth:`ArqSender.on_timeout` refuse to act on the abandoned frame and
+raise :class:`ArqError` carrying its sequence number, so the link layer
+can log/attribute exactly which frame was given up on before it re-syncs.
 """
 
 from __future__ import annotations
@@ -21,7 +34,16 @@ from .frames import Flags, Frame, FrameType
 
 
 class ArqError(RuntimeError):
-    """Raised on protocol misuse (e.g. sending while awaiting an ACK)."""
+    """Raised on protocol misuse (e.g. sending while awaiting an ACK).
+
+    Attributes:
+        sequence: the sequence number of the frame involved, when the
+            misuse concerns a specific frame (``None`` otherwise).
+    """
+
+    def __init__(self, message: str, sequence: "int | None" = None) -> None:
+        super().__init__(message)
+        self.sequence = sequence
 
 
 class SenderState(enum.Enum):
@@ -69,10 +91,20 @@ class ArqSender:
         """Emit a new data frame.
 
         Raises:
-            ArqError: if a frame is still outstanding.
+            ArqError: if a frame is still outstanding, or the previous
+                frame failed and was not :meth:`reset` — both carry the
+                blocking frame's sequence number.
         """
         if self._state is SenderState.AWAITING_ACK:
-            raise ArqError("previous frame still awaiting ACK")
+            raise ArqError(
+                f"frame {self._sequence} still awaiting ACK",
+                sequence=self._sequence,
+            )
+        if self._state is SenderState.FAILED:
+            raise ArqError(
+                f"frame {self._sequence} failed; reset() before sending",
+                sequence=self._sequence,
+            )
         frame = Frame(
             FrameType.DATA, self._sequence, Flags.ACK_REQUESTED, payload
         )
@@ -113,8 +145,14 @@ class ArqSender:
             continue with the next frame).
 
         Raises:
-            ArqError: if no frame is outstanding.
+            ArqError: if no frame is outstanding, or the frame already
+                failed (the error carries its sequence number).
         """
+        if self._state is SenderState.FAILED:
+            raise ArqError(
+                f"frame {self._sequence} already failed; reset() to continue",
+                sequence=self._sequence,
+            )
         if self._state is not SenderState.AWAITING_ACK or self._outstanding is None:
             raise ArqError("timeout with no outstanding frame")
         if self._attempts > self.max_retries:

@@ -135,9 +135,11 @@ class HubNetwork:
         """The client placements."""
         return self._clients
 
-    def _candidate_points(self) -> list[list[ModePower]]:
+    def _candidate_points(
+        self, clients: "tuple[ClientPlacement, ...]"
+    ) -> list[list[ModePower]]:
         points = []
-        for client in self._clients:
+        for client in clients:
             available = self._link_map.available_powers(client.distance_m)
             if not available:
                 raise ValueError(
@@ -151,6 +153,7 @@ class HubNetwork:
         objective: str = "total",
         client_budgets: "dict[str, BudgetLike] | None" = None,
         hub_budget: "BudgetLike | None" = None,
+        exclude: "Sequence[str] | None" = None,
     ) -> HubPlan:
         """Solve the fleet allocation.
 
@@ -160,35 +163,48 @@ class HubNetwork:
             client_budgets: optional per-client energy budgets (name ->
                 joules or :class:`~repro.energy.EnergyBudget`, e.g. a live
                 ledger account's view).  Defaults to each client's fresh
-                nameplate battery.
+                nameplate battery.  Only the *planned* (non-excluded)
+                clients need budgets.
             hub_budget: optional hub energy budget (same forms); defaults
                 to the hub's fresh nameplate battery.
+            exclude: client names to leave out of the allocation — the
+                re-plan path when a client goes dark mid-session; its hub
+                energy is freed for the survivors.
 
         Raises:
-            ValueError: on unknown objectives, out-of-range clients, or
-                ``client_budgets`` not covering every client.
+            ValueError: on unknown objectives, out-of-range clients,
+                ``client_budgets`` not covering every planned client, or
+                an ``exclude`` set that leaves no clients (or names
+                unknown clients).
         """
         if objective not in ("total", "maxmin"):
             raise ValueError(f"unknown objective {objective!r}")
-        points = self._candidate_points()
+        excluded = set(exclude) if exclude is not None else set()
+        unknown = excluded - {c.name for c in self._clients}
+        if unknown:
+            raise ValueError(f"cannot exclude unknown clients {sorted(unknown)}")
+        clients = tuple(c for c in self._clients if c.name not in excluded)
+        if not clients:
+            raise ValueError("exclusions leave no clients to plan for")
+        points = self._candidate_points(clients)
         if client_budgets is None:
-            budgets = [EnergyBudget.from_device(c.spec) for c in self._clients]
+            budgets = [EnergyBudget.from_device(c.spec) for c in clients]
         else:
-            missing = {c.name for c in self._clients} - set(client_budgets)
+            missing = {c.name for c in clients} - set(client_budgets)
             if missing:
                 raise ValueError(f"missing budgets for clients {sorted(missing)}")
-            budgets = [client_budgets[c.name] for c in self._clients]
+            budgets = [client_budgets[c.name] for c in clients]
         energies = [as_joules(b) for b in budgets]
         if hub_budget is None:
             hub_budget = EnergyBudget.from_device(self._hub)
         hub_energy = as_joules(hub_budget)
         if objective == "total":
-            solution = self._solve_total(points, energies, hub_energy)
+            solution = self._solve_total(clients, points, energies, hub_energy)
         else:
-            solution = self._solve_maxmin(points, energies, hub_energy)
+            solution = self._solve_maxmin(clients, points, energies, hub_energy)
         return solution
 
-    def _solve_total(self, points, energies, hub_energy) -> HubPlan:
+    def _solve_total(self, clients, points, energies, hub_energy) -> HubPlan:
         from scipy.optimize import linprog
 
         offsets, t_cost, r_cost = _flatten_costs(points)
@@ -211,14 +227,16 @@ class HubNetwork:
         if not result.success:
             raise RuntimeError(f"hub LP failed: {result.message}")
         solution = result.x * bit_unit
-        return self._build_plan(points, offsets, solution, t_cost, r_cost, "total")
+        return self._build_plan(
+            clients, points, offsets, solution, t_cost, r_cost, "total"
+        )
 
-    def _solve_maxmin(self, points, energies, hub_energy) -> HubPlan:
+    def _solve_maxmin(self, clients, points, energies, hub_energy) -> HubPlan:
         from scipy.optimize import linprog
 
         offsets, t_cost, r_cost = _flatten_costs(points)
         n_vars = len(t_cost)
-        weights = [c.weight for c in self._clients]
+        weights = [c.weight for c in clients]
         bit_unit = min(energies + [hub_energy]) / max(min(t_cost), 1e-30)
         # Variables (in bit_unit): [w_11..w_nk, m]; maximize m subject to
         # the energy constraints and (per client) sum_j w_ij >= weight_i*m.
@@ -247,13 +265,15 @@ class HubNetwork:
             raise RuntimeError(f"hub max-min LP failed: {result.message}")
         solution = result.x[:n_vars] * bit_unit
         return self._build_plan(
-            points, offsets, solution, t_cost, r_cost, "maxmin"
+            clients, points, offsets, solution, t_cost, r_cost, "maxmin"
         )
 
-    def _build_plan(self, points, offsets, solution, t_cost, r_cost, objective) -> HubPlan:
+    def _build_plan(
+        self, clients, points, offsets, solution, t_cost, r_cost, objective
+    ) -> HubPlan:
         allocations = []
         hub_total = 0.0
-        for i, client in enumerate(self._clients):
+        for i, client in enumerate(clients):
             start, end = offsets[i]
             bits_per_point = np.maximum(solution[start:end], 0.0)
             bits = float(np.sum(bits_per_point))

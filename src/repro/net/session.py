@@ -28,6 +28,7 @@ _TX_AIR = int(ChargeCategory.TX_AIR)
 _RX_AIR = int(ChargeCategory.RX_AIR)
 _CARRIER = int(ChargeCategory.CARRIER)
 _MODE_SWITCH = int(ChargeCategory.MODE_SWITCH)
+_FAULT = int(ChargeCategory.FAULT)
 
 
 @dataclass
@@ -63,6 +64,14 @@ class HubSession:
         max_packets / max_time_s: stop conditions.
         energy_update_interval: packets between battery refreshes pushed
             to each policy.
+        dark_after: consecutive failures before a client is declared dark
+            and its TDMA slots are reclaimed (``None`` — the default —
+            disables dark-client handling entirely, preserving the
+            original behavior bit for bit).
+        max_reprobes: probe packets a dark client gets before it is
+            retired for good.
+        reprobe_interval: served packets between probes of dark clients
+            (defaults to one TDMA round).
     """
 
     def __init__(
@@ -76,6 +85,9 @@ class HubSession:
         max_packets: int | None = None,
         max_time_s: float | None = None,
         energy_update_interval: int = 64,
+        dark_after: int | None = None,
+        max_reprobes: int = 3,
+        reprobe_interval: int | None = None,
     ) -> None:
         if not clients:
             raise ValueError("at least one client required")
@@ -89,6 +101,12 @@ class HubSession:
             raise ValueError("payload must be positive")
         if energy_update_interval <= 0:
             raise ValueError("energy update interval must be positive")
+        if dark_after is not None and dark_after <= 0:
+            raise ValueError("dark-after threshold must be positive")
+        if max_reprobes <= 0:
+            raise ValueError("re-probe budget must be positive")
+        if reprobe_interval is not None and reprobe_interval <= 0:
+            raise ValueError("re-probe interval must be positive")
 
         self._sim = simulator
         self._hub = hub
@@ -104,6 +122,19 @@ class HubSession:
         self._last_mode: dict[str, LinkMode | None] = {c.name: None for c in clients}
         self._exhausted: set[str] = set()
         self._finished = False
+        # Resilience state (inert unless dark_after is set / an injector
+        # is armed — the defaults keep legacy runs bit-identical).
+        self._injector = None
+        self._dark_after = dark_after
+        self._max_reprobes = max_reprobes
+        self._reprobe_interval = (
+            reprobe_interval if reprobe_interval is not None else tdma.round_packets
+        )
+        self._base_tdma = tdma
+        self._fail_streak: dict[str, int] = {c.name: 0 for c in clients}
+        self._dark_since: dict[str, float] = {}
+        self._probes_used: dict[str, int] = {}
+        self._since_probe = 0
         self.hub_metrics = SessionMetrics()
         # Each client's ledger binds its own battery as account "a" and
         # the *shared* hub battery as account "b" — drains route through
@@ -123,6 +154,65 @@ class HubSession:
     def finished(self) -> bool:
         """Whether the session has stopped."""
         return self._finished
+
+    @property
+    def simulator(self) -> Simulator:
+        """The event kernel this session schedules on."""
+        return self._sim
+
+    @property
+    def metrics(self) -> SessionMetrics:
+        """Alias for :attr:`hub_metrics` (the injector's uniform view)."""
+        return self.hub_metrics
+
+    @property
+    def dark_clients(self) -> frozenset[str]:
+        """Clients currently declared dark (slots reclaimed)."""
+        return frozenset(self._dark_since)
+
+    def attach_injector(self, injector) -> None:
+        """Accept a :class:`~repro.faults.injector.FaultInjector`.
+
+        Raises:
+            RuntimeError: if a different injector is already attached.
+        """
+        if self._injector is not None and self._injector is not injector:
+            raise RuntimeError("session already has an injector attached")
+        self._injector = injector
+
+    def apply_step_drain(self, account: str, joules: float) -> None:
+        """Instantly remove ``joules`` from a client's battery (by client
+        name) or from the shared hub battery (``"hub"``), attributed to
+        the FAULT ledger category."""
+        if account == "hub":
+            self._hub_account.note(_FAULT, joules)
+            try:
+                self._hub.battery.drain_energy(joules)
+            except BatteryEmptyError:
+                self._terminate("battery")
+            return
+        client = self._clients[account]
+        client_account, _ = self._accounts[account]
+        client_account.note(_FAULT, joules)
+        try:
+            client_account.drain(joules)
+        except BatteryEmptyError:
+            self._retire_or_finish(client)
+
+    def on_client_reboot(self, name: str) -> None:
+        """A crashed client came back: restart its policy from current
+        batteries and forget its committed mode."""
+        if self._finished or name in self._exhausted:
+            return
+        client = self._clients[name]
+        client.policy.start(
+            client.link.distance_m,
+            max(client.radio.battery.remaining_j, 1e-12),
+            max(self._hub.battery.remaining_j, 1e-12),
+        )
+        self._last_mode[name] = None
+        client.metrics.reboots += 1
+        self.hub_metrics.reboots += 1
 
     def client(self, name: str) -> HubClient:
         """Look up a client.
@@ -153,21 +243,106 @@ class HubSession:
 
     def _terminate(self, reason: str) -> None:
         self._finished = True
+        now = self._sim.now_s
+        for went_dark in self._dark_since.values():
+            self.hub_metrics.outage_s += now - went_dark
+        self._dark_since.clear()
         self.hub_metrics.terminated_by = reason
-        self.hub_metrics.duration_s = self._sim.now_s
+        self.hub_metrics.duration_s = now
         for client in self._clients.values():
             client.metrics.terminated_by = reason
-            client.metrics.duration_s = self._sim.now_s
+            client.metrics.duration_s = now
 
     def _next_live_client(self) -> HubClient | None:
-        # Skip the slots of exhausted clients (their battery died); the
-        # schedule keeps rotating among the survivors.
+        # Skip the slots of exhausted clients (their battery died) and of
+        # dark ones (their slots were reclaimed but a stale schedule may
+        # still name them); the schedule rotates among the survivors.
         for _ in range(self._tdma.round_packets):
             name = self._tdma.client_for_packet(self._packet_index)
-            if name not in self._exhausted:
+            if name not in self._exhausted and name not in self._dark_since:
                 return self._clients[name]
             self._packet_index += 1
         return None
+
+    # -- dark-client handling (active only when dark_after is set) -------
+
+    def _pick_client(self) -> HubClient | None:
+        """The client to serve next: a scheduled live client, or — at the
+        re-probe cadence — a dark one.  Terminates the session (and
+        returns ``None``) when nobody is servable."""
+        if self._dark_since:
+            probe = self._maybe_probe()
+            if probe is not None:
+                return probe
+        client = self._next_live_client()
+        if client is not None:
+            return client
+        if self._dark_since:
+            probe = self._maybe_probe(force=True)
+            if probe is not None:
+                return probe
+        self._terminate("link_lost" if self._dark_since else "battery")
+        return None
+
+    def _maybe_probe(self, force: bool = False) -> HubClient | None:
+        # Per-client exponential spacing: the n-th probe of a dark client
+        # waits reprobe_interval * 2**n served packets, so a bounded probe
+        # budget still spans outages much longer than one TDMA round.
+        out_of_budget = True
+        for name in sorted(self._dark_since):
+            used = self._probes_used.get(name, 0)
+            if used >= self._max_reprobes:
+                continue
+            out_of_budget = False
+            if force or self._since_probe >= self._reprobe_interval * (2 ** used):
+                self._probes_used[name] = used + 1
+                self._since_probe = 0
+                self.hub_metrics.resyncs += 1
+                return self._clients[name]
+        if out_of_budget:
+            # Every dark client burned its probe budget: retire for good.
+            now = self._sim.now_s
+            for name, went_dark in list(self._dark_since.items()):
+                self.hub_metrics.outage_s += now - went_dark
+                del self._dark_since[name]
+                self._exhausted.add(name)
+        return None
+
+    def _note_link_outcome(self, client: HubClient, success: bool) -> None:
+        name = client.name
+        if success:
+            self._fail_streak[name] = 0
+            if name in self._dark_since:
+                self._readmit(client)
+            return
+        streak = self._fail_streak[name] + 1
+        self._fail_streak[name] = streak
+        if name not in self._dark_since and streak >= self._dark_after:
+            self._mark_dark(client)
+
+    def _mark_dark(self, client: HubClient) -> None:
+        self._dark_since[client.name] = self._sim.now_s
+        self._probes_used[client.name] = 0
+        self._rebuild_schedule()
+
+    def _readmit(self, client: HubClient) -> None:
+        went_dark = self._dark_since.pop(client.name)
+        latency = self._sim.now_s - went_dark
+        self.hub_metrics.outage_s += latency
+        if latency > self.hub_metrics.recovery_latency_s:
+            self.hub_metrics.recovery_latency_s = latency
+        self.hub_metrics.recoveries += 1
+        self._rebuild_schedule()
+
+    def _rebuild_schedule(self) -> None:
+        inactive = set(self._dark_since) | self._exhausted
+        if not inactive:
+            self._tdma = self._base_tdma
+        elif len(inactive) < len(self._clients):
+            # Reclaim the inactive clients' slots for the survivors.
+            self._tdma = self._base_tdma.without(inactive)
+        # else: everyone is inactive — keep the last schedule; the probe
+        # path decides whether anyone comes back or the session ends.
 
     def _serve_packet(self) -> None:
         if self._finished:
@@ -178,9 +353,8 @@ class HubSession:
         if self._hub.battery.is_empty:
             self._terminate("battery")
             return
-        client = self._next_live_client()
+        client = self._pick_client()
         if client is None:
-            self._terminate("battery")
             return
 
         decision = client.policy.next_packet()
@@ -210,6 +384,14 @@ class HubSession:
         success = client.link.packet_success(
             decision.mode, decision.bitrate_bps, air_bits, self._sim.now_s
         )
+        # Fault override AFTER the draw: the link stream consumes exactly
+        # one value per packet with or without an injector armed.
+        if (
+            success
+            and self._injector is not None
+            and self._injector.client_blocked(client.name, decision.mode)
+        ):
+            success = False
         tx_energy = decision.tx_power_w * duration_s
         rx_energy = decision.rx_power_w * duration_s
         try:
@@ -230,8 +412,11 @@ class HubSession:
         client.metrics.record_packet(decision.mode, self._payload_bits, success)
         self.hub_metrics.record_packet(decision.mode, self._payload_bits, success)
         client.policy.record_outcome(decision.mode, success)
+        if self._dark_after is not None:
+            self._note_link_outcome(client, success)
 
         self._packet_index += 1
+        self._since_probe += 1
         if self._packet_index % self._energy_update_interval == 0:
             for other in self._clients.values():
                 if other.name in self._exhausted:

@@ -10,7 +10,7 @@ slot a client pair runs its own mode mix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,7 @@ class TdmaSchedule:
             raise ValueError("round too short to serve every client")
 
         total = sum(w for _, w in items)
+        self._weights = dict(items)
         self._shares = {client: w / total for client, w in items}
         self._round = round_packets
         self._slots = self._build_slots()
@@ -76,6 +77,25 @@ class TdmaSchedule:
     def round_packets(self) -> int:
         """Packets per TDMA round."""
         return self._round
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """The raw (un-normalized) weights the schedule was built from."""
+        return dict(self._weights)
+
+    def without(self, names: Iterable[str]) -> "TdmaSchedule":
+        """A new schedule with ``names`` removed and their air time
+        redistributed to the survivors by weight (same round length) —
+        how a hub reclaims the slots of a client that went dark.
+
+        Raises:
+            ValueError: if nothing would remain.
+        """
+        dropped = set(names)
+        remaining = {c: w for c, w in self._weights.items() if c not in dropped}
+        if not remaining:
+            raise ValueError("cannot drop every client from the schedule")
+        return TdmaSchedule(remaining, self._round)
 
     @property
     def slots(self) -> tuple[Slot, ...]:

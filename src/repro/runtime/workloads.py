@@ -154,6 +154,46 @@ def run_session_energy(spec: JobSpec, rng: np.random.Generator) -> dict:
     return report
 
 
+@register_job_runner("faults.session")
+def run_faults_session(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """Recovery metrics of one hardened session under a named fault
+    profile (params: ``profile``, ``packets``, ``seed``; deterministic in
+    the spec alone — the injector derives its own content-addressed
+    stream, so results are identical at any worker count)."""
+    from ..faults import recovery_report, run_fault_session
+
+    profile = spec.param("profile", "chaos")
+    packets = int(spec.param("packets", "2000"))
+    seed = int(spec.param("seed", "0"))
+    metrics, injector = run_fault_session(
+        profile, distance_m=spec.distance_m, packets=packets, seed=seed
+    )
+    report = recovery_report(metrics)
+    report.update(
+        {
+            "profile": profile,
+            "fault_timeline": [list(entry) for entry in injector.timeline],
+        }
+    )
+    return report
+
+
+def fault_profile_specs(
+    distance_m: float = 0.5, packets: int = 2000, seed: int = 0
+) -> "list[JobSpec]":
+    """One ``faults.session`` job per named fault profile."""
+    from ..faults import FAULT_PROFILES
+
+    return [
+        JobSpec.with_params(
+            "faults.session",
+            {"profile": profile, "packets": packets, "seed": seed},
+            distance_m=float(distance_m),
+        )
+        for profile in FAULT_PROFILES
+    ]
+
+
 def energy_breakdown_specs(
     distance_m: float = 0.5, packets: int = 2000, seed: int = 0
 ) -> "list[JobSpec]":
@@ -208,7 +248,9 @@ def distance_curve_specs(
 
 
 #: Experiment ids the ``campaign`` CLI can run through the engine.
-CAMPAIGN_EXPERIMENTS = ("fig15", "fig16", "fig17", "fig18", "mc-ber", "energy")
+CAMPAIGN_EXPERIMENTS = (
+    "fig15", "fig16", "fig17", "fig18", "mc-ber", "energy", "faults"
+)
 
 
 def campaign_specs(experiment: str) -> list[JobSpec]:
@@ -234,6 +276,8 @@ def campaign_specs(experiment: str) -> list[JobSpec]:
         return specs
     if experiment == "energy":
         return energy_breakdown_specs()
+    if experiment == "faults":
+        return fault_profile_specs()
     if experiment == "mc-ber":
         return [
             JobSpec.with_params(

@@ -53,6 +53,7 @@ class SimulatedLink:
         "_cache_enabled",
         "_snr_cache",
         "_per_cache",
+        "_snr_offset_db",
     )
 
     def __init__(
@@ -71,10 +72,11 @@ class SimulatedLink:
         self._fading = fading
         self._cache_enabled = cache
         # SNR in dB per (mode, bitrate); PER per (mode, bitrate, bits).
-        # Both implicitly keyed by the current distance: set_distance
-        # invalidates them.
+        # Both implicitly keyed by the current distance *and* the fault
+        # offset: set_distance / snr_offset_db invalidate them.
         self._snr_cache: dict[tuple[LinkMode, int], float] = {}
         self._per_cache: dict[tuple[LinkMode, int, int], float] = {}
+        self._snr_offset_db = 0.0
 
     @property
     def distance_m(self) -> float:
@@ -86,6 +88,23 @@ class SimulatedLink:
         """Whether static-channel memoization is active (ignored under
         fading)."""
         return self._cache_enabled
+
+    @property
+    def snr_offset_db(self) -> float:
+        """Additive SNR adjustment in dB (0 on a healthy link).
+
+        Fault injection uses this for deep-fade windows; any non-zero
+        value folds into every mode's SNR.  Assignment invalidates the
+        memoized link outcomes, so cached runs stay correct.
+        """
+        return self._snr_offset_db
+
+    @snr_offset_db.setter
+    def snr_offset_db(self, offset_db: float) -> None:
+        if offset_db != self._snr_offset_db:
+            self._snr_cache.clear()
+            self._per_cache.clear()
+        self._snr_offset_db = offset_db
 
     def set_distance(self, distance_m: float) -> None:
         """Move the end points to a new separation (invalidates the
@@ -109,6 +128,8 @@ class SimulatedLink:
         snr = budget.snr_db(self._distance_m, bitrate_bps)
         if self._fading is not None:
             snr += self._fading.gain_db_at(time_s)
+        if self._snr_offset_db != 0.0:
+            snr += self._snr_offset_db
         return snr
 
     def _static_snr_db(self, mode: LinkMode, bitrate_bps: int) -> float:
@@ -117,6 +138,8 @@ class SimulatedLink:
         if snr is None:
             budget = self._link_map.budget(mode, bitrate_bps)
             snr = budget.snr_db(self._distance_m, bitrate_bps)
+            if self._snr_offset_db != 0.0:
+                snr += self._snr_offset_db
             self._snr_cache[key] = snr
         return snr
 

@@ -38,6 +38,16 @@ class SessionMetrics:
         ack_bits: bits spent on acknowledgements.
         idle_energy_j: energy burned at idle/sleep draw between packets.
         ledger: the backing :class:`~repro.energy.EnergyLedger`.
+        outage_s: simulated seconds spent inside confirmed-loss streaks
+            (fault-aware sessions only; 0 otherwise).
+        recovery_latency_s: longest outage the session recovered from.
+        recoveries: outage episodes that ended in a delivered packet.
+        resyncs: watchdog-triggered re-sync back-offs.
+        reboots: peer crash+reboot renegotiations.
+        fault_events: injected fault activations observed.
+        corrupted_acks: ACKs destroyed by fault injection.
+        stuck_switch_packets: packets forced onto the stale RF path by a
+            stuck-switch fault.
     """
 
     __slots__ = (
@@ -52,6 +62,14 @@ class SessionMetrics:
         "retransmissions",
         "arq_failures",
         "ack_bits",
+        "outage_s",
+        "recovery_latency_s",
+        "recoveries",
+        "resyncs",
+        "reboots",
+        "fault_events",
+        "corrupted_acks",
+        "stuck_switch_packets",
         "ledger",
         "_account_a",
         "_account_b",
@@ -69,6 +87,14 @@ class SessionMetrics:
         self.retransmissions = 0
         self.arq_failures = 0
         self.ack_bits = 0
+        self.outage_s = 0.0
+        self.recovery_latency_s = 0.0
+        self.recoveries = 0
+        self.resyncs = 0
+        self.reboots = 0
+        self.fault_events = 0
+        self.corrupted_acks = 0
+        self.stuck_switch_packets = 0
         if ledger is None:
             ledger = EnergyLedger.for_pair()
         self.ledger = ledger
@@ -132,6 +158,17 @@ class SessionMetrics:
         """Device B's attributed share of the mode-switch energy."""
         return self._account_b.category_j(ChargeCategory.MODE_SWITCH)
 
+    @property
+    def retransmit_energy_j(self) -> float:
+        """Air-time joules attributed to fault-recovery retransmissions
+        (both sides; only fault-armed sessions book this category)."""
+        return self.ledger.category_total_j(ChargeCategory.RETRANSMIT)
+
+    @property
+    def fault_energy_j(self) -> float:
+        """Joules removed by injected faults (battery step-drains)."""
+        return self.ledger.category_total_j(ChargeCategory.FAULT)
+
     # -- derived metrics -------------------------------------------------
 
     @property
@@ -191,6 +228,14 @@ class SessionMetrics:
             self.retransmissions,
             self.arq_failures,
             self.ack_bits,
+            self.outage_s,
+            self.recovery_latency_s,
+            self.recoveries,
+            self.resyncs,
+            self.reboots,
+            self.fault_events,
+            self.corrupted_acks,
+            self.stuck_switch_packets,
             self.ledger.comparable_state(),
         )
 

@@ -45,6 +45,8 @@ _CARRIER = int(ChargeCategory.CARRIER)
 _MODE_SWITCH = int(ChargeCategory.MODE_SWITCH)
 _IDLE = int(ChargeCategory.IDLE)
 _HARVEST_CREDIT = int(ChargeCategory.HARVEST_CREDIT)
+_RETRANSMIT = int(ChargeCategory.RETRANSMIT)
+_FAULT = int(ChargeCategory.FAULT)
 
 
 class CommunicationSession:
@@ -71,6 +73,14 @@ class CommunicationSession:
         tag_harvester: optional :class:`~repro.hardware.harvesting.RfHarvester`;
             when set, backscatter packets credit the transmitting tag with
             the carrier energy it rectifies (net draw floored at zero).
+        watchdog_packets: consecutive unconfirmed packets before the
+            session attempts a re-sync back-off instead of hammering a
+            dead link; ``None`` (the default) disables the watchdog and
+            preserves the historical semantics exactly.
+        max_resyncs: bounded re-sync attempts before the session gives up
+            and terminates with ``terminated_by == "link_lost"``.
+        resync_backoff_s: base back-off before the first re-sync; doubles
+            on each further attempt.
     """
 
     def __init__(
@@ -90,6 +100,9 @@ class CommunicationSession:
         max_retries: int = 8,
         idle_power_w: tuple[float, float] = (4e-6, 4e-6),
         tag_harvester=None,
+        watchdog_packets: int | None = None,
+        max_resyncs: int = 4,
+        resync_backoff_s: float = 0.05,
     ) -> None:
         if energy_update_interval <= 0:
             raise ValueError("energy update interval must be positive")
@@ -97,6 +110,12 @@ class CommunicationSession:
             raise ValueError("max_retries must be non-negative")
         if any(p < 0.0 for p in idle_power_w):
             raise ValueError("idle power must be non-negative")
+        if watchdog_packets is not None and watchdog_packets <= 0:
+            raise ValueError("watchdog_packets must be positive when set")
+        if max_resyncs < 0:
+            raise ValueError("max_resyncs must be non-negative")
+        if resync_backoff_s < 0.0:
+            raise ValueError("resync back-off must be non-negative")
         self._sim = simulator
         self._a = device_a
         self._b = device_b
@@ -112,6 +131,19 @@ class CommunicationSession:
         self._max_retries = max_retries
         self._idle_power_w = idle_power_w
         self._tag_harvester = tag_harvester
+
+        # Resilience state.  ``_fault_aware`` gates every recovery-path
+        # branch with one boolean so unarmed, watchdog-less sessions run
+        # the historical hot path untouched.
+        self._watchdog_packets = watchdog_packets
+        self._max_resyncs = max_resyncs
+        self._resync_backoff_s = resync_backoff_s
+        self._injector = None
+        self._track_retransmit = False
+        self._fault_aware = watchdog_packets is not None
+        self._failure_streak = 0
+        self._outage_start_s: float | None = None
+        self._resyncs_used = 0
 
         self.ledger = EnergyLedger.for_pair(
             device_a.battery,
@@ -144,6 +176,75 @@ class CommunicationSession:
     def finished(self) -> bool:
         """Whether the session hit a stop condition."""
         return self._finished
+
+    @property
+    def link(self) -> SimulatedLink:
+        """The link under this session (fault injection adjusts it)."""
+        return self._link
+
+    @property
+    def simulator(self) -> Simulator:
+        """The event kernel the session schedules against."""
+        return self._sim
+
+    def attach_injector(self, injector) -> None:
+        """Arm fault hooks (called by
+        :meth:`~repro.faults.injector.FaultInjector.arm`).
+
+        With an empty plan the hooks are inert no-ops and the session's
+        results stay bit-identical to an unarmed run; a non-empty plan
+        additionally re-attributes retry air time to the ``RETRANSMIT``
+        ledger category so recovery cost is separable.
+
+        Raises:
+            RuntimeError: if a different injector is already attached.
+        """
+        if self._injector is not None and self._injector is not injector:
+            raise RuntimeError("session already has a fault injector")
+        self._injector = injector
+        self._track_retransmit = not injector.plan.is_empty
+        self._fault_aware = True
+
+    def on_peer_reboot(self) -> None:
+        """Re-negotiate after a peer crash+reboot.
+
+        The radio's committed mode is forgotten (no Table 5 charge on the
+        next packet: the switch hardware reset with the node) and every
+        policy renegotiates from current batteries, exactly as
+        :meth:`start` did.
+        """
+        if self._finished:
+            return
+        started: set[int] = set()
+        for direction, policy in self._policies.items():
+            if id(policy) in started:
+                continue
+            started.add(id(policy))
+            tx, rx = self._endpoints(direction)
+            policy.start(
+                self._link.distance_m, tx.battery.remaining_j, rx.battery.remaining_j
+            )
+        self._cached_decisions = [None, None]
+        self._cached_epochs = [None, None]
+        self._last_mode = None
+        self.metrics.reboots += 1
+
+    def apply_step_drain(self, account: str, joules: float) -> None:
+        """Remove ``joules`` from one side's battery as an injected fault.
+
+        The amount is attributed to the ``FAULT`` ledger category (never
+        metered — it is not radio energy) so conservation still
+        reconciles.  Draining past empty terminates the session exactly
+        like a fatal packet would.
+        """
+        if self._finished:
+            return
+        target = self.ledger.account(account)
+        target.note(_FAULT, joules)
+        try:
+            target.drain(joules)
+        except BatteryEmptyError:
+            self._terminate("battery")
 
     def _endpoints(self, direction: int) -> tuple[BraidioRadio, BraidioRadio]:
         return self._endpoint_pairs[direction]
@@ -178,6 +279,11 @@ class CommunicationSession:
         return self.metrics
 
     def _terminate(self, reason: str) -> None:
+        if self._outage_start_s is not None:
+            # Close the open outage window so outage_s covers sessions
+            # that die (battery, time, link_lost) mid-blackout.
+            self.metrics.outage_s += self._sim.now_s - self._outage_start_s
+            self._outage_start_s = None
         self._finished = True
         self.metrics.terminated_by = reason
         self.metrics.duration_s = self._sim.now_s
@@ -204,13 +310,24 @@ class CommunicationSession:
         air_bits = self._air_bits
         duration_s = air_bits / decision.bitrate_bps
 
+        # A stuck RF switch silently keeps the last committed path: the
+        # packet goes out (and is billed) in the stale mode, and no
+        # Table 5 cost is charged because the switch never flips.
+        mode = decision.mode
+        injector = self._injector
+        if injector is not None and injector.switch_stuck():
+            last = self._last_mode
+            if last is not None and last is not mode:
+                mode = last
+                self.metrics.stuck_switch_packets += 1
+
         # Table 5 switching overhead on mode transitions.  Switch energy
         # drains both batteries and is attributed per device, but has
         # never counted toward the metered energy_a_j/energy_b_j totals —
         # only the pooled switch counter.
         if self._apply_switch_costs and self._last_mode is not None:
-            if decision.mode is not self._last_mode:
-                cost = switch_cost(decision.mode, bitrate_bps=decision.bitrate_bps)
+            if mode is not self._last_mode:
+                cost = switch_cost(mode, bitrate_bps=decision.bitrate_bps)
                 try:
                     tx_account.drain(cost.tx_j)
                     rx_account.drain(cost.rx_j)
@@ -221,15 +338,19 @@ class CommunicationSession:
                 rx_account.note(_MODE_SWITCH, cost.rx_j)
                 self.ledger.pool_switch(cost.total_j)
                 self.metrics.mode_switches += 1
-        elif self._last_mode is not None and decision.mode is not self._last_mode:
+        elif self._last_mode is not None and mode is not self._last_mode:
             self.metrics.mode_switches += 1
-        self._last_mode = decision.mode
+        self._last_mode = mode
 
         success = self._link.packet_success(
-            decision.mode, decision.bitrate_bps, air_bits, self._sim.now_s
+            mode, decision.bitrate_bps, air_bits, self._sim.now_s
         )
+        # Outage faults override *after* the draw so the link RNG stream
+        # consumes exactly one value per packet, faulted or not.
+        if injector is not None and success and injector.blocked(mode):
+            success = False
 
-        is_backscatter = decision.mode is LinkMode.BACKSCATTER
+        is_backscatter = mode is LinkMode.BACKSCATTER
         tx_energy = decision.tx_power_w * duration_s
         rx_energy = decision.rx_power_w * duration_s
         tx_air_j = tx_energy
@@ -262,13 +383,17 @@ class CommunicationSession:
             self.metrics.ack_bits += FRAME_OVERHEAD_BITS
             if success:
                 ack_success = self._link.packet_success(
-                    decision.mode,
+                    mode,
                     decision.bitrate_bps,
                     FRAME_OVERHEAD_BITS,
                     self._sim.now_s,
                 )
+                if ack_success and injector is not None and injector.corrupt_ack():
+                    ack_success = False
+                    self.metrics.corrupted_acks += 1
                 confirmed = ack_success
 
+        retransmit = self._track_retransmit and self._retries_used > 0
         try:
             tx_account.drain(tx_energy)
             rx_account.drain(rx_energy)
@@ -276,11 +401,11 @@ class CommunicationSession:
             # The fatal packet is still metered/attributed even though
             # the drain was only partial (historical semantics; shows up
             # as a conservation residual on battery-death sessions).
-            self.metrics.record_packet(decision.mode, payload_bits, False)
+            self.metrics.record_packet(mode, payload_bits, False)
             self._book_packet(
                 tx_account, rx_account, is_backscatter,
                 tx_air_j, rx_air_j, tx_ack_j, rx_ack_j, harvest_credit_j,
-                tx_energy, rx_energy,
+                tx_energy, rx_energy, retransmit,
             )
             self._terminate("battery")
             return
@@ -288,10 +413,10 @@ class CommunicationSession:
         self._book_packet(
             tx_account, rx_account, is_backscatter,
             tx_air_j, rx_air_j, tx_ack_j, rx_ack_j, harvest_credit_j,
-            tx_energy, rx_energy,
+            tx_energy, rx_energy, retransmit,
         )
-        self.metrics.record_packet(decision.mode, payload_bits, confirmed)
-        policy.record_outcome(decision.mode, success)
+        self.metrics.record_packet(mode, payload_bits, confirmed)
+        policy.record_outcome(mode, success)
 
         if self._arq and not confirmed:
             if self._retries_used < self._max_retries:
@@ -304,6 +429,15 @@ class CommunicationSession:
             self.metrics.arq_failures += 1
         self._retries_used = 0
 
+        # Watchdog + outage accounting; inert (single boolean test) for
+        # sessions that never armed an injector or a watchdog.
+        if self._fault_aware:
+            resync_delay_s = self._after_outcome(confirmed)
+            if resync_delay_s is None:
+                return
+        else:
+            resync_delay_s = 0.0
+
         self._packet_index += 1
         if self._packet_index % self._energy_update_interval == 0:
             updated: set[int] = set()
@@ -315,7 +449,20 @@ class CommunicationSession:
                 if d_tx.battery.is_empty or d_rx.battery.is_empty:
                     self._terminate("battery")
                     return
-                p.update_energy(d_tx.battery.remaining_j, d_rx.battery.remaining_j)
+                if injector is None:
+                    p.update_energy(
+                        d_tx.battery.remaining_j, d_rx.battery.remaining_j
+                    )
+                else:
+                    # Battery-misreport faults lie to the policies, never
+                    # to the batteries themselves.
+                    scale_a, scale_b = injector.energy_scales()
+                    if d:
+                        scale_a, scale_b = scale_b, scale_a
+                    p.update_energy(
+                        d_tx.battery.remaining_j * scale_a,
+                        d_rx.battery.remaining_j * scale_b,
+                    )
 
         gap_s = self._traffic.gap_s(self._packet_index)
         if gap_s > 0.0:
@@ -334,7 +481,46 @@ class CommunicationSession:
             account_a.meter(idle_a)
             account_b.meter(idle_b)
             self.ledger.pool_idle(idle_a + idle_b)
-        self._sim.schedule_in(duration_s + gap_s, self._send_packet)
+        if resync_delay_s != 0.0:
+            self._sim.schedule_in(
+                duration_s + gap_s + resync_delay_s, self._send_packet
+            )
+        else:
+            self._sim.schedule_in(duration_s + gap_s, self._send_packet)
+
+    def _after_outcome(self, confirmed: bool) -> float | None:
+        """Track loss streaks, close/open outage windows, and run the
+        bounded re-sync watchdog.
+
+        Returns:
+            Extra delay (seconds) before the next packet — non-zero when
+            a re-sync back-off engaged — or ``None`` when the session
+            terminated (``link_lost``).
+        """
+        now = self._sim.now_s
+        if confirmed:
+            if self._outage_start_s is not None:
+                latency = now - self._outage_start_s
+                self._outage_start_s = None
+                self.metrics.outage_s += latency
+                if latency > self.metrics.recovery_latency_s:
+                    self.metrics.recovery_latency_s = latency
+                self.metrics.recoveries += 1
+            self._failure_streak = 0
+            self._resyncs_used = 0
+            return 0.0
+        if self._outage_start_s is None:
+            self._outage_start_s = now
+        self._failure_streak += 1
+        if self._watchdog_packets is None or self._failure_streak < self._watchdog_packets:
+            return 0.0
+        if self._resyncs_used >= self._max_resyncs:
+            self._terminate("link_lost")
+            return None
+        self._resyncs_used += 1
+        self._failure_streak = 0
+        self.metrics.resyncs += 1
+        return self._resync_backoff_s * (2.0 ** (self._resyncs_used - 1))
 
     @staticmethod
     def _book_packet(
@@ -348,6 +534,7 @@ class CommunicationSession:
         harvest_credit_j: float,
         tx_energy_j: float,
         rx_energy_j: float,
+        retransmit: bool = False,
     ) -> None:
         """Attribute one packet's energy and meter the legacy totals.
 
@@ -356,10 +543,16 @@ class CommunicationSession:
         floats the pre-ledger code accumulated — keeping energy_a_j and
         energy_b_j bit-identical.  On a backscatter packet the receiving
         side's air time is carrier generation (the reader powers the
-        carrier the tag reflects).
+        carrier the tag reflects).  Fault-armed sessions book ARQ retry
+        air time as ``RETRANSMIT`` (both sides) instead, so recovery cost
+        is separable without double counting.
         """
-        tx_account.note(_TX_AIR, tx_air_j)
-        rx_account.note(_CARRIER if is_backscatter else _RX_AIR, rx_air_j)
+        if retransmit:
+            tx_account.note(_RETRANSMIT, tx_air_j)
+            rx_account.note(_RETRANSMIT, rx_air_j)
+        else:
+            tx_account.note(_TX_AIR, tx_air_j)
+            rx_account.note(_CARRIER if is_backscatter else _RX_AIR, rx_air_j)
         if tx_ack_j != 0.0 or rx_ack_j != 0.0:
             tx_account.note(_ACK, tx_ack_j)
             rx_account.note(_ACK, rx_ack_j)

@@ -95,6 +95,76 @@ class TestFallback:
             controller.record_outcome(LinkMode.BACKSCATTER, True)
         assert controller.fallbacks == 0
 
+    def test_failure_burst_excludes_and_replans_within_budget(self):
+        """ISSUE regression: a burst of backscatter failures must exclude
+        the mode and trigger a re-plan whose solution still satisfies the
+        energy budgets."""
+        controller = DynamicOffloadController(
+            failure_window=8, failure_threshold=0.5, reprobe_packets=1000
+        )
+        e1_j, e2_j = 0.5, 100.0
+        controller.start(0.3, e1_j, e2_j)
+        replans_before = controller.replans
+        for _ in range(8):
+            controller.record_outcome(LinkMode.BACKSCATTER, False)
+        assert controller.fallbacks == 1
+        assert controller.replans == replans_before + 1
+        solution = controller.plan.solution
+        assert solution.mode_fractions().get(
+            LinkMode.BACKSCATTER, 0.0
+        ) == pytest.approx(0.0)
+        # The re-planned mix must still respect both batteries: at the
+        # deliverable bit volume, neither side exceeds its budget.
+        bits = solution.total_bits(e1_j, e2_j)
+        assert bits > 0.0
+        assert bits * solution.tx_energy_per_bit_j <= e1_j * (1 + 1e-9)
+        assert bits * solution.rx_energy_per_bit_j <= e2_j * (1 + 1e-9)
+
+    def test_repeat_offender_backoff_doubles(self):
+        controller = DynamicOffloadController(
+            failure_window=4, failure_threshold=0.5, reprobe_packets=16
+        )
+        controller.start(0.3, 1.0, 100.0)
+        health = controller._health[LinkMode.BACKSCATTER]
+        for _ in range(4):
+            controller.record_outcome(LinkMode.BACKSCATTER, False)
+        first_until = health.excluded_until_packet
+        assert health.strikes == 1
+        assert first_until == 16  # first strike: exactly reprobe_packets
+        # Second strike: the back-off doubles.
+        for _ in range(4):
+            controller.record_outcome(LinkMode.BACKSCATTER, False)
+        assert health.strikes == 2
+        assert health.excluded_until_packet == 32
+
+    def test_clean_window_decays_a_strike(self):
+        controller = DynamicOffloadController(
+            failure_window=4, failure_threshold=0.5, reprobe_packets=16
+        )
+        controller.start(0.3, 1.0, 100.0)
+        health = controller._health[LinkMode.BACKSCATTER]
+        for _ in range(4):
+            controller.record_outcome(LinkMode.BACKSCATTER, False)
+        assert health.strikes == 1
+        for _ in range(4):
+            controller.record_outcome(LinkMode.BACKSCATTER, True)
+        assert health.strikes == 0
+
+    def test_all_modes_excluded_forces_active_fallback(self):
+        controller = DynamicOffloadController(
+            failure_window=4, failure_threshold=0.5, reprobe_packets=1000
+        )
+        controller.start(0.3, 1.0, 100.0)
+        # Exclude every non-active mode the regime offers.
+        for mode in (LinkMode.BACKSCATTER, LinkMode.PASSIVE):
+            controller._exclude(mode)
+        # Force a plan with active also blacklisted (only reachable via
+        # external pruning — the public path never excludes ACTIVE).
+        controller._health[LinkMode.ACTIVE].excluded_until_packet = 10_000
+        plan = controller._compute_plan()
+        assert controller.forced_active >= 1
+        assert set(plan.solution.mode_fractions()) == {LinkMode.ACTIVE}
+
     def test_excluded_mode_returns_after_backoff(self):
         controller = DynamicOffloadController(
             failure_window=4, reprobe_packets=16, recompute_interval_packets=8

@@ -14,7 +14,7 @@ from repro.analysis.energy_report import (
     run_energy_session,
     snapshot_report,
 )
-from repro.energy import CATEGORIES
+from repro.energy import CATEGORIES, LEGACY_CATEGORIES
 
 FAST = dict(packets=200)
 
@@ -40,8 +40,10 @@ class TestBreakdownRows:
     def test_shape(self):
         header, rows = breakdown_rows(profiles=("braidio",), packets=100)
         assert header[:3] == ["experiment", "account", "device"]
-        assert [h[:-2] for h in header[3 : 3 + len(CATEGORIES)]] == [
-            c.label for c in CATEGORIES
+        # Pinned to the legacy categories: the fault-injection categories
+        # (RETRANSMIT, FAULT) must not widen this CSV's schema.
+        assert [h[:-2] for h in header[3 : 3 + len(LEGACY_CATEGORIES)]] == [
+            c.label for c in LEGACY_CATEGORIES
         ]
         assert len(rows) == 2  # one per account
         assert rows[0][0] == "braidio"

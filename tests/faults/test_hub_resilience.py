@@ -1,0 +1,201 @@
+"""Hub-session resilience: dark-client detection, TDMA slot reclaim,
+probing/readmission, fleet re-planning with exclusions."""
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.energy import ChargeCategory
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.hardware.battery import Battery
+from repro.hardware.devices import device
+from repro.net import ClientPlacement, HubNetwork, TdmaSchedule
+from repro.net.session import HubClient, HubSession
+from repro.sim.link import SimulatedLink
+from repro.sim.policies import BraidioPolicy
+from repro.sim.simulator import Simulator
+
+
+def _crash(start=0.2, duration=0.15, target="band"):
+    return FaultPlan.of(
+        FaultSpec(
+            FaultKind.NODE_CRASH, start_s=start, duration_s=duration, target=target
+        )
+    )
+
+
+def _build(seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    hub = BraidioRadio.for_device("iPhone 6S")
+    hub.battery = Battery(1e-3)
+    clients = []
+    for name, dist in (("watch", 0.3), ("band", 0.5)):
+        radio = BraidioRadio.for_device("Apple Watch")
+        radio.battery = Battery(1e-4)
+        clients.append(
+            HubClient(
+                name=name,
+                radio=radio,
+                link=SimulatedLink(LinkMap(), dist, sim.rng),
+                policy=BraidioPolicy(),
+            )
+        )
+    tdma = TdmaSchedule({"watch": 2.0, "band": 1.0}, round_packets=32)
+    session = HubSession(
+        sim,
+        hub,
+        clients,
+        tdma,
+        max_packets=4000,
+        apply_switch_costs=False,
+        **kwargs,
+    )
+    return session, clients
+
+
+class TestDarkClientRecovery:
+    def test_crash_goes_dark_then_readmits(self):
+        session, clients = _build(dark_after=12, max_reprobes=6)
+        FaultInjector(_crash(), seed=0).arm_hub(session)
+        metrics = session.run()
+        assert metrics.reboots == 1
+        assert metrics.recoveries >= 1
+        assert metrics.outage_s > 0.0
+        assert metrics.recovery_latency_s > 0.0
+        assert metrics.resyncs >= 1  # at least one probe was spent
+        assert not session.dark_clients  # readmitted before the end
+        # The crashed client was served again after recovery.
+        assert clients[1].metrics.packets_attempted > 100
+
+    def test_survivor_keeps_the_reclaimed_slots(self):
+        # While 'band' is dark its TDMA share goes to 'watch': the
+        # survivor must attempt strictly more than its weight share.
+        session, clients = _build(dark_after=12, max_reprobes=6)
+        FaultInjector(_crash(), seed=0).arm_hub(session)
+        metrics = session.run()
+        watch, band = clients[0].metrics, clients[1].metrics
+        assert watch.packets_attempted + band.packets_attempted \
+            <= metrics.packets_attempted
+        assert watch.packets_attempted / max(band.packets_attempted, 1) > 2.0
+
+    def test_probe_budget_exhaustion_retires_client(self):
+        # A crash lasting past the end of the session: every probe fails,
+        # the client is permanently retired, the survivor carries on.
+        session, clients = _build(dark_after=12, max_reprobes=2)
+        FaultInjector(_crash(duration=30.0), seed=0).arm_hub(session)
+        metrics = session.run()
+        assert metrics.recoveries == 0
+        assert not session.dark_clients  # retired, not left dangling
+        assert clients[0].metrics.packets_attempted > (
+            clients[1].metrics.packets_attempted
+        )
+        assert metrics.terminated_by is not None
+
+    def test_dark_handling_off_by_default(self):
+        session, _ = _build()
+        FaultInjector(_crash(), seed=0).arm_hub(session)
+        metrics = session.run()
+        # Without dark_after the hub never marks anyone dark; the crash
+        # still fires and reboots, but no probes/readmissions happen.
+        assert metrics.reboots == 1
+        assert metrics.recoveries == 0
+        assert metrics.resyncs == 0
+
+
+class TestHubDeterminism:
+    def test_faulted_hub_run_replays_bit_identically(self):
+        def run():
+            session, _ = _build(dark_after=12, max_reprobes=6)
+            FaultInjector(_crash(), seed=0).arm_hub(session)
+            return session.run()
+
+        assert run()._comparable_state() == run()._comparable_state()
+
+    def test_empty_plan_armed_matches_unarmed(self):
+        armed, _ = _build()
+        FaultInjector(FaultPlan.empty()).arm_hub(armed)
+        plain, _ = _build()
+        assert armed.run()._comparable_state() == (
+            plain.run()._comparable_state()
+        )
+
+
+class TestHubStepDrain:
+    def test_hub_drain_books_fault_category(self):
+        session, _ = _build()
+        plan = FaultPlan.of(
+            FaultSpec(
+                FaultKind.BATTERY_STEP_DRAIN, start_s=0.05, magnitude=0.01,
+                target="hub",
+            )
+        )
+        FaultInjector(plan, seed=0).arm_hub(session)
+        metrics = session.run()
+        assert metrics.fault_events == 1
+        account = metrics.ledger.account("b")
+        assert account.category_j(ChargeCategory.FAULT) == pytest.approx(0.01)
+
+    def test_client_drain_can_kill_the_client(self):
+        session, clients = _build()
+        # More joules than the 1e-4 Wh client battery holds.
+        plan = FaultPlan.of(
+            FaultSpec(
+                FaultKind.BATTERY_STEP_DRAIN, start_s=0.05, magnitude=1.0,
+                target="band",
+            )
+        )
+        FaultInjector(plan, seed=0).arm_hub(session)
+        session.run()
+        # The drained client retired early; the survivor kept running.
+        assert clients[0].metrics.packets_attempted > (
+            clients[1].metrics.packets_attempted
+        )
+
+
+class TestTdmaReclaim:
+    def test_without_drops_named_clients(self):
+        schedule = TdmaSchedule({"a": 1.0, "b": 3.0}, round_packets=32)
+        reduced = schedule.without(["b"])
+        assert set(reduced.weights) == {"a"}
+        assert reduced.air_time_shares()["a"] == pytest.approx(1.0)
+
+    def test_without_everyone_rejected(self):
+        schedule = TdmaSchedule({"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError):
+            schedule.without(["a", "b"])
+
+    def test_without_unknown_is_noop(self):
+        schedule = TdmaSchedule({"a": 1.0, "b": 1.0}, round_packets=16)
+        assert set(schedule.without(["zz"]).weights) == {"a", "b"}
+
+
+class TestFleetReplanExclusion:
+    def _network(self):
+        return HubNetwork(
+            "iPhone 6S",
+            [
+                ClientPlacement("band", device("Nike Fuel Band"), 0.4),
+                ClientPlacement("watch", device("Apple Watch"), 0.6),
+            ],
+        )
+
+    def test_excluded_client_is_not_allocated(self):
+        plan = self._network().plan("total", exclude=["band"])
+        names = [allocation.name for allocation in plan.allocations]
+        assert names == ["watch"]
+
+    def test_exclusion_frees_hub_energy_for_survivors(self):
+        network = self._network()
+        full = network.plan("total")
+        reduced = network.plan("total", exclude=["band"])
+        assert reduced.allocation("watch").bits >= (
+            full.allocation("watch").bits * (1 - 1e-9)
+        )
+
+    def test_unknown_exclusion_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            self._network().plan("total", exclude=["phantom"])
+
+    def test_excluding_everyone_rejected(self):
+        with pytest.raises(ValueError, match="no clients"):
+            self._network().plan("total", exclude=["band", "watch"])

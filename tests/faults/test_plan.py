@@ -1,0 +1,194 @@
+"""Unit tests for the declarative fault schedules (plans, specs,
+canonical ordering, serialization, fingerprints, window validation)."""
+
+import pytest
+
+from repro.core.modes import LinkMode
+from repro.faults import (
+    FAULT_SCHEMA_VERSION,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    validate_windows,
+)
+
+
+def _outage(start=0.1, duration=0.1):
+    return FaultSpec(FaultKind.LINK_OUTAGE, start_s=start, duration_s=duration)
+
+
+class TestSpecValidation:
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.LINK_OUTAGE, start_s=-0.1, duration_s=0.1)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.LINK_OUTAGE, start_s=0.1, duration_s=-0.1)
+
+    def test_window_kind_needs_duration(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.LINK_OUTAGE, start_s=0.1)
+
+    def test_instant_kind_rejects_duration(self):
+        with pytest.raises(ValueError):
+            FaultSpec(
+                FaultKind.BATTERY_STEP_DRAIN,
+                start_s=0.1,
+                duration_s=0.2,
+                magnitude=1.0,
+                target="a",
+            )
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_ack_probability_bounded(self, p):
+        with pytest.raises(ValueError):
+            FaultSpec(
+                FaultKind.ACK_CORRUPTION, start_s=0.1, duration_s=0.1, magnitude=p
+            )
+
+    def test_misreport_scale_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(
+                FaultKind.BATTERY_MISREPORT,
+                start_s=0.1,
+                duration_s=0.1,
+                magnitude=0.0,
+                target="a",
+            )
+
+    def test_step_drain_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(
+                FaultKind.BATTERY_STEP_DRAIN, start_s=0.1, magnitude=0.0, target="a"
+            )
+
+    @pytest.mark.parametrize(
+        "kind",
+        [FaultKind.NODE_CRASH, FaultKind.BATTERY_MISREPORT],
+    )
+    def test_targeted_kinds_need_target(self, kind):
+        with pytest.raises(ValueError):
+            FaultSpec(kind, start_s=0.1, duration_s=0.1, magnitude=0.5)
+
+    def test_blocked_modes(self):
+        assert _outage().blocked_modes() == frozenset(LinkMode)
+        carrier = FaultSpec(FaultKind.CARRIER_DROPOUT, start_s=0.1, duration_s=0.1)
+        assert carrier.blocked_modes() == frozenset(
+            {LinkMode.BACKSCATTER, LinkMode.PASSIVE}
+        )
+        fade = FaultSpec(
+            FaultKind.DEEP_FADE, start_s=0.1, duration_s=0.1, magnitude=10.0
+        )
+        assert fade.blocked_modes() is None
+
+
+class TestPlanCanonicalForm:
+    def test_order_independent_identity(self):
+        a, b = _outage(0.5), _outage(0.1)
+        assert FaultPlan.of(a, b) == FaultPlan.of(b, a)
+        assert FaultPlan.of(a, b).fingerprint() == FaultPlan.of(b, a).fingerprint()
+
+    def test_specs_sorted_by_onset(self):
+        plan = FaultPlan.of(_outage(0.5), _outage(0.1))
+        assert [spec.start_s for spec in plan] == [0.1, 0.5]
+
+    def test_different_plans_differ(self):
+        assert FaultPlan.of(_outage(0.1)).fingerprint() != (
+            FaultPlan.of(_outage(0.2)).fingerprint()
+        )
+
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.horizon_s() == 0.0
+        assert plan.kinds() == frozenset()
+
+    def test_horizon_covers_latest_end(self):
+        plan = FaultPlan.of(_outage(0.1, 0.5), _outage(0.3, 0.1))
+        assert plan.horizon_s() == pytest.approx(0.6)
+
+    def test_targeting_includes_untargeted(self):
+        crash = FaultSpec(
+            FaultKind.NODE_CRASH, start_s=0.2, duration_s=0.1, target="b"
+        )
+        plan = FaultPlan.of(_outage(), crash)
+        assert plan.targeting("b") == plan.faults
+        assert plan.targeting("a") == (_outage(),)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan.of(
+            _outage(),
+            FaultSpec(
+                FaultKind.BATTERY_STEP_DRAIN, start_s=0.3, magnitude=2.5, target="a"
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_version_stamped(self):
+        import json
+
+        assert json.loads(FaultPlan.empty().to_json())["version"] == (
+            FAULT_SCHEMA_VERSION
+        )
+
+    def test_rejects_unknown_schema_version(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('{"version": 999, "faults": []}')
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec.from_dict({"kind": "gremlins", "start_s": 0.1})
+
+
+class TestWindowValidation:
+    def test_overlapping_stateful_windows_rejected(self):
+        specs = [
+            FaultSpec(
+                FaultKind.ACK_CORRUPTION, start_s=0.1, duration_s=0.2, magnitude=0.5
+            ),
+            FaultSpec(
+                FaultKind.ACK_CORRUPTION, start_s=0.2, duration_s=0.2, magnitude=0.9
+            ),
+        ]
+        with pytest.raises(ValueError, match="overlapping"):
+            validate_windows(specs)
+
+    def test_disjoint_windows_accepted(self):
+        validate_windows(
+            [
+                FaultSpec(
+                    FaultKind.DEEP_FADE, start_s=0.1, duration_s=0.1, magnitude=10.0
+                ),
+                FaultSpec(
+                    FaultKind.DEEP_FADE, start_s=0.2, duration_s=0.1, magnitude=20.0
+                ),
+            ]
+        )
+
+    def test_different_targets_may_overlap(self):
+        validate_windows(
+            [
+                FaultSpec(
+                    FaultKind.BATTERY_MISREPORT,
+                    start_s=0.1,
+                    duration_s=0.3,
+                    magnitude=0.5,
+                    target="a",
+                ),
+                FaultSpec(
+                    FaultKind.BATTERY_MISREPORT,
+                    start_s=0.2,
+                    duration_s=0.3,
+                    magnitude=0.5,
+                    target="b",
+                ),
+            ]
+        )
+
+    def test_overlapping_outages_allowed(self):
+        # Blocking faults stack via depth counters; overlap is fine.
+        validate_windows([_outage(0.1, 0.3), _outage(0.2, 0.3)])

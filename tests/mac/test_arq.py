@@ -70,6 +70,40 @@ class TestSenderStateMachine:
         with pytest.raises(ArqError):
             ArqSender().on_timeout()
 
+    def test_exhaustion_is_terminal_and_error_carries_sequence(self):
+        """ISSUE regression: drive retries past the cap — FAILED must be
+        terminal, and further use must raise an ArqError that names the
+        abandoned frame's sequence number."""
+        sender = ArqSender(max_retries=2)
+        sender.send(b"doomed")
+        failed_seq = sender.next_sequence
+        for _ in range(2):
+            assert sender.on_timeout() is not None
+        assert sender.on_timeout() is None  # budget spent
+        assert sender.state is SenderState.FAILED
+        assert sender.failures == 1
+        # Terminal: another timeout does not resurrect the frame.
+        with pytest.raises(ArqError) as timeout_err:
+            sender.on_timeout()
+        assert timeout_err.value.sequence == failed_seq
+        # Terminal: sending without reset() is refused, same attribution.
+        with pytest.raises(ArqError) as send_err:
+            sender.send(b"next")
+        assert send_err.value.sequence == failed_seq
+        assert str(failed_seq) in str(send_err.value)
+        # reset() unblocks and skips the failed sequence.
+        sender.reset()
+        assert sender.state is SenderState.IDLE
+        assert sender.next_sequence == failed_seq + 1
+        sender.send(b"next")
+
+    def test_send_while_awaiting_carries_sequence(self):
+        sender = ArqSender()
+        sender.send(b"one")
+        with pytest.raises(ArqError) as err:
+            sender.send(b"two")
+        assert err.value.sequence == 0
+
     def test_sequence_wraps_16_bits(self):
         sender = ArqSender()
         sender._sequence = 0xFFFF

@@ -23,6 +23,17 @@ def _fail(spec, rng):
     raise RuntimeError("always broken")
 
 
+@register_job_runner("test.worker_crash")
+def _worker_crash(spec, rng):
+    import multiprocessing
+    import os
+
+    if multiprocessing.parent_process() is not None:
+        # Pooled worker: die without raising, so the chunk future breaks.
+        os._exit(1)
+    raise RuntimeError("serial fallback also failing")
+
+
 _FLAKY_CALLS = {"count": 0}
 
 
@@ -148,6 +159,31 @@ class TestFaultTolerance:
         assert statuses == ["completed", "failed", "completed"]
         with pytest.raises(CampaignError, match="1/3"):
             result.raise_on_failure()
+
+    def test_worker_crash_then_serial_failure_keeps_last_error(self):
+        """ISSUE regression: when a pooled worker hard-crashes and the
+        serial-fallback retry also fails, the outcome must retain the
+        last error string, not a blank."""
+        result = run_campaign(
+            [JobSpec(kind="test.worker_crash")],
+            CampaignConfig(n_jobs=2, max_retries=1, backoff_s=0.0),
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error and outcome.error.strip()
+        assert "serial fallback also failing" in outcome.error
+
+    def test_worker_crash_without_retry_budget_keeps_pool_error(self):
+        # With no serial retry budget, the recorded error must still be
+        # the pool-side failure, never blank.
+        result = run_campaign(
+            [JobSpec(kind="test.worker_crash")],
+            CampaignConfig(n_jobs=2, max_retries=0, backoff_s=0.0),
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error and outcome.error.strip()
+        assert "pool chunk failed" in outcome.error
 
     def test_unknown_kind_fails_cleanly(self):
         result = run_campaign(
