@@ -8,6 +8,7 @@ Usage::
     python -m repro export all out/      # write every experiment's CSV
     python -m repro export fig15 out/ --jobs 4 --cache-dir .cache/
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
+    python -m repro campaign all --cache-dir .cache --resume  # crash-safe continuation
     python -m repro profile fig18 --top 30          # cProfile an experiment
     python -m repro energy braidio-arq              # ledger breakdown table
     python -m repro faults chaos                    # chaos run + recovery table
@@ -16,7 +17,11 @@ The ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags drive the
 campaign engine (:mod:`repro.runtime`): figure-level work fans across
 worker processes and completed jobs are cached on disk keyed by content
 fingerprint + calibration version, so a warm re-run skips all simulation
-(verifiable from the printed run manifest's ``cached`` count).
+(verifiable from the printed run manifest's ``cached`` count).  Cached
+campaigns also keep a write-ahead journal, so a killed sweep continues
+with ``campaign ... --resume`` (bit-identical results; see DESIGN.md
+§10), and ``--max-failures N`` turns a failure storm into an early,
+non-zero-exit abort.
 """
 
 from __future__ import annotations
@@ -156,40 +161,67 @@ def _profile(experiment: str, top: int, sort: str) -> int:
     return 0
 
 
+def _capped_jobs(jobs: int) -> int:
+    """Cap a worker request at the machine's CPU count, with a warning."""
+    import os
+
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        print(
+            f"warning: --jobs {jobs} exceeds the {cpus} available CPUs; "
+            f"capping at {cpus}",
+            file=sys.stderr,
+        )
+        return cpus
+    return jobs
+
+
 def _campaign_config(args: argparse.Namespace, seed: int = 0):
     from .runtime import CampaignConfig
 
     return CampaignConfig(
-        n_jobs=args.jobs,
+        n_jobs=_capped_jobs(args.jobs),
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         campaign_seed=seed,
+        resume=getattr(args, "resume", False),
+        max_failures=getattr(args, "max_failures", None),
     )
 
 
 def _summarize_engine_runs(manifest_path: Path | None) -> None:
     """Merge manifests of the campaigns the exporters just ran, print a
-    one-line summary, and optionally persist the merged manifest."""
-    from .runtime import RunManifest, drain_manifests
+    one-line summary, and optionally persist the merged manifest (with
+    per-run resume lineage)."""
+    from .analysis.export import write_campaign_manifest
+    from .runtime import drain_manifests
 
-    merged = RunManifest.merge(drain_manifests())
+    merged = write_campaign_manifest(manifest_path, drain_manifests())
     if merged is None:
         return
+    resumed = f", {merged.resumed} resumed" if merged.resumed else ""
     print(
         f"campaign engine: {merged.total} jobs "
         f"({merged.completed} run, {merged.cached} cached, "
-        f"{merged.failed} failed) in {merged.wall_time_s:.2f}s",
+        f"{merged.failed} failed{resumed}) in {merged.wall_time_s:.2f}s",
         file=sys.stderr,
     )
     if manifest_path is not None:
-        merged.write(manifest_path)
         print(f"manifest written to {manifest_path}", file=sys.stderr)
 
 
 def _run_campaign_command(args: argparse.Namespace) -> int:
-    from .runtime import RunManifest, drain_manifests, run_campaign
+    from .analysis.export import write_campaign_manifest
+    from .runtime import drain_manifests, run_campaign
     from .runtime.workloads import CAMPAIGN_EXPERIMENTS, campaign_specs
 
+    if args.resume and args.cache_dir is None:
+        print(
+            "error: --resume needs --cache-dir (the journal and the results "
+            "being resumed live there)",
+            file=sys.stderr,
+        )
+        return 2
     experiments = args.experiments or ["all"]
     if "all" in experiments:
         experiments = list(CAMPAIGN_EXPERIMENTS)
@@ -200,16 +232,27 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         result = run_campaign(campaign_specs(experiment), config)
         failed += len(result.failures)
         manifest = result.manifest
+        resumed = f", {manifest.resumed} resumed" if manifest.resumed else ""
         print(
             f"{experiment}: {manifest.total} jobs, {manifest.completed} run, "
-            f"{manifest.cached} cached, {manifest.failed} failed, "
+            f"{manifest.cached} cached, {manifest.failed} failed{resumed}, "
             f"{manifest.wall_time_s:.2f}s ({manifest.jobs_per_s:.0f} jobs/s)"
         )
-    merged = RunManifest.merge(drain_manifests())
+        if (
+            args.max_failures is not None
+            and manifest.failed >= args.max_failures
+        ):
+            print(
+                f"aborted: {manifest.failed} failures reached "
+                f"--max-failures {args.max_failures}",
+                file=sys.stderr,
+            )
+            failed = max(failed, 1)
+            break
+    merged = write_campaign_manifest(args.manifest, drain_manifests())
     if merged is not None:
         print(merged.to_json())
         if args.manifest is not None:
-            merged.write(args.manifest)
             print(f"manifest written to {args.manifest}", file=sys.stderr)
     return 1 if failed else 0
 
@@ -328,6 +371,16 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "--manifest", type=Path, default=None, metavar="PATH",
         help="also write the merged run manifest JSON to PATH",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="replay the write-ahead journal under --cache-dir and "
+        "re-dispatch only jobs without a verified result (crash-safe "
+        "continuation; results are bit-identical to an uninterrupted run)",
+    )
+    campaign.add_argument(
+        "--max-failures", type=_positive_int, default=None, metavar="N",
+        help="abort the campaign (non-zero exit) once N jobs have failed",
     )
     _add_campaign_flags(campaign)
 

@@ -8,13 +8,14 @@ Used by the ``python -m repro`` command-line runner.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..runtime import CampaignConfig
+    from ..runtime import CampaignConfig, RunManifest
 
 from .ber_sweep import mode_ber_curves, reader_comparison_curves
 from .charge_pump_fig import charge_pump_figure
@@ -221,6 +222,33 @@ EXPORTERS: dict[str, Callable[[Path], Path]] = {
     "energy": export_energy,
     "faults": export_faults,
 }
+
+
+def write_campaign_manifest(
+    path: "Path | None", manifests: "list[RunManifest]"
+) -> "RunManifest | None":
+    """Merge per-figure campaign manifests and persist them with lineage.
+
+    The written JSON carries the merged counters plus a ``runs`` list —
+    one record per underlying campaign with its content fingerprint,
+    journal path and resumed/interrupted state — so a manifest produced
+    by a killed-then-resumed sweep documents exactly how its numbers
+    were assembled.  Returns the merged manifest (``None`` when no
+    campaigns ran); with ``path=None`` nothing is written.
+    """
+    from ..runtime import RunManifest
+
+    merged = RunManifest.merge(manifests)
+    if merged is None or path is None:
+        return merged
+    record = merged.to_dict()
+    record["runs"] = [m.to_dict() for m in manifests]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return merged
 
 
 def export_all(

@@ -3,8 +3,11 @@
 Fans embarrassingly-parallel simulation jobs (gain-matrix cells,
 distance-sweep points, Monte-Carlo samples) across worker processes with
 content-derived deterministic seeding, an on-disk result cache keyed by
-job fingerprint + calibration version, bounded retries and a structured
-run manifest.  See DESIGN.md §3 for the module inventory.
+job fingerprint + calibration version (checksummed, with corruption
+quarantine), a write-ahead journal enabling crash-safe ``--resume``,
+hung-worker supervision, bounded retries and a structured run manifest.
+See DESIGN.md §3 for the module inventory and §10 for the durability
+contract.
 """
 
 from .cache import ResultCache, calibration_fingerprint
@@ -18,6 +21,13 @@ from .executor import (
     run_campaign,
 )
 from .jobs import JobSpec, job_runner, register_job_runner, registered_kinds
+from .journal import (
+    CampaignJournal,
+    JournalReplay,
+    campaign_fingerprint,
+    metrics_checksum,
+    replay_journal,
+)
 from .progress import CampaignProgress, RunManifest
 from .seeding import campaign_seed_sequence, job_rng, job_seed_sequence
 from .workloads import (
@@ -31,13 +41,16 @@ __all__ = [
     "CAMPAIGN_EXPERIMENTS",
     "CampaignConfig",
     "CampaignError",
+    "CampaignJournal",
     "CampaignProgress",
     "CampaignResult",
     "JobOutcome",
     "JobSpec",
+    "JournalReplay",
     "ResultCache",
     "RunManifest",
     "calibration_fingerprint",
+    "campaign_fingerprint",
     "campaign_seed_sequence",
     "campaign_specs",
     "distance_curve_specs",
@@ -47,7 +60,9 @@ __all__ = [
     "job_rng",
     "job_runner",
     "job_seed_sequence",
+    "metrics_checksum",
     "register_job_runner",
     "registered_kinds",
+    "replay_journal",
     "run_campaign",
 ]

@@ -1,17 +1,25 @@
 """On-disk result cache for campaign jobs.
 
 One JSON file per job, named by the job fingerprint, carrying the spec,
-the metrics and the calibration fingerprint the result was computed
-under.  Entries from a different calibration (anyone edits the link
-budgets or the power tables) are ignored rather than served stale.
+the metrics, a SHA-256 checksum of the metrics payload and the
+calibration fingerprint the result was computed under.  Entries from a
+different calibration (anyone edits the link budgets or the power
+tables) are ignored rather than served stale.
 
 Layout::
 
     <cache_dir>/
         <job fingerprint>.json
+        quarantine/
+            <job fingerprint>.json            # the corrupt entry, moved
+            <job fingerprint>.reason.json     # structured diagnosis
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-worker never leaves a truncated entry behind.
+worker never leaves a truncated entry behind.  Reads *verify*: an entry
+that fails parsing, carries a drifted schema, or whose payload no longer
+hashes to its recorded checksum is moved to ``quarantine/`` with a
+structured reason instead of being served or crashing the load path
+(DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -21,12 +29,19 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from .jobs import JobSpec
+from .journal import metrics_checksum
 
-#: Schema version of the cache entry format itself.
-CACHE_FORMAT = 1
+#: Schema version of the cache entry format itself.  Version 2 added the
+#: mandatory ``checksum`` field; version-1 entries are quarantined as
+#: schema drift rather than trusted unverified.
+CACHE_FORMAT = 2
+
+#: Subdirectory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
 
 
 @functools.lru_cache(maxsize=1)
@@ -53,7 +68,7 @@ def calibration_fingerprint() -> str:
 
 
 class ResultCache:
-    """Fingerprint-keyed JSON result store.
+    """Fingerprint-keyed JSON result store with corruption quarantine.
 
     Args:
         directory: cache root (created lazily on first write).
@@ -61,7 +76,7 @@ class ResultCache:
             defaults to the current paper calibration.
     """
 
-    def __init__(self, directory: Path | str, calibration: str | None = None) -> None:
+    def __init__(self, directory: "Path | str", calibration: "str | None" = None) -> None:
         self._directory = Path(directory)
         self._calibration = (
             calibration if calibration is not None else calibration_fingerprint()
@@ -73,6 +88,11 @@ class ResultCache:
         return self._directory
 
     @property
+    def quarantine_directory(self) -> Path:
+        """Where corrupt entries are moved."""
+        return self._directory / QUARANTINE_DIR
+
+    @property
     def calibration(self) -> str:
         """Calibration fingerprint entries are keyed under."""
         return self._calibration
@@ -80,26 +100,102 @@ class ResultCache:
     def _path(self, spec: JobSpec) -> Path:
         return self._directory / f"{spec.fingerprint()}.json"
 
-    def get(self, spec: JobSpec) -> dict | None:
-        """Cached metrics for ``spec``, or ``None`` on miss.
+    def _quarantine(self, path: Path, reason: str, detail: str) -> None:
+        """Move a failed entry aside with a structured diagnosis.
 
-        Corrupt, truncated or calibration-mismatched entries count as
-        misses.
+        Best-effort: quarantine must never turn a cache miss into a
+        crash, so every filesystem error here is swallowed (the entry is
+        deleted as a last resort to stop it being re-diagnosed forever).
         """
-        path = self._path(spec)
+        quarantine = self.quarantine_directory
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            target = quarantine / path.name
+            os.replace(path, target)
+            diagnosis = {
+                "entry": path.name,
+                "reason": reason,
+                "detail": detail,
+                "calibration": self._calibration,
+                "quarantined_at": time.time(),
+            }
+            (quarantine / f"{path.stem}.reason.json").write_text(
+                json.dumps(diagnosis, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _verified_entry(self, path: Path) -> "dict | None":
+        """Load, validate and checksum one entry file.
+
+        Returns the metrics dict, or ``None`` after quarantining the file
+        (corruption) or on a benign miss (absent file, calibration
+        mismatch).
+        """
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            self._quarantine(path, "unparseable", f"{type(exc).__name__}: {exc}")
             return None
         if not isinstance(entry, dict):
+            self._quarantine(
+                path, "schema-drift", f"top-level {type(entry).__name__}, expected object"
+            )
             return None
         if entry.get("format") != CACHE_FORMAT:
-            return None
-        if entry.get("calibration") != self._calibration:
+            self._quarantine(
+                path,
+                "schema-drift",
+                f"format {entry.get('format')!r}, expected {CACHE_FORMAT}",
+            )
             return None
         metrics = entry.get("metrics")
-        return metrics if isinstance(metrics, dict) else None
+        if not isinstance(metrics, dict):
+            self._quarantine(
+                path, "schema-drift", "missing or non-object metrics payload"
+            )
+            return None
+        recorded = entry.get("checksum")
+        actual = metrics_checksum(metrics)
+        if recorded != actual:
+            self._quarantine(
+                path,
+                "checksum-mismatch",
+                f"recorded {recorded!r}, payload hashes to {actual!r}",
+            )
+            return None
+        # A calibration mismatch is a *valid* entry for a different world,
+        # not corruption: leave it in place for whoever keyed it.
+        if entry.get("calibration") != self._calibration:
+            return None
+        return metrics
+
+    def get(self, spec: JobSpec) -> "dict | None":
+        """Verified cached metrics for ``spec``, or ``None`` on miss.
+
+        Corrupt entries (truncation, bit-rot, schema drift, checksum
+        mismatch) are quarantined and count as misses; this never raises.
+        """
+        return self._verified_entry(self._path(spec))
+
+    def get_verified(self, spec: JobSpec, checksum: str) -> "dict | None":
+        """Cached metrics for ``spec`` only if they hash to ``checksum``.
+
+        The resume path uses this to refuse results that diverged from
+        what the journal recorded (e.g. an entry rewritten by a different
+        run between crash and resume).
+        """
+        metrics = self.get(spec)
+        if metrics is None or metrics_checksum(metrics) != checksum:
+            return None
+        return metrics
 
     def put(self, spec: JobSpec, metrics: dict) -> Path:
         """Store ``metrics`` for ``spec`` atomically; returns the path."""
@@ -107,6 +203,7 @@ class ResultCache:
         entry = {
             "format": CACHE_FORMAT,
             "calibration": self._calibration,
+            "checksum": metrics_checksum(metrics),
             "spec": spec.to_dict(),
             "metrics": metrics,
         }
@@ -125,6 +222,21 @@ class ResultCache:
                 pass
             raise
         return self._path(spec)
+
+    def quarantined(self) -> "list[dict]":
+        """Structured reasons of every quarantined entry (sorted by name)."""
+        quarantine = self.quarantine_directory
+        if not quarantine.is_dir():
+            return []
+        reasons = []
+        for path in sorted(quarantine.glob("*.reason.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict):
+                reasons.append(record)
+        return reasons
 
     def __contains__(self, spec: JobSpec) -> bool:
         return self.get(spec) is not None

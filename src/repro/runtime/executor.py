@@ -1,36 +1,62 @@
-"""Fault-tolerant campaign execution.
+"""Fault-tolerant, durable campaign execution.
 
 ``run_campaign`` takes a list of :class:`JobSpec` and returns one outcome
 per spec, in submission order.  Execution strategy:
 
-* **cache first** — jobs whose fingerprint is already in the result cache
-  (same calibration) are served without running anything;
+* **resume first** — with ``resume=True`` and a journal on disk, jobs the
+  journal marks ``done`` are served from the result cache after their
+  payload checksum is verified against the journaled one;
+* **cache second** — jobs whose fingerprint is already in the result
+  cache (same calibration) are served without running anything;
+* **write-ahead journal** — when a journal directory is available (any
+  cached campaign gets one by default) every dispatch/done/failed
+  transition is fsync'd to an append-only JSONL file *before* the next
+  state change, so a SIGKILL mid-sweep loses at most the in-flight jobs;
 * **process pool** — remaining jobs are chunked and dispatched to a
   ``ProcessPoolExecutor`` when ``n_jobs > 1``, with a per-job timeout
   budget applied per chunk;
+* **worker supervision** — workers heartbeat between jobs; if the whole
+  pool stalls for ``hang_timeout_s`` the watchdog terminates it, salvages
+  every completed future, and rebuilds the pool (once per
+  ``pool_rebuilds``, with exponential backoff) for the unfinished chunks;
 * **bounded retry** — chunks that time out or die, and jobs that raise,
   are retried serially in-process with exponential backoff, up to
-  ``max_retries`` extra attempts;
+  ``max_retries`` extra attempts; ``max_failures`` turns a failure storm
+  into an early abort;
 * **graceful degradation** — if the pool cannot be created at all (some
   sandboxes forbid semaphores) the whole campaign transparently runs
-  serially.
+  serially;
+* **signal safety** — SIGINT/SIGTERM are journaled as an interruption
+  and the partial manifest is flushed before the exception propagates.
 
 Because every job's RNG derives from (campaign seed, spec fingerprint)
 (:mod:`repro.runtime.seeding`), outcomes are bit-identical whatever the
-worker count, chunking or execution order.
+worker count, chunking, execution order — or how many times the campaign
+was killed and resumed along the way.  See DESIGN.md §10 for the
+durability contract.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+import os
+import shutil
+import signal
+import tempfile
+import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from .cache import ResultCache
+from .cache import ResultCache, calibration_fingerprint
 from .jobs import JobSpec, job_runner
+from .journal import CampaignJournal, campaign_fingerprint, metrics_checksum
 from .progress import CampaignProgress, RunManifest
 from .seeding import job_rng
+
+#: Journal subdirectory created under the cache directory by default.
+JOURNAL_SUBDIR = "journal"
 
 
 @dataclass(frozen=True)
@@ -42,13 +68,27 @@ class CampaignConfig:
         timeout_s: per-job wall-time budget (pool mode only; pooled chunks
             get ``len(chunk) * timeout_s``).  ``None`` disables timeouts.
         max_retries: extra attempts after a job's first failure.
-        backoff_s: base of the exponential retry backoff.
+        backoff_s: base of the exponential retry (and pool-rebuild)
+            backoff.
         chunk_size: jobs per pool task; defaults to an even split across
             ``4 * n_jobs`` chunks.
         campaign_seed: root seed for per-job RNG derivation.
         cache_dir: result-cache directory, or ``None`` for no caching.
         use_cache: when ``False`` the cache is neither read nor written
             even if ``cache_dir`` is set.
+        journal_dir: where write-ahead journals live; defaults to
+            ``<cache_dir>/journal`` when caching is active, else no
+            journaling.
+        resume: replay the campaign's journal and skip jobs whose results
+            are journaled ``done`` and still verify against the cache.
+        max_failures: abort the campaign once this many jobs have failed
+            (remaining jobs settle as failed without running); ``None``
+            disables the bound.
+        hang_timeout_s: pool watchdog — if no future completes and no
+            worker heartbeats for this long, the pool is declared hung,
+            terminated and rebuilt.  ``None`` disables the watchdog.
+        pool_rebuilds: how many times a hung pool may be rebuilt before
+            its unfinished jobs fall back to serial execution.
     """
 
     n_jobs: int = 1
@@ -59,6 +99,11 @@ class CampaignConfig:
     campaign_seed: int = 0
     cache_dir: Path | str | None = None
     use_cache: bool = True
+    journal_dir: Path | str | None = None
+    resume: bool = False
+    max_failures: int | None = None
+    hang_timeout_s: float | None = None
+    pool_rebuilds: int = 1
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -71,10 +116,30 @@ class CampaignConfig:
             raise ValueError(f"backoff must be >= 0, got {self.backoff_s!r}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size!r}")
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ValueError(
+                f"max_failures must be >= 1, got {self.max_failures!r}"
+            )
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0.0:
+            raise ValueError(
+                f"hang_timeout must be positive, got {self.hang_timeout_s!r}"
+            )
+        if self.pool_rebuilds < 0:
+            raise ValueError(
+                f"pool_rebuilds must be >= 0, got {self.pool_rebuilds!r}"
+            )
 
     def serial(self) -> "CampaignConfig":
         """A copy of this config forced to in-process execution."""
         return replace(self, n_jobs=1)
+
+    def resolved_journal_dir(self) -> "Path | None":
+        """Where this campaign journals, or ``None`` for no journaling."""
+        if self.journal_dir is not None:
+            return Path(self.journal_dir)
+        if self.cache_dir is not None and self.use_cache:
+            return Path(self.cache_dir) / JOURNAL_SUBDIR
+        return None
 
 
 @dataclass(frozen=True)
@@ -83,10 +148,11 @@ class JobOutcome:
 
     Attributes:
         spec: the job.
-        status: ``"completed"``, ``"failed"`` or ``"cached"``.
+        status: ``"completed"``, ``"failed"``, ``"cached"`` or
+            ``"resumed"`` (journal replay verified against the cache).
         metrics: runner output (``None`` when failed).
         error: last error string when failed.
-        attempts: executions performed (0 for cache hits).
+        attempts: executions performed (0 for cache/resume hits).
         duration_s: execution time of the last attempt (0 for cache hits).
     """
 
@@ -142,19 +208,99 @@ class CampaignError(RuntimeError):
     """Raised by :meth:`CampaignResult.raise_on_failure`."""
 
 
-#: Manifests of campaigns run since the last drain (newest last).  The CLI
-#: uses this to surface telemetry from campaigns that run behind library
-#: calls (e.g. ``export fig15 --jobs 4``) without threading a collector
-#: through every analysis signature.
-_MANIFESTS: list[RunManifest] = []
+# --------------------------------------------------------------------------
+# Manifest registry.
+#
+# The CLI uses this to surface telemetry from campaigns that run behind
+# library calls (e.g. ``export fig15 --jobs 4``) without threading a
+# collector through every analysis signature.  Campaigns *claim a slot* at
+# start and fill it at completion, so concurrent campaigns (threaded
+# callers) drain in deterministic start order, protected by a lock.
+
+_MANIFEST_LOCK = threading.Lock()
+_MANIFEST_SLOTS: "dict[int, RunManifest | None]" = {}
+_MANIFEST_COUNTER = itertools.count()
 _MANIFEST_LIMIT = 64
 
 
+def _claim_manifest_slot() -> int:
+    """Reserve the next start-ordered slot for a campaign about to run."""
+    with _MANIFEST_LOCK:
+        slot = next(_MANIFEST_COUNTER)
+        _MANIFEST_SLOTS[slot] = None
+        return slot
+
+
+def _record_manifest(slot: int, manifest: RunManifest) -> None:
+    """Fill a claimed slot, evicting the oldest finished beyond the cap."""
+    with _MANIFEST_LOCK:
+        if slot in _MANIFEST_SLOTS:
+            _MANIFEST_SLOTS[slot] = manifest
+        finished = [k for k, m in _MANIFEST_SLOTS.items() if m is not None]
+        if len(finished) > _MANIFEST_LIMIT:
+            for key in sorted(finished)[: len(finished) - _MANIFEST_LIMIT]:
+                del _MANIFEST_SLOTS[key]
+
+
 def drain_manifests() -> list[RunManifest]:
-    """Return and clear the recorded campaign manifests."""
-    drained = list(_MANIFESTS)
-    _MANIFESTS.clear()
-    return drained
+    """Return and clear the finished campaign manifests, in start order.
+
+    Thread-safe; slots claimed by still-running campaigns are left in
+    place so their manifests land in a later drain.
+    """
+    with _MANIFEST_LOCK:
+        finished = [
+            key for key in sorted(_MANIFEST_SLOTS) if _MANIFEST_SLOTS[key] is not None
+        ]
+        return [_MANIFEST_SLOTS.pop(key) for key in finished]  # type: ignore[misc]
+
+
+# --------------------------------------------------------------------------
+# Signal handling.
+
+
+class _SignalGuard:
+    """Convert SIGINT/SIGTERM into catchable exceptions for the run scope.
+
+    Installed only in the main thread (Python forbids handlers
+    elsewhere); previous handlers are restored on exit.  SIGTERM becomes
+    ``SystemExit(128 + signum)`` so ``finally`` blocks — journal flush,
+    pool teardown, partial-manifest recording — still run before the
+    process dies.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.reason: "str | None" = None
+        self._previous: "dict[int, object]" = {}
+
+    def _handler(self, signum: int, frame: object) -> None:
+        self.reason = signal.Signals(signum).name
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    def __enter__(self) -> "_SignalGuard":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self._SIGNALS:
+                try:
+                    self._previous[signum] = signal.signal(signum, self._handler)
+                except (ValueError, OSError):  # pragma: no cover - exotic host
+                    pass
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+        self._previous.clear()
+
+
+# --------------------------------------------------------------------------
+# Worker entry points.
 
 
 def execute_job(spec: JobSpec, campaign_seed: int = 0) -> dict:
@@ -168,17 +314,32 @@ def execute_job(spec: JobSpec, campaign_seed: int = 0) -> dict:
     return runner(spec, job_rng(spec, campaign_seed))
 
 
+def _touch_heartbeat(heartbeat_dir: "str | None") -> None:
+    if not heartbeat_dir:
+        return
+    try:
+        path = os.path.join(heartbeat_dir, f"{os.getpid()}.hb")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"{time.time():.6f}\n")
+    except OSError:  # pragma: no cover - heartbeat loss must never kill a job
+        pass
+
+
 def _execute_chunk(
-    specs: list[JobSpec], campaign_seed: int
+    specs: list[JobSpec],
+    campaign_seed: int,
+    heartbeat_dir: "str | None" = None,
 ) -> list[tuple[str, object, float]]:
     """Worker entry point: run a chunk, never raising per-job errors.
 
     Returns one ``(status, payload, duration_s)`` triple per spec, where
     payload is the metrics dict on ``"ok"`` and the error string on
-    ``"error"``.
+    ``"error"``.  Between jobs the worker touches a per-PID heartbeat
+    file so the coordinator's watchdog can tell *hung* from *busy*.
     """
     results: list[tuple[str, object, float]] = []
     for spec in specs:
+        _touch_heartbeat(heartbeat_dir)
         started = time.perf_counter()
         try:
             metrics = execute_job(spec, campaign_seed)
@@ -188,6 +349,7 @@ def _execute_chunk(
             )
         else:
             results.append(("ok", metrics, time.perf_counter() - started))
+    _touch_heartbeat(heartbeat_dir)
     return results
 
 
@@ -195,23 +357,64 @@ def _chunked(items: list, size: int) -> list[list]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+# --------------------------------------------------------------------------
+# Campaign driver.
+
+
 def run_campaign(
     specs: "list[JobSpec] | tuple[JobSpec, ...]",
     config: CampaignConfig | None = None,
+    resume: "bool | None" = None,
 ) -> CampaignResult:
-    """Execute a campaign and return per-job outcomes plus a manifest."""
+    """Execute a campaign and return per-job outcomes plus a manifest.
+
+    Args:
+        specs: the jobs, in submission order.
+        config: execution knobs (defaults to :class:`CampaignConfig`).
+        resume: overrides ``config.resume`` when given — replay the
+            write-ahead journal, serve journaled-``done`` jobs from the
+            cache after checksum verification, and re-dispatch only the
+            remainder.  Resumed results are bit-identical to an
+            uninterrupted run (content-derived seeding).
+    """
     config = config if config is not None else CampaignConfig()
+    do_resume = config.resume if resume is None else bool(resume)
     specs = list(specs)
+    slot = _claim_manifest_slot()
     progress = CampaignProgress(total=len(specs))
     cache = (
         ResultCache(config.cache_dir)
         if (config.cache_dir is not None and config.use_cache)
         else None
     )
+    calibration = cache.calibration if cache is not None else ""
+
+    journal: "CampaignJournal | None" = None
+    campaign_fp = ""
+    journal_dir = config.resolved_journal_dir()
+    if journal_dir is not None:
+        campaign_fp = campaign_fingerprint(
+            specs, config.campaign_seed, calibration or calibration_fingerprint()
+        )
+        journal = CampaignJournal(journal_dir / f"{campaign_fp}.jsonl", campaign_fp)
+
+    replay = None
+    if do_resume and journal is not None and cache is not None:
+        replay = journal.replay()
+        if replay.campaign and replay.campaign != campaign_fp:
+            replay = None  # foreign journal: distrust it entirely
 
     outcomes: dict[int, JobOutcome] = {}
     pending: list[tuple[int, JobSpec]] = []
     for index, spec in enumerate(specs):
+        if replay is not None:
+            checksum = replay.done.get(spec.fingerprint())
+            if checksum is not None:
+                hit = cache.get_verified(spec, checksum)  # type: ignore[union-attr]
+                if hit is not None:
+                    outcomes[index] = JobOutcome(spec=spec, status="resumed", metrics=hit)
+                    progress.record(spec.kind, "resumed")
+                    continue
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             outcomes[index] = JobOutcome(spec=spec, status="cached", metrics=hit)
@@ -219,25 +422,81 @@ def run_campaign(
         else:
             pending.append((index, spec))
 
-    if pending and config.n_jobs > 1:
-        pending = _run_pooled(pending, config, cache, progress, outcomes)
-    if pending:
-        _run_serial(pending, config, cache, progress, outcomes)
+    guard = _SignalGuard()
+    try:
+        with guard:
+            if journal is not None:
+                journal.begin(len(specs), config.campaign_seed, calibration)
+                for _, spec in pending:
+                    journal.dispatched(spec)
+            leftovers: list = pending
+            if pending and config.n_jobs > 1:
+                leftovers = _run_pooled(
+                    pending, config, cache, progress, outcomes, journal
+                )
+            if leftovers:
+                _run_serial(leftovers, config, cache, progress, outcomes, journal)
+    except (KeyboardInterrupt, SystemExit) as exc:
+        # Journal the interruption and flush the partial manifest so the
+        # settled prefix is recoverable, then let the signal win.
+        reason = guard.reason or type(exc).__name__
+        if journal is not None:
+            journal.interrupted(reason, progress.settled)
+            journal.close()
+        _record_manifest(
+            slot,
+            _finalize_manifest(
+                progress, config, calibration, campaign_fp, journal, outcomes,
+                len(specs), interrupted=True,
+            ),
+        )
+        raise
+    else:
+        if journal is not None:
+            journal.end(
+                progress.completed, progress.failed, progress.cached + progress.resumed
+            )
+            journal.close()
 
+    manifest = _finalize_manifest(
+        progress, config, calibration, campaign_fp, journal, outcomes, len(specs),
+        interrupted=False,
+    )
+    _record_manifest(slot, manifest)
+    return CampaignResult(
+        outcomes=tuple(outcomes[i] for i in range(len(specs))),
+        manifest=manifest,
+    )
+
+
+def _finalize_manifest(
+    progress: CampaignProgress,
+    config: CampaignConfig,
+    calibration: str,
+    campaign_fp: str,
+    journal: "CampaignJournal | None",
+    outcomes: "dict[int, JobOutcome]",
+    total: int,
+    interrupted: bool,
+) -> RunManifest:
+    """Freeze progress into a manifest, merging any energy breakdowns."""
     manifest = progress.manifest(
         n_jobs=config.n_jobs,
-        calibration=cache.calibration if cache is not None else "",
+        calibration=calibration,
         campaign_seed=config.campaign_seed,
+        campaign=campaign_fp,
+        journal=str(journal.path) if journal is not None else None,
+        interrupted=interrupted,
     )
     # Jobs that report a ledger breakdown get their category totals
     # merged into the manifest, so campaign records carry the attributed
     # energy picture alongside the throughput counters.
     energy: dict[str, float] | None = None
-    for index in range(len(specs)):
-        metrics = outcomes[index].metrics
-        if not isinstance(metrics, dict):
+    for index in range(total):
+        outcome = outcomes.get(index)
+        if outcome is None or not isinstance(outcome.metrics, dict):
             continue
-        breakdown = metrics.get("energy_breakdown_j")
+        breakdown = outcome.metrics.get("energy_breakdown_j")
         if not isinstance(breakdown, dict):
             continue
         if energy is None:
@@ -246,12 +505,7 @@ def run_campaign(
             energy[label] = energy.get(label, 0.0) + float(value)
     if energy is not None:
         manifest = replace(manifest, energy=energy)
-    _MANIFESTS.append(manifest)
-    del _MANIFESTS[:-_MANIFEST_LIMIT]
-    return CampaignResult(
-        outcomes=tuple(outcomes[i] for i in range(len(specs))),
-        manifest=manifest,
-    )
+    return manifest
 
 
 def _settle(
@@ -264,11 +518,14 @@ def _settle(
     cache: ResultCache | None,
     progress: CampaignProgress,
     outcomes: dict[int, JobOutcome],
+    journal: "CampaignJournal | None" = None,
 ) -> None:
     if status == "ok":
         metrics = payload if isinstance(payload, dict) else {"value": payload}
         if cache is not None:
             cache.put(spec, metrics)
+        if journal is not None:
+            journal.done(spec, metrics_checksum(metrics))
         outcomes[index] = JobOutcome(
             spec=spec,
             status="completed",
@@ -278,15 +535,54 @@ def _settle(
         )
         progress.record(spec.kind, "completed", retries=attempts - 1)
     else:
+        error = str(payload)
+        if journal is not None:
+            journal.failed(spec, error)
         outcomes[index] = JobOutcome(
             spec=spec,
             status="failed",
             metrics=None,
-            error=str(payload),
+            error=error,
             attempts=attempts,
             duration_s=duration_s,
         )
         progress.record(spec.kind, "failed", retries=max(attempts - 1, 0))
+
+
+def _heartbeat_snapshot(heartbeat_dir: Path) -> "dict[str, int]":
+    """Current heartbeat files and their mtimes (ns), {} when unreadable."""
+    try:
+        return {
+            entry.name: entry.stat().st_mtime_ns
+            for entry in os.scandir(heartbeat_dir)
+            if entry.name.endswith(".hb")
+        }
+    except OSError:
+        return {}
+
+
+def _terminate_pool(pool) -> None:
+    """Hard-stop a (presumed hung) pool: SIGTERM workers, then clean up.
+
+    ``shutdown(wait=False)`` alone would leave hung workers alive and the
+    interpreter blocked on them at exit; terminating the processes first
+    guarantees the pool dies with the campaign, at the cost of reaching
+    into ``_processes`` (stable since 3.7).
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+        except Exception:  # noqa: BLE001
+            pass
 
 
 def _run_pooled(
@@ -295,58 +591,156 @@ def _run_pooled(
     cache: ResultCache | None,
     progress: CampaignProgress,
     outcomes: dict[int, JobOutcome],
+    journal: "CampaignJournal | None" = None,
 ) -> list:
-    """Dispatch ``pending`` through a process pool.
+    """Dispatch ``pending`` through a supervised process pool.
 
     Returns the jobs that still need serial attention (chunk-level
-    timeouts, worker crashes, per-job errors — each retains one recorded
-    attempt).  Never raises: an unusable pool leaves everything pending.
+    timeouts, worker crashes, per-job errors, hung-pool leftovers — each
+    retains one recorded attempt).  Never raises on pool failure: an
+    unusable pool leaves everything pending.
+
+    Supervision: a poll loop watches future completions, per-chunk
+    deadlines and worker heartbeat files.  When nothing progresses for
+    ``hang_timeout_s`` the pool is terminated, completed futures keep
+    their results, and unfinished chunks are resubmitted to a fresh pool
+    (``pool_rebuilds`` times, exponential backoff) before degrading to
+    serial execution.
     """
     import concurrent.futures as futures
-
-    try:
-        pool = futures.ProcessPoolExecutor(max_workers=config.n_jobs)
-    except (OSError, PermissionError, ValueError):
-        return pending  # sandbox without process support: degrade to serial
 
     chunk_size = config.chunk_size or max(
         1, math.ceil(len(pending) / (config.n_jobs * 4))
     )
     chunks = _chunked(pending, chunk_size)
-    leftovers: list[tuple[int, JobSpec, int, str]] = []
-    try:
-        submitted = {
-            pool.submit(
-                _execute_chunk, [spec for _, spec in chunk], config.campaign_seed
-            ): chunk
-            for chunk in chunks
-        }
-        for future, chunk in submitted.items():
-            timeout = (
-                config.timeout_s * len(chunk) if config.timeout_s is not None else None
-            )
-            try:
-                results = future.result(timeout=timeout)
-            except Exception as exc:  # noqa: BLE001 - timeout/crash: retry serially
-                future.cancel()
-                reason = f"pool chunk failed: {type(exc).__name__}: {exc}"
-                leftovers.extend(
-                    (index, spec, 1, reason) for index, spec in chunk
-                )
-                continue
-            for (index, spec), (status, payload, duration) in zip(chunk, results):
-                if status == "ok":
-                    _settle(
-                        index, spec, "ok", payload, 1, duration, cache, progress,
-                        outcomes,
-                    )
-                else:
-                    leftovers.append((index, spec, 1, str(payload)))
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+    leftovers: list = []
+    rebuilds_left = config.pool_rebuilds
 
-    # Serial retries must know these jobs already burned an attempt (and
-    # why it failed, in case no retry budget remains).
+    while chunks:
+        try:
+            pool = futures.ProcessPoolExecutor(max_workers=config.n_jobs)
+        except (OSError, PermissionError, ValueError):
+            # Sandbox without process support: degrade to serial, zero
+            # attempts burned.
+            for chunk in chunks:
+                leftovers.extend(chunk)
+            return leftovers
+
+        heartbeat_dir = Path(tempfile.mkdtemp(prefix="repro-heartbeat-"))
+        submitted: "dict[object, list[tuple[int, JobSpec]]]" = {}
+        deadlines: "dict[object, float]" = {}
+        hung = False
+        try:
+            for chunk in chunks:
+                future = pool.submit(
+                    _execute_chunk,
+                    [spec for _, spec in chunk],
+                    config.campaign_seed,
+                    str(heartbeat_dir),
+                )
+                submitted[future] = chunk
+
+            not_done = set(submitted)
+            heartbeats = _heartbeat_snapshot(heartbeat_dir)
+            last_progress = time.monotonic()
+            tick = 0.1
+            if config.hang_timeout_s is not None:
+                tick = min(tick, config.hang_timeout_s / 5.0)
+            while not_done:
+                done, not_done = futures.wait(
+                    not_done, timeout=tick, return_when=futures.FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                if done:
+                    last_progress = now
+                for future in done:
+                    chunk = submitted.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        results = future.result()
+                    except Exception as exc:  # noqa: BLE001 - crash: retry serially
+                        reason = f"pool chunk failed: {type(exc).__name__}: {exc}"
+                        leftovers.extend(
+                            (index, spec, 1, reason) for index, spec in chunk
+                        )
+                        continue
+                    for (index, spec), (status, payload, duration) in zip(
+                        chunk, results
+                    ):
+                        if status == "ok":
+                            _settle(
+                                index, spec, "ok", payload, 1, duration, cache,
+                                progress, outcomes, journal,
+                            )
+                        else:
+                            leftovers.append((index, spec, 1, str(payload)))
+                # Per-chunk deadlines: the budget clock starts when the
+                # chunk begins *running* (queued chunks are not slow).
+                # An expired running chunk means a worker is stuck in a
+                # job — hang evidence, not just a deep queue.
+                if config.timeout_s is not None:
+                    for future in not_done:
+                        if future not in deadlines and future.running():
+                            deadlines[future] = (
+                                now + config.timeout_s * len(submitted[future])
+                            )
+                for future in [f for f in not_done if f in deadlines]:
+                    if now < deadlines[future]:
+                        continue
+                    chunk = submitted.pop(future)
+                    budget = config.timeout_s * len(chunk)  # type: ignore[operator]
+                    reason = f"pool chunk failed: timed out after {budget:.3f}s"
+                    leftovers.extend((index, spec, 1, reason) for index, spec in chunk)
+                    deadlines.pop(future)
+                    not_done.discard(future)
+                    if not future.cancel():
+                        hung = True
+                snapshot = _heartbeat_snapshot(heartbeat_dir)
+                if snapshot != heartbeats:
+                    heartbeats = snapshot
+                    last_progress = now
+                if (
+                    config.hang_timeout_s is not None
+                    and not_done
+                    and now - last_progress >= config.hang_timeout_s
+                ):
+                    hung = True
+                if hung:
+                    break
+
+            remaining = [submitted[future] for future in not_done]
+            for future in not_done:
+                future.cancel()
+        except BaseException:
+            # Interrupt/teardown path: don't leave hung workers alive.
+            _terminate_pool(pool)
+            raise
+        finally:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
+
+        if not hung:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return leftovers
+
+        _terminate_pool(pool)
+        if rebuilds_left > 0 and remaining:
+            # Salvage completed futures (already settled above), back off
+            # exponentially, and give the unfinished chunks a fresh pool.
+            attempt = config.pool_rebuilds - rebuilds_left
+            if config.backoff_s > 0.0:
+                time.sleep(config.backoff_s * (2.0**attempt))
+            rebuilds_left -= 1
+            progress.record_pool_rebuild()
+            chunks = remaining
+            continue
+        for chunk in remaining:
+            leftovers.extend(
+                (index, spec, 1, "pool hung: no worker progress within "
+                 f"{config.hang_timeout_s}s and rebuild budget exhausted")
+                for index, spec in chunk
+            )
+        return leftovers
+
     return leftovers
 
 
@@ -356,12 +750,25 @@ def _run_serial(
     cache: ResultCache | None,
     progress: CampaignProgress,
     outcomes: dict[int, JobOutcome],
+    journal: "CampaignJournal | None" = None,
 ) -> None:
-    """Run jobs in-process with bounded retry and exponential backoff."""
+    """Run jobs in-process with bounded retry and exponential backoff.
+
+    Honors ``config.max_failures``: once the campaign's failure count
+    reaches the bound, every remaining job settles as failed without
+    executing (bounded-failure early abort).
+    """
+    abort_error: "str | None" = None
     for entry in pending:
         index, spec = entry[0], entry[1]
         attempts = entry[2] if len(entry) > 2 else 0
         error = entry[3] if len(entry) > 3 else "not attempted"
+        if abort_error is not None:
+            _settle(
+                index, spec, "error", abort_error, attempts, 0.0, cache, progress,
+                outcomes, journal,
+            )
+            continue
         duration = 0.0
         settled = False
         while attempts <= config.max_retries:
@@ -378,12 +785,20 @@ def _run_serial(
                 duration = time.perf_counter() - started
                 _settle(
                     index, spec, "ok", metrics, attempts, duration, cache, progress,
-                    outcomes,
+                    outcomes, journal,
                 )
                 settled = True
                 break
         if not settled:
             _settle(
                 index, spec, "error", error, attempts, duration, cache, progress,
-                outcomes,
+                outcomes, journal,
             )
+            if (
+                config.max_failures is not None
+                and progress.failed >= config.max_failures
+            ):
+                abort_error = (
+                    "aborted: campaign failure budget "
+                    f"(max_failures={config.max_failures}) exhausted"
+                )

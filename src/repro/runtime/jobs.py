@@ -90,9 +90,19 @@ class JobSpec:
         }
 
     def fingerprint(self) -> str:
-        """Stable content hash (hex SHA-256 of the canonical JSON form)."""
-        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        """Stable content hash (hex SHA-256 of the canonical JSON form).
+
+        Memoized per instance: the journal, cache and seeding layers all
+        key on the fingerprint, so one campaign hashes each spec many
+        times.  Specs are frozen, so the cached digest can never go
+        stale.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> JobSpec:

@@ -22,7 +22,9 @@ class CampaignProgress:
     completed: int = 0
     failed: int = 0
     cached: int = 0
+    resumed: int = 0
     retries: int = 0
+    pool_rebuilds: int = 0
     kinds: dict[str, int] = field(default_factory=dict)
     _started: float = field(default_factory=time.perf_counter, repr=False)
 
@@ -38,22 +40,34 @@ class CampaignProgress:
             self.failed += 1
         elif status == "cached":
             self.cached += 1
+        elif status == "resumed":
+            self.resumed += 1
         else:
             raise ValueError(f"unknown job status {status!r}")
         self.retries += retries
         self.kinds[kind] = self.kinds.get(kind, 0) + 1
 
+    def record_pool_rebuild(self) -> None:
+        """Account one watchdog-triggered worker-pool rebuild."""
+        self.pool_rebuilds += 1
+
     @property
     def settled(self) -> int:
         """Jobs accounted so far (any status)."""
-        return self.completed + self.failed + self.cached
+        return self.completed + self.failed + self.cached + self.resumed
 
     def elapsed_s(self) -> float:
         """Wall time since the campaign started."""
         return time.perf_counter() - self._started
 
     def manifest(
-        self, n_jobs: int, calibration: str, campaign_seed: int
+        self,
+        n_jobs: int,
+        calibration: str,
+        campaign_seed: int,
+        campaign: str = "",
+        journal: "str | None" = None,
+        interrupted: bool = False,
     ) -> "RunManifest":
         """Freeze the counters into a manifest."""
         wall = self.elapsed_s()
@@ -63,13 +77,18 @@ class CampaignProgress:
             completed=self.completed,
             failed=self.failed,
             cached=self.cached,
+            resumed=self.resumed,
             retries=self.retries,
+            pool_rebuilds=self.pool_rebuilds,
             wall_time_s=wall,
             jobs_per_s=(executed / wall) if wall > 0.0 and executed else 0.0,
             n_jobs=n_jobs,
             calibration=calibration,
             campaign_seed=campaign_seed,
             kinds=dict(sorted(self.kinds.items())),
+            campaign=campaign,
+            journal=journal,
+            interrupted=interrupted,
         )
 
 
@@ -82,13 +101,23 @@ class RunManifest:
         completed: jobs executed successfully this run.
         failed: jobs that exhausted their retries.
         cached: jobs served from the result cache (no simulation ran).
+        resumed: jobs skipped via journal replay, each verified against
+            the cache checksum the journal recorded (resume runs only).
         retries: extra attempts beyond each job's first.
+        pool_rebuilds: worker pools torn down and rebuilt by the hung
+            -worker watchdog.
         wall_time_s: campaign wall-clock time.
         jobs_per_s: executed jobs (completed + failed) per second.
         n_jobs: configured worker count.
         calibration: calibration fingerprint results were computed under.
         campaign_seed: root seed of the per-job RNG derivation.
         kinds: settled-job count per job kind.
+        campaign: campaign content fingerprint (job set + seed +
+            calibration); "" when the campaign ran unjournaled.
+        journal: journal file the run appended to, or ``None`` — the
+            resume lineage pointer.
+        interrupted: whether a signal ended this run early (the manifest
+            then covers only the settled prefix).
         energy: merged ledger category totals (label -> joules) of jobs
             that reported an energy breakdown, or ``None`` when the
             campaign carried none (omitted from the JSON form).
@@ -106,6 +135,11 @@ class RunManifest:
     campaign_seed: int
     kinds: dict[str, int]
     energy: "dict[str, float] | None" = None
+    resumed: int = 0
+    pool_rebuilds: int = 0
+    campaign: str = ""
+    journal: "str | None" = None
+    interrupted: bool = False
 
     def to_dict(self) -> dict[str, object]:
         """Primitive form, ready for ``json.dumps``."""
@@ -114,7 +148,9 @@ class RunManifest:
             "completed": self.completed,
             "failed": self.failed,
             "cached": self.cached,
+            "resumed": self.resumed,
             "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
             "wall_time_s": round(self.wall_time_s, 6),
             "jobs_per_s": round(self.jobs_per_s, 3),
             "n_jobs": self.n_jobs,
@@ -122,6 +158,12 @@ class RunManifest:
             "campaign_seed": self.campaign_seed,
             "kinds": self.kinds,
         }
+        if self.campaign:
+            out["campaign"] = self.campaign
+        if self.journal is not None:
+            out["journal"] = self.journal
+        if self.interrupted:
+            out["interrupted"] = True
         if self.energy is not None:
             out["energy"] = self.energy
         return out
@@ -157,17 +199,24 @@ class RunManifest:
                 energy = {}
             for label, value in m.energy.items():
                 energy[label] = energy.get(label, 0.0) + value
+        campaigns = {m.campaign for m in manifests if m.campaign}
+        journals = {m.journal for m in manifests if m.journal is not None}
         return RunManifest(
             total=sum(m.total for m in manifests),
             completed=sum(m.completed for m in manifests),
             failed=sum(m.failed for m in manifests),
             cached=sum(m.cached for m in manifests),
+            resumed=sum(m.resumed for m in manifests),
             retries=sum(m.retries for m in manifests),
+            pool_rebuilds=sum(m.pool_rebuilds for m in manifests),
             wall_time_s=wall,
             jobs_per_s=(executed / wall) if wall > 0.0 and executed else 0.0,
             n_jobs=max(m.n_jobs for m in manifests),
             calibration=manifests[0].calibration,
             campaign_seed=manifests[0].campaign_seed,
             kinds=dict(sorted(kinds.items())),
+            campaign=campaigns.pop() if len(campaigns) == 1 else "",
+            journal=journals.pop() if len(journals) == 1 else None,
+            interrupted=any(m.interrupted for m in manifests),
             energy=energy,
         )

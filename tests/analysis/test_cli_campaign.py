@@ -2,11 +2,18 @@
 fallback renderer."""
 
 import json
+import os
 
 import pytest
 
 from repro.__main__ import main
 from repro.analysis.export import CAMPAIGN_AWARE, EXPORTERS
+from repro.runtime.jobs import JobSpec, register_job_runner
+
+
+@register_job_runner("test.cli_fail")
+def _cli_fail(spec, rng):
+    raise RuntimeError("always broken")
 
 
 class TestShowFallback:
@@ -98,3 +105,68 @@ class TestCampaignCommand:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["campaign", "fig99"])
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("bad", ["0", "-3", "two"])
+    def test_non_positive_jobs_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "mc-ber", "--jobs", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err or "expected an integer" in err
+
+    def test_oversubscribed_jobs_capped_with_warning(self, capsys):
+        cpus = os.cpu_count() or 1
+        assert main(["campaign", "mc-ber", "--jobs", str(cpus + 7)]) == 0
+        captured = capsys.readouterr()
+        assert f"capping at {cpus}" in captured.err
+        manifest = json.loads(captured.out[captured.out.index("{"):])
+        assert manifest["n_jobs"] == cpus
+
+    def test_jobs_within_budget_not_warned(self, capsys):
+        assert main(["campaign", "mc-ber", "--jobs", "1"]) == 0
+        assert "capping" not in capsys.readouterr().err
+
+
+class TestResumeFlag:
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(["campaign", "mc-ber", "--resume"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_resume_round_trip(self, tmp_path, capsys):
+        assert main(["campaign", "mc-ber", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "mc-ber", "--cache-dir", str(tmp_path), "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "25 resumed" in out
+        manifest = json.loads(out[out.index("{"):])
+        assert manifest["resumed"] == 25
+        assert manifest["completed"] == 0
+
+
+class TestMaxFailures:
+    @pytest.mark.parametrize("bad", ["0", "-1"])
+    def test_non_positive_budget_rejected(self, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "mc-ber", "--max-failures", bad])
+        assert excinfo.value.code == 2
+
+    def test_failure_storm_aborts_with_nonzero_exit(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.runtime.workloads.campaign_specs",
+            lambda experiment: [
+                JobSpec(kind="test.cli_fail", seed=i) for i in range(6)
+            ],
+        )
+        code = main(["campaign", "mc-ber", "--max-failures", "2"])
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "aborted" in captured.err
+        assert "--max-failures 2" in captured.err
+
+    def test_budget_not_hit_exits_clean_on_success(self, capsys):
+        assert main(["campaign", "mc-ber", "--max-failures", "3"]) == 0
+        assert "aborted" not in capsys.readouterr().err

@@ -1,9 +1,10 @@
-"""Unit tests for the on-disk result cache."""
+"""Unit tests for the on-disk result cache and its corruption quarantine."""
 
 import json
 
-from repro.runtime.cache import ResultCache, calibration_fingerprint
+from repro.runtime.cache import CACHE_FORMAT, ResultCache, calibration_fingerprint
 from repro.runtime.jobs import JobSpec
+from repro.runtime.journal import metrics_checksum
 
 
 def _spec(**kwargs):
@@ -72,3 +73,104 @@ class TestResultCache:
         assert calibration_fingerprint() == calibration_fingerprint()
         assert len(calibration_fingerprint()) == 16
         assert ResultCache("unused").calibration == calibration_fingerprint()
+
+    def test_entries_carry_payload_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(_spec(), {"gain": 1.5})
+        entry = json.loads(path.read_text())
+        assert entry["format"] == CACHE_FORMAT
+        assert entry["checksum"] == metrics_checksum({"gain": 1.5})
+
+    def test_get_verified_rejects_divergent_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_spec(), {"gain": 1.5})
+        good = metrics_checksum({"gain": 1.5})
+        assert cache.get_verified(_spec(), good) == {"gain": 1.5}
+        assert cache.get_verified(_spec(), "deadbeef") is None
+        # the entry itself is intact, so it must not be quarantined
+        assert cache.get(_spec()) == {"gain": 1.5}
+
+
+class TestQuarantine:
+    """Corrupt entries must never be served, never crash the load path,
+    and must end up in ``quarantine/`` with a structured reason."""
+
+    def _corrupt_and_get(self, tmp_path, mutate, spec=None):
+        cache = ResultCache(tmp_path)
+        spec = spec or _spec()
+        path = cache.put(spec, {"gain": 1.0})
+        mutate(path)
+        assert cache.get(spec) is None
+        return cache, path
+
+    def test_truncation_quarantined(self, tmp_path):
+        cache, path = self._corrupt_and_get(
+            tmp_path, lambda p: p.write_text(p.read_text()[: len(p.read_text()) // 2])
+        )
+        assert not path.exists()
+        assert (cache.quarantine_directory / path.name).exists()
+        (reason,) = cache.quarantined()
+        assert reason["reason"] == "unparseable"
+        assert reason["entry"] == path.name
+
+    def test_bit_rot_quarantined_by_checksum(self, tmp_path):
+        def flip_metric(path):
+            entry = json.loads(path.read_text())
+            entry["metrics"]["gain"] = 999.0  # payload no longer matches checksum
+            path.write_text(json.dumps(entry))
+
+        cache, path = self._corrupt_and_get(tmp_path, flip_metric)
+        (reason,) = cache.quarantined()
+        assert reason["reason"] == "checksum-mismatch"
+        assert "recorded" in reason["detail"]
+
+    def test_schema_drift_quarantined(self, tmp_path):
+        def downgrade(path):
+            entry = json.loads(path.read_text())
+            entry["format"] = CACHE_FORMAT - 1
+            path.write_text(json.dumps(entry))
+
+        cache, _ = self._corrupt_and_get(tmp_path, downgrade)
+        (reason,) = cache.quarantined()
+        assert reason["reason"] == "schema-drift"
+
+    def test_wrong_shape_quarantined(self, tmp_path):
+        cache, _ = self._corrupt_and_get(
+            tmp_path, lambda p: p.write_text(json.dumps([1, 2, 3]))
+        )
+        (reason,) = cache.quarantined()
+        assert reason["reason"] == "schema-drift"
+
+    def test_quarantined_entry_is_not_re_served_or_re_diagnosed(self, tmp_path):
+        cache, path = self._corrupt_and_get(
+            tmp_path, lambda p: p.write_text("{ torn")
+        )
+        # second read: plain miss, no second reason file, no crash
+        assert cache.get(_spec()) is None
+        assert len(cache.quarantined()) == 1
+        assert len(cache) == 0
+
+    def test_calibration_mismatch_not_quarantined(self, tmp_path):
+        ResultCache(tmp_path, calibration="old").put(_spec(), {"gain": 2.0})
+        assert ResultCache(tmp_path, calibration="new").get(_spec()) is None
+        # still valid for its own calibration
+        assert ResultCache(tmp_path, calibration="old").get(_spec()) == {"gain": 2.0}
+        assert ResultCache(tmp_path, calibration="new").quarantined() == []
+
+    def test_rewrite_after_quarantine_works(self, tmp_path):
+        cache, path = self._corrupt_and_get(
+            tmp_path, lambda p: p.write_text("junk")
+        )
+        cache.put(_spec(), {"gain": 3.0})
+        assert cache.get(_spec()) == {"gain": 3.0}
+        assert len(cache.quarantined()) == 1
+
+    def test_quarantine_not_counted_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_spec(seed=0), {"gain": 1.0})
+        path = cache.put(_spec(seed=1), {"gain": 2.0})
+        path.write_text("junk")
+        assert cache.get(_spec(seed=1)) is None
+        assert len(cache) == 1
+        assert cache.clear() == 1  # quarantined files survive clear()
+        assert len(cache.quarantined()) == 1

@@ -1,12 +1,18 @@
 """Campaign executor tests: determinism across worker counts, caching,
-retry/fallback fault tolerance."""
+retry/backoff fault tolerance, failure budgets and the manifest registry."""
+
+import threading
+import time
+from pathlib import Path
 
 import pytest
 
+import repro.runtime.executor as executor_module
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import (
     CampaignConfig,
     CampaignError,
+    drain_manifests,
     run_campaign,
 )
 from repro.runtime.jobs import JobSpec, register_job_runner
@@ -44,6 +50,33 @@ def _flaky(spec, rng):
     if _FLAKY_CALLS["count"] <= failures:
         raise RuntimeError(f"transient #{_FLAKY_CALLS['count']}")
     return {"ok": 1.0}
+
+
+def _count_execution(spec):
+    """Append one line to a per-job file (works across pool processes)."""
+    path = Path(spec.param("dir")) / spec.fingerprint()
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write("ran\n")
+    return len(path.read_text().splitlines())
+
+
+@register_job_runner("test.counted_echo")
+def _counted_echo(spec, rng):
+    _count_execution(spec)
+    return {"seed": spec.seed, "draw": float(rng.random())}
+
+
+@register_job_runner("test.flaky_marked")
+def _flaky_marked(spec, rng):
+    if _count_execution(spec) == 1:
+        raise RuntimeError("transient pool-side failure")
+    return {"seed": spec.seed, "ok": 1.0}
+
+
+@register_job_runner("test.sleeper")
+def _sleeper(spec, rng):
+    time.sleep(float(spec.param("sleep_s", "0.0")))
+    return {"seed": spec.seed}
 
 
 def _mc_specs(n=6):
@@ -205,3 +238,170 @@ class TestFaultTolerance:
         assert all(o.status == "completed" for o in result.outcomes)
         baseline = run_campaign(specs, CampaignConfig(n_jobs=1))
         assert result.metrics == baseline.metrics
+
+
+class TestRetryBackoff:
+    """Fake-clock assertions on the serial retry schedule (ISSUE 5)."""
+
+    def _captured_sleeps(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            executor_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        return sleeps
+
+    def test_exponential_backoff_schedule(self, monkeypatch):
+        sleeps = self._captured_sleeps(monkeypatch)
+        run_campaign(
+            [JobSpec(kind="test.fail")],
+            CampaignConfig(max_retries=3, backoff_s=0.05),
+        )
+        assert sleeps == [0.05, 0.1, 0.2]
+
+    def test_backoff_doubles_from_configured_base(self, monkeypatch):
+        sleeps = self._captured_sleeps(monkeypatch)
+        run_campaign(
+            [JobSpec(kind="test.fail")],
+            CampaignConfig(max_retries=4, backoff_s=0.5),
+        )
+        assert sleeps == [0.5, 1.0, 2.0, 4.0]
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        sleeps = self._captured_sleeps(monkeypatch)
+        run_campaign(
+            [JobSpec(kind="test.fail")],
+            CampaignConfig(max_retries=3, backoff_s=0.0),
+        )
+        assert sleeps == []
+
+    def test_budget_exhaustion_retains_last_error(self, monkeypatch):
+        self._captured_sleeps(monkeypatch)
+        result = run_campaign(
+            [JobSpec(kind="test.fail")],
+            CampaignConfig(max_retries=2, backoff_s=1.0),
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3
+        assert "always broken" in outcome.error
+
+    def test_serial_fallback_reexecutes_exactly_the_failed_jobs(self, tmp_path):
+        """Jobs that erred in the pool re-run serially; their chunk-mates
+        that succeeded are settled from the pool result, not re-executed."""
+        counts = tmp_path / "counts"
+        counts.mkdir()
+        flaky = JobSpec.with_params(
+            "test.flaky_marked", {"dir": str(counts)}, seed=0
+        )
+        steady = [
+            JobSpec.with_params("test.counted_echo", {"dir": str(counts)}, seed=i)
+            for i in range(1, 4)
+        ]
+        result = run_campaign(
+            [flaky] + steady,
+            CampaignConfig(n_jobs=2, chunk_size=2, max_retries=1, backoff_s=0.0),
+        )
+        assert [o.status for o in result.outcomes] == ["completed"] * 4
+        executions = {
+            p.name: len(p.read_text().splitlines()) for p in counts.iterdir()
+        }
+        assert executions[flaky.fingerprint()] == 2  # pool failure + serial
+        for spec in steady:
+            assert executions[spec.fingerprint()] == 1
+
+
+class TestFailureBudget:
+    def test_max_failures_aborts_remaining_jobs(self):
+        specs = [JobSpec(kind="test.fail", seed=i) for i in range(6)]
+        result = run_campaign(
+            specs,
+            CampaignConfig(max_retries=0, backoff_s=0.0, max_failures=2),
+        )
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == ["failed"] * 6
+        executed = [o for o in result.outcomes if o.attempts > 0]
+        aborted = [o for o in result.outcomes if o.attempts == 0]
+        assert len(executed) == 2
+        assert len(aborted) == 4
+        assert all("aborted" in o.error and "max_failures=2" in o.error
+                   for o in aborted)
+
+    def test_budget_not_hit_runs_everything(self):
+        specs = [
+            JobSpec(kind="test.fail"),
+            JobSpec(kind="test.echo", seed=1),
+            JobSpec(kind="test.echo", seed=2),
+        ]
+        result = run_campaign(
+            specs,
+            CampaignConfig(max_retries=0, backoff_s=0.0, max_failures=2),
+        )
+        assert [o.status for o in result.outcomes] == [
+            "failed", "completed", "completed",
+        ]
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(max_failures=0)
+
+
+class TestManifestRegistry:
+    """drain_manifests must be thread-safe and drain in start order."""
+
+    def test_drain_returns_start_order_not_completion_order(self):
+        drain_manifests()
+        barrier = threading.Barrier(3)
+        # Stagger durations so completion order (2, 1, 0) reverses start
+        # order; the drain must still follow start order (0, 1, 2).
+        durations = {0: 0.5, 1: 0.25, 2: 0.0}
+
+        def run_one(tag):
+            barrier.wait()
+            time.sleep(0.05 * tag)  # deterministic claim order by tag
+            specs = [
+                JobSpec.with_params(
+                    "test.sleeper", {"sleep_s": str(durations[tag])}, seed=tag
+                )
+            ]
+            run_campaign(specs, CampaignConfig(campaign_seed=tag))
+
+        threads = [
+            threading.Thread(target=run_one, args=(tag,)) for tag in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        drained = drain_manifests()
+        assert [m.campaign_seed for m in drained] == [0, 1, 2]
+
+    def test_drain_clears_and_is_reentrant(self):
+        drain_manifests()
+        run_campaign([JobSpec(kind="test.echo")], CampaignConfig())
+        assert len(drain_manifests()) == 1
+        assert drain_manifests() == []
+
+    def test_concurrent_drains_never_duplicate(self):
+        drain_manifests()
+        for seed in range(8):
+            run_campaign(
+                [JobSpec(kind="test.echo", seed=seed)],
+                CampaignConfig(campaign_seed=seed),
+            )
+        collected = []
+        lock = threading.Lock()
+
+        def drain_some():
+            got = drain_manifests()
+            with lock:
+                collected.extend(got)
+
+        threads = [threading.Thread(target=drain_some) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(collected) == 8
+        assert [m.campaign_seed for m in collected] == sorted(
+            m.campaign_seed for m in collected
+        )

@@ -1,0 +1,142 @@
+"""Unit tests for the write-ahead campaign journal."""
+
+import json
+
+from repro.runtime.jobs import JobSpec
+from repro.runtime.journal import (
+    CampaignJournal,
+    campaign_fingerprint,
+    metrics_checksum,
+    replay_journal,
+)
+
+
+def _specs(n=3):
+    return [JobSpec(kind="test.echo", seed=i) for i in range(n)]
+
+
+class TestChecksum:
+    def test_stable_across_key_order(self):
+        assert metrics_checksum({"a": 1, "b": 2.5}) == metrics_checksum(
+            {"b": 2.5, "a": 1}
+        )
+
+    def test_survives_json_roundtrip(self):
+        metrics = {"gain": 1.4298816935886345, "nan": float("nan"), "n": 3}
+        roundtripped = json.loads(json.dumps(metrics))
+        assert metrics_checksum(metrics) == metrics_checksum(roundtripped)
+
+    def test_sensitive_to_payload(self):
+        assert metrics_checksum({"a": 1}) != metrics_checksum({"a": 2})
+
+
+class TestCampaignFingerprint:
+    def test_order_independent(self):
+        specs = _specs()
+        assert campaign_fingerprint(specs, 0, "cal") == campaign_fingerprint(
+            list(reversed(specs)), 0, "cal"
+        )
+
+    def test_keyed_by_seed_and_calibration(self):
+        specs = _specs()
+        base = campaign_fingerprint(specs, 0, "cal")
+        assert campaign_fingerprint(specs, 1, "cal") != base
+        assert campaign_fingerprint(specs, 0, "other") != base
+        assert campaign_fingerprint(specs[:-1], 0, "cal") != base
+
+
+class TestJournalRoundtrip:
+    def test_lifecycle_replay(self, tmp_path):
+        specs = _specs()
+        with CampaignJournal(tmp_path / "j.jsonl", "fp") as journal:
+            journal.begin(3, campaign_seed=7, calibration="cal")
+            for spec in specs:
+                journal.dispatched(spec)
+            journal.done(specs[0], "aaa")
+            journal.failed(specs[1], "boom")
+            journal.end(completed=1, failed=1, skipped=0)
+        replay = replay_journal(tmp_path / "j.jsonl")
+        assert replay.campaign == "fp"
+        assert replay.runs == 1
+        assert replay.finished_runs == 1
+        assert replay.done == {specs[0].fingerprint(): "aaa"}
+        assert replay.failed == {specs[1].fingerprint(): "boom"}
+        assert replay.in_flight() == {specs[2].fingerprint()}
+        assert replay.malformed_lines == 0
+
+    def test_done_supersedes_failed(self, tmp_path):
+        spec = _specs(1)[0]
+        with CampaignJournal(tmp_path / "j.jsonl", "fp") as journal:
+            journal.failed(spec, "first attempt")
+            journal.done(spec, "ok-sum")
+        replay = replay_journal(tmp_path / "j.jsonl")
+        assert replay.done == {spec.fingerprint(): "ok-sum"}
+        assert replay.failed == {}
+
+    def test_multiple_runs_accumulate(self, tmp_path):
+        specs = _specs(2)
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.begin(2, 0, "cal")
+            journal.done(specs[0], "a")
+            journal.interrupted("SIGTERM", settled=1)
+        with CampaignJournal(path, "fp") as journal:
+            journal.begin(2, 0, "cal")
+            journal.done(specs[1], "b")
+            journal.end(1, 0, 1)
+        replay = replay_journal(path)
+        assert replay.runs == 2
+        assert replay.finished_runs == 1
+        assert replay.interrupted
+        assert len(replay.done) == 2
+
+
+class TestCrashTolerance:
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = replay_journal(tmp_path / "never-written.jsonl")
+        assert replay.runs == 0
+        assert replay.done == {}
+
+    def test_truncated_tail_is_a_readable_prefix(self, tmp_path):
+        """A SIGKILL mid-append leaves at most one partial final line; the
+        complete records before it must replay intact."""
+        specs = _specs(2)
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.begin(2, 0, "cal")
+            journal.done(specs[0], "a")
+            journal.done(specs[1], "b")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])  # tear the final record mid-line
+        replay = replay_journal(path)
+        assert replay.done == {specs[0].fingerprint(): "a"}
+        assert replay.malformed_lines == 1
+
+    def test_garbage_lines_are_skipped_not_fatal(self, tmp_path):
+        spec = _specs(1)[0]
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.done(spec, "a")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\x00\x7f not json\n")
+            handle.write(json.dumps([1, 2]) + "\n")
+            handle.write(json.dumps({"event": "unknown-kind"}) + "\n")
+        replay = replay_journal(path)
+        assert replay.done == {spec.fingerprint(): "a"}
+        assert replay.malformed_lines == 3
+
+    def test_each_record_is_one_line(self, tmp_path):
+        """Atomic-append framing: every record is exactly one newline
+        -terminated JSON document (the property that makes a crash leave
+        a parseable prefix)."""
+        specs = _specs(3)
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.begin(3, 0, "cal")
+            for spec in specs:
+                journal.dispatched(spec)
+                journal.done(spec, "x")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 7
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+        assert path.read_text().endswith("\n")

@@ -1,0 +1,140 @@
+"""Crash-safe resume: journal replay, checksum verification, bit-identity."""
+
+import json
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import CampaignConfig, run_campaign
+from repro.runtime.jobs import JobSpec, register_job_runner
+from repro.runtime.journal import replay_journal
+
+_CRASH_STATE = {"after": None, "calls": 0}
+
+
+@register_job_runner("test.crashy_draw")
+def _crashy_draw(spec, rng):
+    """Deterministic metrics; simulates a process kill partway through a
+    serial campaign by raising KeyboardInterrupt after N completions."""
+    _CRASH_STATE["calls"] += 1
+    if _CRASH_STATE["after"] is not None and _CRASH_STATE["calls"] > _CRASH_STATE["after"]:
+        raise KeyboardInterrupt
+    return {"seed": spec.seed, "draw": float(rng.random())}
+
+
+@register_job_runner("test.resume_fail")
+def _resume_fail(spec, rng):
+    raise RuntimeError("always broken")
+
+
+def _specs(n=8):
+    return [JobSpec(kind="test.crashy_draw", seed=i) for i in range(n)]
+
+
+def _arm_crash(after):
+    _CRASH_STATE["after"] = after
+    _CRASH_STATE["calls"] = 0
+
+
+class TestResume:
+    def test_resume_skips_verified_jobs_and_matches_uninterrupted(self, tmp_path):
+        specs = _specs()
+        # Uninterrupted reference run in its own cache.
+        _arm_crash(None)
+        reference = run_campaign(
+            specs, CampaignConfig(cache_dir=tmp_path / "ref", campaign_seed=5)
+        )
+        # Crashed run: dies after 3 completions.
+        config = CampaignConfig(cache_dir=tmp_path / "crashed", campaign_seed=5)
+        _arm_crash(3)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(specs, config)
+        replay = replay_journal(
+            config.resolved_journal_dir() / next(
+                p.name for p in config.resolved_journal_dir().iterdir()
+            )
+        )
+        assert len(replay.done) == 3
+        assert replay.interrupted
+        assert replay.finished_runs == 0
+        # Resume: completes the remainder only, bit-identical overall.
+        _arm_crash(None)
+        resumed = run_campaign(specs, config, resume=True)
+        assert resumed.manifest.resumed == 3
+        assert resumed.manifest.completed == 5
+        assert resumed.metrics == reference.metrics
+        statuses = [o.status for o in resumed.outcomes]
+        assert statuses.count("resumed") == 3
+        assert statuses.count("completed") == 5
+
+    def test_interrupted_run_flushes_partial_manifest(self, tmp_path):
+        from repro.runtime.executor import drain_manifests
+
+        drain_manifests()
+        config = CampaignConfig(cache_dir=tmp_path, campaign_seed=1)
+        _arm_crash(2)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(_specs(), config)
+        _arm_crash(None)
+        manifests = drain_manifests()
+        assert len(manifests) == 1
+        assert manifests[0].interrupted
+        assert manifests[0].completed == 2
+        assert json.loads(manifests[0].to_json())["interrupted"] is True
+
+    def test_resume_reruns_corrupted_entries(self, tmp_path):
+        specs = _specs(4)
+        config = CampaignConfig(cache_dir=tmp_path, campaign_seed=2)
+        _arm_crash(None)
+        first = run_campaign(specs, config)
+        # Corrupt one completed entry between crash and resume.
+        cache = ResultCache(tmp_path)
+        victim = tmp_path / f"{specs[1].fingerprint()}.json"
+        entry = json.loads(victim.read_text())
+        entry["metrics"]["draw"] = -1.0
+        victim.write_text(json.dumps(entry))
+        resumed = run_campaign(specs, config, resume=True)
+        assert resumed.manifest.resumed == 3
+        assert resumed.manifest.completed == 1  # the corrupted one re-ran
+        assert resumed.metrics == first.metrics
+        (reason,) = cache.quarantined()
+        assert reason["reason"] == "checksum-mismatch"
+
+    def test_resume_without_journal_degrades_to_cache_hits(self, tmp_path):
+        specs = _specs(3)
+        _arm_crash(None)
+        config = CampaignConfig(cache_dir=tmp_path)
+        run_campaign(specs, config)
+        # Remove the journal: resume must still work, via plain cache hits.
+        for path in config.resolved_journal_dir().iterdir():
+            path.unlink()
+        again = run_campaign(specs, config, resume=True)
+        assert again.manifest.resumed == 0
+        assert again.manifest.cached == 3
+
+    def test_journal_records_failures_for_redispatch(self, tmp_path):
+        specs = [JobSpec(kind="test.resume_fail"), _specs(1)[0]]
+        _arm_crash(None)
+        config = CampaignConfig(
+            cache_dir=tmp_path, max_retries=0, backoff_s=0.0
+        )
+        first = run_campaign(specs, config)
+        assert first.manifest.failed == 1
+        # Failed jobs are journaled but never skipped on resume.
+        resumed = run_campaign(specs, config, resume=True)
+        assert resumed.outcomes[0].status == "failed"
+        assert resumed.outcomes[0].attempts == 1
+        assert resumed.manifest.resumed == 1
+
+    def test_manifest_carries_lineage(self, tmp_path):
+        specs = _specs(2)
+        _arm_crash(None)
+        config = CampaignConfig(cache_dir=tmp_path, campaign_seed=9)
+        result = run_campaign(specs, config)
+        manifest = result.manifest
+        assert manifest.campaign  # content fingerprint of the job set
+        assert manifest.journal and manifest.journal.endswith(".jsonl")
+        assert manifest.campaign in manifest.journal
+        again = run_campaign(specs, config, resume=True)
+        assert again.manifest.campaign == manifest.campaign
+        assert again.manifest.journal == manifest.journal

@@ -1,0 +1,121 @@
+"""Hung-worker supervision: heartbeat watchdog, pool rebuild, salvage."""
+
+import time
+from pathlib import Path
+
+from repro.runtime.executor import CampaignConfig, run_campaign
+from repro.runtime.jobs import JobSpec, register_job_runner
+
+
+@register_job_runner("test.sup_echo")
+def _sup_echo(spec, rng):
+    return {"seed": spec.seed, "draw": float(rng.random())}
+
+
+@register_job_runner("test.hang_once")
+def _hang_once(spec, rng):
+    """Hang (sleep far past any watchdog) on first execution, succeed on
+    the next — the marker file survives the worker being SIGTERMed, so
+    the resubmitted job completes."""
+    marker = Path(spec.param("marker"))
+    if not marker.exists():
+        marker.write_text("hung once")
+        time.sleep(300.0)
+    return {"seed": spec.seed, "recovered": 1.0}
+
+
+@register_job_runner("test.sleep_then_echo")
+def _sleep_then_echo(spec, rng):
+    """Sleep only while the marker is absent (so the serial retry after a
+    chunk timeout finishes instantly)."""
+    marker = Path(spec.param("marker"))
+    if not marker.exists():
+        marker.write_text("slept")
+        time.sleep(float(spec.param("sleep_s", "2.0")))
+    return {"seed": spec.seed}
+
+
+class TestWatchdog:
+    def test_hung_worker_detected_pool_rebuilt_campaign_completes(self, tmp_path):
+        """Acceptance: a simulated hung worker is detected, the pool is
+        rebuilt once, completed futures are salvaged, and every job is
+        accounted for."""
+        marker = tmp_path / "hang.marker"
+        specs = [
+            JobSpec.with_params("test.hang_once", {"marker": str(marker)}, seed=99)
+        ] + [JobSpec(kind="test.sup_echo", seed=i) for i in range(6)]
+        config = CampaignConfig(
+            n_jobs=2,
+            chunk_size=1,
+            hang_timeout_s=0.6,
+            pool_rebuilds=1,
+            max_retries=1,
+            backoff_s=0.01,
+        )
+        started = time.monotonic()
+        result = run_campaign(specs, config)
+        elapsed = time.monotonic() - started
+        assert elapsed < 60.0  # nobody waited out the 300 s sleep
+        assert [o.status for o in result.outcomes] == ["completed"] * 7
+        assert result.manifest.pool_rebuilds == 1
+        assert result.manifest.total == 7
+        assert result.outcomes[0].metrics == {"seed": 99, "recovered": 1.0}
+        # Salvage: echo jobs ran exactly once, in the first pool.
+        assert all(o.attempts == 1 for o in result.outcomes[1:])
+
+    def test_healthy_pool_never_rebuilds(self):
+        specs = [JobSpec(kind="test.sup_echo", seed=i) for i in range(8)]
+        result = run_campaign(
+            specs, CampaignConfig(n_jobs=2, hang_timeout_s=5.0)
+        )
+        assert result.manifest.pool_rebuilds == 0
+        assert all(o.status == "completed" for o in result.outcomes)
+
+    def test_exhausted_rebuild_budget_falls_back_to_serial(self, tmp_path):
+        """With pool_rebuilds=0 the hung chunk's jobs degrade to serial
+        retry instead of hanging the campaign."""
+        marker = tmp_path / "hang0.marker"
+        specs = [
+            JobSpec.with_params("test.hang_once", {"marker": str(marker)}, seed=7),
+            JobSpec(kind="test.sup_echo", seed=1),
+        ]
+        config = CampaignConfig(
+            n_jobs=2,
+            chunk_size=1,
+            hang_timeout_s=0.6,
+            pool_rebuilds=0,
+            max_retries=1,
+            backoff_s=0.0,
+        )
+        result = run_campaign(specs, config)
+        assert result.manifest.pool_rebuilds == 0
+        assert [o.status for o in result.outcomes] == ["completed", "completed"]
+        # The hung job burned its pool attempt and completed serially.
+        assert result.outcomes[0].attempts == 2
+
+    def test_chunk_timeout_retries_exactly_that_chunk(self, tmp_path):
+        """A chunk blowing its deadline is handed to the serial path as a
+        unit; chunks that finished in the pool are not re-executed."""
+        marker = tmp_path / "sleep.marker"
+        slow = JobSpec.with_params(
+            "test.sleep_then_echo",
+            {"marker": str(marker), "sleep_s": "3.0"},
+            seed=0,
+        )
+        fast = [JobSpec(kind="test.sup_echo", seed=i) for i in range(1, 4)]
+        config = CampaignConfig(
+            n_jobs=2,
+            chunk_size=2,  # chunks: [slow, fast0], [fast1, fast2]
+            timeout_s=0.3,
+            max_retries=1,
+            backoff_s=0.0,
+            pool_rebuilds=1,
+        )
+        result = run_campaign([slow] + fast, config)
+        assert [o.status for o in result.outcomes] == ["completed"] * 4
+        # The timed-out chunk (slow + fast0) re-ran serially: 2 attempts.
+        assert result.outcomes[0].attempts == 2
+        assert result.outcomes[1].attempts == 2
+        # The other chunk settled in the pool on its only attempt.
+        assert result.outcomes[2].attempts == 1
+        assert result.outcomes[3].attempts == 1
