@@ -1,0 +1,85 @@
+"""Performance bench: deployment simulator devices-vs-wall-clock scaling.
+
+Not a paper figure — this sweeps the clustered city scenario across four
+population sizes (800 to 10,000 devices on 8 to 100 hubs) and times the
+full pipeline: partition, region fan-out through the campaign runtime,
+and the merged manifest. The headline acceptance gate is the reference
+city scale: 10,000 devices across 100 hubs must simulate end-to-end in
+under five minutes of wall clock even on a single-core box.
+
+Set DEPLOY_SCALING_JSON to a path to dump the measured curve (CI uploads
+it as an artifact so scaling regressions are visible across runs).
+"""
+
+import json
+import os
+import time
+
+from repro.deploy import city_scenario, run_deployment
+from repro.runtime import CampaignConfig
+
+# (clusters, devices_per_hub) -> 800, 2000, 4000, 10000 devices.
+SWEEP = ((2, 100), (5, 100), (10, 100), (25, 100))
+CITY_10K_BUDGET_S = 300.0
+
+
+def _sweep_point(n_clusters, devices_per_hub):
+    spec = city_scenario(
+        name=f"bench-{n_clusters}c",
+        n_clusters=n_clusters,
+        devices_per_hub=devices_per_hub,
+        lp_plan=False,
+    )
+    started = time.perf_counter()
+    run = run_deployment(spec, CampaignConfig(n_jobs=1))
+    elapsed = time.perf_counter() - started
+    manifest = run.manifest
+    return {
+        "scenario": spec.name,
+        "hubs": manifest["hub_count"],
+        "devices": manifest["device_count"],
+        "regions": manifest["region_count"],
+        "wall_s": round(elapsed, 3),
+        "devices_per_s": round(manifest["device_count"] / elapsed, 1),
+        "bits_delivered": manifest["bits_delivered"],
+        "delivery_ratio": manifest["delivery_ratio"],
+    }
+
+
+def test_performance_deploy_scaling_curve():
+    curve = [_sweep_point(*point) for point in SWEEP]
+
+    print("\ndeployment scaling (simulated horizon 7 s per point):")
+    print(f"  {'devices':>8} {'hubs':>5} {'regions':>7} "
+          f"{'wall':>8} {'devices/s':>10}")
+    for point in curve:
+        print(f"  {point['devices']:>8,} {point['hubs']:>5} "
+              f"{point['regions']:>7} {point['wall_s']:>7.1f}s "
+              f"{point['devices_per_s']:>10,.0f}")
+
+    reference = curve[-1]
+    assert reference["devices"] == 10_000
+    assert reference["hubs"] == 100
+    # The acceptance gate: city scale under the five-minute budget.
+    assert reference["wall_s"] < CITY_10K_BUDGET_S, (
+        f"city-10k took {reference['wall_s']:.1f}s, "
+        f"budget {CITY_10K_BUDGET_S:.0f}s"
+    )
+    # Every point simulated the full population and actually moved bits.
+    for point in curve:
+        assert point["bits_delivered"] > 0
+        assert 0.0 < point["delivery_ratio"] <= 1.0
+
+    # Wall clock should grow roughly linearly with population — a
+    # superlinear blow-up (quadratic link-cache churn, per-device event
+    # leaks) shows up as the largest point costing far more per device
+    # than the smallest.
+    per_device = [p["wall_s"] / p["devices"] for p in curve]
+    assert per_device[-1] < per_device[0] * 3.0
+
+    artifact = os.environ.get("DEPLOY_SCALING_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump({"budget_s": CITY_10K_BUDGET_S, "curve": curve},
+                      handle, indent=2)
+        print(f"  wrote scaling curve to {artifact}")

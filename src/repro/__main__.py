@@ -10,6 +10,9 @@ Usage::
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
     python -m repro campaign all --cache-dir .cache --resume  # crash-safe continuation
     python -m repro profile fig18 --top 30          # cProfile an experiment
+    python -m repro deploy --list                   # scenario catalog
+    python -m repro deploy city-10k --jobs 8 --cache-dir .cache \
+        --manifest out/city.json --csv out/city.csv # city-scale deployment
     python -m repro energy braidio-arq              # ledger breakdown table
     python -m repro faults chaos                    # chaos run + recovery table
 
@@ -257,6 +260,96 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _resolve_scenario(target: str, seed: "int | None"):
+    """A scenario by catalog name or JSON file path (``--seed`` override
+    re-fingerprints the spec, so derived streams change with it)."""
+    from .deploy import SCENARIOS, DeploymentSpec, scenario
+
+    if target in SCENARIOS:
+        spec = scenario(target)
+    else:
+        path = Path(target)
+        if not path.is_file():
+            known = ", ".join(sorted(SCENARIOS))
+            raise FileNotFoundError(
+                f"{target!r} is neither a known scenario ({known}) nor a "
+                "scenario JSON file"
+            )
+        spec = DeploymentSpec.from_json(path.read_text(encoding="utf-8"))
+    if seed is not None and seed != spec.seed:
+        spec = spec.scaled(seed=seed)
+    return spec
+
+
+def _run_deploy_command(args: argparse.Namespace) -> int:
+    """Partition a deployment scenario, fan its regions across the
+    campaign engine, and print/persist the merged manifest."""
+    from .deploy import SCENARIOS, partition, run_deployment, scenario, write_manifest
+    from .runtime import CampaignError
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            spec = scenario(name)
+            regions = len(partition(spec).regions)
+            print(
+                f"{name}: {spec.hub_count} hubs, {spec.device_count} devices, "
+                f"{regions} regions, {spec.horizon_s:g}s horizon"
+            )
+        return 0
+    if args.scenario is None:
+        print("error: a scenario name or JSON path is required", file=sys.stderr)
+        return 2
+    if args.resume and args.cache_dir is None:
+        print(
+            "error: --resume needs --cache-dir (the journal and the results "
+            "being resumed live there)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = _resolve_scenario(args.scenario, args.seed)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = _campaign_config(args, seed=spec.seed)
+    try:
+        run = run_deployment(spec, config, resume=args.resume)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    manifest = run.manifest
+    engine = run.campaign.manifest
+    resumed = f", {engine.resumed} resumed" if engine.resumed else ""
+    print(
+        f"{spec.name}: {manifest['hub_count']} hubs, "
+        f"{manifest['device_count']} devices in "
+        f"{manifest['region_count']} regions "
+        f"({engine.completed} run, {engine.cached} cached{resumed}) "
+        f"in {engine.wall_time_s:.2f}s"
+    )
+    print(
+        f"  delivered {manifest['bits_delivered']} bits "
+        f"(goodput {manifest['goodput_bps']:.0f} bps, "
+        f"delivery ratio {manifest['delivery_ratio']:.4f}, "
+        f"{manifest['interfered_hubs']} interfered hubs, "
+        f"{manifest['suspensions']} churn suspensions)"
+    )
+    print(f"  fingerprint {manifest['fingerprint']}")
+    if args.manifest is not None:
+        write_manifest(args.manifest, manifest)
+        print(f"manifest written to {args.manifest}", file=sys.stderr)
+    if args.csv is not None:
+        from .analysis.export import (
+            DEPLOY_HUB_COLUMNS,
+            _write_rows,
+            deployment_hub_rows,
+        )
+
+        _write_rows(args.csv, DEPLOY_HUB_COLUMNS, deployment_hub_rows(manifest))
+        print(f"per-hub CSV written to {args.csv}", file=sys.stderr)
+    return 0
+
+
 def _positive_int(value: str) -> int:
     try:
         jobs = int(value)
@@ -383,6 +476,39 @@ def main(argv: list[str] | None = None) -> int:
         help="abort the campaign (non-zero exit) once N jobs have failed",
     )
     _add_campaign_flags(campaign)
+    deploy = subparsers.add_parser(
+        "deploy",
+        help="simulate a city-scale deployment scenario: partition into "
+        "independent regions, fan out across the engine, merge the "
+        "deterministic deployment manifest",
+    )
+    deploy.add_argument(
+        "scenario", nargs="?", default=None,
+        help="catalog scenario name (see --list) or a scenario JSON path",
+    )
+    deploy.add_argument(
+        "--list", action="store_true",
+        help="list the scenario catalog with sizes and exit",
+    )
+    deploy.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario seed (changes every derived stream)",
+    )
+    deploy.add_argument(
+        "--manifest", type=Path, default=None, metavar="PATH",
+        help="write the merged deployment manifest JSON to PATH "
+        "(byte-stable: same scenario fingerprint => same bytes)",
+    )
+    deploy.add_argument(
+        "--csv", type=Path, default=None, metavar="PATH",
+        help="write per-hub metrics CSV to PATH",
+    )
+    deploy.add_argument(
+        "--resume", action="store_true",
+        help="replay the write-ahead journal under --cache-dir and "
+        "re-simulate only regions without a verified result",
+    )
+    _add_campaign_flags(deploy)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -405,6 +531,8 @@ def main(argv: list[str] | None = None) -> int:
         return _faults(args)
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "deploy":
+        return _run_deploy_command(args)
 
     from .runtime import drain_manifests
 

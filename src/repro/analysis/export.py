@@ -199,9 +199,71 @@ def export_faults(directory: Path) -> Path:
     return _write_rows(directory / "fault_recovery.csv", header, rows)
 
 
+#: Column order of the per-hub deployment CSV (one row per hub).
+DEPLOY_HUB_COLUMNS = [
+    "scenario", "region", "hub", "channel", "devices", "interfered",
+    "co_channel_neighbors", "bits_delivered", "packets_delivered",
+    "packets_attempted", "delivery_ratio", "goodput_bps",
+    "client_energy_j", "hub_energy_j", "suspensions", "resumes",
+    "suspended_s", "lp_bits",
+]
+
+
+def deployment_hub_rows(manifest: dict) -> list[list]:
+    """Flatten a merged deployment manifest into per-hub CSV rows,
+    ordered by (region, hub) so the CSV is as deterministic as the
+    manifest itself."""
+    rows = []
+    for region in manifest["regions"]:
+        for hub in sorted(region["hubs"], key=lambda h: h["hub"]):
+            rows.append(
+                [
+                    manifest["scenario"],
+                    region["region"],
+                    hub["hub"],
+                    hub["channel"],
+                    hub["devices"],
+                    int(hub["interfered"]),
+                    hub["co_channel_neighbors"],
+                    hub["bits_delivered"],
+                    hub["packets_delivered"],
+                    hub["packets_attempted"],
+                    hub["delivery_ratio"],
+                    hub["goodput_bps"],
+                    hub["client_energy_j"],
+                    hub["hub_energy_j"],
+                    hub["suspensions"],
+                    hub["resumes"],
+                    hub["suspended_s"],
+                    hub.get("lp_bits", ""),
+                ]
+            )
+    return rows
+
+
+def export_deploy(
+    directory: Path, campaign: "CampaignConfig | None" = None
+) -> Path:
+    """Per-hub metrics of the ``smoke`` deployment scenario (the tiny
+    catalog entry, so ``export all`` stays fast); the merged deployment
+    manifest lands next to the CSV.  Use ``python -m repro deploy`` for
+    the larger scenarios."""
+    from ..deploy import run_deployment, scenario, write_manifest
+
+    run = run_deployment(scenario("smoke"), campaign)
+    write_manifest(directory / "deploy_smoke_manifest.json", run.manifest)
+    return _write_rows(
+        directory / "deploy_hubs.csv",
+        DEPLOY_HUB_COLUMNS,
+        deployment_hub_rows(run.manifest),
+    )
+
+
 #: Experiment ids whose exporter fans work through the campaign engine
 #: (accepts a ``campaign=`` CampaignConfig keyword).
-CAMPAIGN_AWARE: frozenset[str] = frozenset({"fig15", "fig16", "fig17", "fig18"})
+CAMPAIGN_AWARE: frozenset[str] = frozenset(
+    {"fig15", "fig16", "fig17", "fig18", "deploy"}
+)
 
 #: Experiment id -> exporter, the registry the CLI dispatches on.
 EXPORTERS: dict[str, Callable[[Path], Path]] = {
@@ -221,6 +283,7 @@ EXPORTERS: dict[str, Callable[[Path], Path]] = {
     "fig18": export_fig18,
     "energy": export_energy,
     "faults": export_faults,
+    "deploy": export_deploy,
 }
 
 

@@ -1,0 +1,51 @@
+"""City-scale deployment simulator (extension).
+
+Declarative multi-hub scenarios (:mod:`~repro.deploy.spec`), spatial
+partitioning into independently simulable regions
+(:mod:`~repro.deploy.partition`), packet-level region simulation with
+churn and cross-hub interference (:mod:`~repro.deploy.region`), and
+campaign fan-out with a deterministic merged manifest
+(:mod:`~repro.deploy.campaign`).  Named scenarios — including the
+10k-device reference city — live in :mod:`~repro.deploy.scenarios`.
+"""
+
+from .campaign import (
+    DeploymentRun,
+    manifest_json,
+    merge_region_reports,
+    region_job_specs,
+    run_deployment,
+    write_manifest,
+)
+from .partition import DeploymentPartition, Region, partition
+from .region import simulate_hub, simulate_region
+from .scenarios import SCENARIOS, city_scenario, scenario
+from .spec import (
+    DEPLOY_SCHEMA_VERSION,
+    ChurnProcess,
+    DeploymentSpec,
+    DeviceClass,
+    HubLayout,
+)
+
+__all__ = [
+    "DEPLOY_SCHEMA_VERSION",
+    "ChurnProcess",
+    "DeploymentPartition",
+    "DeploymentRun",
+    "DeploymentSpec",
+    "DeviceClass",
+    "HubLayout",
+    "Region",
+    "SCENARIOS",
+    "city_scenario",
+    "manifest_json",
+    "merge_region_reports",
+    "partition",
+    "region_job_specs",
+    "run_deployment",
+    "scenario",
+    "simulate_hub",
+    "simulate_region",
+    "write_manifest",
+]

@@ -1,0 +1,381 @@
+"""Simulate one region of a deployment: hubs, devices, churn, coupling.
+
+A region (:class:`~repro.deploy.partition.Region`) is a set of hubs with
+no RF path to the rest of the city, so it simulates independently.
+Inside the region each hub runs a full packet-level
+:class:`~repro.net.session.HubSession` — its own DES kernel, TDMA
+rotation, shared hub battery and per-client offload controllers — while
+cross-hub coupling enters through the channel model: a hub that shares a
+reuse channel with a neighbor sees that neighbor's TDMA bursts as a
+:class:`~repro.sim.interference.BurstyInterferer`, attenuated by the
+hub-to-hub path loss, on every one of its client links
+(:class:`~repro.sim.interference.InterferedLink`).  Orthogonal or
+isolated hubs keep the fast memoizing :class:`~repro.sim.link.SimulatedLink`.
+
+Churn runs *through the DES*: each device's join/leave/sleep timeline is
+pre-sampled from its own content-addressed stream and compiled into
+``suspend_client`` / ``resume_client`` events before the kernel starts,
+so event interleaving can never perturb the draws.
+
+Every random stream is derived from (scenario fingerprint, hub index,
+device name, purpose) via :meth:`DeploymentSpec.stream` — never from the
+executor's job RNG — which is what makes the merged deployment manifest
+bit-identical at any worker count, chunking, execution order or resume.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+
+from ..core.braidio import BraidioRadio
+from ..core.regimes import LinkMap
+from ..net.session import HubClient, HubSession
+from ..net.tdma import TdmaSchedule
+from ..phy.propagation import log_distance_path_loss_db
+from ..sim.interference import BurstyInterferer, InterferedLink
+from ..sim.link import SimulatedLink
+from ..sim.mobility import MobilityDriver, RandomWaypoint1D
+from ..sim.simulator import Simulator
+from .partition import Region, quantize_distance
+from .spec import ChurnProcess, DeploymentSpec
+
+#: Seconds between mobility-model samples pushed into links/policies.
+MOBILITY_TICK_S = 0.25
+
+#: Mean burst length of a co-channel neighbor's TDMA activity (s).
+NEIGHBOR_BURST_ON_S = 0.05
+
+#: Mean quiet gap of a single co-channel neighbor (s); divided by the
+#: neighbor count, so denser co-channel neighborhoods burst more often.
+NEIGHBOR_BURST_OFF_S = 0.5
+
+#: Reference hub separation (m) at which the scenario's nominal
+#: interference penalty applies; closer neighbors hit harder.
+PENALTY_REFERENCE_M = 10.0
+
+
+def neighbor_penalty_db(
+    spec: DeploymentSpec, neighbor_distances_m: "tuple[float, ...]"
+) -> float:
+    """SNR penalty a hub's co-channel neighbors inflict, in dB.
+
+    The scenario's nominal ``interference_penalty_db`` is anchored at
+    :data:`PENALTY_REFERENCE_M` and rolls off with the *nearest*
+    co-channel neighbor's path loss (the dominant interferer), clamped
+    to be non-negative.
+    """
+    if not neighbor_distances_m:
+        return 0.0
+    nearest = min(neighbor_distances_m)
+    roll_off = log_distance_path_loss_db(
+        nearest, path_loss_exponent=spec.path_loss_exponent
+    ) - log_distance_path_loss_db(
+        PENALTY_REFERENCE_M, path_loss_exponent=spec.path_loss_exponent
+    )
+    return max(0.0, spec.interference_penalty_db - roll_off)
+
+
+@dataclass(frozen=True)
+class DevicePlan:
+    """One device's resolved identity within its hub.
+
+    Attributes:
+        name: globally unique device id (``h<hub>-<class><k>``).
+        class_name: the device class it was drawn from.
+        distance_m: initial hub separation (cm-quantized).
+        timeline: churn events as (time_s, ``"suspend"``/``"resume"``).
+    """
+
+    name: str
+    class_name: str
+    distance_m: float
+    timeline: "tuple[tuple[float, str], ...]"
+
+
+def churn_timeline(
+    rng, churn: ChurnProcess, horizon_s: float
+) -> "tuple[tuple[float, str], ...]":
+    """Pre-sample one device's suspend/resume events over the horizon.
+
+    The draw order is fixed (join uniform, join delay, lifetime, then
+    alternating awake/asleep dwells) so a device's timeline depends only
+    on its own stream.  Events beyond the horizon are dropped; a
+    permanent leave truncates everything after it.
+    """
+    events: "list[tuple[float, str]]" = []
+    joins_late = float(rng.random()) < churn.late_join_fraction
+    join_at = float(rng.exponential(churn.mean_join_delay_s))
+    lifetime = (
+        float(rng.exponential(churn.mean_lifetime_s))
+        if churn.mean_lifetime_s > 0.0
+        else math.inf
+    )
+    t = 0.0
+    if joins_late:
+        events.append((0.0, "suspend"))
+        t = min(join_at, horizon_s)
+        if t < horizon_s and t < lifetime:
+            events.append((t, "resume"))
+    leave_at = lifetime
+    if churn.mean_awake_s > 0.0:
+        while t < horizon_s:
+            awake = float(rng.exponential(churn.mean_awake_s))
+            asleep = float(rng.exponential(churn.mean_asleep_s))
+            t += awake
+            if t >= horizon_s or t >= leave_at:
+                break
+            events.append((t, "suspend"))
+            t += asleep
+            if t >= horizon_s or t >= leave_at:
+                break
+            events.append((t, "resume"))
+    if leave_at < horizon_s:
+        # Truncate at the permanent departure and suspend for good.
+        events = [(ts, kind) for ts, kind in events if ts < leave_at]
+        if not events or events[-1][1] == "resume" or events[-1][0] < leave_at:
+            events.append((leave_at, "suspend"))
+    return tuple(events)
+
+
+def plan_hub_devices(
+    spec: DeploymentSpec, global_hub_index: int
+) -> "tuple[DevicePlan, ...]":
+    """Resolve one hub's device population, deterministically.
+
+    Class counts come from the spec's largest-remainder split; each
+    device draws its placement and churn timeline from its own
+    content-addressed stream (labels ``hub<g>:place:<name>`` /
+    ``hub<g>:churn:<name>``).
+    """
+    counts = spec.class_counts()
+    plans: "list[DevicePlan]" = []
+    for device_class in spec.classes:
+        for k in range(counts[device_class.name]):
+            name = f"h{global_hub_index}-{device_class.name}{k}"
+            place_rng = spec.stream(f"hub{global_hub_index}:place:{name}")
+            distance = quantize_distance(
+                float(
+                    place_rng.uniform(
+                        device_class.min_distance_m, device_class.max_distance_m
+                    )
+                )
+            )
+            if spec.churn.is_static:
+                timeline: "tuple[tuple[float, str], ...]" = ()
+            else:
+                churn_rng = spec.stream(f"hub{global_hub_index}:churn:{name}")
+                timeline = churn_timeline(churn_rng, spec.churn, spec.horizon_s)
+            plans.append(
+                DevicePlan(
+                    name=name,
+                    class_name=device_class.name,
+                    distance_m=distance,
+                    timeline=timeline,
+                )
+            )
+    return tuple(plans)
+
+
+def _lp_upper_bound(
+    spec: DeploymentSpec, plans: "tuple[DevicePlan, ...]", link_map: LinkMap
+) -> float:
+    """Fleet-LP bits for this hub (analytic upper bound, Eq 1 form)."""
+    from ..hardware.devices import device
+    from ..net.hub import ClientPlacement, HubNetwork
+
+    placements = [
+        ClientPlacement(
+            name=plan.name,
+            spec=device(spec.device_class(plan.class_name).device),
+            distance_m=plan.distance_m,
+        )
+        for plan in plans
+    ]
+    network = HubNetwork(spec.hub_device, placements, link_map=link_map)
+    return network.plan(objective="total").total_bits
+
+
+def simulate_hub(
+    spec: DeploymentSpec,
+    region: Region,
+    local_index: int,
+    link_map: "LinkMap | None" = None,
+) -> "dict[str, object]":
+    """Run one hub's full DES session and report post-warmup metrics.
+
+    The reported counters cover only the measured window
+    ``[warmup_s, warmup_s + duration_s]`` — the warmup (controllers
+    converging, TDMA rotations filling) is simulated but excluded, in
+    the classic warmup/measure shape.
+    """
+    global_index = region.hub_indices[local_index]
+    if link_map is None:
+        link_map = LinkMap()
+    plans = plan_hub_devices(spec, global_index)
+    sim_seed = int(spec.stream(f"hub{global_index}:kernel").integers(2**31))
+    sim = Simulator(seed=sim_seed)
+
+    neighbor_distances = region.neighbor_distances_m(local_index)
+    interferer = None
+    if neighbor_distances:
+        penalty_db = neighbor_penalty_db(spec, neighbor_distances)
+        if penalty_db > 0.0:
+            interferer = BurstyInterferer(
+                spec.stream(f"hub{global_index}:interference"),
+                mean_on_s=NEIGHBOR_BURST_ON_S,
+                mean_off_s=NEIGHBOR_BURST_OFF_S / len(neighbor_distances),
+                snr_penalty_db=penalty_db,
+                horizon_s=spec.horizon_s,
+            )
+
+    hub_radio = BraidioRadio.for_device(spec.hub_device)
+    clients: "list[HubClient]" = []
+    weights: "dict[str, float]" = {}
+    drivers: "list[MobilityDriver]" = []
+    from ..sim.policies import BraidioPolicy
+
+    for plan in plans:
+        device_class = spec.device_class(plan.class_name)
+        radio = BraidioRadio.for_device(device_class.device)
+        link_rng = spec.stream(f"hub{global_index}:link:{plan.name}")
+        if interferer is not None:
+            link: SimulatedLink = InterferedLink(
+                link_map, plan.distance_m, link_rng, interferer
+            )
+        else:
+            link = SimulatedLink(link_map, plan.distance_m, link_rng)
+        policy = BraidioPolicy()
+        client = HubClient(name=plan.name, radio=radio, link=link, policy=policy)
+        clients.append(client)
+        weights[plan.name] = device_class.tdma_weight
+        if device_class.mobility == "waypoint":
+            model = RandomWaypoint1D(
+                spec.stream(f"hub{global_index}:mobility:{plan.name}"),
+                start_m=plan.distance_m,
+                min_m=device_class.min_distance_m,
+                max_m=device_class.max_distance_m,
+                horizon_s=spec.horizon_s,
+            )
+            drivers.append(
+                MobilityDriver(
+                    sim, link, [policy], model, update_interval_s=MOBILITY_TICK_S
+                )
+            )
+
+    tdma = TdmaSchedule(weights, round_packets=max(128, 2 * len(clients)))
+    session = HubSession(
+        sim,
+        hub_radio,
+        clients,
+        tdma,
+        payload_bytes=spec.payload_bytes,
+        max_time_s=spec.horizon_s,
+    )
+
+    # Compile churn into kernel events BEFORE start(): same-time events
+    # fire in insertion order, so a t=0 late-join suspend lands before
+    # the first served packet.
+    for plan in plans:
+        for when, kind in plan.timeline:
+            action = (
+                session.suspend_client if kind == "suspend" else session.resume_client
+            )
+            sim.schedule_at(when, functools.partial(action, plan.name))
+
+    baseline: "dict[str, tuple[float, float, int, int]]" = {}
+    hub_baseline: "dict[str, float]" = {}
+
+    def snapshot() -> None:
+        for client in clients:
+            metrics = client.metrics
+            baseline[client.name] = (
+                metrics.energy_a_j,
+                metrics.energy_b_j,
+                metrics.bits_delivered,
+                metrics.packets_attempted,
+            )
+        hub_baseline["bits"] = float(session.hub_metrics.bits_delivered)
+        hub_baseline["packets_delivered"] = float(
+            session.hub_metrics.packets_delivered
+        )
+        hub_baseline["packets_attempted"] = float(
+            session.hub_metrics.packets_attempted
+        )
+        hub_baseline["hub_energy_j"] = session.hub_metrics.energy_b_j
+
+    sim.schedule_at(spec.warmup_s, snapshot)
+    for driver in drivers:
+        driver.start()
+    session.run()
+    if not baseline:  # warmup_s == horizon corner: snapshot never beat stop
+        snapshot()
+
+    bits = session.hub_metrics.bits_delivered - int(hub_baseline["bits"])
+    delivered = session.hub_metrics.packets_delivered - int(
+        hub_baseline["packets_delivered"]
+    )
+    attempted = session.hub_metrics.packets_attempted - int(
+        hub_baseline["packets_attempted"]
+    )
+    client_energy = 0.0
+    for client in clients:
+        start_a, _, _, _ = baseline[client.name]
+        client_energy += client.metrics.energy_a_j - start_a
+    hub_energy = session.hub_metrics.energy_b_j - hub_baseline["hub_energy_j"]
+
+    report: "dict[str, object]" = {
+        "hub": global_index,
+        "region": region.index,
+        "channel": region.channels[local_index],
+        "devices": len(plans),
+        "co_channel_neighbors": len(neighbor_distances),
+        "interfered": interferer is not None,
+        "bits_delivered": int(bits),
+        "packets_delivered": int(delivered),
+        "packets_attempted": int(attempted),
+        "delivery_ratio": (delivered / attempted) if attempted else 1.0,
+        "goodput_bps": bits / spec.duration_s,
+        "client_energy_j": client_energy,
+        "hub_energy_j": hub_energy,
+        "suspensions": session.churn_suspensions,
+        "resumes": session.churn_resumes,
+        "suspended_s": session.suspended_time_s,
+        "terminated_by": session.hub_metrics.terminated_by,
+    }
+    if spec.lp_plan:
+        report["lp_bits"] = _lp_upper_bound(spec, plans, link_map)
+    return report
+
+
+def simulate_region(spec: DeploymentSpec, region: Region) -> "dict[str, object]":
+    """Simulate every hub of one region; returns the region report.
+
+    Hubs share one :class:`~repro.core.regimes.LinkMap` (its availability
+    cache is the hot path) and run sequentially on their own kernels —
+    the parallelism lever is *regions across the process pool*, not hubs
+    within a region.
+    """
+    link_map = LinkMap()
+    hubs = [
+        simulate_hub(spec, region, local_index, link_map=link_map)
+        for local_index in range(region.hub_count)
+    ]
+    report: "dict[str, object]" = {
+        "region": region.index,
+        "hubs": hubs,
+        "hub_count": region.hub_count,
+        "devices": int(sum(h["devices"] for h in hubs)),  # type: ignore[misc]
+        "bits_delivered": int(sum(h["bits_delivered"] for h in hubs)),  # type: ignore[misc]
+        "packets_delivered": int(sum(h["packets_delivered"] for h in hubs)),  # type: ignore[misc]
+        "packets_attempted": int(sum(h["packets_attempted"] for h in hubs)),  # type: ignore[misc]
+        "client_energy_j": float(sum(h["client_energy_j"] for h in hubs)),  # type: ignore[misc]
+        "hub_energy_j": float(sum(h["hub_energy_j"] for h in hubs)),  # type: ignore[misc]
+        "suspensions": int(sum(h["suspensions"] for h in hubs)),  # type: ignore[misc]
+        "resumes": int(sum(h["resumes"] for h in hubs)),  # type: ignore[misc]
+        "interfered_hubs": int(sum(1 for h in hubs if h["interfered"])),
+    }
+    if spec.lp_plan:
+        report["lp_bits"] = float(sum(h["lp_bits"] for h in hubs))  # type: ignore[misc]
+    return report

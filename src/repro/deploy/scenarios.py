@@ -1,0 +1,211 @@
+"""Named deployment scenarios: smoke tests, CI loads, the 10k-device city.
+
+The catalog spans three orders of magnitude so every consumer has a
+fitting entry: ``smoke`` keeps exporters and unit tests fast, ``ci-small``
+is the two-region churn scenario the CI resume smoke kills and resumes,
+and ``city-10k`` is the reference scale target — 100 hubs / 10 000
+devices that must complete end-to-end in minutes via region fan-out.
+
+City layouts are *clustered*: hubs deploy in tight 4-hub blocks (a
+storefront, a transit stop) separated by street-scale gaps, so the
+coupling threshold yields many small interference components — the shape
+that actually fans out — rather than one city-wide blob or 100 isolated
+hubs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .spec import ChurnProcess, DeviceClass, DeploymentSpec, HubLayout
+
+#: Default device mix: a few energy-rich phones anchoring a crowd of
+#: harvesting-class tags (the paper's asymmetric-energy regime).
+DEFAULT_CLASSES = (
+    DeviceClass(
+        name="phone",
+        device="iPhone 6S",
+        share=0.2,
+        min_distance_m=0.5,
+        max_distance_m=2.0,
+        tdma_weight=4.0,
+    ),
+    DeviceClass(
+        name="tag",
+        device="Nike Fuel Band",
+        share=0.8,
+        min_distance_m=0.3,
+        max_distance_m=1.5,
+        tdma_weight=1.0,
+    ),
+)
+
+#: Light sleep churn: devices nap now and then, nobody leaves for good.
+LIGHT_CHURN = ChurnProcess(mean_awake_s=4.0, mean_asleep_s=1.5)
+
+#: Busier churn for the CI scenario: sleeps plus late joiners.
+CI_CHURN = ChurnProcess(
+    mean_awake_s=2.0,
+    mean_asleep_s=1.0,
+    late_join_fraction=0.2,
+    mean_join_delay_s=0.5,
+)
+
+
+def clustered_positions(
+    n_clusters: int,
+    hubs_per_cluster: int = 4,
+    cluster_spacing_m: float = 200.0,
+    hub_spacing_m: float = 15.0,
+) -> "tuple[tuple[float, float], ...]":
+    """Hub positions for a clustered city: clusters on a near-square
+    lattice at ``cluster_spacing_m`` pitch, each cluster's hubs on a
+    small lattice at ``hub_spacing_m`` pitch."""
+    import math
+
+    cluster_cols = max(1, math.ceil(math.sqrt(n_clusters)))
+    hub_cols = max(1, math.ceil(math.sqrt(hubs_per_cluster)))
+    positions = []
+    for cluster in range(n_clusters):
+        base_x = (cluster % cluster_cols) * cluster_spacing_m
+        base_y = (cluster // cluster_cols) * cluster_spacing_m
+        for hub in range(hubs_per_cluster):
+            positions.append(
+                (
+                    base_x + (hub % hub_cols) * hub_spacing_m,
+                    base_y + (hub // hub_cols) * hub_spacing_m,
+                )
+            )
+    return tuple(positions)
+
+
+def city_scenario(
+    name: str,
+    n_clusters: int,
+    devices_per_hub: int,
+    hubs_per_cluster: int = 4,
+    warmup_s: float = 1.0,
+    duration_s: float = 6.0,
+    churn: "ChurnProcess | None" = None,
+    lp_plan: bool = True,
+    seed: int = 0,
+) -> DeploymentSpec:
+    """A clustered city of ``n_clusters * hubs_per_cluster`` hubs.
+
+    The benchmark scaling curve calls this with growing cluster counts;
+    everything else stays fixed so wall clock tracks population.
+    """
+    return DeploymentSpec(
+        name=name,
+        hubs=HubLayout(
+            strategy="manual",
+            positions_m=clustered_positions(n_clusters, hubs_per_cluster),
+        ),
+        classes=DEFAULT_CLASSES,
+        devices_per_hub=devices_per_hub,
+        hub_device="Surface Book",
+        warmup_s=warmup_s,
+        duration_s=duration_s,
+        churn=churn if churn is not None else LIGHT_CHURN,
+        lp_plan=lp_plan,
+        seed=seed,
+    )
+
+
+def smoke() -> DeploymentSpec:
+    """Tiny two-cluster deployment: 4 hubs, 40 devices, seconds to run."""
+    return city_scenario(
+        "smoke",
+        n_clusters=2,
+        hubs_per_cluster=2,
+        devices_per_hub=10,
+        warmup_s=0.5,
+        duration_s=2.0,
+    )
+
+
+def ci_small() -> DeploymentSpec:
+    """The CI resume-smoke load: 2 regions, 4 hubs, 200 devices, churny."""
+    return city_scenario(
+        "ci-small",
+        n_clusters=2,
+        hubs_per_cluster=2,
+        devices_per_hub=50,
+        warmup_s=0.5,
+        duration_s=2.0,
+        churn=CI_CHURN,
+    )
+
+
+def mobile_small() -> DeploymentSpec:
+    """A small deployment with a roaming phone class (waypoint mobility)
+    — the scenario behind the mobility determinism tests."""
+    classes = (
+        DeviceClass(
+            name="walker",
+            device="iPhone 6S",
+            share=0.3,
+            min_distance_m=0.5,
+            max_distance_m=2.5,
+            tdma_weight=2.0,
+            mobility="waypoint",
+        ),
+        DeviceClass(
+            name="tag",
+            device="Nike Fuel Band",
+            share=0.7,
+            min_distance_m=0.3,
+            max_distance_m=1.5,
+        ),
+    )
+    return DeploymentSpec(
+        name="mobile-small",
+        hubs=HubLayout(
+            strategy="manual", positions_m=clustered_positions(2, 2)
+        ),
+        classes=classes,
+        devices_per_hub=8,
+        hub_device="Surface Book",
+        warmup_s=0.5,
+        duration_s=2.0,
+        churn=LIGHT_CHURN,
+    )
+
+
+def city_10k() -> DeploymentSpec:
+    """The reference scale target: 25 clusters x 4 hubs x 100 devices =
+    100 hubs / 10 000 devices.  Within each cluster the 4 hubs form a
+    complete interference component; 3 reuse channels leave one
+    co-channel pair per cluster carrying real cross-hub interference.
+    The fleet LP is skipped (10k-constraint LPs belong to the analysis
+    path, not the scale demo)."""
+    return city_scenario(
+        "city-10k",
+        n_clusters=25,
+        devices_per_hub=100,
+        warmup_s=1.0,
+        duration_s=6.0,
+        lp_plan=False,
+    )
+
+
+#: Name -> scenario factory.
+SCENARIOS: "dict[str, Callable[[], DeploymentSpec]]" = {
+    "smoke": smoke,
+    "ci-small": ci_small,
+    "mobile-small": mobile_small,
+    "city-10k": city_10k,
+}
+
+
+def scenario(name: str) -> DeploymentSpec:
+    """Look up a named scenario.
+
+    Raises:
+        KeyError: for unknown names (with the catalog listed).
+    """
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

@@ -3,7 +3,7 @@ Braidio clients over TDMA, with fleet-level carrier-offload optimization."""
 
 from .hub import ClientAllocation, ClientPlacement, HubNetwork, HubPlan
 from .session import HubClient, HubSession
-from .tdma import Slot, TdmaSchedule
+from .tdma import Slot, TdmaSchedule, assign_reuse_channels, co_channel_edges
 
 __all__ = [
     "HubClient",
@@ -14,4 +14,6 @@ __all__ = [
     "HubPlan",
     "Slot",
     "TdmaSchedule",
+    "assign_reuse_channels",
+    "co_channel_edges",
 ]

@@ -49,8 +49,14 @@ class ClientPlacement:
     weight: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.distance_m < 0.0:
-            raise ValueError("distance must be non-negative")
+        if not self.name:
+            raise ValueError("client name must be non-empty")
+        if self.distance_m <= 0.0:
+            raise ValueError(
+                f"client {self.name!r} needs a positive distance, got "
+                f"{self.distance_m!r} (a zero separation would degenerate "
+                "the fleet LP's per-bit cost constraints)"
+            )
         if self.weight <= 0.0:
             raise ValueError("weight must be positive")
 
@@ -119,8 +125,12 @@ class HubNetwork:
         if not clients:
             raise ValueError("at least one client required")
         names = [c.name for c in clients]
-        if len(set(names)) != len(names):
-            raise ValueError("client names must be unique")
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate client ids {duplicates}: each client needs its "
+                "own battery constraint row in the fleet LP"
+            )
         self._hub = device(hub_device)
         self._clients = tuple(clients)
         self._link_map = link_map if link_map is not None else LinkMap()

@@ -135,6 +135,14 @@ class HubSession:
         self._dark_since: dict[str, float] = {}
         self._probes_used: dict[str, int] = {}
         self._since_probe = 0
+        # Churn state (deployment simulator): suspended clients keep their
+        # batteries and policies but are skipped by the serve loop until
+        # resumed.  Unused -> bit-identical to the pre-churn behavior.
+        self._suspended: dict[str, float] = {}
+        self._idle = False
+        self.churn_suspensions = 0
+        self.churn_resumes = 0
+        self.suspended_time_s = 0.0
         self.hub_metrics = SessionMetrics()
         # Each client's ledger binds its own battery as account "a" and
         # the *shared* hub battery as account "b" — drains route through
@@ -169,6 +177,60 @@ class HubSession:
     def dark_clients(self) -> frozenset[str]:
         """Clients currently declared dark (slots reclaimed)."""
         return frozenset(self._dark_since)
+
+    @property
+    def suspended_clients(self) -> frozenset[str]:
+        """Clients currently suspended by churn (asleep or departed)."""
+        return frozenset(self._suspended)
+
+    def suspend_client(self, name: str) -> None:
+        """Churn: take a client off the air (sleep or departure).
+
+        Its TDMA slots are redistributed to the survivors; the client's
+        battery and policy state are preserved for :meth:`resume_client`.
+        Suspending an already-suspended, exhausted or finished client is
+        a no-op.
+
+        Raises:
+            KeyError: for unknown client names.
+        """
+        client = self._clients[name]  # KeyError for unknown names
+        if self._finished or name in self._suspended or name in self._exhausted:
+            return
+        self._suspended[name] = self._sim.now_s
+        self.churn_suspensions += 1
+        client.metrics.churn_suspensions += 1
+        self._rebuild_schedule()
+
+    def resume_client(self, name: str) -> None:
+        """Churn: bring a suspended client back on the air.
+
+        The client rejoins the TDMA rotation and its policy re-plans from
+        the *current* batteries and link distance (it kept moving while
+        asleep — mobility models are functions of time).  If the whole
+        session idled because everyone was suspended, serving restarts.
+
+        Raises:
+            KeyError: for unknown client names.
+        """
+        client = self._clients[name]
+        went_dark = self._suspended.pop(name, None)
+        if went_dark is None or self._finished or name in self._exhausted:
+            return
+        asleep_s = self._sim.now_s - went_dark
+        self.suspended_time_s += asleep_s
+        client.metrics.suspended_s += asleep_s
+        self.churn_resumes += 1
+        client.policy.start(
+            client.link.distance_m,
+            max(client.radio.battery.remaining_j, 1e-12),
+            max(self._hub.battery.remaining_j, 1e-12),
+        )
+        self._last_mode[name] = None
+        self._rebuild_schedule()
+        if self._idle:
+            self._idle = False
+            self._sim.schedule_in(0.0, self._serve_packet)
 
     def attach_injector(self, injector) -> None:
         """Accept a :class:`~repro.faults.injector.FaultInjector`.
@@ -247,6 +309,11 @@ class HubSession:
         for went_dark in self._dark_since.values():
             self.hub_metrics.outage_s += now - went_dark
         self._dark_since.clear()
+        for name, suspended_at in self._suspended.items():
+            asleep_s = now - suspended_at
+            self.suspended_time_s += asleep_s
+            self._clients[name].metrics.suspended_s += asleep_s
+        self._suspended.clear()
         self.hub_metrics.terminated_by = reason
         self.hub_metrics.duration_s = now
         for client in self._clients.values():
@@ -254,12 +321,17 @@ class HubSession:
             client.metrics.duration_s = now
 
     def _next_live_client(self) -> HubClient | None:
-        # Skip the slots of exhausted clients (their battery died) and of
-        # dark ones (their slots were reclaimed but a stale schedule may
-        # still name them); the schedule rotates among the survivors.
+        # Skip the slots of exhausted clients (their battery died), dark
+        # ones (slots reclaimed but a stale schedule may still name them)
+        # and suspended ones (churn); the schedule rotates among the
+        # survivors.
         for _ in range(self._tdma.round_packets):
             name = self._tdma.client_for_packet(self._packet_index)
-            if name not in self._exhausted and name not in self._dark_since:
+            if (
+                name not in self._exhausted
+                and name not in self._dark_since
+                and name not in self._suspended
+            ):
                 return self._clients[name]
             self._packet_index += 1
         return None
@@ -281,6 +353,12 @@ class HubSession:
             probe = self._maybe_probe(force=True)
             if probe is not None:
                 return probe
+        if self._suspended:
+            # Every servable client is suspended by churn (the dark ones
+            # already got their forced probe above): idle until a resume
+            # restarts serving instead of declaring the fleet dead.
+            self._idle = True
+            return None
         self._terminate("link_lost" if self._dark_since else "battery")
         return None
 
@@ -335,7 +413,7 @@ class HubSession:
         self._rebuild_schedule()
 
     def _rebuild_schedule(self) -> None:
-        inactive = set(self._dark_since) | self._exhausted
+        inactive = set(self._dark_since) | self._exhausted | set(self._suspended)
         if not inactive:
             self._tdma = self._base_tdma
         elif len(inactive) < len(self._clients):

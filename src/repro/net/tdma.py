@@ -127,3 +127,78 @@ class TdmaSchedule:
             for slot in self._slots:
                 for _ in range(slot.packets):
                     yield slot.client
+
+
+def assign_reuse_channels(
+    n_nodes: int,
+    adjacency: Mapping[int, Iterable[int]] | Sequence[Iterable[int]],
+    n_channels: int,
+) -> tuple[int, ...]:
+    """Frequency/slot reuse for co-located hubs: greedy graph coloring.
+
+    Nodes are hubs; an edge means the two hubs interfere.  Each node gets
+    the smallest channel index unused by its already-colored neighbors.
+    When every channel is taken, the node shares the channel *least used*
+    among its neighbors (ties break toward the lowest index) — those
+    residual co-channel edges are the interference the region simulator
+    must model; orthogonal-channel neighbors do not interfere.
+
+    Deterministic: nodes are colored in index order, so the same graph
+    always yields the same plan.
+
+    Raises:
+        ValueError: on non-positive node/channel counts or out-of-range
+            neighbor indices.
+    """
+    if n_nodes <= 0:
+        raise ValueError("need at least one node")
+    if n_channels <= 0:
+        raise ValueError("need at least one channel")
+    neighbor_sets: list[set[int]] = [set() for _ in range(n_nodes)]
+    items = (
+        adjacency.items()
+        if isinstance(adjacency, Mapping)
+        else enumerate(adjacency)
+    )
+    for node, neighbors in items:
+        for other in neighbors:
+            if not 0 <= node < n_nodes or not 0 <= other < n_nodes:
+                raise ValueError(
+                    f"edge ({node}, {other}) out of range for {n_nodes} nodes"
+                )
+            if other == node:
+                continue
+            neighbor_sets[node].add(other)
+            neighbor_sets[other].add(node)
+    channels: list[int] = [-1] * n_nodes
+    for node in range(n_nodes):
+        used = {channels[n] for n in neighbor_sets[node] if channels[n] >= 0}
+        free = [c for c in range(n_channels) if c not in used]
+        if free:
+            channels[node] = free[0]
+        else:
+            counts = [0] * n_channels
+            for neighbor in neighbor_sets[node]:
+                if channels[neighbor] >= 0:
+                    counts[channels[neighbor]] += 1
+            channels[node] = counts.index(min(counts))
+    return tuple(channels)
+
+
+def co_channel_edges(
+    adjacency: Mapping[int, Iterable[int]] | Sequence[Iterable[int]],
+    channels: Sequence[int],
+) -> frozenset[tuple[int, int]]:
+    """Interference edges that survive channel reuse (both ends on the
+    same channel), as (low, high) index pairs."""
+    edges: set[tuple[int, int]] = set()
+    items = (
+        adjacency.items()
+        if isinstance(adjacency, Mapping)
+        else enumerate(adjacency)
+    )
+    for node, neighbors in items:
+        for other in neighbors:
+            if other != node and channels[node] == channels[other]:
+                edges.add((min(node, other), max(node, other)))
+    return frozenset(edges)

@@ -27,17 +27,20 @@ def campaign_seed_sequence(campaign_seed: int = 0) -> np.random.SeedSequence:
     return np.random.SeedSequence(campaign_seed)
 
 
-def job_seed_sequence(
-    spec: JobSpec, campaign_seed: int = 0
+def content_seed_sequence(
+    fingerprint: str, campaign_seed: int = 0
 ) -> np.random.SeedSequence:
-    """Child sequence for one job, derived content-addressed.
+    """Child sequence keyed by an arbitrary hex content fingerprint.
 
-    Equivalent to spawning a child off the campaign root whose spawn key
-    is the job fingerprint (rather than a sequential index), so the
-    derivation is independent of execution order.
+    The general form of :func:`job_seed_sequence`: any subsystem with a
+    stable content hash (job specs, fault plans, deployment scenarios)
+    derives an order-independent stream from it.  Equivalent to spawning
+    a child off the campaign root whose spawn key is the fingerprint
+    (rather than a sequential index), so the derivation is independent of
+    execution order.
     """
     root = campaign_seed_sequence(campaign_seed)
-    digest = int(spec.fingerprint(), 16)
+    digest = int(fingerprint, 16)
     words = tuple(
         (digest >> (32 * i)) & 0xFFFFFFFF for i in range(_FINGERPRINT_WORDS)
     )
@@ -45,6 +48,13 @@ def job_seed_sequence(
         entropy=root.entropy,
         spawn_key=root.spawn_key + words,
     )
+
+
+def job_seed_sequence(
+    spec: JobSpec, campaign_seed: int = 0
+) -> np.random.SeedSequence:
+    """Child sequence for one job, derived content-addressed."""
+    return content_seed_sequence(spec.fingerprint(), campaign_seed)
 
 
 def job_rng(spec: JobSpec, campaign_seed: int = 0) -> np.random.Generator:

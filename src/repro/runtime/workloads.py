@@ -178,6 +178,34 @@ def run_faults_session(spec: JobSpec, rng: np.random.Generator) -> dict:
     return report
 
 
+@register_job_runner("deploy.region")
+def run_deploy_region(spec: JobSpec, rng: np.random.Generator) -> dict:
+    """One region of a city-scale deployment (params: ``scenario`` —
+    the full scenario JSON — and ``region``).
+
+    The executor-provided ``rng`` is deliberately unused: every stream
+    inside the region derives content-addressed from the *scenario*
+    fingerprint, so the merged deployment manifest is bit-identical at
+    any worker count, chunking, execution order or journal resume.
+    """
+    from ..deploy.partition import partition
+    from ..deploy.region import simulate_region
+    from ..deploy.spec import DeploymentSpec
+
+    scenario_json = spec.param("scenario")
+    if scenario_json is None:
+        raise ValueError("deploy.region job needs a 'scenario' param")
+    scenario = DeploymentSpec.from_json(scenario_json)
+    region_index = int(spec.param("region", "0"))
+    part = partition(scenario)  # pure function of the spec
+    if not 0 <= region_index < len(part.regions):
+        raise ValueError(
+            f"region {region_index} out of range: scenario "
+            f"{scenario.name!r} partitions into {len(part.regions)} regions"
+        )
+    return simulate_region(scenario, part.regions[region_index])
+
+
 def fault_profile_specs(
     distance_m: float = 0.5, packets: int = 2000, seed: int = 0
 ) -> "list[JobSpec]":

@@ -48,6 +48,9 @@ class SessionMetrics:
         corrupted_acks: ACKs destroyed by fault injection.
         stuck_switch_packets: packets forced onto the stale RF path by a
             stuck-switch fault.
+        churn_suspensions: times this endpoint was taken off the air by
+            churn (deployment simulator; 0 otherwise).
+        suspended_s: simulated seconds spent suspended by churn.
     """
 
     __slots__ = (
@@ -70,6 +73,8 @@ class SessionMetrics:
         "fault_events",
         "corrupted_acks",
         "stuck_switch_packets",
+        "churn_suspensions",
+        "suspended_s",
         "ledger",
         "_account_a",
         "_account_b",
@@ -95,6 +100,8 @@ class SessionMetrics:
         self.fault_events = 0
         self.corrupted_acks = 0
         self.stuck_switch_packets = 0
+        self.churn_suspensions = 0
+        self.suspended_s = 0.0
         if ledger is None:
             ledger = EnergyLedger.for_pair()
         self.ledger = ledger
@@ -236,6 +243,8 @@ class SessionMetrics:
             self.fault_events,
             self.corrupted_acks,
             self.stuck_switch_packets,
+            self.churn_suspensions,
+            self.suspended_s,
             self.ledger.comparable_state(),
         )
 

@@ -12,7 +12,7 @@ class TestExporters:
         assert set(EXPORTERS) == {
             "fig1", "table1", "table2", "fig3", "fig4", "fig6", "fig12",
             "fig13", "fig14", "table5", "fig15", "fig16", "fig17", "fig18",
-            "energy", "faults",
+            "energy", "faults", "deploy",
         }
 
     def test_fig15_csv_roundtrip(self, tmp_path):

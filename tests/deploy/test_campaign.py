@@ -1,0 +1,99 @@
+"""Campaign fan-out and the determinism contract of the merged manifest."""
+
+import pytest
+
+from repro.deploy import (
+    manifest_json,
+    merge_region_reports,
+    partition,
+    region_job_specs,
+    run_deployment,
+    scenario,
+)
+from repro.runtime import CampaignConfig
+
+
+class TestRegionJobs:
+    def test_one_job_per_region(self):
+        spec = scenario("smoke")
+        part = partition(spec)
+        specs = region_job_specs(spec, part)
+        assert len(specs) == len(part.regions)
+        assert all(s.kind == "deploy.region" for s in specs)
+        assert len({s.fingerprint() for s in specs}) == len(specs)
+
+    def test_jobs_carry_the_scenario(self):
+        spec = scenario("smoke")
+        job = region_job_specs(spec)[0]
+        assert job.param("scenario") == spec.to_json()
+        assert job.param("region") == "0"
+        assert job.seed == spec.seed
+
+
+class TestMerge:
+    def test_merge_rejects_incomplete_coverage(self):
+        spec = scenario("smoke")
+        part = partition(spec)
+        with pytest.raises(ValueError, match="exactly once"):
+            merge_region_reports(spec, part, [{"region": 0}])
+
+    def test_merge_is_order_independent(self):
+        spec = scenario("smoke")
+        run = run_deployment(spec, CampaignConfig(n_jobs=1))
+        reports = list(run.manifest["regions"])
+        merged_forward = merge_region_reports(spec, run.partition, reports)
+        merged_reversed = merge_region_reports(
+            spec, run.partition, list(reversed(reports))
+        )
+        assert manifest_json(merged_forward) == manifest_json(merged_reversed)
+
+
+class TestDeterminism:
+    def test_manifest_bit_identical_across_worker_counts(self):
+        spec = scenario("smoke")
+        serial = run_deployment(spec, CampaignConfig(n_jobs=1))
+        pooled = run_deployment(spec, CampaignConfig(n_jobs=2))
+        assert manifest_json(serial.manifest) == manifest_json(pooled.manifest)
+
+    def test_manifest_bit_identical_across_cache_and_resume(self, tmp_path):
+        spec = scenario("smoke")
+        cold = run_deployment(
+            spec, CampaignConfig(n_jobs=1, cache_dir=tmp_path)
+        )
+        resumed = run_deployment(
+            spec,
+            CampaignConfig(n_jobs=1, cache_dir=tmp_path),
+            resume=True,
+        )
+        assert manifest_json(cold.manifest) == manifest_json(resumed.manifest)
+        # The resumed run executed nothing: every region came back from
+        # the journal/cache.
+        executed = resumed.campaign.manifest.completed
+        assert executed == 0
+        statuses = {o.status for o in resumed.campaign.outcomes}
+        assert statuses <= {"resumed", "cached"}
+
+    def test_seed_changes_results(self):
+        base = run_deployment(scenario("smoke"), CampaignConfig(n_jobs=1))
+        reseeded = run_deployment(
+            scenario("smoke").scaled(seed=99), CampaignConfig(n_jobs=1)
+        )
+        assert (
+            base.manifest["fingerprint"] != reseeded.manifest["fingerprint"]
+        )
+        assert (
+            base.manifest["bits_delivered"]
+            != reseeded.manifest["bits_delivered"]
+        )
+
+
+class TestExporter:
+    def test_deploy_csv_and_manifest_written(self, tmp_path):
+        from repro.analysis.export import export_deploy
+
+        path = export_deploy(tmp_path)
+        lines = path.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:4] == ["scenario", "region", "hub", "channel"]
+        assert len(lines) == 1 + 4  # smoke has 4 hubs
+        assert (tmp_path / "deploy_smoke_manifest.json").is_file()

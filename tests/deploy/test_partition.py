@@ -1,0 +1,119 @@
+"""Spatial partitioning: placement, interference graph, regions."""
+
+import math
+
+import pytest
+
+from repro.deploy import DeploymentSpec, DeviceClass, HubLayout, partition
+from repro.deploy.partition import (
+    connected_components,
+    hub_positions,
+    interference_edges,
+    quantize_distance,
+)
+from repro.deploy.scenarios import scenario
+
+CLASSES = (DeviceClass(name="tag", device="Nike Fuel Band"),)
+
+
+def _spec(layout, **overrides):
+    defaults = dict(
+        name="p", hubs=layout, classes=CLASSES, devices_per_hub=2,
+        duration_s=1.0,
+    )
+    defaults.update(overrides)
+    return DeploymentSpec(**defaults)
+
+
+class TestPlacement:
+    def test_grid_is_a_lattice(self):
+        layout = HubLayout(strategy="grid", count=5, spacing_m=10.0)
+        positions = hub_positions(_spec(layout))
+        assert len(positions) == 5
+        assert positions[0] == (0.0, 0.0)
+        assert positions[1] == (10.0, 0.0)
+        assert positions[3] == (0.0, 10.0)  # 3-column near-square wrap
+
+    def test_manual_passthrough(self):
+        layout = HubLayout(
+            strategy="manual", positions_m=((1.0, 2.0), (3.0, 4.0))
+        )
+        assert hub_positions(_spec(layout)) == ((1.0, 2.0), (3.0, 4.0))
+
+    def test_poisson_deterministic_per_fingerprint(self):
+        layout = HubLayout(strategy="poisson", count=6, area_m=(100.0, 50.0))
+        first = hub_positions(_spec(layout))
+        second = hub_positions(_spec(layout))
+        assert first == second
+        shifted = hub_positions(_spec(layout, seed=3))
+        assert first != shifted
+        assert all(0 <= x <= 100 and 0 <= y <= 50 for x, y in first)
+
+
+class TestGraph:
+    def test_threshold_splits_near_from_far(self):
+        positions = ((0.0, 0.0), (5.0, 0.0), (500.0, 0.0))
+        edges = interference_edges(positions, 62.0, 2.0)
+        assert (0, 1) in edges
+        assert (0, 2) not in edges and (1, 2) not in edges
+
+    def test_connected_components_union(self):
+        components = connected_components(
+            5, frozenset({(0, 1), (1, 2), (3, 4)})
+        )
+        assert components == ((0, 1, 2), (3, 4))
+
+    def test_quantize_floors_at_one_quantum(self):
+        assert quantize_distance(0.0) == pytest.approx(0.01)
+        assert quantize_distance(1.234567) == pytest.approx(1.23)
+
+
+class TestPartition:
+    def test_smoke_partitions_into_two_regions(self):
+        part = partition(scenario("smoke"))
+        assert len(part.regions) == 2
+        assert part.regions[0].hub_indices == (0, 1)
+        assert part.regions[1].hub_indices == (2, 3)
+
+    def test_partition_is_deterministic(self):
+        spec = scenario("ci-small")
+        first, second = partition(spec), partition(spec)
+        assert first.positions_m == second.positions_m
+        assert first.edges == second.edges
+        assert first.channels == second.channels
+        assert [r.hub_indices for r in first.regions] == [
+            r.hub_indices for r in second.regions
+        ]
+
+    def test_city_clusters_share_channels(self):
+        part = partition(scenario("city-10k"))
+        assert part.hub_count == 100
+        assert len(part.regions) == 25
+        # Each 4-hub cluster is a clique; 3 channels leave exactly one
+        # co-channel pair per cluster.
+        for region in part.regions:
+            assert region.hub_count == 4
+            assert len(region.co_channel) == 1
+
+    def test_neighbor_distances_from_co_channel_pairs(self):
+        part = partition(scenario("city-10k"))
+        region = part.regions[0]
+        (a, b) = next(iter(region.co_channel))
+        expected = quantize_distance(
+            math.hypot(
+                region.positions_m[b][0] - region.positions_m[a][0],
+                region.positions_m[b][1] - region.positions_m[a][1],
+            )
+        )
+        assert region.neighbor_distances_m(a) == (expected,)
+        assert region.neighbor_distances_m(b) == (expected,)
+        # Hubs outside the pair have no co-channel neighbors.
+        others = set(range(region.hub_count)) - {a, b}
+        for local in others:
+            assert region.neighbor_distances_m(local) == ()
+
+    def test_channels_respect_adjacency_when_possible(self):
+        part = partition(scenario("ci-small"))
+        for a, b in part.edges:
+            assert part.channels[a] != part.channels[b]
+        assert part.residual_edges == frozenset()

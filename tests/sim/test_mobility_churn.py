@@ -1,0 +1,107 @@
+"""Mobility composed with churn: devices keep moving while asleep.
+
+Mobility models are pure functions of time, so a device that sleeps
+mid-walk must *resume at the model's current position* — not at the
+position where it was suspended — and the deployment path must stay
+bit-identical regardless of worker count even with roaming devices.
+"""
+
+import functools
+
+import pytest
+
+from repro.core.braidio import BraidioRadio
+from repro.core.regimes import LinkMap
+from repro.net import TdmaSchedule
+from repro.net.session import HubClient, HubSession
+from repro.sim.link import SimulatedLink
+from repro.sim.mobility import LinearWalk, MobilityDriver
+from repro.sim.policies import BraidioPolicy
+from repro.sim.simulator import Simulator
+
+
+def _walking_session(max_time_s=2.0):
+    sim = Simulator(seed=5)
+    hub = BraidioRadio.for_device("Surface Book")
+    link_map = LinkMap()
+    model = LinearWalk(start_m=0.5, speed_m_s=1.0, min_m=0.3, max_m=3.0)
+    walker_policy = BraidioPolicy()
+    walker_link = SimulatedLink(link_map, model.distance_at(0.0), sim.rng)
+    walker = HubClient(
+        name="walker",
+        radio=BraidioRadio.for_device("iPhone 6S"),
+        link=walker_link,
+        policy=walker_policy,
+    )
+    anchor = HubClient(
+        name="anchor",
+        radio=BraidioRadio.for_device("Nike Fuel Band"),
+        link=SimulatedLink(link_map, 0.4, sim.rng),
+        policy=BraidioPolicy(),
+    )
+    tdma = TdmaSchedule({"walker": 1.0, "anchor": 1.0}, round_packets=32)
+    session = HubSession(sim, hub, [walker, anchor], tdma, max_time_s=max_time_s)
+    driver = MobilityDriver(
+        sim, walker_link, [walker_policy], model, update_interval_s=0.1
+    )
+    return sim, session, driver, model, walker
+
+
+class TestSleepMidWalk:
+    def test_walker_resumes_at_model_position_not_suspend_position(self):
+        sim, session, driver, model, walker = _walking_session()
+        observed = {}
+
+        def suspend():
+            session.suspend_client("walker")
+            observed["at_suspend"] = walker.link.distance_m
+            observed["packets_at_suspend"] = walker.metrics.packets_attempted
+
+        def resume():
+            session.resume_client("walker")
+            observed["at_resume"] = walker.link.distance_m
+
+        sim.schedule_at(0.5, suspend)
+        sim.schedule_at(1.5, resume)
+        driver.start()
+        session.run()
+
+        # The walk kept going while asleep: pos(0.5) ~= 1.0, pos(1.5) ~= 2.0.
+        assert observed["at_suspend"] == pytest.approx(1.0, abs=0.15)
+        assert observed["at_resume"] == pytest.approx(
+            model.distance_at(1.5), abs=0.15
+        )
+        assert observed["at_resume"] > observed["at_suspend"] + 0.5
+        # And the session served it again after the resume.
+        assert (
+            walker.metrics.packets_attempted
+            > observed["packets_at_suspend"]
+        )
+        assert walker.metrics.churn_suspensions == 1
+        assert walker.metrics.suspended_s == pytest.approx(1.0, abs=0.01)
+
+    def test_link_tracks_model_through_the_nap(self):
+        sim, session, driver, model, walker = _walking_session()
+        sim.schedule_at(0.3, functools.partial(session.suspend_client, "walker"))
+        sim.schedule_at(1.7, functools.partial(session.resume_client, "walker"))
+        driver.start()
+        session.run()
+        # After the run the link sits wherever the model's last tick put
+        # it — the driver never froze during the suspension.
+        expected = model.distance_at(driver.updates * 0.1)
+        assert walker.link.distance_m == pytest.approx(expected, abs=1e-6)
+        assert driver.updates >= 19  # ticked throughout, nap included
+
+
+class TestWaypointDeterminism:
+    def test_waypoint_scenario_bit_identical_across_worker_counts(self):
+        from repro.deploy import manifest_json, run_deployment, scenario
+        from repro.runtime import CampaignConfig
+
+        spec = scenario("mobile-small")
+        assert any(c.mobility == "waypoint" for c in spec.classes)
+        serial = run_deployment(spec, CampaignConfig(n_jobs=1))
+        pooled = run_deployment(spec, CampaignConfig(n_jobs=4))
+        assert manifest_json(serial.manifest) == manifest_json(pooled.manifest)
+        # Churn actually engaged while devices roamed.
+        assert serial.manifest["suspensions"] > 0

@@ -110,6 +110,28 @@ class TestHubNetwork:
         with pytest.raises(ValueError):
             HubNetwork("iPhone 6S", clients)
 
+    def test_duplicate_names_listed_in_error(self):
+        # Regression: the error must name the offending ids so a
+        # generated deployment (thousands of clients) is debuggable.
+        clients = [
+            ClientPlacement("x", device("Apple Watch"), 0.5),
+            ClientPlacement("x", device("Pebble Watch"), 0.5),
+            ClientPlacement("y", device("Pivothead"), 0.7),
+            ClientPlacement("y", device("Apple Watch"), 0.9),
+        ]
+        with pytest.raises(ValueError, match=r"\['x', 'y'\]"):
+            HubNetwork("iPhone 6S", clients)
+
+    def test_non_positive_distance_rejected_with_client_name(self):
+        with pytest.raises(ValueError, match="'close'.*positive distance"):
+            ClientPlacement("close", device("Apple Watch"), 0.0)
+        with pytest.raises(ValueError, match="positive distance"):
+            ClientPlacement("behind", device("Apple Watch"), -1.0)
+
+    def test_empty_client_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ClientPlacement("", device("Apple Watch"), 0.5)
+
     def test_unknown_objective_rejected(self):
         with pytest.raises(ValueError):
             HubNetwork("iPhone 6S", _clients()).plan("fastest")
