@@ -1,0 +1,110 @@
+"""Perf guard for the vectorized batch sweep engine.
+
+Measures cells/second of the scalar oracle against the numpy grid backend
+on the two grid shapes the analysis layer actually sweeps (gain matrices
+and distance curves) and asserts the vectorized engine holds its >=10x
+contract with margin.  Run under ``--benchmark-json`` in CI so the
+cells/s trajectory is archived next to the DES bench artifact.
+"""
+
+import time
+
+import numpy as np
+
+from repro.batch import distance_gain_curve_grid, gain_matrix_grid
+from repro.core.regimes import LinkMap
+from repro.hardware.devices import DEVICES
+from repro.sim.lifetime import bluetooth_unidirectional, braidio_unidirectional
+
+SPEEDUP_FLOOR = 10.0  # the ISSUE contract; measured margin is far larger
+
+# 40 battery energies log-spaced across the device catalog's span: a
+# 1600-cell matrix, large enough that per-call fixed costs amortize the
+# way real sweeps do.
+_ENERGIES = np.geomspace(
+    min(d.battery_wh for d in DEVICES) * 3600.0,
+    max(d.battery_wh for d in DEVICES) * 3600.0,
+    40,
+).tolist()
+
+_DISTANCES = np.linspace(0.05, 6.0, 2000)
+
+
+def _scalar_matrix(energies, distance_m=0.3):
+    link_map = LinkMap()
+    n = len(energies)
+    gains = np.empty((n, n))
+    for x, e_tx in enumerate(energies):
+        for y, e_rx in enumerate(energies):
+            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, link_map)
+            gains[y][x] = braidio.total_bits / bluetooth_unidirectional(e_tx, e_rx)
+    return gains
+
+
+def _scalar_curve(e_tx, e_rx, distances):
+    link_map = LinkMap()
+    baseline = bluetooth_unidirectional(e_tx, e_rx)
+    values = []
+    for d in distances:
+        if not link_map.available_powers(float(d)):
+            values.append(float("nan"))
+            continue
+        braidio = braidio_unidirectional(e_tx, e_rx, float(d), link_map)
+        values.append(braidio.total_bits / baseline)
+    return np.asarray(values)
+
+
+def _timed(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - started
+
+
+def test_batch_matrix_speedup_over_scalar():
+    cells = len(_ENERGIES) ** 2
+    gain_matrix_grid("gain.bluetooth", 0.3, _ENERGIES)  # warm range caches
+    scalar, scalar_s = _timed(_scalar_matrix, _ENERGIES)
+    vector, vector_s = _timed(gain_matrix_grid, "gain.bluetooth", 0.3, _ENERGIES)
+
+    ratio = scalar_s / vector_s
+    print(f"\n{cells}-cell gain matrix:")
+    print(f"  scalar     {scalar_s * 1e3:8.1f} ms  ({cells / scalar_s:,.0f} cells/s)")
+    print(f"  vectorized {vector_s * 1e3:8.1f} ms  ({cells / vector_s:,.0f} cells/s)")
+    print(f"  speedup    {ratio:.1f}x")
+
+    assert np.array_equal(vector, scalar)  # never trade correctness for speed
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_batch_distance_sweep_speedup_over_scalar():
+    e_tx = DEVICES[0].battery_wh * 3600.0
+    e_rx = DEVICES[-1].battery_wh * 3600.0
+    cells = len(_DISTANCES)
+    distance_gain_curve_grid(e_tx, e_rx, _DISTANCES)  # warm range caches
+    scalar, scalar_s = _timed(_scalar_curve, e_tx, e_rx, _DISTANCES)
+    vector, vector_s = _timed(distance_gain_curve_grid, e_tx, e_rx, _DISTANCES)
+
+    ratio = scalar_s / vector_s
+    print(f"\n{cells}-point distance sweep:")
+    print(f"  scalar     {scalar_s * 1e3:8.1f} ms  ({cells / scalar_s:,.0f} pts/s)")
+    print(f"  vectorized {vector_s * 1e3:8.1f} ms  ({cells / vector_s:,.0f} pts/s)")
+    print(f"  speedup    {ratio:.1f}x")
+
+    assert np.array_equal(vector, scalar, equal_nan=True)
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_batch_matrix_benchmark(benchmark):
+    """pytest-benchmark entry: vectorized cells/s for the JSON artifact."""
+    gain_matrix_grid("gain.bluetooth", 0.3, _ENERGIES)  # warm range caches
+    result = benchmark(gain_matrix_grid, "gain.bluetooth", 0.3, _ENERGIES)
+    assert result.shape == (len(_ENERGIES), len(_ENERGIES))
+
+
+def test_batch_distance_benchmark(benchmark):
+    """pytest-benchmark entry: vectorized sweep pts/s for the artifact."""
+    e_tx = DEVICES[0].battery_wh * 3600.0
+    e_rx = DEVICES[-1].battery_wh * 3600.0
+    distance_gain_curve_grid(e_tx, e_rx, _DISTANCES)  # warm range caches
+    result = benchmark(distance_gain_curve_grid, e_tx, e_rx, _DISTANCES)
+    assert result.shape == _DISTANCES.shape

@@ -9,7 +9,10 @@ Usage::
     python -m repro export fig15 out/ --jobs 4 --cache-dir .cache/
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
     python -m repro campaign all --cache-dir .cache --resume  # crash-safe continuation
+    python -m repro export fig15 out/ --backend scalar  # force the oracle
+    python -m repro campaign fig15 --backend vectorized # whole-grid jobs
     python -m repro profile fig18 --top 30          # cProfile an experiment
+    python -m repro profile sweep-gain-matrix --backend scalar  # a sweep
     python -m repro deploy --list                   # scenario catalog
     python -m repro deploy city-10k --jobs 8 --cache-dir .cache \
         --manifest out/city.json --csv out/city.csv # city-scale deployment
@@ -145,20 +148,64 @@ def _faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def _profile(experiment: str, top: int, sort: str) -> int:
-    """Run one experiment's exporter under cProfile and print the top-N
-    entries, so perf work can locate the next bottleneck."""
+#: Sweep/analysis workload ids ``profile`` accepts alongside the exporter
+#: ids — each profiles the underlying analysis sweep directly (no CSV),
+#: honouring ``--backend`` so vectorized and scalar engines can be
+#: compared under the profiler.
+PROFILE_WORKLOADS = (
+    "sweep-gain-matrix",
+    "sweep-distance",
+    "sweep-ber",
+    "sweep-sensitivity",
+)
+
+
+def _run_profile_workload(workload: str, backend: str) -> None:
+    if workload == "sweep-gain-matrix":
+        from .analysis.gain_matrix import bluetooth_gain_matrix
+
+        bluetooth_gain_matrix(backend=backend)
+    elif workload == "sweep-distance":
+        from .analysis.distance_sweep import paper_distance_curves
+
+        paper_distance_curves(backend=backend)
+    elif workload == "sweep-ber":
+        from .analysis.ber_sweep import mode_ber_curves
+
+        mode_ber_curves(backend=backend)
+    elif workload == "sweep-sensitivity":
+        from .analysis.sensitivity import (
+            bluetooth_power_sweep,
+            reader_power_sweep,
+        )
+
+        reader_power_sweep(backend=backend)
+        bluetooth_power_sweep(backend=backend)
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ValueError(f"unknown profile workload {workload!r}")
+
+
+def _profile(experiment: str, top: int, sort: str, backend: str) -> int:
+    """Run one experiment's exporter — or one sweep workload — under
+    cProfile and print the top-N entries, so perf work can locate the
+    next bottleneck."""
     import cProfile
     import pstats
 
-    from .analysis.export import EXPORTERS
+    from .analysis.export import BACKEND_AWARE, EXPORTERS
 
-    exporter = EXPORTERS[experiment]
     profiler = cProfile.Profile()
-    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+    if experiment in PROFILE_WORKLOADS:
         profiler.enable()
-        exporter(Path(tmp))
+        _run_profile_workload(experiment, backend)
         profiler.disable()
+    else:
+        exporter = EXPORTERS[experiment]
+        kwargs = {"backend": backend} if experiment in BACKEND_AWARE else {}
+        with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+            profiler.enable()
+            exporter(Path(tmp), **kwargs)
+            profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(sort).print_stats(top)
     return 0
@@ -232,7 +279,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     drain_manifests()
     failed = 0
     for experiment in experiments:
-        result = run_campaign(campaign_specs(experiment), config)
+        result = run_campaign(
+            campaign_specs(experiment, backend=args.backend), config
+        )
         failed += len(result.failures)
         manifest = result.manifest
         resumed = f", {manifest.resumed} resumed" if manifest.resumed else ""
@@ -360,6 +409,19 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from .batch import BACKENDS
+
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="sweep engine: 'vectorized' computes whole grids with the "
+        "numpy batch engine (bit-identical to the scalar oracle), "
+        "'scalar' forces the per-cell reference path, 'auto' (default) "
+        "picks vectorized wherever valid and falls back to scalar "
+        "otherwise (custom link maps; per-cell campaign jobs)",
+    )
+
+
 def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
@@ -396,11 +458,15 @@ def main(argv: list[str] | None = None) -> int:
     export.add_argument("experiment", choices=sorted(EXPORTERS) + ["all"])
     export.add_argument("directory", type=Path)
     _add_campaign_flags(export)
+    _add_backend_flag(export)
     profile = subparsers.add_parser(
         "profile",
-        help="run one experiment under cProfile and print the hottest entries",
+        help="run one experiment or sweep workload under cProfile and "
+        "print the hottest entries",
     )
-    profile.add_argument("experiment", choices=sorted(EXPORTERS))
+    profile.add_argument(
+        "experiment", choices=sorted(EXPORTERS) + sorted(PROFILE_WORKLOADS)
+    )
     profile.add_argument(
         "--top", type=_positive_int, default=25, metavar="N",
         help="number of entries to print (default 25)",
@@ -409,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         "--sort", choices=["cumulative", "tottime", "ncalls"],
         default="cumulative", help="pstats sort key (default cumulative)",
     )
+    _add_backend_flag(profile)
     from .analysis.energy_report import ENERGY_PROFILES
 
     energy = subparsers.add_parser(
@@ -476,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
         help="abort the campaign (non-zero exit) once N jobs have failed",
     )
     _add_campaign_flags(campaign)
+    _add_backend_flag(campaign)
     deploy = subparsers.add_parser(
         "deploy",
         help="simulate a city-scale deployment scenario: partition into "
@@ -524,7 +592,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "show":
         return _show(args.experiment)
     if args.command == "profile":
-        return _profile(args.experiment, args.top, args.sort)
+        return _profile(args.experiment, args.top, args.sort, args.backend)
     if args.command == "energy":
         return _energy(args)
     if args.command == "faults":
@@ -536,15 +604,22 @@ def main(argv: list[str] | None = None) -> int:
 
     from .runtime import drain_manifests
 
+    from .analysis.export import BACKEND_AWARE
+
     config = _campaign_config(args)
     drain_manifests()
     if args.experiment == "all":
-        for path in export_all(args.directory, campaign=config):
+        for path in export_all(
+            args.directory, campaign=config, backend=args.backend
+        ):
             print(path)
-    elif args.experiment in CAMPAIGN_AWARE:
-        print(EXPORTERS[args.experiment](args.directory, campaign=config))
     else:
-        print(EXPORTERS[args.experiment](args.directory))
+        kwargs: dict = {}
+        if args.experiment in CAMPAIGN_AWARE:
+            kwargs["campaign"] = config
+        if args.experiment in BACKEND_AWARE:
+            kwargs["backend"] = args.backend
+        print(EXPORTERS[args.experiment](args.directory, **kwargs))
     manifest_path = (
         args.directory / "campaign_manifest.json"
         if args.cache_dir is not None

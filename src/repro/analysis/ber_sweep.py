@@ -9,7 +9,7 @@ import numpy as np
 from ..core.modes import LinkMode
 from ..core.regimes import LinkMap
 from ..hardware.baselines import AS3993, BRAIDIO_READER_POWER_W
-from ..phy.link_budget import paper_link_profiles
+from ..phy.link_budget import LinkBudget, paper_link_profiles
 
 
 @dataclass(frozen=True)
@@ -33,9 +33,31 @@ class BerCurve:
         return float(below.max()) if below.size else 0.0
 
 
+def _ber_over_distances(
+    budget: LinkBudget, distances_m: np.ndarray, bitrate_bps: int, backend: str
+) -> np.ndarray:
+    """One BER curve via the chosen backend.
+
+    The vectorized kernels only reproduce plain (non-subclassed) budgets;
+    ``auto`` silently falls back to the scalar loop for anything else,
+    while an explicit ``"vectorized"`` request raises.
+    """
+    from ..batch import link_ber, resolve_backend, vectorizable_budget
+
+    resolved = resolve_backend(
+        backend,
+        vectorized_ok=vectorizable_budget(budget),
+        reason="custom budget types require the scalar oracle",
+    )
+    if resolved == "vectorized":
+        return np.asarray(link_ber(budget, distances_m, bitrate_bps), dtype=float)
+    return np.array([budget.ber(float(d), bitrate_bps) for d in distances_m])
+
+
 def mode_ber_curves(
     distances_m: np.ndarray | None = None,
     link_map: LinkMap | None = None,
+    backend: str = "auto",
 ) -> list[BerCurve]:
     """Fig 13: BER over distance for the backscatter and passive links at
     1 Mbps / 100 kbps / 10 kbps.  (The active link operates far beyond the
@@ -48,7 +70,7 @@ def mode_ber_curves(
     for mode in (LinkMode.BACKSCATTER, LinkMode.PASSIVE):
         for bitrate, suffix in ((1_000_000, "1M"), (100_000, "100k"), (10_000, "10k")):
             budget = link_map.budget(mode, bitrate)
-            ber = np.array([budget.ber(d, bitrate) for d in distances_m])
+            ber = _ber_over_distances(budget, distances_m, bitrate, backend)
             curves.append(
                 BerCurve(
                     label=f"{mode.value}@{suffix}",
@@ -61,6 +83,7 @@ def mode_ber_curves(
 
 def reader_comparison_curves(
     distances_m: np.ndarray | None = None,
+    backend: str = "auto",
 ) -> tuple[list[BerCurve], dict[str, float]]:
     """Fig 12: Braidio's backscatter link vs the AS3993 commercial reader
     at 100 kbps, plus the §6.1 power/efficiency summary.
@@ -77,7 +100,7 @@ def reader_comparison_curves(
 
     curves = []
     for label, budget in (("Braidio", braidio), ("Commercial", commercial)):
-        ber = np.array([budget.ber(d, 100_000) for d in distances_m])
+        ber = _ber_over_distances(budget, distances_m, 100_000, backend)
         curves.append(
             BerCurve(label=label, distances_m=np.asarray(distances_m), ber=ber)
         )

@@ -52,38 +52,72 @@ class DistanceGainCurve:
         return float(self.gains[index])
 
 
+def _resolve_sweep_backend(
+    backend: str, link_map: LinkMap | None, campaign: "CampaignConfig | None"
+) -> str:
+    from ..batch import resolve_backend
+
+    if backend == "auto" and campaign is not None:
+        return "scalar"
+    return resolve_backend(
+        backend,
+        vectorized_ok=link_map is None,
+        reason="a custom link_map requires the scalar oracle",
+    )
+
+
 def distance_gain_curve(
     tx_name: str,
     rx_name: str,
     distances_m: np.ndarray | None = None,
     link_map: LinkMap | None = None,
     campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> DistanceGainCurve:
     """Gain-vs-distance curve for one directed device pair.
 
-    Under the default paper calibration the sweep points run as one
-    campaign through :mod:`repro.runtime` (pass ``campaign`` to
-    parallelize or cache); a custom ``link_map`` computes inline.
+    Under the default paper calibration the sweep is computed by the
+    vectorized batch engine (bit-identical to the scalar path); pass
+    ``campaign`` to run per-point scalar jobs through :mod:`repro.runtime`
+    (``backend="vectorized"`` submits the whole curve as one grid job
+    instead).  A custom ``link_map`` computes inline with the scalar
+    oracle.
     """
     if distances_m is None:
         distances_m = np.linspace(0.3, 6.0, 39)
-    if link_map is None:
+    resolved = _resolve_sweep_backend(backend, link_map, campaign)
+    if resolved == "vectorized":
+        e_tx = device(tx_name).battery_wh * JOULES_PER_WATT_HOUR
+        e_rx = device(rx_name).battery_wh * JOULES_PER_WATT_HOUR
+        if campaign is not None:
+            from ..runtime import run_campaign
+            from ..runtime.workloads import batch_distance_spec
+
+            spec = batch_distance_spec(tx_name, rx_name, distances_m)
+            result = run_campaign([spec], campaign).raise_on_failure()
+            gains = np.array(result.metrics[0]["gains"], dtype=float)
+        else:
+            from ..batch import distance_gain_curve_grid
+
+            gains = distance_gain_curve_grid(e_tx, e_rx, distances_m)
+    elif link_map is None:
         from ..runtime import run_campaign
         from ..runtime.workloads import distance_curve_specs
 
         specs = distance_curve_specs(tx_name, rx_name, distances_m)
         result = run_campaign(specs, campaign).raise_on_failure()
-        gains = [m["gain"] for m in result.metrics]
+        gains = np.asarray([m["gain"] for m in result.metrics], dtype=float)
     else:
         e_tx = device(tx_name).battery_wh * JOULES_PER_WATT_HOUR
         e_rx = device(rx_name).battery_wh * JOULES_PER_WATT_HOUR
-        gains = []
+        values = []
         for d in distances_m:
             if not link_map.available_powers(d):
-                gains.append(float("nan"))
+                values.append(float("nan"))
                 continue
             braidio = braidio_unidirectional(e_tx, e_rx, float(d), link_map).total_bits
-            gains.append(braidio / bluetooth_unidirectional(e_tx, e_rx))
+            values.append(braidio / bluetooth_unidirectional(e_tx, e_rx))
+        gains = np.asarray(values, dtype=float)
     return DistanceGainCurve(
         label=f"{tx_name} to {rx_name}",
         distances_m=np.asarray(distances_m, dtype=float),
@@ -95,10 +129,15 @@ def paper_distance_curves(
     distances_m: np.ndarray | None = None,
     link_map: LinkMap | None = None,
     campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> list[DistanceGainCurve]:
     """All six directed curves of Fig 18."""
     curves = []
     for a, b in PAPER_PAIRS:
-        curves.append(distance_gain_curve(a, b, distances_m, link_map, campaign))
-        curves.append(distance_gain_curve(b, a, distances_m, link_map, campaign))
+        curves.append(
+            distance_gain_curve(a, b, distances_m, link_map, campaign, backend)
+        )
+        curves.append(
+            distance_gain_curve(b, a, distances_m, link_map, campaign, backend)
+        )
     return curves

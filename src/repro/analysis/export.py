@@ -97,9 +97,9 @@ def export_fig6(directory: Path) -> Path:
                        ["distance_m", "without_db", "with_db"], rows)
 
 
-def export_fig12(directory: Path) -> Path:
+def export_fig12(directory: Path, backend: str = "auto") -> Path:
     """Fig 12 Braidio vs commercial reader BER."""
-    curves, _ = reader_comparison_curves()
+    curves, _ = reader_comparison_curves(backend=backend)
     by_label = {c.label: c for c in curves}
     rows = zip(
         by_label["Braidio"].distances_m,
@@ -110,9 +110,9 @@ def export_fig12(directory: Path) -> Path:
                        ["distance_m", "braidio_ber", "commercial_ber"], rows)
 
 
-def export_fig13(directory: Path) -> Path:
+def export_fig13(directory: Path, backend: str = "auto") -> Path:
     """Fig 13 per-mode BER curves."""
-    curves = mode_ber_curves()
+    curves = mode_ber_curves(backend=backend)
     header = ["distance_m"] + [c.label for c in curves]
     rows = np.column_stack([curves[0].distances_m] + [c.ber for c in curves])
     return _write_rows(directory / "fig13_ber_modes.csv", header, rows.tolist())
@@ -141,39 +141,51 @@ def _export_matrix(directory: Path, name: str, matrix) -> Path:
 
 
 def export_fig15(
-    directory: Path, campaign: "CampaignConfig | None" = None
+    directory: Path,
+    campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> Path:
     """Fig 15 gain matrix."""
     return _export_matrix(
-        directory, "fig15_gain_matrix.csv", bluetooth_gain_matrix(campaign=campaign)
+        directory,
+        "fig15_gain_matrix.csv",
+        bluetooth_gain_matrix(campaign=campaign, backend=backend),
     )
 
 
 def export_fig16(
-    directory: Path, campaign: "CampaignConfig | None" = None
+    directory: Path,
+    campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> Path:
     """Fig 16 best-single-mode matrix."""
     return _export_matrix(
-        directory, "fig16_vs_best_mode.csv", best_mode_gain_matrix(campaign=campaign)
+        directory,
+        "fig16_vs_best_mode.csv",
+        best_mode_gain_matrix(campaign=campaign, backend=backend),
     )
 
 
 def export_fig17(
-    directory: Path, campaign: "CampaignConfig | None" = None
+    directory: Path,
+    campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> Path:
     """Fig 17 bidirectional matrix."""
     return _export_matrix(
         directory,
         "fig17_bidirectional.csv",
-        bidirectional_gain_matrix(campaign=campaign),
+        bidirectional_gain_matrix(campaign=campaign, backend=backend),
     )
 
 
 def export_fig18(
-    directory: Path, campaign: "CampaignConfig | None" = None
+    directory: Path,
+    campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> Path:
     """Fig 18 distance sweeps."""
-    curves = paper_distance_curves(campaign=campaign)
+    curves = paper_distance_curves(campaign=campaign, backend=backend)
     header = ["distance_m"] + [c.label for c in curves]
     rows = np.column_stack(
         [curves[0].distances_m] + [c.gains for c in curves]
@@ -265,6 +277,13 @@ CAMPAIGN_AWARE: frozenset[str] = frozenset(
     {"fig15", "fig16", "fig17", "fig18", "deploy"}
 )
 
+#: Experiment ids whose exporter accepts a ``backend=`` keyword choosing
+#: between the vectorized batch engine and the scalar oracle.  ``deploy``
+#: is campaign-aware but not grid-shaped, so it is deliberately absent.
+BACKEND_AWARE: frozenset[str] = frozenset(
+    {"fig12", "fig13", "fig15", "fig16", "fig17", "fig18"}
+)
+
 #: Experiment id -> exporter, the registry the CLI dispatches on.
 EXPORTERS: dict[str, Callable[[Path], Path]] = {
     "fig1": export_fig1,
@@ -315,16 +334,22 @@ def write_campaign_manifest(
 
 
 def export_all(
-    directory: Path, campaign: "CampaignConfig | None" = None
+    directory: Path,
+    campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> list[Path]:
     """Write every experiment's CSV into ``directory``.
 
     ``campaign`` (worker count, cache directory) applies to the
-    campaign-aware exporters; the rest run inline as always.
+    campaign-aware exporters, ``backend`` to the grid-shaped ones; the
+    rest run inline as always.
     """
-    return [
-        exporter(directory, campaign=campaign)
-        if name in CAMPAIGN_AWARE
-        else exporter(directory)
-        for name, exporter in EXPORTERS.items()
-    ]
+    paths = []
+    for name, exporter in EXPORTERS.items():
+        kwargs: dict = {}
+        if name in CAMPAIGN_AWARE:
+            kwargs["campaign"] = campaign
+        if name in BACKEND_AWARE:
+            kwargs["backend"] = backend
+        paths.append(exporter(directory, **kwargs))
+    return paths

@@ -6,12 +6,15 @@ baseline, with both starting from full batteries and running until either
 dies.  Fig 15 compares against Bluetooth, Fig 16 against the best single
 Braidio mode, Fig 17 repeats Fig 15 with bidirectional traffic.
 
-The hundred cells of a matrix are independent simulations, so under the
-default paper calibration they are submitted as one campaign through
-:mod:`repro.runtime` — pass a :class:`~repro.runtime.CampaignConfig` to
-fan them across worker processes and/or cache results on disk.  A custom
-``link_map`` or off-catalog device list bypasses the engine (results
-would not be content-addressable) and computes inline, exactly as before.
+The hundred cells of a matrix are independent simulations.  Under the
+default paper calibration the whole grid is computed by the vectorized
+batch engine (:mod:`repro.batch`) in a few array operations —
+bit-identical to the scalar oracle.  Passing a
+:class:`~repro.runtime.CampaignConfig` routes through :mod:`repro.runtime`
+instead: per-cell jobs with ``backend="auto"``/``"scalar"`` (cacheable,
+resumable, parallel), or one whole-grid vectorized job with
+``backend="vectorized"``.  A custom ``link_map`` always falls back to the
+scalar path (inline loop), which remains the ground-truth oracle.
 """
 
 from __future__ import annotations
@@ -111,6 +114,66 @@ def _matrix_via_campaign(
     return gains.reshape(len(devices), len(devices))
 
 
+def _matrix_via_grid_job(
+    job_kind: str,
+    distance_m: float,
+    devices: tuple[DeviceSpec, ...],
+    campaign: "CampaignConfig | None",
+) -> np.ndarray:
+    """Submit the whole matrix as one vectorized ``batch.grid`` job."""
+    from ..runtime import run_campaign
+    from ..runtime.workloads import batch_matrix_spec
+
+    names = [d.name for d in devices]
+    spec = batch_matrix_spec(job_kind, distance_m, names)
+    result = run_campaign([spec], campaign).raise_on_failure()
+    return np.array(result.metrics[0]["gains"], dtype=float)
+
+
+def _resolve_matrix_backend(
+    backend: str, link_map: LinkMap | None, campaign: "CampaignConfig | None"
+) -> str:
+    """Backend resolution for the matrix sweeps.
+
+    ``"auto"`` prefers the vectorized grid, but an explicit campaign
+    config keeps the per-cell scalar engine (each cell stays an
+    individually cacheable/resumable job); force ``"vectorized"`` to
+    submit the grid as a single campaign job instead.  A custom
+    ``link_map`` always requires the scalar oracle.
+    """
+    from ..batch import resolve_backend
+
+    vectorized_ok = link_map is None
+    if backend == "auto" and campaign is not None:
+        return "scalar"
+    return resolve_backend(
+        backend,
+        vectorized_ok=vectorized_ok,
+        reason="a custom link_map requires the scalar oracle",
+    )
+
+
+def _matrix_gains(
+    job_kind: str,
+    distance_m: float,
+    devices: tuple[DeviceSpec, ...],
+    link_map: LinkMap | None,
+    campaign: "CampaignConfig | None",
+    backend: str,
+    cell: Callable[[float, float], float],
+) -> np.ndarray:
+    resolved = _resolve_matrix_backend(backend, link_map, campaign)
+    if resolved == "vectorized":
+        if campaign is not None and _campaign_eligible(devices, link_map):
+            return _matrix_via_grid_job(job_kind, distance_m, devices, campaign)
+        from ..batch import gain_matrix_grid
+
+        return gain_matrix_grid(job_kind, distance_m, _energies_j(devices))
+    if _campaign_eligible(devices, link_map):
+        return _matrix_via_campaign(job_kind, distance_m, devices, campaign)
+    return _matrix_inline(cell, devices)
+
+
 def _matrix_inline(
     cell: Callable[[float, float], float],
     devices: tuple[DeviceSpec, ...],
@@ -128,18 +191,18 @@ def bluetooth_gain_matrix(
     devices: tuple[DeviceSpec, ...] = DEVICES,
     link_map: LinkMap | None = None,
     campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> GainMatrix:
     """Fig 15: Braidio over Bluetooth, unidirectional saturated traffic."""
-    if _campaign_eligible(devices, link_map):
-        gains = _matrix_via_campaign("gain.bluetooth", distance_m, devices, campaign)
-    else:
-        resolved = link_map if link_map is not None else LinkMap()
+    resolved = link_map if link_map is not None else LinkMap()
 
-        def cell(e_tx: float, e_rx: float) -> float:
-            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, resolved)
-            return braidio.total_bits / bluetooth_unidirectional(e_tx, e_rx)
+    def cell(e_tx: float, e_rx: float) -> float:
+        braidio = braidio_unidirectional(e_tx, e_rx, distance_m, resolved)
+        return braidio.total_bits / bluetooth_unidirectional(e_tx, e_rx)
 
-        gains = _matrix_inline(cell, devices)
+    gains = _matrix_gains(
+        "gain.bluetooth", distance_m, devices, link_map, campaign, backend, cell
+    )
     return GainMatrix(devices=devices, gains=gains, kind="bluetooth")
 
 
@@ -148,21 +211,19 @@ def best_mode_gain_matrix(
     devices: tuple[DeviceSpec, ...] = DEVICES,
     link_map: LinkMap | None = None,
     campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> GainMatrix:
     """Fig 16: Braidio over the best single mode in isolation."""
-    if _campaign_eligible(devices, link_map):
-        gains = _matrix_via_campaign("gain.best_mode", distance_m, devices, campaign)
-    else:
-        resolved = link_map if link_map is not None else LinkMap()
+    resolved = link_map if link_map is not None else LinkMap()
 
-        def cell(e_tx: float, e_rx: float) -> float:
-            braidio = braidio_unidirectional(e_tx, e_rx, distance_m, resolved)
-            _, best = best_single_mode_unidirectional(
-                e_tx, e_rx, distance_m, resolved
-            )
-            return braidio.total_bits / best
+    def cell(e_tx: float, e_rx: float) -> float:
+        braidio = braidio_unidirectional(e_tx, e_rx, distance_m, resolved)
+        _, best = best_single_mode_unidirectional(e_tx, e_rx, distance_m, resolved)
+        return braidio.total_bits / best
 
-        gains = _matrix_inline(cell, devices)
+    gains = _matrix_gains(
+        "gain.best_mode", distance_m, devices, link_map, campaign, backend, cell
+    )
     return GainMatrix(devices=devices, gains=gains, kind="best-mode")
 
 
@@ -171,18 +232,16 @@ def bidirectional_gain_matrix(
     devices: tuple[DeviceSpec, ...] = DEVICES,
     link_map: LinkMap | None = None,
     campaign: "CampaignConfig | None" = None,
+    backend: str = "auto",
 ) -> GainMatrix:
     """Fig 17: Braidio over Bluetooth with equal data in both directions."""
-    if _campaign_eligible(devices, link_map):
-        gains = _matrix_via_campaign(
-            "gain.bidirectional", distance_m, devices, campaign
-        )
-    else:
-        resolved = link_map if link_map is not None else LinkMap()
+    resolved = link_map if link_map is not None else LinkMap()
 
-        def cell(e_a: float, e_b: float) -> float:
-            braidio = braidio_bidirectional(e_a, e_b, distance_m, resolved)
-            return braidio.total_bits / bluetooth_bidirectional(e_a, e_b)
+    def cell(e_a: float, e_b: float) -> float:
+        braidio = braidio_bidirectional(e_a, e_b, distance_m, resolved)
+        return braidio.total_bits / bluetooth_bidirectional(e_a, e_b)
 
-        gains = _matrix_inline(cell, devices)
+    gains = _matrix_gains(
+        "gain.bidirectional", distance_m, devices, link_map, campaign, backend, cell
+    )
     return GainMatrix(devices=devices, gains=gains, kind="bidirectional")

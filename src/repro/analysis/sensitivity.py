@@ -77,22 +77,52 @@ def corner_gain(
     return braidio / bluetooth
 
 
+def _corner_energies(tx_device: str, rx_device: str) -> tuple[float, float]:
+    e1 = device(tx_device).battery_wh * JOULES_PER_WATT_HOUR
+    e2 = device(rx_device).battery_wh * JOULES_PER_WATT_HOUR
+    return e1, e2
+
+
 def reader_power_sweep(
     reader_powers_w: np.ndarray | None = None,
+    backend: str = "auto",
 ) -> list[tuple[float, float]]:
     """Corner gain as a function of the backscatter reader's power draw.
 
     The power-proportional corner is pinned by
     ``P_reader / battery_ratio``, so the gain is essentially inversely
     proportional to the reader power — the knob that explains the paper's
-    397x.
+    397x.  The default backend solves every override in one vectorized
+    pass (bit-identical to the scalar per-override loop).
     """
+    from ..batch import resolve_backend
+
     if reader_powers_w is None:
         reader_powers_w = np.array([0.040, 0.054, 0.080, 0.100, 0.129, 0.200])
-    return [
-        (float(p), corner_gain(PowerOverrides(backscatter_rx_w=float(p))))
-        for p in reader_powers_w
-    ]
+    if resolve_backend(backend, vectorized_ok=True) == "scalar":
+        return [
+            (float(p), corner_gain(PowerOverrides(backscatter_rx_w=float(p))))
+            for p in reader_powers_w
+        ]
+    from ..batch import bluetooth_unidirectional_bits, offload_bits
+
+    powers = np.asarray(reader_powers_w, dtype=float)
+    tx_costs: list[object] = []
+    rx_costs: list[object] = []
+    for mode in LinkMode:
+        point = paper_mode_power(mode, 1_000_000)
+        tx_costs.append(point.tx_energy_per_bit_j)
+        if mode is LinkMode.BACKSCATTER:
+            # Same arithmetic as ModePower.rx_energy_per_bit_j under the
+            # override: rx_w / bitrate.
+            rx_costs.append(powers / float(point.bitrate_bps))
+        else:
+            rx_costs.append(point.rx_energy_per_bit_j)
+    e1, e2 = _corner_energies("Nike Fuel Band", "MacBook Pro 15")
+    bits = offload_bits(tx_costs, rx_costs, e1, e2)
+    bluetooth = float(bluetooth_unidirectional_bits(e1, e2))
+    gains = bits / bluetooth
+    return [(float(p), float(g)) for p, g in zip(powers, gains)]
 
 
 def reader_power_matching_paper_corner(
@@ -112,6 +142,7 @@ def reader_power_matching_paper_corner(
 
 def bluetooth_power_sweep(
     bluetooth_powers_w: np.ndarray | None = None,
+    backend: str = "auto",
 ) -> list[tuple[float, float, float]]:
     """(BT power, corner gain, diagonal gain) across the CC2541 envelope.
 
@@ -119,14 +150,38 @@ def bluetooth_power_sweep(
     is fixed); the corner moves with it too.  This is the sensitivity that
     pins our 56.34 mW choice to the published 1.43x diagonal.
     """
+    from ..batch import resolve_backend
+
     if bluetooth_powers_w is None:
         bluetooth_powers_w = np.array([0.055, 0.0563, 0.060, 0.063, 0.067])
-    rows = []
-    for p in bluetooth_powers_w:
-        overrides = PowerOverrides(bluetooth_w=float(p))
-        corner = corner_gain(overrides)
-        diagonal = corner_gain(
-            overrides, tx_device="Apple Watch", rx_device="Apple Watch"
-        )
-        rows.append((float(p), corner, diagonal))
-    return rows
+    if resolve_backend(backend, vectorized_ok=True) == "scalar":
+        rows = []
+        for p in bluetooth_powers_w:
+            overrides = PowerOverrides(bluetooth_w=float(p))
+            corner = corner_gain(overrides)
+            diagonal = corner_gain(
+                overrides, tx_device="Apple Watch", rx_device="Apple Watch"
+            )
+            rows.append((float(p), corner, diagonal))
+        return rows
+    from ..batch import offload_bits, point_energies
+
+    powers = np.asarray(bluetooth_powers_w, dtype=float)
+    points = [paper_mode_power(mode, 1_000_000) for mode in LinkMode]
+    tx_costs, rx_costs = point_energies(points)
+    # Braidio's mix ignores the Bluetooth override, so its bits are one
+    # scalar per corner; only the baseline varies with the swept power.
+    per_bit = powers / float(BluetoothBaseline().bitrate_bps)
+
+    def gains_for(tx_device: str, rx_device: str) -> np.ndarray:
+        e1, e2 = _corner_energies(tx_device, rx_device)
+        braidio = float(offload_bits(tx_costs, rx_costs, e1, e2))
+        bluetooth = np.minimum(e1 / per_bit, e2 / per_bit)
+        return braidio / bluetooth
+
+    corner = gains_for("Nike Fuel Band", "MacBook Pro 15")
+    diagonal = gains_for("Apple Watch", "Apple Watch")
+    return [
+        (float(p), float(c), float(d))
+        for p, c, d in zip(powers, corner, diagonal)
+    ]

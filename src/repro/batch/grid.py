@@ -1,0 +1,199 @@
+"""Grid evaluators: mode availability and gains over whole sweeps.
+
+Availability is the only distance-dependent discrete input of the analytic
+lifetime engine: at every distance each mode either operates at its best
+(highest operational) bitrate or not at all.  Instead of re-evaluating BER
+per cell, the per-``(mode, bitrate)`` maximum operational range is
+precomputed once by the scalar bisection (``LinkBudget.max_range_m``).
+BER is monotone in distance, and 80 bisection iterations narrow the
+boundary far below one float64 ulp, so ``distance <= max_range`` is
+*exactly* equivalent to the scalar ``ber(distance) <= target`` test for
+every representable double — which is what keeps the vectorized sweeps
+bit-identical to the scalar oracle.
+
+Distances are then grouped by their availability configuration (at most a
+handful of distinct mode/bitrate sets per sweep) and each group is
+evaluated with the vectorized lifetime kernels.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from ..core.modes import ALL_MODES, LinkMode
+from ..core.offload import InfeasibleOffloadError
+from ..core.regimes import LinkMap
+from ..hardware.power_models import paper_mode_power, supported_bitrates
+from ..phy.link_budget import MAX_SEARCH_RANGE_M, paper_link_profiles
+from .lifetime import (
+    best_single_mode_bits,
+    bidirectional_bits,
+    bluetooth_bidirectional_bits,
+    bluetooth_unidirectional_bits,
+    offload_bits,
+    point_energies,
+)
+from .phy import FloatArray
+
+#: One availability configuration: the (mode, bitrate) operating points
+#: that work at some distance, in ``ALL_MODES`` order (matching
+#: ``LinkMap.available_powers``).
+ModeConfig = Tuple[Tuple[LinkMode, int], ...]
+
+#: Matrix job kinds understood by :func:`gain_matrix_grid` (the same ids
+#: the campaign runtime uses for the per-cell scalar jobs).
+MATRIX_KINDS = ("gain.bluetooth", "gain.best_mode", "gain.bidirectional")
+
+
+@lru_cache(maxsize=1)
+def _default_link_map() -> LinkMap:
+    return LinkMap()
+
+
+@lru_cache(maxsize=1)
+def paper_mode_ranges_m() -> Tuple[Tuple[LinkMode, Tuple[Tuple[int, float], ...]], ...]:
+    """Per mode: (bitrate, max operational range) in descending-bitrate
+    scan order, mirroring ``LinkMap.availability`` under the paper
+    calibration and the default BER-1% criterion.
+
+    A range equal to ``MAX_SEARCH_RANGE_M`` means "operational at the
+    search cap"; availability beyond the cap is re-checked the scalar way.
+    """
+    profiles = paper_link_profiles()
+    table: List[Tuple[LinkMode, Tuple[Tuple[int, float], ...]]] = []
+    for mode in ALL_MODES:
+        rates: List[Tuple[int, float]] = []
+        for bitrate in supported_bitrates(mode):
+            key = (mode.link_budget_name, bitrate)
+            if key not in profiles:
+                continue
+            rates.append((bitrate, profiles[key].max_range_m(bitrate)))
+        table.append((mode, tuple(rates)))
+    return tuple(table)
+
+
+def mode_config_table(
+    distances_m: npt.ArrayLike,
+) -> Tuple[npt.NDArray[np.intp], Tuple[ModeConfig, ...]]:
+    """Group distances by availability configuration.
+
+    Returns:
+        (indices, configs): ``configs[indices[k]]`` is the operating-point
+        set at ``distances[k]``; an empty config means no mode operates
+        there (the scalar path produces NaN gains for those cells).
+    """
+    d = np.asarray(distances_m, dtype=np.float64)
+    if np.any(d < 0.0):
+        raise ValueError("distance must be non-negative")
+    flat = d.reshape(-1)
+    profiles = paper_link_profiles()
+    table = paper_mode_ranges_m()
+
+    codes = np.zeros(flat.shape, dtype=np.int64)
+    multiplier = 1
+    for mode, rates in table:
+        # choice[k] = index of the first (highest) operational bitrate at
+        # flat[k], or -1 when the mode is out of range entirely.  Scanning
+        # the rates from last to first makes earlier (higher) rates win.
+        choice = np.full(flat.shape, -1, dtype=np.int64)
+        for idx in range(len(rates) - 1, -1, -1):
+            bitrate, max_range = rates[idx]
+            if max_range <= 0.0:
+                continue  # dead even at contact distance: never available
+            within = flat <= max_range
+            if max_range >= MAX_SEARCH_RANGE_M:
+                # Operational at the bisection cap; the scalar criterion may
+                # still fail further out, so re-check those distances 1:1.
+                beyond = flat > MAX_SEARCH_RANGE_M
+                if np.any(beyond):
+                    budget = profiles[(mode.link_budget_name, bitrate)]
+                    for value in np.unique(flat[beyond]).tolist():
+                        if budget.is_operational(float(value), bitrate):
+                            within = within | (flat == value)
+            choice = np.where(within, idx, choice)
+        codes = codes + (choice + 1) * multiplier
+        multiplier *= len(rates) + 1
+
+    unique_codes, inverse = np.unique(codes, return_inverse=True)
+    configs: List[ModeConfig] = []
+    for code in unique_codes.tolist():
+        remainder = int(code)
+        config: List[Tuple[LinkMode, int]] = []
+        for mode, rates in table:
+            base = len(rates) + 1
+            chosen = remainder % base - 1
+            remainder //= base
+            if chosen >= 0:
+                config.append((mode, rates[chosen][0]))
+        configs.append(tuple(config))
+    return np.asarray(inverse, dtype=np.intp).reshape(d.shape), tuple(configs)
+
+
+def gain_matrix_grid(
+    kind: str, distance_m: float, energies_j: Sequence[float]
+) -> FloatArray:
+    """One whole Fig 15/16/17-style gain matrix in array operations.
+
+    Args:
+        kind: one of :data:`MATRIX_KINDS`.
+        distance_m: pair separation (a single matrix is one distance).
+        energies_j: battery energies of the device axis, in joules.
+
+    Returns:
+        ``gains[y][x]``: device ``x`` transmits to device ``y`` (matching
+        the scalar ``GainMatrix`` orientation).
+    """
+    if kind not in MATRIX_KINDS:
+        raise ValueError(f"unknown matrix kind {kind!r}; expected {MATRIX_KINDS}")
+    energies = np.asarray(list(energies_j), dtype=np.float64)
+    if energies.ndim != 1 or energies.size == 0:
+        raise ValueError("energies_j must be a non-empty 1-D sequence")
+    if np.any(energies <= 0.0):
+        raise ValueError("battery energies must be positive")
+    points = _default_link_map().available_powers(float(distance_m))
+    if not points:
+        raise InfeasibleOffloadError(f"no mode operates at {distance_m!r} m")
+    tx, rx = point_energies(points)
+    e_tx = energies[np.newaxis, :]  # varies along x (columns)
+    e_rx = energies[:, np.newaxis]  # varies along y (rows)
+    if kind == "gain.bluetooth":
+        braidio = offload_bits(tx, rx, e_tx, e_rx)
+        baseline = bluetooth_unidirectional_bits(e_tx, e_rx)
+    elif kind == "gain.best_mode":
+        braidio = offload_bits(tx, rx, e_tx, e_rx)
+        baseline = best_single_mode_bits(tx, rx, e_tx, e_rx)
+    else:  # gain.bidirectional
+        braidio = bidirectional_bits(tx, rx, e_tx, e_rx)
+        baseline = bluetooth_bidirectional_bits(e_tx, e_rx)
+    out: FloatArray = np.asarray(braidio / baseline, dtype=np.float64)
+    return out
+
+
+def distance_gain_curve_grid(
+    e_tx_j: float, e_rx_j: float, distances_m: npt.ArrayLike
+) -> FloatArray:
+    """Fig 18-style gain-vs-distance curve in one pass.
+
+    The gain at a distance depends on distance only through the
+    availability configuration, so each distinct configuration is solved
+    once and broadcast to its distances; out-of-range distances get NaN,
+    matching the scalar sweep.
+    """
+    e1 = float(e_tx_j)
+    e2 = float(e_rx_j)
+    d = np.asarray(distances_m, dtype=np.float64)
+    indices, configs = mode_config_table(d)
+    gains: FloatArray = np.full(d.shape, np.nan, dtype=np.float64)
+    baseline = float(bluetooth_unidirectional_bits(e1, e2))
+    for config_index, config in enumerate(configs):
+        if not config:
+            continue  # no operational mode: NaN, as in the scalar sweep
+        points = [paper_mode_power(mode, bitrate) for mode, bitrate in config]
+        tx, rx = point_energies(points)
+        bits = float(offload_bits(tx, rx, e1, e2))
+        gains[indices == config_index] = bits / baseline
+    return gains

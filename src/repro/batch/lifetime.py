@@ -1,0 +1,289 @@
+"""Vectorized Eq 1 lifetime/gain kernels, bit-identical to the scalar solver.
+
+:func:`offload_costs` replicates :func:`repro.core.offload.solve_offload`
+arithmetic *operation for operation* — same candidate enumeration order
+(singletons ascending, then pairs in lexicographic order), same tolerances,
+same tie-breaks, same summation order for the mixed per-bit costs — so for
+any cell of a grid the vectorized result is the exact same float64 the
+scalar solver produces.  The cross-validation suite in ``tests/batch/``
+asserts equality with ``==``, not ``isclose``.
+
+The number of operating points is tiny (at most three modes), so the
+kernels loop over *points* in Python while every *cell* of the grid is
+handled by whole-array numpy operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from ..core.offload import _RATIO_TOLERANCE, InfeasibleOffloadError
+from ..hardware.baselines import BluetoothBaseline
+from ..hardware.power_models import ModePower
+from .phy import FloatArray
+
+#: Feasibility slack on pair fractions, matching the scalar solver.
+_FRACTION_SLACK = 1e-12
+
+
+@dataclass(frozen=True)
+class CostGrid:
+    """Per-bit costs of the optimal Eq 1 mix over a grid of cells.
+
+    Attributes:
+        tx_j_per_bit: transmitter joules per bit of the optimal mix.
+        rx_j_per_bit: receiver joules per bit of the optimal mix.
+        proportional: True where exact power-proportionality was achieved,
+            False where the solver clamped to an extreme mode.
+    """
+
+    tx_j_per_bit: FloatArray
+    rx_j_per_bit: FloatArray
+    proportional: npt.NDArray[np.bool_]
+
+
+def point_energies(
+    points: Sequence[ModePower],
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """(T_i, R_i) per-bit energies of the operating points, in order."""
+    tx = tuple(p.tx_energy_per_bit_j for p in points)
+    rx = tuple(p.rx_energy_per_bit_j for p in points)
+    return tx, rx
+
+
+def _select_pure(
+    key1: List[FloatArray],
+    key2: List[FloatArray],
+    tx: List[FloatArray],
+    rx: List[FloatArray],
+) -> Tuple[FloatArray, FloatArray]:
+    """Elementwise ``min(range(n), key=lambda i: (key1[i], key2[i]))``.
+
+    Replicates Python's ``min``: a later candidate wins only when its key
+    tuple is *strictly* smaller, so ties keep the first point, exactly as
+    the scalar solver does.
+    """
+    best1 = key1[0]
+    best2 = key2[0]
+    sel_tx = tx[0]
+    sel_rx = rx[0]
+    for i in range(1, len(key1)):
+        better = (key1[i] < best1) | ((key1[i] == best1) & (key2[i] < best2))
+        best1 = np.where(better, key1[i], best1)
+        best2 = np.where(better, key2[i], best2)
+        sel_tx = np.where(better, tx[i], sel_tx)
+        sel_rx = np.where(better, rx[i], sel_rx)
+    return np.asarray(sel_tx, dtype=np.float64), np.asarray(sel_rx, dtype=np.float64)
+
+
+def offload_costs(
+    tx_j_per_bit: Sequence[npt.ArrayLike],
+    rx_j_per_bit: Sequence[npt.ArrayLike],
+    e1_j: npt.ArrayLike,
+    e2_j: npt.ArrayLike,
+) -> CostGrid:
+    """Solve Eq 1 elementwise over a broadcast grid of cells.
+
+    Args:
+        tx_j_per_bit: per-point transmitter joules/bit; each entry is a
+            scalar or an array broadcastable against the energies.
+        rx_j_per_bit: per-point receiver joules/bit, aligned with
+            ``tx_j_per_bit``.
+        e1_j: transmitter-side energies (joules), any broadcastable shape.
+        e2_j: receiver-side energies (joules).
+
+    Raises:
+        InfeasibleOffloadError: if no operating points are supplied, or a
+            proportional cell admits no basic solution (unreachable for
+            ratios inside the span; mirrors the scalar guard).
+        ValueError: if any energy is not positive.
+    """
+    t = [np.asarray(v, dtype=np.float64) for v in tx_j_per_bit]
+    r = [np.asarray(v, dtype=np.float64) for v in rx_j_per_bit]
+    if not t:
+        raise InfeasibleOffloadError("no operating points available")
+    if len(t) != len(r):
+        raise ValueError("tx and rx point energies must align")
+    e1 = np.asarray(e1_j, dtype=np.float64)
+    e2 = np.asarray(e2_j, dtype=np.float64)
+    if np.any(e1 <= 0.0) or np.any(e2 <= 0.0):
+        raise ValueError("both end points need positive energy")
+    shape = np.broadcast_shapes(
+        e1.shape, e2.shape, *(a.shape for a in t), *(a.shape for a in r)
+    )
+
+    n = len(t)
+    rho = e1 / e2
+    ratios = [ti / ri for ti, ri in zip(t, r)]
+    min_ratio = ratios[0]
+    max_ratio = ratios[0]
+    for q in ratios[1:]:
+        min_ratio = np.minimum(min_ratio, q)
+        max_ratio = np.maximum(max_ratio, q)
+    clamp_tx = rho < min_ratio - _RATIO_TOLERANCE
+    clamp_rx = rho > max_ratio + _RATIO_TOLERANCE
+
+    cost = [ti + ri for ti, ri in zip(t, r)]
+    # Extreme-mode selections (cheapest TX / cheapest RX, ties by total).
+    tx_pure_t, tx_pure_r = _select_pure(t, cost, t, r)
+    rx_pure_t, rx_pure_r = _select_pure(r, cost, t, r)
+
+    # Proportional cells: enumerate basic solutions exactly as the scalar
+    # solver does.  g_i = T_i - rho R_i; sum p_i g_i = 0.
+    g = [ti - rho * ri for ti, ri in zip(t, r)]
+    scale = np.abs(g[0])
+    for gi in g[1:]:
+        scale = np.maximum(scale, np.abs(gi))
+    scale = np.where(scale == 0.0, 1.0, scale)
+    max_cost = cost[0]
+    for ci in cost[1:]:
+        max_cost = np.maximum(max_cost, ci)
+
+    best_cost: FloatArray = np.full(shape, np.inf, dtype=np.float64)
+    best_tx: FloatArray = np.zeros(shape, dtype=np.float64)
+    best_rx: FloatArray = np.zeros(shape, dtype=np.float64)
+    found = np.zeros(shape, dtype=np.bool_)
+
+    for i in range(n):
+        update = (np.abs(g[i]) / scale <= _RATIO_TOLERANCE) & (cost[i] < best_cost)
+        best_cost = np.where(update, cost[i], best_cost)
+        best_tx = np.where(update, t[i], best_tx)
+        best_rx = np.where(update, r[i], best_rx)
+        found = found | update
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            denominator = g[j] - g[i]
+            usable = np.abs(denominator) / scale > _RATIO_TOLERANCE
+            safe_denominator = np.where(usable, denominator, 1.0)
+            p_i = g[j] / safe_denominator
+            feasible = (
+                usable & (p_i >= -_FRACTION_SLACK) & (p_i <= 1.0 + _FRACTION_SLACK)
+            )
+            p_i = np.clip(p_i, 0.0, 1.0)
+            p_j = 1.0 - p_i
+            pair_cost = p_i * cost[i] + p_j * cost[j]
+            update = feasible & (pair_cost < best_cost - _RATIO_TOLERANCE * max_cost)
+            best_cost = np.where(update, pair_cost, best_cost)
+            # Same summation order as OffloadSolution.tx_energy_per_bit_j:
+            # zero-fraction terms are exact, so the mixed cost reduces to
+            # p_i T_i + p_j T_j evaluated left to right.
+            best_tx = np.where(update, p_i * t[i] + p_j * t[j], best_tx)
+            best_rx = np.where(update, p_i * r[i] + p_j * r[j], best_rx)
+            found = found | update
+
+    proportional = np.broadcast_to(~(clamp_tx | clamp_rx), shape)
+    if np.any(proportional & ~found):
+        raise InfeasibleOffloadError(
+            f"no feasible mixture for some cells over {n} points"
+        )
+
+    tx_cost = np.where(clamp_tx, tx_pure_t, np.where(clamp_rx, rx_pure_t, best_tx))
+    rx_cost = np.where(clamp_tx, tx_pure_r, np.where(clamp_rx, rx_pure_r, best_rx))
+    return CostGrid(
+        tx_j_per_bit=np.asarray(np.broadcast_to(tx_cost, shape), dtype=np.float64),
+        rx_j_per_bit=np.asarray(np.broadcast_to(rx_cost, shape), dtype=np.float64),
+        proportional=np.asarray(proportional, dtype=np.bool_),
+    )
+
+
+def offload_bits(
+    tx_j_per_bit: Sequence[npt.ArrayLike],
+    rx_j_per_bit: Sequence[npt.ArrayLike],
+    e1_j: npt.ArrayLike,
+    e2_j: npt.ArrayLike,
+) -> FloatArray:
+    """Bits deliverable one-way under the optimal Eq 1 mix, per cell."""
+    costs = offload_costs(tx_j_per_bit, rx_j_per_bit, e1_j, e2_j)
+    e1 = np.asarray(e1_j, dtype=np.float64)
+    e2 = np.asarray(e2_j, dtype=np.float64)
+    out: FloatArray = np.minimum(e1 / costs.tx_j_per_bit, e2 / costs.rx_j_per_bit)
+    return out
+
+
+def bidirectional_bits(
+    tx_j_per_bit: Sequence[npt.ArrayLike],
+    rx_j_per_bit: Sequence[npt.ArrayLike],
+    e1_j: npt.ArrayLike,
+    e2_j: npt.ArrayLike,
+) -> FloatArray:
+    """Bits with equal data each way (the paper's per-direction method).
+
+    Mirrors :func:`repro.sim.lifetime.braidio_bidirectional`: Eq 1 solved
+    independently per direction, each device paying half the transmit and
+    half the receive cost per delivered bit.
+    """
+    forward = offload_costs(tx_j_per_bit, rx_j_per_bit, e1_j, e2_j)
+    reverse = offload_costs(tx_j_per_bit, rx_j_per_bit, e2_j, e1_j)
+    cost_a = (forward.tx_j_per_bit + reverse.rx_j_per_bit) / 2.0
+    cost_b = (forward.rx_j_per_bit + reverse.tx_j_per_bit) / 2.0
+    e1 = np.asarray(e1_j, dtype=np.float64)
+    e2 = np.asarray(e2_j, dtype=np.float64)
+    out: FloatArray = np.minimum(e1 / cost_a, e2 / cost_b)
+    return out
+
+
+def bluetooth_unidirectional_bits(
+    e1_j: npt.ArrayLike,
+    e2_j: npt.ArrayLike,
+    baseline: BluetoothBaseline | None = None,
+) -> FloatArray:
+    """Vectorized :func:`repro.sim.lifetime.bluetooth_unidirectional`."""
+    baseline = baseline if baseline is not None else BluetoothBaseline()
+    e1 = np.asarray(e1_j, dtype=np.float64)
+    e2 = np.asarray(e2_j, dtype=np.float64)
+    bits = np.minimum(
+        e1 / baseline.tx_energy_per_bit_j, e2 / baseline.rx_energy_per_bit_j
+    )
+    out: FloatArray = np.where((e1 <= 0.0) | (e2 <= 0.0), 0.0, bits)
+    return out
+
+
+def bluetooth_bidirectional_bits(
+    e1_j: npt.ArrayLike,
+    e2_j: npt.ArrayLike,
+    baseline: BluetoothBaseline | None = None,
+) -> FloatArray:
+    """Vectorized :func:`repro.sim.lifetime.bluetooth_bidirectional`."""
+    baseline = baseline if baseline is not None else BluetoothBaseline()
+    e1 = np.asarray(e1_j, dtype=np.float64)
+    e2 = np.asarray(e2_j, dtype=np.float64)
+    per_bit = (baseline.tx_energy_per_bit_j + baseline.rx_energy_per_bit_j) / 2.0
+    bits = np.minimum(e1, e2) / per_bit
+    out: FloatArray = np.where((e1 <= 0.0) | (e2 <= 0.0), 0.0, bits)
+    return out
+
+
+def best_single_mode_bits(
+    tx_j_per_bit: Sequence[npt.ArrayLike],
+    rx_j_per_bit: Sequence[npt.ArrayLike],
+    e1_j: npt.ArrayLike,
+    e2_j: npt.ArrayLike,
+) -> FloatArray:
+    """Vectorized Fig 16 baseline: bits of the best *pure* operating point.
+
+    Replicates ``max(points, key=bits)``: a later point wins only when
+    strictly better, so ties keep the first point.
+    """
+    t = [np.asarray(v, dtype=np.float64) for v in tx_j_per_bit]
+    r = [np.asarray(v, dtype=np.float64) for v in rx_j_per_bit]
+    if not t:
+        raise InfeasibleOffloadError("no operating points available")
+    e1 = np.asarray(e1_j, dtype=np.float64)
+    e2 = np.asarray(e2_j, dtype=np.float64)
+    dead = (e1 <= 0.0) | (e2 <= 0.0)
+
+    def bits_of(i: int) -> FloatArray:
+        raw = np.minimum(e1 / t[i], e2 / r[i])
+        out: FloatArray = np.where(dead, 0.0, raw)
+        return out
+
+    best = bits_of(0)
+    for i in range(1, len(t)):
+        candidate = bits_of(i)
+        best = np.asarray(np.where(candidate > best, candidate, best), dtype=np.float64)
+    return best

@@ -160,7 +160,17 @@ class LinkBudget:
         return replace(self, margin_db=needed_snr - snr_at_range)
 
 
-@lru_cache(maxsize=256)
+# Keyed on (noise model, detector floor, bitrate).  Distance sweeps never
+# grow this cache (distance is not part of the key); only distinct bitrates
+# do, and the characterized set is three rates per link.  The bound is
+# aligned with regimes._AVAILABILITY_CACHE_MAX so even an adversarial
+# dense *bitrate* sweep stays bounded without evicting the working set of
+# every calibrated profile; vectorized sweeps (repro.batch) bypass this
+# cache entirely.
+_NOISE_FLOOR_CACHE_MAX = 4096
+
+
+@lru_cache(maxsize=_NOISE_FLOOR_CACHE_MAX)
 def _cached_noise_floor_dbm(
     noise: NoiseModel, detector_floor_dbm: float | None, bitrate_bps: float
 ) -> float:

@@ -32,6 +32,8 @@ from .progress import CampaignProgress, RunManifest
 from .seeding import campaign_seed_sequence, job_rng, job_seed_sequence
 from .workloads import (
     CAMPAIGN_EXPERIMENTS,
+    batch_distance_spec,
+    batch_matrix_spec,
     campaign_specs,
     distance_curve_specs,
     gain_matrix_specs,
@@ -49,6 +51,8 @@ __all__ = [
     "JournalReplay",
     "ResultCache",
     "RunManifest",
+    "batch_distance_spec",
+    "batch_matrix_spec",
     "calibration_fingerprint",
     "campaign_fingerprint",
     "campaign_seed_sequence",

@@ -157,7 +157,7 @@ class TestMaxFailures:
     def test_failure_storm_aborts_with_nonzero_exit(self, monkeypatch, capsys):
         monkeypatch.setattr(
             "repro.runtime.workloads.campaign_specs",
-            lambda experiment: [
+            lambda experiment, backend="scalar": [
                 JobSpec(kind="test.cli_fail", seed=i) for i in range(6)
             ],
         )

@@ -1,0 +1,86 @@
+"""The ``batch.grid`` campaign workload: whole grids as single jobs.
+
+Covers the determinism contract (worker count never changes a grid's
+bytes), spec-count collapse under ``backend="vectorized"``, agreement
+with the per-cell scalar jobs, and the runner's input validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CampaignConfig,
+    batch_distance_spec,
+    batch_matrix_spec,
+    campaign_specs,
+    gain_matrix_specs,
+    run_campaign,
+)
+from repro.runtime.jobs import JobSpec
+
+
+def test_grid_job_deterministic_across_worker_counts(tmp_path):
+    """n_jobs must never change a vectorized grid's metrics — same
+    guarantee the per-cell jobs already honour."""
+    specs = [
+        batch_matrix_spec("gain.bluetooth"),
+        batch_matrix_spec("gain.bidirectional"),
+        batch_distance_spec("iPhone 6S", "Apple Watch", np.linspace(0.3, 6.0, 39)),
+    ]
+    serial = run_campaign(
+        specs, CampaignConfig(n_jobs=1, cache_dir=tmp_path / "serial")
+    ).raise_on_failure()
+    pooled = run_campaign(
+        specs, CampaignConfig(n_jobs=4, cache_dir=tmp_path / "pooled")
+    ).raise_on_failure()
+    assert serial.metrics == pooled.metrics
+
+
+def test_grid_job_matches_per_cell_jobs():
+    """One ``batch.grid`` job reproduces the 100 per-cell jobs exactly."""
+    cells = run_campaign(
+        gain_matrix_specs("gain.bluetooth"), CampaignConfig(n_jobs=1)
+    ).raise_on_failure()
+    grid = run_campaign(
+        [batch_matrix_spec("gain.bluetooth")], CampaignConfig(n_jobs=1)
+    ).raise_on_failure()
+    per_cell = np.array([m["gain"] for m in cells.metrics]).reshape(10, 10)
+    assert np.array_equal(np.array(grid.metrics[0]["gains"]), per_cell)
+
+
+def test_distance_grid_job_round_trips_nan(tmp_path):
+    """NaN cells (out-of-range distances) survive the result cache."""
+    spec = batch_distance_spec("iPhone 6S", "Apple Watch", [0.3, 3.0, 100.0])
+    config = CampaignConfig(n_jobs=1, cache_dir=tmp_path)
+    cold = run_campaign([spec], config).raise_on_failure()
+    warm = run_campaign([spec], config).raise_on_failure()
+    assert warm.manifest.cached == 1
+    gains = cold.metrics[0]["gains"]
+    assert np.isnan(gains[-1])
+    assert np.array_equal(
+        np.array(gains), np.array(warm.metrics[0]["gains"]), equal_nan=True
+    )
+
+
+def test_campaign_specs_collapse_under_vectorized_backend():
+    assert len(campaign_specs("fig15")) == 100
+    assert len(campaign_specs("fig15", backend="vectorized")) == 1
+    assert len(campaign_specs("fig18")) == 234
+    assert len(campaign_specs("fig18", backend="vectorized")) == 6
+    # Non-grid experiments are backend-agnostic.
+    assert campaign_specs("mc-ber", backend="vectorized") == campaign_specs("mc-ber")
+
+
+def test_batch_grid_runner_rejects_bad_specs():
+    config = CampaignConfig(n_jobs=1)
+    bad = [
+        JobSpec(kind="batch.grid"),  # no workload param
+        JobSpec.with_params("batch.grid", {"workload": "gain.nonsense"}),
+        JobSpec.with_params("batch.grid", {"workload": "gain.bluetooth"}),  # no devices
+        JobSpec.with_params("batch.grid", {"workload": "gain.distance"}),  # no distances
+    ]
+    for spec in bad:
+        result = run_campaign([spec], config)
+        assert result.failures, spec
+        with pytest.raises(Exception):
+            result.raise_on_failure()
