@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro list                 # show available experiments
+    python -m repro list                 # registry capability table
     python -m repro show fig15           # print a figure's rows
     python -m repro export fig13 out/    # write one experiment's CSV
     python -m repro export all out/      # write every experiment's CSV
@@ -18,6 +18,13 @@ Usage::
         --manifest out/city.json --csv out/city.csv # city-scale deployment
     python -m repro energy braidio-arq              # ledger breakdown table
     python -m repro faults chaos                    # chaos run + recovery table
+
+Every subcommand is driven by the declarative experiment registry
+(:mod:`repro.experiments`): argparse choices, the ``list`` table, the
+``show``/``export``/``profile`` dispatch and the ``campaign``
+decompositions all come from the registered
+:class:`~repro.experiments.registry.ExperimentDef` entries, so adding an
+experiment is one registration (DESIGN.md §13).
 
 The ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags drive the
 campaign engine (:mod:`repro.runtime`): figure-level work fans across
@@ -39,172 +46,57 @@ from pathlib import Path
 
 
 def _show(experiment: str) -> int:
-    from .analysis import (
-        format_matrix,
-        format_series,
-        render_fig1,
-        render_table1,
-        render_table2,
-        render_table5,
-    )
+    from .experiments import render_show
 
-    if experiment == "fig1":
-        print(render_fig1())
-    elif experiment == "table1":
-        print(render_table1())
-    elif experiment == "table2":
-        print(render_table2())
-    elif experiment == "table5":
-        print(render_table5())
-    elif experiment in ("fig15", "fig16", "fig17"):
-        from .analysis import (
-            best_mode_gain_matrix,
-            bidirectional_gain_matrix,
-            bluetooth_gain_matrix,
-        )
-
-        matrix = {
-            "fig15": bluetooth_gain_matrix,
-            "fig16": best_mode_gain_matrix,
-            "fig17": bidirectional_gain_matrix,
-        }[experiment]()
-        print(
-            format_matrix(
-                matrix.labels,
-                matrix.labels,
-                [[round(float(v), 2) for v in row] for row in matrix.gains],
-                title=f"{experiment}: gain matrix (column transmits to row)",
-            )
-        )
-    elif experiment == "fig13":
-        from .analysis import mode_ber_curves
-
-        curves = mode_ber_curves()
-        print(
-            format_series(
-                "distance_m",
-                [round(float(d), 2) for d in curves[0].distances_m],
-                {c.label: [f"{v:.1e}" for v in c.ber] for c in curves},
-                title="fig13: BER over distance",
-            )
-        )
-    elif experiment == "fig14":
-        from .analysis import region_sweep
-
-        for region in region_sweep():
-            print(
-                f"{region.distance_m:5.1f} m  regime {region.regime.value}  "
-                f"{region.shape:8s}  ratios {region.min_ratio:.6g} .. "
-                f"{region.max_ratio:.6g}  ({region.span_orders:.2f} oom)"
-            )
-    else:
-        # No purpose-built text renderer: fall back to the exporter's rows
-        # so every id argparse advertises actually works.
-        return _show_exported(experiment)
-    return 0
-
-
-def _show_exported(experiment: str) -> int:
-    from .analysis.export import EXPORTERS
-
-    exporter = EXPORTERS[experiment]
-    with tempfile.TemporaryDirectory(prefix="repro-show-") as tmp:
-        exporter(Path(tmp))
-        for csv_path in sorted(Path(tmp).glob("*.csv")):
-            print(f"# {csv_path.name}")
-            print(csv_path.read_text().rstrip("\n"))
+    print(render_show(experiment))
     return 0
 
 
 def _energy(args: argparse.Namespace) -> int:
     """Print the per-device, per-category ledger breakdown of one
     profiled session (the ``energy`` subcommand)."""
-    from .analysis.energy_report import render_energy
-
-    print(
-        render_energy(
-            args.experiment,
-            distance_m=args.distance,
-            packets=args.packets,
-            seed=args.seed,
-        )
-    )
-    return 0
+    return _render_variant("energy", args)
 
 
 def _faults(args: argparse.Namespace) -> int:
     """Print one chaos profile's fault timeline and recovery metrics
     (the ``faults`` subcommand)."""
-    from .faults import render_faults
+    return _render_variant("faults", args)
 
+
+def _render_variant(experiment: str, args: argparse.Namespace) -> int:
+    from .experiments import get
+
+    defn = get(experiment)
+    assert defn.render_variant is not None  # registry consistency
     print(
-        render_faults(
-            args.experiment,
-            distance_m=args.distance,
-            packets=args.packets,
-            seed=args.seed,
+        defn.render_variant(
+            args.experiment, args.distance, args.packets, args.seed
         )
     )
     return 0
 
 
-#: Sweep/analysis workload ids ``profile`` accepts alongside the exporter
-#: ids — each profiles the underlying analysis sweep directly (no CSV),
-#: honouring ``--backend`` so vectorized and scalar engines can be
-#: compared under the profiler.
-PROFILE_WORKLOADS = (
-    "sweep-gain-matrix",
-    "sweep-distance",
-    "sweep-ber",
-    "sweep-sensitivity",
-)
-
-
-def _run_profile_workload(workload: str, backend: str) -> None:
-    if workload == "sweep-gain-matrix":
-        from .analysis.gain_matrix import bluetooth_gain_matrix
-
-        bluetooth_gain_matrix(backend=backend)
-    elif workload == "sweep-distance":
-        from .analysis.distance_sweep import paper_distance_curves
-
-        paper_distance_curves(backend=backend)
-    elif workload == "sweep-ber":
-        from .analysis.ber_sweep import mode_ber_curves
-
-        mode_ber_curves(backend=backend)
-    elif workload == "sweep-sensitivity":
-        from .analysis.sensitivity import (
-            bluetooth_power_sweep,
-            reader_power_sweep,
-        )
-
-        reader_power_sweep(backend=backend)
-        bluetooth_power_sweep(backend=backend)
-    else:  # pragma: no cover - argparse choices prevent this
-        raise ValueError(f"unknown profile workload {workload!r}")
-
-
 def _profile(experiment: str, top: int, sort: str, backend: str) -> int:
-    """Run one experiment's exporter — or one sweep workload — under
-    cProfile and print the top-N entries, so perf work can locate the
-    next bottleneck."""
+    """Run one experiment — its registered sweep workload when it has
+    one, its exporter otherwise — under cProfile and print the top-N
+    entries, so perf work can locate the next bottleneck."""
     import cProfile
     import pstats
 
-    from .analysis.export import BACKEND_AWARE, EXPORTERS
+    from .experiments import ExportOptions, export_experiment, get
 
+    defn = get(experiment)
     profiler = cProfile.Profile()
-    if experiment in PROFILE_WORKLOADS:
+    if defn.profile is not None:
         profiler.enable()
-        _run_profile_workload(experiment, backend)
+        defn.profile(backend)
         profiler.disable()
     else:
-        exporter = EXPORTERS[experiment]
-        kwargs = {"backend": backend} if experiment in BACKEND_AWARE else {}
+        options = ExportOptions(backend=backend)
         with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
             profiler.enable()
-            exporter(Path(tmp), **kwargs)
+            export_experiment(experiment, Path(tmp), options)
             profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(sort).print_stats(top)
@@ -260,10 +152,26 @@ def _summarize_engine_runs(manifest_path: Path | None) -> None:
         print(f"manifest written to {manifest_path}", file=sys.stderr)
 
 
+def _campaign_experiment_id(value: str) -> str:
+    """Argparse-time validation of ``campaign`` experiment ids against
+    the registry: unknown ids exit 2 with the known choices, instead of
+    failing mid-run inside ``campaign_specs``."""
+    from .experiments import campaignable_ids
+
+    known = campaignable_ids()
+    if value == "all" or value in known:
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown campaign experiment {value!r} "
+        f"(choose from {', '.join(sorted(known))}, or 'all')"
+    )
+
+
 def _run_campaign_command(args: argparse.Namespace) -> int:
     from .analysis.export import write_campaign_manifest
+    from .experiments import campaignable_ids
     from .runtime import drain_manifests, run_campaign
-    from .runtime.workloads import CAMPAIGN_EXPERIMENTS, campaign_specs
+    from .runtime.workloads import campaign_specs
 
     if args.resume and args.cache_dir is None:
         print(
@@ -274,7 +182,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         return 2
     experiments = args.experiments or ["all"]
     if "all" in experiments:
-        experiments = list(CAMPAIGN_EXPERIMENTS)
+        experiments = list(campaignable_ids())
     config = _campaign_config(args, seed=args.seed)
     drain_manifests()
     failed = 0
@@ -388,13 +296,10 @@ def _run_deploy_command(args: argparse.Namespace) -> int:
         write_manifest(args.manifest, manifest)
         print(f"manifest written to {args.manifest}", file=sys.stderr)
     if args.csv is not None:
-        from .analysis.export import (
-            DEPLOY_HUB_COLUMNS,
-            _write_rows,
-            deployment_hub_rows,
-        )
+        from .experiments import write_rows
+        from .experiments.catalog import DEPLOY_HUB_COLUMNS, deployment_hub_rows
 
-        _write_rows(args.csv, DEPLOY_HUB_COLUMNS, deployment_hub_rows(manifest))
+        write_rows(args.csv, DEPLOY_HUB_COLUMNS, deployment_hub_rows(manifest))
         print(f"per-hub CSV written to {args.csv}", file=sys.stderr)
     return 0
 
@@ -410,7 +315,7 @@ def _positive_int(value: str) -> int:
 
 
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
-    from .batch import BACKENDS
+    from .experiments import BACKENDS
 
     parser.add_argument(
         "--backend", choices=BACKENDS, default="auto",
@@ -438,24 +343,47 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_variant_subcommand(
+    subparsers, experiment: str, help_text: str
+) -> None:
+    """A subcommand whose positional is one of an experiment's registered
+    variants (the ``energy`` / ``faults`` profile names)."""
+    from .experiments import get
+
+    parser = subparsers.add_parser(experiment, help=help_text)
+    parser.add_argument("experiment", choices=list(get(experiment).variants))
+    parser.add_argument(
+        "--distance", type=float, default=0.5, metavar="M",
+        help="device separation in metres (default 0.5)",
+    )
+    parser.add_argument(
+        "--packets", type=_positive_int, default=2000, metavar="N",
+        help="packet budget for the session (default 2000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    from .analysis.export import CAMPAIGN_AWARE, EXPORTERS, export_all
-    from .runtime.workloads import CAMPAIGN_EXPERIMENTS
+    from .experiments import exportable_ids, profileable_ids, showable_ids
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the Braidio paper's tables and figures.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("list", help="list experiment ids")
+    subparsers.add_parser(
+        "list", help="list experiments and their registry capabilities"
+    )
     subparsers.add_parser(
         "report", help="print the paper-vs-measured summary of every headline"
     )
     show = subparsers.add_parser("show", help="print an experiment's rows")
-    show.add_argument("experiment", choices=sorted(EXPORTERS))
+    show.add_argument("experiment", choices=sorted(showable_ids()))
     export = subparsers.add_parser("export", help="write CSV output")
-    export.add_argument("experiment", choices=sorted(EXPORTERS) + ["all"])
+    export.add_argument("experiment", choices=sorted(exportable_ids()) + ["all"])
     export.add_argument("directory", type=Path)
     _add_campaign_flags(export)
     _add_backend_flag(export)
@@ -464,9 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         help="run one experiment or sweep workload under cProfile and "
         "print the hottest entries",
     )
-    profile.add_argument(
-        "experiment", choices=sorted(EXPORTERS) + sorted(PROFILE_WORKLOADS)
-    )
+    profile.add_argument("experiment", choices=sorted(profileable_ids()))
     profile.add_argument(
         "--top", type=_positive_int, default=25, metavar="N",
         help="number of entries to print (default 25)",
@@ -476,43 +402,15 @@ def main(argv: list[str] | None = None) -> int:
         default="cumulative", help="pstats sort key (default cumulative)",
     )
     _add_backend_flag(profile)
-    from .analysis.energy_report import ENERGY_PROFILES
-
-    energy = subparsers.add_parser(
-        "energy",
-        help="print the per-device, per-category energy ledger breakdown "
+    _add_variant_subcommand(
+        subparsers, "energy",
+        "print the per-device, per-category energy ledger breakdown "
         "of a profiled session",
     )
-    energy.add_argument("experiment", choices=list(ENERGY_PROFILES))
-    energy.add_argument(
-        "--distance", type=float, default=0.5, metavar="M",
-        help="device separation in metres (default 0.5)",
-    )
-    energy.add_argument(
-        "--packets", type=_positive_int, default=2000, metavar="N",
-        help="packet budget for the session (default 2000)",
-    )
-    energy.add_argument(
-        "--seed", type=int, default=0, help="simulation seed (default 0)"
-    )
-    from .faults import FAULT_PROFILES
-
-    faults = subparsers.add_parser(
-        "faults",
-        help="run a hardened session under a named fault profile and "
+    _add_variant_subcommand(
+        subparsers, "faults",
+        "run a hardened session under a named fault profile and "
         "print the fault timeline plus recovery metrics",
-    )
-    faults.add_argument("experiment", choices=list(FAULT_PROFILES))
-    faults.add_argument(
-        "--distance", type=float, default=0.5, metavar="M",
-        help="device separation in metres (default 0.5)",
-    )
-    faults.add_argument(
-        "--packets", type=_positive_int, default=2000, metavar="N",
-        help="packet budget for the session (default 2000)",
-    )
-    faults.add_argument(
-        "--seed", type=int, default=0, help="simulation seed (default 0)"
     )
     campaign = subparsers.add_parser(
         "campaign",
@@ -522,7 +420,8 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "experiments",
         nargs="*",
-        choices=sorted(CAMPAIGN_EXPERIMENTS) + ["all"],
+        type=_campaign_experiment_id,
+        metavar="experiment",
         help="campaign-able experiment ids (default: all)",
     )
     campaign.add_argument(
@@ -580,8 +479,9 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in EXPORTERS:
-            print(name)
+        from .experiments import capability_table
+
+        print(capability_table())
         return 0
     if args.command == "report":
         from .analysis.summary import render_report, reproduction_report
@@ -602,9 +502,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "deploy":
         return _run_deploy_command(args)
 
+    from .analysis.export import export_all, export_experiment
     from .runtime import drain_manifests
-
-    from .analysis.export import BACKEND_AWARE
 
     config = _campaign_config(args)
     drain_manifests()
@@ -614,12 +513,12 @@ def main(argv: list[str] | None = None) -> int:
         ):
             print(path)
     else:
-        kwargs: dict = {}
-        if args.experiment in CAMPAIGN_AWARE:
-            kwargs["campaign"] = config
-        if args.experiment in BACKEND_AWARE:
-            kwargs["backend"] = args.backend
-        print(EXPORTERS[args.experiment](args.directory, **kwargs))
+        print(
+            export_experiment(
+                args.experiment, args.directory,
+                campaign=config, backend=args.backend,
+            )
+        )
     manifest_path = (
         args.directory / "campaign_manifest.json"
         if args.cache_dir is not None

@@ -42,9 +42,10 @@ def _ber_over_distances(
     ``auto`` silently falls back to the scalar loop for anything else,
     while an explicit ``"vectorized"`` request raises.
     """
-    from ..batch import link_ber, resolve_backend, vectorizable_budget
+    from ..batch import link_ber, vectorizable_budget
+    from ..experiments.backends import resolve_execution
 
-    resolved = resolve_backend(
+    resolved = resolve_execution(
         backend,
         vectorized_ok=vectorizable_budget(budget),
         reason="custom budget types require the scalar oracle",

@@ -52,20 +52,6 @@ class DistanceGainCurve:
         return float(self.gains[index])
 
 
-def _resolve_sweep_backend(
-    backend: str, link_map: LinkMap | None, campaign: "CampaignConfig | None"
-) -> str:
-    from ..batch import resolve_backend
-
-    if backend == "auto" and campaign is not None:
-        return "scalar"
-    return resolve_backend(
-        backend,
-        vectorized_ok=link_map is None,
-        reason="a custom link_map requires the scalar oracle",
-    )
-
-
 def distance_gain_curve(
     tx_name: str,
     rx_name: str,
@@ -85,7 +71,14 @@ def distance_gain_curve(
     """
     if distances_m is None:
         distances_m = np.linspace(0.3, 6.0, 39)
-    resolved = _resolve_sweep_backend(backend, link_map, campaign)
+    from ..experiments.backends import resolve_execution
+
+    resolved = resolve_execution(
+        backend,
+        vectorized_ok=link_map is None,
+        campaign=campaign,
+        reason="a custom link_map requires the scalar oracle",
+    )
     if resolved == "vectorized":
         e_tx = device(tx_name).battery_wh * JOULES_PER_WATT_HOUR
         e_rx = device(rx_name).battery_wh * JOULES_PER_WATT_HOUR

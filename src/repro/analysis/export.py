@@ -1,309 +1,68 @@
-"""CSV exporters for every reproduced table and figure.
+"""Registry-backed CSV export for every reproduced table and figure.
 
-Plotting libraries are deliberately not a dependency; these writers emit
+The ~20 hand-written ``export_figN`` functions that used to live here are
+gone: each experiment now declares its CSV schema as part of its
+:class:`~repro.experiments.registry.ExperimentDef` (see
+:mod:`repro.experiments.catalog`), and one generic pipeline writes them
+(:mod:`repro.experiments.pipeline`).  This module keeps the
+analysis-facing entry points — ``export_experiment`` / ``export_all``
+with the historical ``campaign=`` / ``backend=`` keywords — plus the
+campaign-manifest merger the CLI persists after an engine-backed export.
+
+Plotting libraries are deliberately not a dependency; the writers emit
 plain CSV that any tool (matplotlib, gnuplot, a spreadsheet) can plot.
-Used by the ``python -m repro`` command-line runner.
 """
 
 from __future__ import annotations
 
-import csv
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..runtime import CampaignConfig, RunManifest
 
-from .ber_sweep import mode_ber_curves, reader_comparison_curves
-from .charge_pump_fig import charge_pump_figure
-from .distance_sweep import paper_distance_curves
-from .energy_report import breakdown_rows
-from .gain_matrix import (
-    best_mode_gain_matrix,
-    bidirectional_gain_matrix,
-    bluetooth_gain_matrix,
-)
-from .phase_maps import diversity_comparison, line_profile, phase_cancellation_map
-from .region import region_sweep
-from .tables import fig1_rows, table1_rows, table2_rows, table5_rows
 
-
-def _write_rows(path: Path, header: list[str], rows) -> Path:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        writer.writerows(rows)
-    return path
-
-
-def export_fig1(directory: Path) -> Path:
-    """Fig 1 battery capacities."""
-    return _write_rows(directory / "fig1_battery_capacity.csv",
-                       ["device", "class", "battery_wh"], fig1_rows())
-
-
-def export_table1(directory: Path) -> Path:
-    """Table 1 Bluetooth power ratios."""
-    return _write_rows(directory / "table1_bluetooth.csv",
-                       ["chip", "transmit", "receive", "tx_rx_ratio"], table1_rows())
-
-
-def export_table2(directory: Path) -> Path:
-    """Table 2 commercial readers."""
-    return _write_rows(
-        directory / "table2_readers.csv",
-        ["model", "total_power", "rx_power", "cost", "vs_braidio"],
-        table2_rows(),
-    )
-
-
-def export_table5(directory: Path) -> Path:
-    """Table 5 switching overheads."""
-    return _write_rows(directory / "table5_switching.csv",
-                       ["mode", "tx", "rx", "total_j"], table5_rows())
-
-
-def export_fig3(directory: Path) -> Path:
-    """Fig 3(b) charge-pump waveforms."""
-    figure = charge_pump_figure()
-    result = figure.result
-    rows = zip(result.time_s * 1e6, result.input_v, result.internal_v, result.output_v)
-    return _write_rows(directory / "fig3_charge_pump.csv",
-                       ["time_us", "input_v", "between_diodes_v", "output_v"], rows)
-
-
-def export_fig4(directory: Path) -> Path:
-    """Fig 4(b) map (long form) and 4(c) line profile."""
-    result = phase_cancellation_map(resolution=100)
-    rows = []
-    for yi, y in enumerate(result.y_m):
-        for xi, x in enumerate(result.x_m):
-            rows.append([x, y, result.signal_db[yi, xi]])
-    _write_rows(directory / "fig4b_phase_map.csv", ["x_m", "y_m", "signal_db"], rows)
-    x, profile = line_profile(resolution=400)
-    return _write_rows(directory / "fig4c_line_profile.csv",
-                       ["x_m", "signal_db"], zip(x, profile))
-
-
-def export_fig6(directory: Path) -> Path:
-    """Fig 6 antenna-diversity comparison."""
-    result = diversity_comparison()
-    rows = zip(result.distances_m, result.without_db, result.with_db)
-    return _write_rows(directory / "fig6_antenna_diversity.csv",
-                       ["distance_m", "without_db", "with_db"], rows)
-
-
-def export_fig12(directory: Path, backend: str = "auto") -> Path:
-    """Fig 12 Braidio vs commercial reader BER."""
-    curves, _ = reader_comparison_curves(backend=backend)
-    by_label = {c.label: c for c in curves}
-    rows = zip(
-        by_label["Braidio"].distances_m,
-        by_label["Braidio"].ber,
-        by_label["Commercial"].ber,
-    )
-    return _write_rows(directory / "fig12_reader_comparison.csv",
-                       ["distance_m", "braidio_ber", "commercial_ber"], rows)
-
-
-def export_fig13(directory: Path, backend: str = "auto") -> Path:
-    """Fig 13 per-mode BER curves."""
-    curves = mode_ber_curves(backend=backend)
-    header = ["distance_m"] + [c.label for c in curves]
-    rows = np.column_stack([curves[0].distances_m] + [c.ber for c in curves])
-    return _write_rows(directory / "fig13_ber_modes.csv", header, rows.tolist())
-
-
-def export_fig14(directory: Path) -> Path:
-    """Fig 14 region sweep."""
-    rows = [
-        [r.distance_m, r.regime.value, r.shape, r.min_ratio, r.max_ratio, r.span_orders]
-        for r in region_sweep()
-    ]
-    return _write_rows(
-        directory / "fig14_regions.csv",
-        ["distance_m", "regime", "shape", "min_ratio", "max_ratio", "span_orders"],
-        rows,
-    )
-
-
-def _export_matrix(directory: Path, name: str, matrix) -> Path:
-    header = ["rx\\tx"] + matrix.labels
-    rows = [
-        [label] + [float(v) for v in row]
-        for label, row in zip(matrix.labels, matrix.gains)
-    ]
-    return _write_rows(directory / name, header, rows)
-
-
-def export_fig15(
+def export_experiment(
+    experiment: str,
     directory: Path,
     campaign: "CampaignConfig | None" = None,
     backend: str = "auto",
 ) -> Path:
-    """Fig 15 gain matrix."""
-    return _export_matrix(
-        directory,
-        "fig15_gain_matrix.csv",
-        bluetooth_gain_matrix(campaign=campaign, backend=backend),
+    """Write one experiment's CSV output into ``directory``.
+
+    ``campaign`` (worker count, cache directory) applies when the
+    experiment's exporter is campaign-aware, ``backend`` when it is
+    grid-shaped; others ignore them.  Returns the primary written path.
+
+    Raises:
+        KeyError: for unknown experiment ids.
+        ValueError: for registered ids without an exporter.
+    """
+    from ..experiments import ExportOptions
+    from ..experiments import export_experiment as run_export
+
+    return run_export(
+        experiment, directory, ExportOptions(campaign=campaign, backend=backend)
     )
 
 
-def export_fig16(
+def export_all(
     directory: Path,
     campaign: "CampaignConfig | None" = None,
     backend: str = "auto",
-) -> Path:
-    """Fig 16 best-single-mode matrix."""
-    return _export_matrix(
-        directory,
-        "fig16_vs_best_mode.csv",
-        best_mode_gain_matrix(campaign=campaign, backend=backend),
+) -> list[Path]:
+    """Write every registered experiment's CSV into ``directory``.
+
+    ``campaign`` applies to the campaign-aware exporters, ``backend`` to
+    the grid-shaped ones; the rest run inline as always.
+    """
+    from ..experiments import ExportOptions
+    from ..experiments import export_all as run_export_all
+
+    return run_export_all(
+        directory, ExportOptions(campaign=campaign, backend=backend)
     )
-
-
-def export_fig17(
-    directory: Path,
-    campaign: "CampaignConfig | None" = None,
-    backend: str = "auto",
-) -> Path:
-    """Fig 17 bidirectional matrix."""
-    return _export_matrix(
-        directory,
-        "fig17_bidirectional.csv",
-        bidirectional_gain_matrix(campaign=campaign, backend=backend),
-    )
-
-
-def export_fig18(
-    directory: Path,
-    campaign: "CampaignConfig | None" = None,
-    backend: str = "auto",
-) -> Path:
-    """Fig 18 distance sweeps."""
-    curves = paper_distance_curves(campaign=campaign, backend=backend)
-    header = ["distance_m"] + [c.label for c in curves]
-    rows = np.column_stack(
-        [curves[0].distances_m] + [c.gains for c in curves]
-    )
-    return _write_rows(directory / "fig18_distance.csv", header, rows.tolist())
-
-
-def export_energy(directory: Path) -> Path:
-    """Per-device, per-category ledger breakdown of the profiled
-    sessions (see :mod:`repro.analysis.energy_report`)."""
-    header, rows = breakdown_rows()
-    return _write_rows(directory / "energy_breakdown.csv", header, rows)
-
-
-def export_faults(directory: Path) -> Path:
-    """Recovery/resilience metrics of the named chaos profiles (see
-    :mod:`repro.faults.profiles`): one row per profile with outage
-    seconds, recovery latency, re-syncs/reboots, and the retransmit/fault
-    energy attribution."""
-    from ..faults import recovery_rows
-
-    header, rows = recovery_rows()
-    return _write_rows(directory / "fault_recovery.csv", header, rows)
-
-
-#: Column order of the per-hub deployment CSV (one row per hub).
-DEPLOY_HUB_COLUMNS = [
-    "scenario", "region", "hub", "channel", "devices", "interfered",
-    "co_channel_neighbors", "bits_delivered", "packets_delivered",
-    "packets_attempted", "delivery_ratio", "goodput_bps",
-    "client_energy_j", "hub_energy_j", "suspensions", "resumes",
-    "suspended_s", "lp_bits",
-]
-
-
-def deployment_hub_rows(manifest: dict) -> list[list]:
-    """Flatten a merged deployment manifest into per-hub CSV rows,
-    ordered by (region, hub) so the CSV is as deterministic as the
-    manifest itself."""
-    rows = []
-    for region in manifest["regions"]:
-        for hub in sorted(region["hubs"], key=lambda h: h["hub"]):
-            rows.append(
-                [
-                    manifest["scenario"],
-                    region["region"],
-                    hub["hub"],
-                    hub["channel"],
-                    hub["devices"],
-                    int(hub["interfered"]),
-                    hub["co_channel_neighbors"],
-                    hub["bits_delivered"],
-                    hub["packets_delivered"],
-                    hub["packets_attempted"],
-                    hub["delivery_ratio"],
-                    hub["goodput_bps"],
-                    hub["client_energy_j"],
-                    hub["hub_energy_j"],
-                    hub["suspensions"],
-                    hub["resumes"],
-                    hub["suspended_s"],
-                    hub.get("lp_bits", ""),
-                ]
-            )
-    return rows
-
-
-def export_deploy(
-    directory: Path, campaign: "CampaignConfig | None" = None
-) -> Path:
-    """Per-hub metrics of the ``smoke`` deployment scenario (the tiny
-    catalog entry, so ``export all`` stays fast); the merged deployment
-    manifest lands next to the CSV.  Use ``python -m repro deploy`` for
-    the larger scenarios."""
-    from ..deploy import run_deployment, scenario, write_manifest
-
-    run = run_deployment(scenario("smoke"), campaign)
-    write_manifest(directory / "deploy_smoke_manifest.json", run.manifest)
-    return _write_rows(
-        directory / "deploy_hubs.csv",
-        DEPLOY_HUB_COLUMNS,
-        deployment_hub_rows(run.manifest),
-    )
-
-
-#: Experiment ids whose exporter fans work through the campaign engine
-#: (accepts a ``campaign=`` CampaignConfig keyword).
-CAMPAIGN_AWARE: frozenset[str] = frozenset(
-    {"fig15", "fig16", "fig17", "fig18", "deploy"}
-)
-
-#: Experiment ids whose exporter accepts a ``backend=`` keyword choosing
-#: between the vectorized batch engine and the scalar oracle.  ``deploy``
-#: is campaign-aware but not grid-shaped, so it is deliberately absent.
-BACKEND_AWARE: frozenset[str] = frozenset(
-    {"fig12", "fig13", "fig15", "fig16", "fig17", "fig18"}
-)
-
-#: Experiment id -> exporter, the registry the CLI dispatches on.
-EXPORTERS: dict[str, Callable[[Path], Path]] = {
-    "fig1": export_fig1,
-    "table1": export_table1,
-    "table2": export_table2,
-    "fig3": export_fig3,
-    "fig4": export_fig4,
-    "fig6": export_fig6,
-    "fig12": export_fig12,
-    "fig13": export_fig13,
-    "fig14": export_fig14,
-    "table5": export_table5,
-    "fig15": export_fig15,
-    "fig16": export_fig16,
-    "fig17": export_fig17,
-    "fig18": export_fig18,
-    "energy": export_energy,
-    "faults": export_faults,
-    "deploy": export_deploy,
-}
 
 
 def write_campaign_manifest(
@@ -331,25 +90,3 @@ def write_campaign_manifest(
         json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return merged
-
-
-def export_all(
-    directory: Path,
-    campaign: "CampaignConfig | None" = None,
-    backend: str = "auto",
-) -> list[Path]:
-    """Write every experiment's CSV into ``directory``.
-
-    ``campaign`` (worker count, cache directory) applies to the
-    campaign-aware exporters, ``backend`` to the grid-shaped ones; the
-    rest run inline as always.
-    """
-    paths = []
-    for name, exporter in EXPORTERS.items():
-        kwargs: dict = {}
-        if name in CAMPAIGN_AWARE:
-            kwargs["campaign"] = campaign
-        if name in BACKEND_AWARE:
-            kwargs["backend"] = backend
-        paths.append(exporter(directory, **kwargs))
-    return paths

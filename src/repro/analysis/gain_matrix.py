@@ -130,29 +130,6 @@ def _matrix_via_grid_job(
     return np.array(result.metrics[0]["gains"], dtype=float)
 
 
-def _resolve_matrix_backend(
-    backend: str, link_map: LinkMap | None, campaign: "CampaignConfig | None"
-) -> str:
-    """Backend resolution for the matrix sweeps.
-
-    ``"auto"`` prefers the vectorized grid, but an explicit campaign
-    config keeps the per-cell scalar engine (each cell stays an
-    individually cacheable/resumable job); force ``"vectorized"`` to
-    submit the grid as a single campaign job instead.  A custom
-    ``link_map`` always requires the scalar oracle.
-    """
-    from ..batch import resolve_backend
-
-    vectorized_ok = link_map is None
-    if backend == "auto" and campaign is not None:
-        return "scalar"
-    return resolve_backend(
-        backend,
-        vectorized_ok=vectorized_ok,
-        reason="a custom link_map requires the scalar oracle",
-    )
-
-
 def _matrix_gains(
     job_kind: str,
     distance_m: float,
@@ -162,7 +139,17 @@ def _matrix_gains(
     backend: str,
     cell: Callable[[float, float], float],
 ) -> np.ndarray:
-    resolved = _resolve_matrix_backend(backend, link_map, campaign)
+    # One policy for every sweep (repro.experiments.backends): "auto"
+    # prefers the vectorized grid, an explicit campaign keeps per-cell
+    # scalar jobs, a custom link_map requires the scalar oracle.
+    from ..experiments.backends import resolve_execution
+
+    resolved = resolve_execution(
+        backend,
+        vectorized_ok=link_map is None,
+        campaign=campaign,
+        reason="a custom link_map requires the scalar oracle",
+    )
     if resolved == "vectorized":
         if campaign is not None and _campaign_eligible(devices, link_map):
             return _matrix_via_grid_job(job_kind, distance_m, devices, campaign)

@@ -95,11 +95,11 @@ def reader_power_sweep(
     397x.  The default backend solves every override in one vectorized
     pass (bit-identical to the scalar per-override loop).
     """
-    from ..batch import resolve_backend
+    from ..experiments.backends import resolve_execution
 
     if reader_powers_w is None:
         reader_powers_w = np.array([0.040, 0.054, 0.080, 0.100, 0.129, 0.200])
-    if resolve_backend(backend, vectorized_ok=True) == "scalar":
+    if resolve_execution(backend) == "scalar":
         return [
             (float(p), corner_gain(PowerOverrides(backscatter_rx_w=float(p))))
             for p in reader_powers_w
@@ -150,11 +150,11 @@ def bluetooth_power_sweep(
     is fixed); the corner moves with it too.  This is the sensitivity that
     pins our 56.34 mW choice to the published 1.43x diagonal.
     """
-    from ..batch import resolve_backend
+    from ..experiments.backends import resolve_execution
 
     if bluetooth_powers_w is None:
         bluetooth_powers_w = np.array([0.055, 0.0563, 0.060, 0.063, 0.067])
-    if resolve_backend(backend, vectorized_ok=True) == "scalar":
+    if resolve_execution(backend) == "scalar":
         rows = []
         for p in bluetooth_powers_w:
             overrides = PowerOverrides(bluetooth_w=float(p))

@@ -6,38 +6,17 @@ Every sweep entry point accepts ``backend="auto" | "vectorized" | "scalar"``:
 * ``"vectorized"`` — the numpy grid kernels; raises when the request
   cannot be expressed by them (custom ``link_map``, subclassed budgets);
 * ``"auto"`` — vectorized when eligible, silent scalar fallback otherwise.
+
+The resolution policy itself lives in exactly one module —
+:mod:`repro.experiments.backends` (DESIGN.md §13); this module keeps the
+historical ``repro.batch`` import surface working.
 """
 
 from __future__ import annotations
 
-#: Valid values of every ``backend=`` parameter.
-BACKENDS = ("auto", "vectorized", "scalar")
+from ..experiments.backends import (
+    BACKENDS as BACKENDS,
+    resolve_backend as resolve_backend,
+)
 
-
-def resolve_backend(backend: str, *, vectorized_ok: bool, reason: str = "") -> str:
-    """Resolve a user-facing backend choice to ``"vectorized"`` or ``"scalar"``.
-
-    Args:
-        backend: one of :data:`BACKENDS`.
-        vectorized_ok: whether the vectorized kernels can express this
-            request.
-        reason: human-readable explanation of why they cannot (used in the
-            error when ``backend="vectorized"`` is forced anyway).
-
-    Raises:
-        ValueError: for an unknown backend name, or for an explicit
-            ``"vectorized"`` request that the kernels cannot honour.
-    """
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
-    if backend == "auto":
-        return "vectorized" if vectorized_ok else "scalar"
-    if backend == "vectorized" and not vectorized_ok:
-        detail = f": {reason}" if reason else ""
-        raise ValueError(
-            f"vectorized backend cannot express this request{detail}; "
-            f"use backend='scalar' or 'auto'"
-        )
-    return backend
+__all__ = ["BACKENDS", "resolve_backend"]

@@ -1,0 +1,86 @@
+"""The one backend-resolution policy for every sweep and exporter.
+
+Before this module existed each sweep carried a private copy of the
+scalar-vs-vectorized decision (``_resolve_matrix_backend`` in
+``gain_matrix``, ``_resolve_sweep_backend`` in ``distance_sweep``, inline
+``resolve_backend`` calls in ``ber_sweep`` / ``sensitivity``).  They all
+encoded the same two rules, so the policy now lives here — one place to
+later route the remaining scalar corners (fading budgets, custom link
+maps, the LP joint solve) through the grid kernels:
+
+* ``"auto"`` prefers the vectorized batch engine wherever the kernels can
+  express the request (``vectorized_ok``) and silently falls back to the
+  scalar oracle otherwise; an explicit ``"vectorized"`` request that the
+  kernels cannot honour raises instead.
+* an explicit campaign config keeps ``"auto"`` on the scalar per-cell
+  engine: each cell stays an individually cacheable/resumable job.
+  Forcing ``"vectorized"`` submits whole grids as single campaign jobs.
+
+:mod:`repro.batch` re-exports :data:`BACKENDS` / :func:`resolve_backend`
+for its callers; the policy itself is defined only here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..runtime import CampaignConfig
+
+#: User-facing backend choices, in CLI display order.
+BACKENDS: tuple[str, ...] = ("auto", "vectorized", "scalar")
+
+
+def resolve_backend(
+    backend: str, *, vectorized_ok: bool, reason: str = ""
+) -> str:
+    """Resolve a user-facing backend choice to ``"vectorized"`` or
+    ``"scalar"``.
+
+    Args:
+        backend: one of :data:`BACKENDS`.
+        vectorized_ok: whether the vectorized kernels can express this
+            request.
+        reason: human-readable explanation of why they cannot (used in the
+            error when ``backend="vectorized"`` is forced anyway).
+
+    Raises:
+        ValueError: for an unknown backend name, or for an explicit
+            ``"vectorized"`` request that the kernels cannot honour.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "vectorized" if vectorized_ok else "scalar"
+    if backend == "vectorized" and not vectorized_ok:
+        detail = f": {reason}" if reason else ""
+        raise ValueError(
+            f"vectorized backend cannot express this request{detail}; "
+            f"use backend='scalar' or 'auto'"
+        )
+    return backend
+
+
+def resolve_execution(
+    backend: str,
+    *,
+    vectorized_ok: bool = True,
+    campaign: "CampaignConfig | None" = None,
+    reason: str = "",
+) -> str:
+    """:func:`resolve_backend` plus the campaign-aware ``auto`` rule.
+
+    With an explicit ``campaign`` config, ``"auto"`` resolves to
+    ``"scalar"`` so every grid cell remains an individually
+    cacheable/resumable engine job; ``"vectorized"`` must be requested
+    explicitly to collapse the grid into one whole-array campaign job.
+    Without a campaign this is exactly :func:`resolve_backend`.
+
+    Raises:
+        ValueError: under the same conditions as :func:`resolve_backend`.
+    """
+    if backend == "auto" and campaign is not None:
+        return "scalar"
+    return resolve_backend(backend, vectorized_ok=vectorized_ok, reason=reason)

@@ -31,7 +31,6 @@ from .journal import (
 from .progress import CampaignProgress, RunManifest
 from .seeding import campaign_seed_sequence, job_rng, job_seed_sequence
 from .workloads import (
-    CAMPAIGN_EXPERIMENTS,
     batch_distance_spec,
     batch_matrix_spec,
     campaign_specs,
@@ -40,7 +39,6 @@ from .workloads import (
 )
 
 __all__ = [
-    "CAMPAIGN_EXPERIMENTS",
     "CampaignConfig",
     "CampaignError",
     "CampaignJournal",

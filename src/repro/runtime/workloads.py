@@ -362,62 +362,29 @@ def batch_distance_spec(
     )
 
 
-#: Experiment ids the ``campaign`` CLI can run through the engine.
-CAMPAIGN_EXPERIMENTS = (
-    "fig15", "fig16", "fig17", "fig18", "mc-ber", "energy", "faults"
-)
-
-
 def campaign_specs(experiment: str, backend: str = "scalar") -> list[JobSpec]:
     """The job list behind one campaign-able experiment id.
 
-    ``backend="vectorized"`` collapses the gain sweeps (fig15-18) into
-    whole-grid ``batch.grid`` jobs — one per matrix, one per directed
-    curve — instead of one job per cell.  Other experiments ignore the
-    backend (their jobs are not grid-shaped).
+    The decomposition is the experiment's registered
+    :data:`~repro.experiments.registry.CampaignHook`
+    (:mod:`repro.experiments.catalog`); ``backend="vectorized"``
+    collapses the gain sweeps (fig15-18) into whole-grid ``batch.grid``
+    jobs — one per matrix, one per directed curve — instead of one job
+    per cell.  Other experiments ignore the backend (their jobs are not
+    grid-shaped).
 
     Raises:
         ValueError: for ids with no campaign decomposition.
     """
-    vectorized = backend == "vectorized"
-    if experiment == "fig15":
-        if vectorized:
-            return [batch_matrix_spec("gain.bluetooth")]
-        return gain_matrix_specs("gain.bluetooth")
-    if experiment == "fig16":
-        if vectorized:
-            return [batch_matrix_spec("gain.best_mode")]
-        return gain_matrix_specs("gain.best_mode")
-    if experiment == "fig17":
-        if vectorized:
-            return [batch_matrix_spec("gain.bidirectional")]
-        return gain_matrix_specs("gain.bidirectional")
-    if experiment == "fig18":
-        from ..analysis.distance_sweep import PAPER_PAIRS
+    from ..experiments import campaignable_ids, get
 
-        distances = np.linspace(0.3, 6.0, 39)
-        specs: list[JobSpec] = []
-        for a, b in PAPER_PAIRS:
-            if vectorized:
-                specs.append(batch_distance_spec(a, b, distances))
-                specs.append(batch_distance_spec(b, a, distances))
-            else:
-                specs.extend(distance_curve_specs(a, b, distances))
-                specs.extend(distance_curve_specs(b, a, distances))
-        return specs
-    if experiment == "energy":
-        return energy_breakdown_specs()
-    if experiment == "faults":
-        return fault_profile_specs()
-    if experiment == "mc-ber":
-        return [
-            JobSpec.with_params(
-                "ber.montecarlo",
-                {"snr_db": f"{snr_db:.1f}", "n_bits": 20000},
-            )
-            for snr_db in np.arange(4.0, 16.5, 0.5)
-        ]
-    raise ValueError(
-        f"no campaign decomposition for {experiment!r} "
-        f"(supported: {', '.join(CAMPAIGN_EXPERIMENTS)})"
-    )
+    try:
+        defn = get(experiment)
+    except KeyError:
+        defn = None
+    if defn is None or defn.campaign is None:
+        raise ValueError(
+            f"no campaign decomposition for {experiment!r} "
+            f"(supported: {', '.join(campaignable_ids())})"
+        )
+    return defn.campaign(backend)

@@ -7,7 +7,7 @@ import os
 import pytest
 
 from repro.__main__ import main
-from repro.analysis.export import CAMPAIGN_AWARE, EXPORTERS
+from repro.experiments import all_experiments, get
 from repro.runtime.jobs import JobSpec, register_job_runner
 
 
@@ -19,7 +19,7 @@ def _cli_fail(spec, rng):
 class TestShowFallback:
     @pytest.mark.parametrize("experiment", ["fig1", "fig3", "fig6", "fig12"])
     def test_every_advertised_id_renders(self, experiment, capsys):
-        # Regression: argparse advertises every EXPORTERS id as a choice,
+        # Regression: argparse advertises every showable id as a choice,
         # so each one must actually render instead of exiting with 2.
         assert main(["show", experiment]) == 0
         assert capsys.readouterr().out.strip()
@@ -71,8 +71,11 @@ class TestExportCampaignFlags:
         ]) == 0
         assert not list(cache_dir.glob("*.json")) if cache_dir.exists() else True
 
-    def test_campaign_aware_set_matches_exporters(self):
-        assert CAMPAIGN_AWARE <= set(EXPORTERS)
+    def test_campaign_aware_experiments_are_exportable(self):
+        aware = {d.id for d in all_experiments() if d.campaign_aware}
+        exportable = {d.id for d in all_experiments() if d.exportable}
+        assert aware <= exportable
+        assert get("fig15").campaign_aware
 
 
 class TestCampaignCommand:

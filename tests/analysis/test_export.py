@@ -1,22 +1,23 @@
-"""Unit tests for the CSV exporters and the CLI runner."""
+"""Unit tests for the registry-backed CSV exporters and the CLI runner."""
 
 import csv
 
 import pytest
 
-from repro.analysis.export import EXPORTERS, export_all, export_fig15
+from repro.analysis.export import export_all, export_experiment
+from repro.experiments import exportable_ids
 
 
 class TestExporters:
     def test_registry_covers_every_experiment(self):
-        assert set(EXPORTERS) == {
+        assert set(exportable_ids()) == {
             "fig1", "table1", "table2", "fig3", "fig4", "fig6", "fig12",
             "fig13", "fig14", "table5", "fig15", "fig16", "fig17", "fig18",
             "energy", "faults", "deploy",
         }
 
     def test_fig15_csv_roundtrip(self, tmp_path):
-        path = export_fig15(tmp_path)
+        path = export_experiment("fig15", tmp_path)
         with path.open() as handle:
             rows = list(csv.reader(handle))
         assert len(rows) == 11  # header + 10 devices
@@ -26,7 +27,7 @@ class TestExporters:
 
     @pytest.mark.parametrize("name", ["fig1", "table5", "fig14", "fig6"])
     def test_light_exporters_produce_csv(self, tmp_path, name):
-        path = EXPORTERS[name](tmp_path)
+        path = export_experiment(name, tmp_path)
         assert path.exists()
         with path.open() as handle:
             rows = list(csv.reader(handle))
@@ -34,9 +35,13 @@ class TestExporters:
 
     def test_export_all_writes_every_file(self, tmp_path):
         paths = export_all(tmp_path)
-        assert len(paths) == len(EXPORTERS)
+        assert len(paths) == len(exportable_ids())
         for path in paths:
             assert path.exists() and path.stat().st_size > 0
+
+    def test_unknown_experiment_raises_with_known_ids(self, tmp_path):
+        with pytest.raises(KeyError, match="fig15"):
+            export_experiment("fig99", tmp_path)
 
 
 class TestCli:
@@ -46,6 +51,20 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig15" in out and "table5" in out
+
+    def test_list_is_a_capability_table(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        header, *rows = out.splitlines()
+        for column in ("experiment", "kind", "campaign", "backend",
+                       "profile", "exports"):
+            assert column in header
+        by_id = {line.split()[0]: line for line in rows}
+        assert "fig15_gain_matrix.csv" in by_id["fig15"]
+        assert " yes " in by_id["fig15"]  # campaign-able
+        assert "sweep-gain-matrix" in by_id
 
     def test_show_table1(self, capsys):
         from repro.__main__ import main
@@ -70,3 +89,13 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["export", "fig99", str(tmp_path)])
+
+    def test_rejects_unknown_campaign_experiment(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "fig99"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign experiment 'fig99'" in err
+        assert "fig15" in err

@@ -89,9 +89,9 @@ class TestDeterminism:
 
 class TestExporter:
     def test_deploy_csv_and_manifest_written(self, tmp_path):
-        from repro.analysis.export import export_deploy
+        from repro.analysis.export import export_experiment
 
-        path = export_deploy(tmp_path)
+        path = export_experiment("deploy", tmp_path)
         lines = path.read_text().strip().splitlines()
         header = lines[0].split(",")
         assert header[:4] == ["scenario", "region", "hub", "channel"]

@@ -50,14 +50,15 @@ class TestBreakdownRows:
         assert rows[0][2] == DEFAULT_DEVICES[0]
 
     def test_exporter_writes_csv(self, tmp_path, monkeypatch):
-        from repro.analysis import export as export_module
+        import repro.analysis.energy_report as report_module
+        from repro.analysis.export import export_experiment
 
         monkeypatch.setattr(
-            export_module,
+            report_module,
             "breakdown_rows",
             lambda: breakdown_rows(profiles=("braidio",), packets=100),
         )
-        path = export_module.export_energy(tmp_path)
+        path = export_experiment("energy", tmp_path)
         with path.open() as handle:
             read = list(csv.reader(handle))
         assert read[0][0] == "experiment"

@@ -196,9 +196,9 @@ class TestSurfacing:
         assert "retransmit_energy_j" in out
 
     def test_faults_exporter_writes_profile_rows(self, tmp_path):
-        from repro.analysis.export import EXPORTERS
+        from repro.analysis.export import export_experiment
 
-        path = EXPORTERS["faults"](tmp_path)
+        path = export_experiment("faults", tmp_path)
         assert path.name == "fault_recovery.csv"
         with path.open() as handle:
             rows = list(csv.reader(handle))

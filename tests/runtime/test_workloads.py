@@ -10,8 +10,8 @@ from repro.analysis.gain_matrix import bluetooth_gain_matrix
 from repro.core.regimes import LinkMap
 from repro.runtime.executor import CampaignConfig, run_campaign
 from repro.runtime.jobs import JobSpec
+from repro.experiments import campaignable_ids
 from repro.runtime.workloads import (
-    CAMPAIGN_EXPERIMENTS,
     campaign_specs,
     distance_curve_specs,
     gain_matrix_specs,
@@ -29,7 +29,7 @@ class TestSpecBuilders:
         assert [s.distance_m for s in specs] == [0.3, 1.0]
         assert all(s.kind == "gain.distance" for s in specs)
 
-    @pytest.mark.parametrize("experiment", CAMPAIGN_EXPERIMENTS)
+    @pytest.mark.parametrize("experiment", campaignable_ids())
     def test_every_campaign_experiment_builds(self, experiment):
         specs = campaign_specs(experiment)
         assert specs
