@@ -9,6 +9,9 @@ Usage::
     python -m repro export fig15 out/ --jobs 4 --cache-dir .cache/
     python -m repro campaign fig15 fig18 --jobs 4   # engine-only run
     python -m repro campaign all --cache-dir .cache --resume  # crash-safe continuation
+    python -m repro campaign mc-ber --cache-dir .cache \
+        --shards 8 --workers 4                      # journal-leased shard fleet
+    python -m repro deploy city-10k --cache-dir .cache --workers 4  # sharded regions
     python -m repro export fig15 out/ --backend scalar  # force the oracle
     python -m repro campaign fig15 --backend vectorized # whole-grid jobs
     python -m repro profile fig18 --top 30          # cProfile an experiment
@@ -167,10 +170,40 @@ def _campaign_experiment_id(value: str) -> str:
     )
 
 
+def _shard_config(args: argparse.Namespace):
+    """Resolve ``--shards/--workers/--lease-s`` into a :class:`ShardConfig`,
+    or ``None`` when neither sharding flag was given."""
+    import os
+
+    from .runtime import ShardConfig
+
+    if args.shards is None and args.workers is None:
+        return None
+    workers = args.workers or min(args.shards, os.cpu_count() or 1)
+    shards = args.shards or 2 * workers
+    return ShardConfig(shards=shards, workers=workers, lease_s=args.lease_s)
+
+
+def _shard_progress_printer():
+    """Periodic multi-shard board renderer for interactive runs."""
+    import time
+
+    last = [0.0]
+
+    def on_progress(board) -> None:
+        now = time.monotonic()
+        if now - last[0] >= 1.0:
+            last[0] = now
+            print(board.render(), file=sys.stderr)
+
+    return on_progress
+
+
 def _run_campaign_command(args: argparse.Namespace) -> int:
     from .analysis.export import write_campaign_manifest
     from .experiments import campaignable_ids
-    from .runtime import drain_manifests, run_campaign
+    from .runtime import drain_manifests, run_campaign, write_results_manifest
+    from .runtime.shard import run_sharded_campaign
     from .runtime.workloads import campaign_specs
 
     if args.resume and args.cache_dir is None:
@@ -180,22 +213,54 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    shard_config = _shard_config(args)
+    if shard_config is not None and args.cache_dir is None:
+        print(
+            "error: --shards/--workers need --cache-dir (worker processes "
+            "exchange results through the checksum-verified cache)",
+            file=sys.stderr,
+        )
+        return 2
     experiments = args.experiments or ["all"]
     if "all" in experiments:
         experiments = list(campaignable_ids())
+    if args.results is not None and len(experiments) != 1:
+        print(
+            "error: --results records exactly one experiment's outcomes "
+            f"(got {len(experiments)})",
+            file=sys.stderr,
+        )
+        return 2
     config = _campaign_config(args, seed=args.seed)
     drain_manifests()
     failed = 0
     for experiment in experiments:
-        result = run_campaign(
-            campaign_specs(experiment, backend=args.backend), config
-        )
+        specs = campaign_specs(experiment, backend=args.backend)
+        if shard_config is not None:
+            on_progress = (
+                _shard_progress_printer() if sys.stderr.isatty() else None
+            )
+            result = run_sharded_campaign(
+                specs, config, shard_config, on_progress=on_progress
+            )
+        else:
+            result = run_campaign(specs, config)
+        if args.results is not None:
+            write_results_manifest(args.results, result)
+            print(f"results manifest written to {args.results}", file=sys.stderr)
         failed += len(result.failures)
         manifest = result.manifest
         resumed = f", {manifest.resumed} resumed" if manifest.resumed else ""
+        sharded = (
+            f", {manifest.shards} shards/{manifest.workers} workers"
+            f"/{manifest.steals} steals"
+            if manifest.shards
+            else ""
+        )
         print(
             f"{experiment}: {manifest.total} jobs, {manifest.completed} run, "
-            f"{manifest.cached} cached, {manifest.failed} failed{resumed}, "
+            f"{manifest.cached} cached, {manifest.failed} failed{resumed}"
+            f"{sharded}, "
             f"{manifest.wall_time_s:.2f}s ({manifest.jobs_per_s:.0f} jobs/s)"
         )
         if (
@@ -263,6 +328,14 @@ def _run_deploy_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    shard_config = _shard_config(args)
+    if shard_config is not None and args.cache_dir is None:
+        print(
+            "error: --shards/--workers need --cache-dir (worker processes "
+            "exchange results through the checksum-verified cache)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = _resolve_scenario(args.scenario, args.seed)
     except FileNotFoundError as error:
@@ -270,18 +343,26 @@ def _run_deploy_command(args: argparse.Namespace) -> int:
         return 2
     config = _campaign_config(args, seed=spec.seed)
     try:
-        run = run_deployment(spec, config, resume=args.resume)
+        run = run_deployment(
+            spec, config, resume=args.resume, shard_config=shard_config
+        )
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     manifest = run.manifest
     engine = run.campaign.manifest
     resumed = f", {engine.resumed} resumed" if engine.resumed else ""
+    sharded = (
+        f", {engine.shards} shards/{engine.workers} workers"
+        f"/{engine.steals} steals"
+        if engine.shards
+        else ""
+    )
     print(
         f"{spec.name}: {manifest['hub_count']} hubs, "
         f"{manifest['device_count']} devices in "
         f"{manifest['region_count']} regions "
-        f"({engine.completed} run, {engine.cached} cached{resumed}) "
+        f"({engine.completed} run, {engine.cached} cached{resumed}{sharded}) "
         f"in {engine.wall_time_s:.2f}s"
     )
     print(
@@ -324,6 +405,24 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
         "'scalar' forces the per-cell reference path, 'auto' (default) "
         "picks vectorized wherever valid and falls back to scalar "
         "otherwise (custom link maps; per-cell campaign jobs)",
+    )
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="K",
+        help="partition the campaign fingerprint-space into K journal-"
+        "leased shards (default: 2x the worker count); needs --cache-dir",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="spawn N shard-worker processes that lease, run and steal "
+        "shards (default: min(shards, CPUs)); needs --cache-dir",
+    )
+    parser.add_argument(
+        "--lease-s", type=float, default=30.0, metavar="S",
+        help="shard lease duration in seconds; a lease this stale is "
+        "stealable by a surviving worker (default 30)",
     )
 
 
@@ -441,8 +540,29 @@ def main(argv: list[str] | None = None) -> int:
         "--max-failures", type=_positive_int, default=None, metavar="N",
         help="abort the campaign (non-zero exit) once N jobs have failed",
     )
+    campaign.add_argument(
+        "--results", type=Path, default=None, metavar="PATH",
+        help="write the canonical results manifest JSON to PATH "
+        "(byte-identical across serial, sharded and resumed runs of the "
+        "same campaign; exactly one experiment)",
+    )
     _add_campaign_flags(campaign)
+    _add_shard_flags(campaign)
     _add_backend_flag(campaign)
+    shard_worker = subparsers.add_parser(
+        "shard-worker",
+        help="internal: one shard-worker process (spawned by "
+        "campaign/deploy --workers; leases shards from the plan's "
+        "journals until none remain)",
+    )
+    shard_worker.add_argument(
+        "--plan", type=Path, required=True, metavar="PATH",
+        help="shard plan JSON written by the coordinator",
+    )
+    shard_worker.add_argument(
+        "--worker-id", required=True, metavar="NAME",
+        help="stable worker identity recorded in lease records",
+    )
     deploy = subparsers.add_parser(
         "deploy",
         help="simulate a city-scale deployment scenario: partition into "
@@ -476,6 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         "re-simulate only regions without a verified result",
     )
     _add_campaign_flags(deploy)
+    _add_shard_flags(deploy)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -499,6 +620,10 @@ def main(argv: list[str] | None = None) -> int:
         return _faults(args)
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "shard-worker":
+        from .runtime import run_shard_worker
+
+        return run_shard_worker(args.plan, args.worker_id)
     if args.command == "deploy":
         return _run_deploy_command(args)
 

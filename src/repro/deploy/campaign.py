@@ -20,9 +20,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..runtime.executor import CampaignConfig, CampaignResult, run_campaign
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.shard import ShardConfig
 from ..runtime.jobs import JobSpec
 from .partition import DeploymentPartition, partition
 from .spec import DEPLOY_SCHEMA_VERSION, DeploymentSpec
@@ -142,8 +145,15 @@ def run_deployment(
     spec: DeploymentSpec,
     config: "CampaignConfig | None" = None,
     resume: "bool | None" = None,
+    shard_config: "ShardConfig | None" = None,
 ) -> DeploymentRun:
     """Partition, fan out, simulate and merge one scenario.
+
+    With ``shard_config`` the region jobs fan through the sharded
+    multi-worker path (:func:`repro.runtime.shard.run_sharded_campaign`)
+    instead of the in-process pool: region results flow between worker
+    processes through the checksum-verified cache, and the merged
+    deployment manifest is byte-identical either way.
 
     Raises:
         CampaignError: if any region job ultimately failed.
@@ -152,7 +162,12 @@ def run_deployment(
     specs = region_job_specs(spec, part)
     if config is None:
         config = CampaignConfig()
-    result = run_campaign(specs, config, resume=resume).raise_on_failure()
+    if shard_config is not None:
+        from ..runtime.shard import run_sharded_campaign
+
+        result = run_sharded_campaign(specs, config, shard_config).raise_on_failure()
+    else:
+        result = run_campaign(specs, config, resume=resume).raise_on_failure()
     reports = [outcome.metrics for outcome in result.outcomes]
     manifest = merge_region_reports(spec, part, reports)  # type: ignore[arg-type]
     return DeploymentRun(

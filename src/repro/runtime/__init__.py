@@ -28,8 +28,18 @@ from .journal import (
     metrics_checksum,
     replay_journal,
 )
-from .progress import CampaignProgress, RunManifest
+from .progress import CampaignProgress, RunManifest, ShardBoard, ShardSnapshot
 from .seeding import campaign_seed_sequence, job_rng, job_seed_sequence
+from .shard import (
+    ShardConfig,
+    ShardPlan,
+    partition_shards,
+    replay_shard_journal,
+    results_manifest,
+    run_shard_worker,
+    run_sharded_campaign,
+    write_results_manifest,
+)
 from .workloads import (
     batch_distance_spec,
     batch_matrix_spec,
@@ -49,6 +59,10 @@ __all__ = [
     "JournalReplay",
     "ResultCache",
     "RunManifest",
+    "ShardBoard",
+    "ShardConfig",
+    "ShardPlan",
+    "ShardSnapshot",
     "batch_distance_spec",
     "batch_matrix_spec",
     "calibration_fingerprint",
@@ -63,8 +77,14 @@ __all__ = [
     "job_runner",
     "job_seed_sequence",
     "metrics_checksum",
+    "partition_shards",
     "register_job_runner",
     "registered_kinds",
     "replay_journal",
+    "replay_shard_journal",
+    "results_manifest",
     "run_campaign",
+    "run_shard_worker",
+    "run_sharded_campaign",
+    "write_results_manifest",
 ]

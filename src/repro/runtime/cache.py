@@ -11,8 +11,12 @@ Layout::
     <cache_dir>/
         <job fingerprint>.json
         quarantine/
-            <job fingerprint>.json            # the corrupt entry, moved
-            <job fingerprint>.reason.json     # structured diagnosis
+            <job fingerprint>.<pid>-<nonce>.json         # the corrupt entry, moved
+            <job fingerprint>.<pid>-<nonce>.reason.json  # structured diagnosis
+
+The ``<pid>-<nonce>`` suffix keeps concurrent workers that diagnose the
+same corrupt entry from colliding on the quarantine target or clobbering
+each other's reason files.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
 worker never leaves a truncated entry behind.  Reads *verify*: an entry
@@ -28,6 +32,7 @@ import functools
 import hashlib
 import json
 import os
+import secrets
 import tempfile
 import time
 from pathlib import Path
@@ -110,16 +115,21 @@ class ResultCache:
         quarantine = self.quarantine_directory
         try:
             quarantine.mkdir(parents=True, exist_ok=True)
-            target = quarantine / path.name
+            # Concurrent workers can diagnose the same corrupt entry at
+            # once; a per-writer suffix keeps their quarantined payloads
+            # and reason files from colliding.
+            tag = f"{os.getpid()}-{secrets.token_hex(4)}"
+            target = quarantine / f"{path.stem}.{tag}{path.suffix}"
             os.replace(path, target)
             diagnosis = {
                 "entry": path.name,
+                "quarantined_as": target.name,
                 "reason": reason,
                 "detail": detail,
                 "calibration": self._calibration,
                 "quarantined_at": time.time(),
             }
-            (quarantine / f"{path.stem}.reason.json").write_text(
+            (quarantine / f"{path.stem}.{tag}.reason.json").write_text(
                 json.dumps(diagnosis, indent=1, sort_keys=True) + "\n",
                 encoding="utf-8",
             )

@@ -46,6 +46,7 @@ import signal
 import tempfile
 import threading
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -256,6 +257,43 @@ def drain_manifests() -> list[RunManifest]:
 
 
 # --------------------------------------------------------------------------
+# Failure budget.
+
+
+class _FailureLedger:
+    """Campaign failure budget over *distinct* failed jobs.
+
+    Keyed by job fingerprint so a retried-then-failed job counts once,
+    and seeded from the journal on resume so failures from an earlier
+    interrupted run keep counting toward ``max_failures`` (a resumed
+    campaign must not get a fresh budget).  A job that later succeeds is
+    struck from the ledger.
+    """
+
+    def __init__(
+        self, max_failures: "int | None", prior: "Iterable[str]" = ()
+    ) -> None:
+        self.max_failures = max_failures
+        self.failed: "set[str]" = set(prior)
+
+    def success(self, fingerprint: str) -> None:
+        self.failed.discard(fingerprint)
+
+    def failure(self, fingerprint: str) -> None:
+        self.failed.add(fingerprint)
+
+    @property
+    def breached(self) -> bool:
+        return self.max_failures is not None and len(self.failed) >= self.max_failures
+
+    def abort_message(self) -> str:
+        return (
+            "aborted: campaign failure budget "
+            f"(max_failures={self.max_failures}) exhausted"
+        )
+
+
+# --------------------------------------------------------------------------
 # Signal handling.
 
 
@@ -404,6 +442,13 @@ def run_campaign(
         if replay.campaign and replay.campaign != campaign_fp:
             replay = None  # foreign journal: distrust it entirely
 
+    # Failures journaled by an earlier interrupted run keep counting
+    # toward the budget; a fingerprint is struck once the job succeeds.
+    ledger = _FailureLedger(
+        config.max_failures,
+        prior=replay.failed if replay is not None else (),
+    )
+
     outcomes: dict[int, JobOutcome] = {}
     pending: list[tuple[int, JobSpec]] = []
     for index, spec in enumerate(specs):
@@ -414,11 +459,13 @@ def run_campaign(
                 if hit is not None:
                     outcomes[index] = JobOutcome(spec=spec, status="resumed", metrics=hit)
                     progress.record(spec.kind, "resumed")
+                    ledger.success(spec.fingerprint())
                     continue
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             outcomes[index] = JobOutcome(spec=spec, status="cached", metrics=hit)
             progress.record(spec.kind, "cached")
+            ledger.success(spec.fingerprint())
         else:
             pending.append((index, spec))
 
@@ -432,10 +479,12 @@ def run_campaign(
             leftovers: list = pending
             if pending and config.n_jobs > 1:
                 leftovers = _run_pooled(
-                    pending, config, cache, progress, outcomes, journal
+                    pending, config, cache, progress, outcomes, journal, ledger
                 )
             if leftovers:
-                _run_serial(leftovers, config, cache, progress, outcomes, journal)
+                _run_serial(
+                    leftovers, config, cache, progress, outcomes, journal, ledger
+                )
     except (KeyboardInterrupt, SystemExit) as exc:
         # Journal the interruption and flush the partial manifest so the
         # settled prefix is recoverable, then let the signal win.
@@ -519,6 +568,7 @@ def _settle(
     progress: CampaignProgress,
     outcomes: dict[int, JobOutcome],
     journal: "CampaignJournal | None" = None,
+    ledger: "_FailureLedger | None" = None,
 ) -> None:
     if status == "ok":
         metrics = payload if isinstance(payload, dict) else {"value": payload}
@@ -526,6 +576,8 @@ def _settle(
             cache.put(spec, metrics)
         if journal is not None:
             journal.done(spec, metrics_checksum(metrics))
+        if ledger is not None:
+            ledger.success(spec.fingerprint())
         outcomes[index] = JobOutcome(
             spec=spec,
             status="completed",
@@ -538,6 +590,8 @@ def _settle(
         error = str(payload)
         if journal is not None:
             journal.failed(spec, error)
+        if ledger is not None:
+            ledger.failure(spec.fingerprint())
         outcomes[index] = JobOutcome(
             spec=spec,
             status="failed",
@@ -547,6 +601,21 @@ def _settle(
             duration_s=duration_s,
         )
         progress.record(spec.kind, "failed", retries=max(attempts - 1, 0))
+
+
+def _remove_heartbeat_dir(path: Path) -> None:
+    """Remove a heartbeat directory after its writers are gone.
+
+    A worker caught between the sweep's scandir and the final rmdir can
+    still drop a last ``.hb`` file; retry briefly so the tree never
+    outlives the campaign.
+    """
+    for _ in range(5):
+        shutil.rmtree(path, ignore_errors=True)
+        if not path.exists():
+            return
+        time.sleep(0.02)
+    shutil.rmtree(path, ignore_errors=True)
 
 
 def _heartbeat_snapshot(heartbeat_dir: Path) -> "dict[str, int]":
@@ -592,6 +661,7 @@ def _run_pooled(
     progress: CampaignProgress,
     outcomes: dict[int, JobOutcome],
     journal: "CampaignJournal | None" = None,
+    ledger: "_FailureLedger | None" = None,
 ) -> list:
     """Dispatch ``pending`` through a supervised process pool.
 
@@ -670,7 +740,7 @@ def _run_pooled(
                         if status == "ok":
                             _settle(
                                 index, spec, "ok", payload, 1, duration, cache,
-                                progress, outcomes, journal,
+                                progress, outcomes, journal, ledger,
                             )
                         else:
                             leftovers.append((index, spec, 1, str(payload)))
@@ -714,15 +784,19 @@ def _run_pooled(
         except BaseException:
             # Interrupt/teardown path: don't leave hung workers alive.
             _terminate_pool(pool)
+            _remove_heartbeat_dir(heartbeat_dir)
             raise
-        finally:
-            shutil.rmtree(heartbeat_dir, ignore_errors=True)
 
         if not hung:
             pool.shutdown(wait=False, cancel_futures=True)
+            _remove_heartbeat_dir(heartbeat_dir)
             return leftovers
 
+        # Workers must be dead before the heartbeat sweep: a live worker
+        # dropping one more ``.hb`` file mid-rmtree would silently leak
+        # the whole directory (ENOTEMPTY swallowed by ignore_errors).
         _terminate_pool(pool)
+        _remove_heartbeat_dir(heartbeat_dir)
         if rebuilds_left > 0 and remaining:
             # Salvage completed futures (already settled above), back off
             # exponentially, and give the unfinished chunks a fresh pool.
@@ -751,14 +825,20 @@ def _run_serial(
     progress: CampaignProgress,
     outcomes: dict[int, JobOutcome],
     journal: "CampaignJournal | None" = None,
+    ledger: "_FailureLedger | None" = None,
 ) -> None:
     """Run jobs in-process with bounded retry and exponential backoff.
 
-    Honors ``config.max_failures``: once the campaign's failure count
-    reaches the bound, every remaining job settles as failed without
-    executing (bounded-failure early abort).
+    Honors ``config.max_failures`` through the failure ledger: once the
+    campaign's *distinct* failed-job count — including failures journaled
+    by an interrupted run this one resumed — reaches the bound, every
+    remaining job settles as failed without executing (bounded-failure
+    early abort).
     """
+    ledger = ledger if ledger is not None else _FailureLedger(config.max_failures)
     abort_error: "str | None" = None
+    if ledger.breached:
+        abort_error = ledger.abort_message()
     for entry in pending:
         index, spec = entry[0], entry[1]
         attempts = entry[2] if len(entry) > 2 else 0
@@ -766,7 +846,7 @@ def _run_serial(
         if abort_error is not None:
             _settle(
                 index, spec, "error", abort_error, attempts, 0.0, cache, progress,
-                outcomes, journal,
+                outcomes, journal, ledger,
             )
             continue
         duration = 0.0
@@ -785,20 +865,14 @@ def _run_serial(
                 duration = time.perf_counter() - started
                 _settle(
                     index, spec, "ok", metrics, attempts, duration, cache, progress,
-                    outcomes, journal,
+                    outcomes, journal, ledger,
                 )
                 settled = True
                 break
         if not settled:
             _settle(
                 index, spec, "error", error, attempts, duration, cache, progress,
-                outcomes, journal,
+                outcomes, journal, ledger,
             )
-            if (
-                config.max_failures is not None
-                and progress.failed >= config.max_failures
-            ):
-                abort_error = (
-                    "aborted: campaign failure budget "
-                    f"(max_failures={config.max_failures}) exhausted"
-                )
+            if ledger.breached:
+                abort_error = ledger.abort_message()

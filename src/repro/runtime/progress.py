@@ -68,6 +68,9 @@ class CampaignProgress:
         campaign: str = "",
         journal: "str | None" = None,
         interrupted: bool = False,
+        shards: int = 0,
+        workers: int = 0,
+        steals: int = 0,
     ) -> "RunManifest":
         """Freeze the counters into a manifest."""
         wall = self.elapsed_s()
@@ -89,6 +92,9 @@ class CampaignProgress:
             campaign=campaign,
             journal=journal,
             interrupted=interrupted,
+            shards=shards,
+            workers=workers,
+            steals=steals,
         )
 
 
@@ -121,6 +127,10 @@ class RunManifest:
         energy: merged ledger category totals (label -> joules) of jobs
             that reported an energy breakdown, or ``None`` when the
             campaign carried none (omitted from the JSON form).
+        shards: shard count of a sharded run (0 = unsharded; the shard
+            fields are then omitted from the JSON form).
+        workers: worker processes of a sharded run.
+        steals: expired leases picked up by a different worker.
     """
 
     total: int
@@ -140,6 +150,9 @@ class RunManifest:
     campaign: str = ""
     journal: "str | None" = None
     interrupted: bool = False
+    shards: int = 0
+    workers: int = 0
+    steals: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """Primitive form, ready for ``json.dumps``."""
@@ -164,6 +177,10 @@ class RunManifest:
             out["journal"] = self.journal
         if self.interrupted:
             out["interrupted"] = True
+        if self.shards:
+            out["shards"] = self.shards
+            out["workers"] = self.workers
+            out["steals"] = self.steals
         if self.energy is not None:
             out["energy"] = self.energy
         return out
@@ -202,6 +219,9 @@ class RunManifest:
         campaigns = {m.campaign for m in manifests if m.campaign}
         journals = {m.journal for m in manifests if m.journal is not None}
         return RunManifest(
+            shards=max(m.shards for m in manifests),
+            workers=max(m.workers for m in manifests),
+            steals=sum(m.steals for m in manifests),
             total=sum(m.total for m in manifests),
             completed=sum(m.completed for m in manifests),
             failed=sum(m.failed for m in manifests),
@@ -220,3 +240,178 @@ class RunManifest:
             interrupted=any(m.interrupted for m in manifests),
             energy=energy,
         )
+
+
+# --------------------------------------------------------------------------
+# Live multi-shard view.
+#
+# The shard coordinator feeds the board a fresh journal replay each poll;
+# the board turns deltas into per-shard throughput and ETA without ever
+# influencing execution — it is telemetry over the journals, so a dead
+# coordinator loses nothing but the pretty table.
+
+
+@dataclass
+class ShardSnapshot:
+    """One shard's instantaneous view, derived from its journal replay.
+
+    Attributes:
+        index: shard number.
+        total: member jobs.
+        done: settled ``done`` records.
+        failed: settled ``failed`` records (not superseded by ``done``).
+        in_flight: dispatched but unsettled jobs.
+        owner: current lease holder ("" when unleased).
+        lease_remaining_s: seconds until the lease expires (<= 0 means
+            stealable).
+        steals: times an expired lease was picked up by another worker.
+        finished: whether the shard journaled its ``end`` record.
+        interrupted: whether the shard journaled an abort.
+        jobs_per_s: smoothed settle throughput observed by the board.
+        eta_s: remaining / throughput, or ``None`` before any progress.
+    """
+
+    index: int
+    total: int
+    done: int = 0
+    failed: int = 0
+    in_flight: int = 0
+    owner: str = ""
+    lease_remaining_s: float = 0.0
+    steals: int = 0
+    finished: bool = False
+    interrupted: bool = False
+    jobs_per_s: float = 0.0
+    eta_s: "float | None" = None
+
+    @property
+    def remaining(self) -> int:
+        """Unsettled member jobs."""
+        return max(0, self.total - self.done - self.failed)
+
+
+@dataclass
+class ShardBoard:
+    """Rolling view of every shard in one sharded campaign.
+
+    ``observe`` folds a journal replay per shard (anything exposing
+    ``done``/``failed``/``dispatched``/``holder``/``deadline``/``steals``
+    /``finished``/``interrupted``) into :class:`ShardSnapshot` rows,
+    smoothing throughput with an exponential moving average so the ETA
+    doesn't whiplash on bursty settles.
+    """
+
+    campaign: str
+    snapshots: "list[ShardSnapshot]" = field(default_factory=list)
+    _last_seen: "dict[int, tuple[float, int]]" = field(
+        default_factory=dict, repr=False
+    )
+    _rates: "dict[int, float]" = field(default_factory=dict, repr=False)
+
+    #: EMA smoothing factor for the per-shard settle rate.
+    SMOOTHING = 0.4
+
+    @classmethod
+    def from_plan(cls, campaign: str, shard_sizes: "list[int]") -> "ShardBoard":
+        """A board with one pristine snapshot per planned shard."""
+        return cls(
+            campaign=campaign,
+            snapshots=[
+                ShardSnapshot(index=i, total=size)
+                for i, size in enumerate(shard_sizes)
+            ],
+        )
+
+    def observe(self, states: "dict[int, object]", now: float) -> None:
+        """Fold fresh journal replays into the snapshots."""
+        for snapshot in self.snapshots:
+            state = states.get(snapshot.index)
+            if state is None:
+                continue
+            done = len(state.done)  # type: ignore[attr-defined]
+            failed = len(state.failed)  # type: ignore[attr-defined]
+            settled = done + failed
+            last = self._last_seen.get(snapshot.index)
+            if last is not None:
+                dt = now - last[0]
+                if dt > 0.0 and settled >= last[1]:
+                    inst = (settled - last[1]) / dt
+                    prev = self._rates.get(snapshot.index, 0.0)
+                    self._rates[snapshot.index] = (
+                        inst if prev == 0.0
+                        else prev + self.SMOOTHING * (inst - prev)
+                    )
+            self._last_seen[snapshot.index] = (now, settled)
+            rate = self._rates.get(snapshot.index, 0.0)
+            snapshot.done = done
+            snapshot.failed = failed
+            snapshot.in_flight = len(
+                state.dispatched  # type: ignore[attr-defined]
+                - set(state.done)  # type: ignore[attr-defined]
+                - set(state.failed)  # type: ignore[attr-defined]
+            )
+            snapshot.owner = state.holder or ""  # type: ignore[attr-defined]
+            snapshot.lease_remaining_s = (
+                state.deadline - now  # type: ignore[attr-defined]
+                if state.holder is not None  # type: ignore[attr-defined]
+                else 0.0
+            )
+            snapshot.steals = state.steals  # type: ignore[attr-defined]
+            snapshot.finished = state.finished  # type: ignore[attr-defined]
+            snapshot.interrupted = state.interrupted  # type: ignore[attr-defined]
+            snapshot.jobs_per_s = rate
+            snapshot.eta_s = (
+                snapshot.remaining / rate if rate > 0.0 and snapshot.remaining
+                else (0.0 if snapshot.remaining == 0 else None)
+            )
+
+    @property
+    def settled(self) -> int:
+        """Settled jobs across every shard."""
+        return sum(s.done + s.failed for s in self.snapshots)
+
+    @property
+    def total(self) -> int:
+        """Member jobs across every shard."""
+        return sum(s.total for s in self.snapshots)
+
+    @property
+    def steals(self) -> int:
+        """Steals across every shard."""
+        return sum(s.steals for s in self.snapshots)
+
+    @property
+    def finished(self) -> bool:
+        """Whether every shard journaled its ``end`` record."""
+        return all(s.finished for s in self.snapshots)
+
+    def render(self) -> str:
+        """Fixed-width table: one row per shard plus a totals line."""
+        header = (
+            f"{'shard':>5}  {'owner':<12} {'done':>6} {'fail':>4} "
+            f"{'run':>4} {'steal':>5} {'jobs/s':>7} {'eta':>7}  state"
+        )
+        lines = [header]
+        for s in self.snapshots:
+            if s.interrupted:
+                status = "aborted"
+            elif s.finished:
+                status = "finished"
+            elif s.owner:
+                status = (
+                    "leased" if s.lease_remaining_s > 0.0 else "stealable"
+                )
+            else:
+                status = "open"
+            eta = f"{s.eta_s:6.1f}s" if s.eta_s is not None else "     ?"
+            lines.append(
+                f"{s.index:>5}  {s.owner or '-':<12} "
+                f"{s.done:>3}/{s.total:<3}"
+                f"{s.failed:>4} {s.in_flight:>4} {s.steals:>5} "
+                f"{s.jobs_per_s:>7.1f} {eta:>7}  {status}"
+            )
+        lines.append(
+            f"total {self.settled}/{self.total} settled, "
+            f"{self.steals} steals"
+        )
+        return "\n".join(lines)

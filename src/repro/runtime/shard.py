@@ -1,0 +1,952 @@
+"""Sharded multi-worker campaigns on the write-ahead-journal backbone.
+
+A campaign's fingerprint-space is deterministically partitioned into K
+**shards**; N worker *processes* then race to *lease* shards through
+per-shard append-only journals.  Everything rides the PR-5 durability
+primitives — the shared result cache, checksummed ``done`` records, the
+crash-tolerant replay — so the coordinator adds coordination, never new
+persistence:
+
+* **partition** — specs are ordered by content fingerprint and dealt
+  round-robin into K shards, so the split depends only on the job set,
+  never on submission order or worker count;
+* **leases** — a worker claims a shard by appending a ``lease`` record
+  (worker id, pid, wall-clock deadline, nonce) and re-reading the
+  journal: ``O_APPEND`` gives every contender the same total order, and
+  a claim is *granted* only if the previous granted lease was released,
+  renewed by the same worker, or already expired at the claim's
+  timestamp.  Both racers apply the same pure function to the same
+  bytes, so they agree on the winner without any other IPC;
+* **steal** — an expired lease is claimable by anyone: a SIGKILLed or
+  hung worker's shard is picked up by a survivor and *resumed from its
+  journal* — settled ``done`` records are verified against the cache and
+  never recomputed.  A worker that finishes its own shards steals the
+  in-flight shard with the most unsettled jobs past its deadline (the
+  straggler policy);
+* **failure budgets** — each worker enforces the per-shard budget
+  (counting *distinct* failed jobs, including ones journaled by previous
+  holders) and journals an ``interrupted`` record on breach; the
+  coordinator enforces the global budget across all shard journals and
+  tears the fleet down cleanly, again with journaled ``interrupted``
+  records;
+* **merge** — the coordinator folds the shard journals back into one
+  :class:`~repro.runtime.executor.CampaignResult` in submission order,
+  reading every payload from the checksum-verified cache.  Because job
+  results are pure functions of (spec, campaign seed), the
+  :func:`results_manifest` of a sharded run is **byte-identical** to an
+  uninterrupted single-process run, whatever worker ran which shard or
+  how many steals happened along the way.
+
+See DESIGN.md §14 for the full sharding contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .cache import ResultCache, calibration_fingerprint
+from .executor import (
+    CampaignConfig,
+    CampaignResult,
+    JobOutcome,
+    _claim_manifest_slot,
+    _record_manifest,
+    _SignalGuard,
+    execute_job,
+)
+from .jobs import JobSpec
+from .journal import CampaignJournal, campaign_fingerprint, metrics_checksum
+from .progress import CampaignProgress, ShardBoard
+
+#: Schema version of the shard plan / shard journal record extensions.
+SHARD_FORMAT = 1
+
+#: Subdirectory (under the journal dir) holding shard plans and journals.
+SHARD_SUBDIR = "shards"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs for one sharded campaign.
+
+    Attributes:
+        shards: number of shards the fingerprint-space is split into
+            (clamped to the job count).
+        workers: worker processes the coordinator spawns.
+        lease_s: lease duration; a worker renews at job boundaries once
+            less than half of it remains, and a lease this stale is
+            stealable.  Must comfortably exceed the slowest single job.
+        poll_s: worker/coordinator journal polling tick.
+        shard_max_failures: per-shard failure budget (distinct failed
+            jobs, including ones journaled by previous lease holders);
+            breach journals ``interrupted`` and abandons the shard.
+        preload: module names workers import before running jobs, so
+            campaigns over non-builtin job kinds can register their
+            runners in fresh worker interpreters.
+    """
+
+    shards: int = 2
+    workers: int = 2
+    lease_s: float = 30.0
+    poll_s: float = 0.05
+    shard_max_failures: "int | None" = None
+    preload: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.lease_s <= 0.0:
+            raise ValueError(f"lease must be positive, got {self.lease_s!r}")
+        if self.poll_s <= 0.0:
+            raise ValueError(f"poll must be positive, got {self.poll_s!r}")
+        if self.shard_max_failures is not None and self.shard_max_failures < 1:
+            raise ValueError(
+                f"shard_max_failures must be >= 1, got {self.shard_max_failures!r}"
+            )
+
+
+# --------------------------------------------------------------------------
+# Deterministic partition.
+
+
+def partition_shards(specs: "list[JobSpec]", n_shards: int) -> "list[list[int]]":
+    """Split spec *indices* into at most ``n_shards`` deterministic shards.
+
+    Specs are ordered by content fingerprint and dealt round-robin, so
+    the partition is a pure function of the job set: reordering the
+    submission list, changing the worker count, or resuming after a
+    crash all reproduce the identical shard membership.  Empty shards
+    are dropped (campaigns smaller than ``n_shards``).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    order = sorted(range(len(specs)), key=lambda i: specs[i].fingerprint())
+    shards = [order[k::n_shards] for k in range(n_shards)]
+    return [shard for shard in shards if shard]
+
+
+# --------------------------------------------------------------------------
+# Shard plan: the on-disk contract between coordinator and workers.
+
+
+def shard_root(journal_dir: "Path | str", campaign: str) -> Path:
+    """Directory holding one campaign's shard plan and journals."""
+    return Path(journal_dir) / SHARD_SUBDIR / campaign
+
+
+def shard_journal_path(root: "Path | str", index: int) -> Path:
+    """Journal file of one shard."""
+    return Path(root) / f"shard-{index:04d}.jsonl"
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything a worker needs to run its slice of a campaign."""
+
+    campaign: str
+    campaign_seed: int
+    calibration: str
+    cache_dir: str
+    specs: tuple[JobSpec, ...]
+    shards: tuple[tuple[int, ...], ...]
+    lease_s: float
+    poll_s: float
+    max_retries: int
+    backoff_s: float
+    shard_max_failures: "int | None"
+    preload: tuple[str, ...] = ()
+
+    def shard_specs(self, index: int) -> "list[tuple[int, JobSpec]]":
+        """(submission index, spec) members of one shard, in submission
+        order — the same order a single-process run would execute them."""
+        members = sorted(self.shards[index])
+        return [(i, self.specs[i]) for i in members]
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "format": SHARD_FORMAT,
+            "campaign": self.campaign,
+            "campaign_seed": self.campaign_seed,
+            "calibration": self.calibration,
+            "cache_dir": self.cache_dir,
+            "specs": [spec.to_dict() for spec in self.specs],
+            "shards": [list(shard) for shard in self.shards],
+            "lease_s": self.lease_s,
+            "poll_s": self.poll_s,
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+            "shard_max_failures": self.shard_max_failures,
+            "preload": list(self.preload),
+        }
+
+
+def write_shard_plan(path: "Path | str", plan: ShardPlan) -> Path:
+    """Atomically persist a plan (temp file + ``os.replace``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(plan.to_dict(), sort_keys=True, indent=1)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(payload + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+    return target
+
+
+def load_shard_plan(path: "Path | str") -> ShardPlan:
+    """Load and validate a plan written by :func:`write_shard_plan`.
+
+    Raises:
+        ValueError: on schema drift (wrong format, malformed fields) —
+            a worker must never run a plan it does not fully understand.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("format") != SHARD_FORMAT:
+        raise ValueError(
+            f"shard plan {path} has format {data.get('format')!r}, "
+            f"expected {SHARD_FORMAT}"
+        )
+    specs = tuple(JobSpec.from_dict(entry) for entry in data["specs"])
+    shards = tuple(tuple(int(i) for i in shard) for shard in data["shards"])
+    covered = sorted(i for shard in shards for i in shard)
+    if covered != list(range(len(specs))):
+        raise ValueError(f"shard plan {path} does not cover every spec exactly once")
+    raw_budget = data.get("shard_max_failures")
+    return ShardPlan(
+        campaign=str(data["campaign"]),
+        campaign_seed=int(data["campaign_seed"]),
+        calibration=str(data["calibration"]),
+        cache_dir=str(data["cache_dir"]),
+        specs=specs,
+        shards=shards,
+        lease_s=float(data["lease_s"]),
+        poll_s=float(data["poll_s"]),
+        max_retries=int(data["max_retries"]),
+        backoff_s=float(data["backoff_s"]),
+        shard_max_failures=None if raw_budget is None else int(raw_budget),
+        preload=tuple(str(m) for m in data.get("preload", [])),
+    )
+
+
+# --------------------------------------------------------------------------
+# Shard journal: the campaign journal plus lease records.
+
+
+class ShardJournal(CampaignJournal):
+    """Per-shard journal: job lifecycle records plus the lease protocol."""
+
+    def lease(self, worker: str, now: float, deadline: float, nonce: str) -> None:
+        """Claim (or renew) this shard until ``deadline``."""
+        self._append(
+            {
+                "event": "lease",
+                "worker": worker,
+                "pid": os.getpid(),
+                "time": now,
+                "deadline": deadline,
+                "nonce": nonce,
+            }
+        )
+
+    def release(self, worker: str, nonce: str) -> None:
+        """Voluntarily give the shard up (shard finished or abandoned)."""
+        self._append({"event": "release", "worker": worker, "nonce": nonce})
+
+
+@dataclass
+class ShardState:
+    """What one shard's journal says: settled jobs plus lease ownership.
+
+    Replayed with the same torn-write tolerance as the campaign journal:
+    malformed lines (a crash-truncated tail, interleaved garbage) are
+    counted and skipped, and a settled ``done`` record is never dropped.
+    """
+
+    done: "dict[str, str]" = field(default_factory=dict)
+    failed: "dict[str, str]" = field(default_factory=dict)
+    dispatched: "set[str]" = field(default_factory=set)
+    holder: "str | None" = None
+    holder_pid: "int | None" = None
+    deadline: float = 0.0
+    nonce: str = ""
+    steals: int = 0
+    finished: bool = False
+    interrupted: bool = False
+    malformed_lines: int = 0
+
+    def settled(self) -> "set[str]":
+        """Jobs with a terminal record (``done`` wins over ``failed``)."""
+        return set(self.done) | set(self.failed)
+
+    def leased(self, now: float) -> bool:
+        """Whether an unexpired lease is outstanding."""
+        return self.holder is not None and now < self.deadline
+
+    def claimable(self, now: float) -> bool:
+        """Whether a worker may claim this shard right now."""
+        return not self.finished and not self.leased(now)
+
+
+def replay_shard_journal(path: "Path | str") -> ShardState:
+    """Parse a shard journal into a :class:`ShardState`; never raises.
+
+    The lease state machine is a pure function of the journal bytes:
+    every reader sees the same ``O_APPEND`` total order, so contending
+    claimants independently agree on who holds the shard.  A claim is
+    granted iff the previous granted lease was released, belongs to the
+    same worker (renewal), or had already expired at the claim's own
+    timestamp.
+    """
+    state = ShardState()
+    try:
+        text = Path(path).read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return state
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            state.malformed_lines += 1
+            continue
+        if not isinstance(record, dict):
+            state.malformed_lines += 1
+            continue
+        event = record.get("event")
+        job = record.get("job")
+        if event == "lease":
+            worker = record.get("worker")
+            if not isinstance(worker, str) or not worker:
+                state.malformed_lines += 1
+                continue
+            try:
+                claim_time = float(record.get("time", 0.0))
+                deadline = float(record.get("deadline", 0.0))
+            except (TypeError, ValueError):
+                state.malformed_lines += 1
+                continue
+            granted = (
+                state.holder is None
+                or state.holder == worker
+                or state.deadline <= claim_time
+            )
+            if granted:
+                if state.holder is not None and state.holder != worker:
+                    state.steals += 1
+                state.holder = worker
+                state.holder_pid = (
+                    int(record["pid"]) if isinstance(record.get("pid"), int) else None
+                )
+                state.deadline = deadline
+                state.nonce = str(record.get("nonce", ""))
+        elif event == "release":
+            if record.get("worker") == state.holder:
+                state.holder = None
+                state.holder_pid = None
+                state.deadline = 0.0
+                state.nonce = ""
+        elif event == "dispatched" and isinstance(job, str):
+            state.dispatched.add(job)
+        elif event == "done" and isinstance(job, str):
+            checksum = record.get("checksum")
+            state.done[job] = checksum if isinstance(checksum, str) else ""
+            state.failed.pop(job, None)
+        elif event == "failed" and isinstance(job, str):
+            if job not in state.done:
+                state.failed[job] = str(record.get("error", ""))
+        elif event == "end":
+            state.finished = True
+        elif event == "interrupted":
+            state.interrupted = True
+        elif event == "begin":
+            pass
+        else:
+            state.malformed_lines += 1
+    return state
+
+
+def claim_shard(
+    path: "Path | str", worker: str, lease_s: float, now: "float | None" = None
+) -> "tuple[ShardJournal, ShardState, str] | None":
+    """Try to lease one shard; returns (journal, pre-claim state, nonce).
+
+    The append-then-reread protocol: replay, append a claim, replay
+    again; the claim won iff the re-read grants *our* nonce.  A loser's
+    record stays in the journal but is provably never granted, because
+    every reader applies the same grant rule to the same byte order.
+    """
+    now = time.time() if now is None else now
+    state = replay_shard_journal(path)
+    if state.finished or (state.leased(now) and state.holder != worker):
+        return None
+    journal = ShardJournal(path, campaign="")
+    nonce = secrets.token_hex(8)
+    journal.lease(worker, now, now + lease_s, nonce)
+    confirmed = replay_shard_journal(path)
+    if confirmed.holder == worker and confirmed.nonce == nonce:
+        return journal, state, nonce
+    journal.close()
+    return None
+
+
+# --------------------------------------------------------------------------
+# Worker.
+
+
+class _ShardAbort(Exception):
+    """Internal: the per-shard failure budget was breached."""
+
+
+def _run_one_shard(
+    plan: ShardPlan,
+    index: int,
+    worker: str,
+    journal: ShardJournal,
+    state: ShardState,
+    cache: ResultCache,
+) -> None:
+    """Execute one leased shard's unsettled jobs, renewing the lease.
+
+    Settled ``done`` records whose cache entry still verifies are never
+    recomputed; everything else runs with the executor's retry/backoff
+    semantics.  Raises :class:`_ShardAbort` after journaling an
+    ``interrupted`` record when the per-shard failure budget (distinct
+    failed jobs, including prior holders') is breached.
+    """
+    deadline = time.time() + plan.lease_s
+    failures = set(state.failed)
+    for _, spec in plan.shard_specs(index):
+        now = time.time()
+        if deadline - now < plan.lease_s / 2.0:
+            nonce = secrets.token_hex(8)
+            deadline = now + plan.lease_s
+            journal.lease(worker, now, deadline, nonce)
+        fingerprint = spec.fingerprint()
+        checksum = state.done.get(fingerprint)
+        if checksum is not None and cache.get_verified(spec, checksum) is not None:
+            continue
+        hit = cache.get(spec)
+        if hit is not None:
+            journal.done(spec, metrics_checksum(hit))
+            continue
+        if (
+            plan.shard_max_failures is not None
+            and len(failures) >= plan.shard_max_failures
+        ):
+            journal.interrupted(
+                f"shard {index} failure budget "
+                f"(shard_max_failures={plan.shard_max_failures}) exhausted",
+                len(state.settled()),
+            )
+            raise _ShardAbort(f"shard {index} aborted")
+        journal.dispatched(spec)
+        attempts = 0
+        error = "not attempted"
+        while attempts <= plan.max_retries:
+            if attempts > 0 and plan.backoff_s > 0.0:
+                time.sleep(plan.backoff_s * (2.0 ** (attempts - 1)))
+            attempts += 1
+            try:
+                metrics = execute_job(spec, plan.campaign_seed)
+            except Exception as exc:  # noqa: BLE001 - retried then journaled
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                cache.put(spec, metrics)
+                journal.done(spec, metrics_checksum(metrics))
+                failures.discard(fingerprint)
+                break
+        else:
+            journal.failed(spec, error)
+            failures.add(fingerprint)
+    journal.end(
+        completed=len(replay_shard_journal(journal.path).done),
+        failed=len(failures),
+        skipped=0,
+    )
+
+
+def _pick_claimable(
+    plan: ShardPlan, states: "dict[int, ShardState]", now: float
+) -> "int | None":
+    """The shard a free worker should go for, or ``None``.
+
+    Unleased shards first (lowest index — the deterministic cold-start
+    hand-out); otherwise the *straggler policy*: among shards whose
+    lease has expired, steal the one with the most unsettled jobs, ties
+    to the lowest index.
+    """
+    unleased = [
+        index
+        for index, state in states.items()
+        if not state.finished and state.holder is None
+    ]
+    if unleased:
+        return min(unleased)
+    expired = [
+        index
+        for index, state in states.items()
+        if state.claimable(now)
+    ]
+    if not expired:
+        return None
+    remaining = {
+        index: len(plan.shards[index]) - len(states[index].settled())
+        for index in expired
+    }
+    return min(expired, key=lambda index: (-remaining[index], index))
+
+
+def run_shard_worker(plan_path: "Path | str", worker: str) -> int:
+    """Worker entry point: lease, run and steal shards until none remain.
+
+    Returns a process exit code: 0 when every shard is finished, 3 when
+    the worker stopped because a shard or campaign budget aborted the
+    run, 130/143 on SIGINT/SIGTERM (after journaling ``interrupted`` on
+    the currently-leased shard).
+    """
+    plan = load_shard_plan(plan_path)
+    for module in plan.preload:
+        __import__(module)
+    if plan.calibration and plan.calibration != calibration_fingerprint():
+        print(
+            f"shard worker {worker}: calibration drift "
+            f"(plan {plan.calibration}, local {calibration_fingerprint()})",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(plan.cache_dir)
+    # Shard journals live next to the plan file, wherever that is — the
+    # plan path is the one piece of location state workers receive.
+    root = Path(plan_path).resolve().parent
+    current: "tuple[ShardJournal, int] | None" = None
+    guard = _SignalGuard()
+    aborted = False
+    try:
+        with guard:
+            while True:
+                now = time.time()
+                states = {
+                    index: replay_shard_journal(shard_journal_path(root, index))
+                    for index in range(len(plan.shards))
+                }
+                if all(state.finished for state in states.values()):
+                    break
+                if any(state.interrupted for state in states.values()):
+                    aborted = True
+                    break
+                target = _pick_claimable(plan, states, now)
+                if target is None:
+                    time.sleep(plan.poll_s)
+                    continue
+                claim = claim_shard(
+                    shard_journal_path(root, target), worker, plan.lease_s, now
+                )
+                if claim is None:
+                    continue
+                journal, state, _ = claim
+                current = (journal, target)
+                try:
+                    _run_one_shard(plan, target, worker, journal, state, cache)
+                except _ShardAbort:
+                    aborted = True
+                    break
+                finally:
+                    last = replay_shard_journal(journal.path)
+                    if last.holder == worker:
+                        journal.release(worker, last.nonce)
+                    journal.close()
+                    current = None
+    except (KeyboardInterrupt, SystemExit) as exc:
+        if current is not None:
+            journal, index = current
+            journal.interrupted(
+                guard.reason or type(exc).__name__,
+                len(replay_shard_journal(journal.path).settled()),
+            )
+            journal.release(worker, replay_shard_journal(journal.path).nonce)
+            journal.close()
+        code = getattr(exc, "code", None)
+        return code if isinstance(code, int) else 130
+    return 3 if aborted else 0
+
+
+# --------------------------------------------------------------------------
+# Coordinator.
+
+
+def _worker_env() -> "dict[str, str]":
+    """Environment for spawned workers: ensure ``repro`` is importable
+    from the same tree the coordinator runs, whatever the caller's CWD."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    paths = existing.split(os.pathsep) if existing else []
+    if package_root not in paths:
+        env["PYTHONPATH"] = os.pathsep.join([package_root, *paths])
+    return env
+
+
+def _spawn_worker(plan_path: Path, worker: str, log_path: Path) -> "subprocess.Popen | None":
+    """Start one shard worker; ``None`` when the sandbox forbids it."""
+    try:
+        log = open(log_path, "w", encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "shard-worker",
+                "--plan",
+                str(plan_path),
+                "--worker-id",
+                worker,
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=_worker_env(),
+            close_fds=True,
+        )
+    except (OSError, ValueError):
+        return None
+    finally:
+        log.close()
+
+
+def _terminate_workers(workers: "dict[str, subprocess.Popen]") -> None:
+    """SIGTERM the fleet, then SIGKILL stragglers after a grace period."""
+    for proc in workers.values():
+        if proc.poll() is None:
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+    deadline = time.monotonic() + 5.0
+    for proc in workers.values():
+        remaining = max(0.0, deadline - time.monotonic())
+        try:
+            proc.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            try:
+                proc.kill()
+                proc.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                pass
+
+
+def _distinct_failures(states: "dict[int, ShardState]") -> int:
+    """Campaign-wide failure count: distinct failed jobs across shards."""
+    failed: "set[str]" = set()
+    for state in states.values():
+        failed.update(state.failed)
+    return len(failed)
+
+
+def _merge_outcomes(
+    plan: ShardPlan,
+    states: "dict[int, ShardState]",
+    cache: ResultCache,
+) -> "tuple[JobOutcome, ...]":
+    """Fold shard journals into submission-order outcomes.
+
+    Every ``done`` payload is read back through the checksum-verified
+    cache, so the merge trusts bytes, not processes.  Jobs without a
+    terminal record (budget aborts, total worker loss) settle as failed.
+    """
+    by_job: "dict[str, tuple[str, str]]" = {}
+    for state in states.values():
+        for fingerprint, checksum in state.done.items():
+            by_job[fingerprint] = ("done", checksum)
+        for fingerprint, error in state.failed.items():
+            by_job.setdefault(fingerprint, ("failed", error))
+    outcomes = []
+    for spec in plan.specs:
+        fingerprint = spec.fingerprint()
+        status, payload = by_job.get(fingerprint, ("missing", ""))
+        if status == "done":
+            metrics = cache.get_verified(spec, payload)
+            if metrics is not None:
+                outcomes.append(
+                    JobOutcome(spec=spec, status="completed", metrics=metrics)
+                )
+                continue
+            status, payload = (
+                "failed",
+                "journaled done but the cache entry no longer verifies",
+            )
+        if status == "missing":
+            payload = "never settled (campaign aborted before this job ran)"
+        outcomes.append(
+            JobOutcome(spec=spec, status="failed", metrics=None, error=payload)
+        )
+    return tuple(outcomes)
+
+
+def run_sharded_campaign(
+    specs: "list[JobSpec] | tuple[JobSpec, ...]",
+    config: "CampaignConfig | None" = None,
+    shard_config: "ShardConfig | None" = None,
+    on_progress=None,
+) -> CampaignResult:
+    """Partition, lease, execute and deterministically merge a campaign.
+
+    The coordinator writes the shard plan, spawns ``workers`` shard
+    worker processes, watches the shard journals (feeding ``on_progress``
+    a :class:`~repro.runtime.progress.ShardBoard`), enforces the global
+    failure budget, and — if the whole fleet dies or the sandbox forbids
+    subprocesses — finishes the remaining shards *in-process* so the
+    campaign always completes.  Requires ``config.cache_dir``: results
+    flow between processes through the checksum-verified cache.
+
+    Raises:
+        ValueError: when ``config.cache_dir`` is unset.
+    """
+    config = config if config is not None else CampaignConfig()
+    shard_config = shard_config if shard_config is not None else ShardConfig()
+    specs = list(specs)
+    if config.cache_dir is None or not config.use_cache:
+        raise ValueError(
+            "sharded campaigns need cache_dir: workers exchange results "
+            "through the checksum-verified cache"
+        )
+    slot = _claim_manifest_slot()
+    cache = ResultCache(config.cache_dir)
+    calibration = cache.calibration
+    campaign = campaign_fingerprint(specs, config.campaign_seed, calibration)
+    journal_dir = config.resolved_journal_dir()
+    assert journal_dir is not None  # cache_dir is set, so this resolves
+    root = shard_root(journal_dir, campaign)
+    shards = partition_shards(specs, shard_config.shards)
+    plan = ShardPlan(
+        campaign=campaign,
+        campaign_seed=config.campaign_seed,
+        calibration=calibration,
+        cache_dir=str(config.cache_dir),
+        specs=tuple(specs),
+        shards=tuple(tuple(shard) for shard in shards),
+        lease_s=shard_config.lease_s,
+        poll_s=shard_config.poll_s,
+        max_retries=config.max_retries,
+        backoff_s=config.backoff_s,
+        shard_max_failures=shard_config.shard_max_failures,
+        preload=shard_config.preload,
+    )
+    plan_path = write_shard_plan(root / "plan.json", plan)
+
+    progress = CampaignProgress(total=len(specs))
+    board = ShardBoard.from_plan(
+        campaign, [len(shard) for shard in plan.shards]
+    )
+    workers: "dict[str, subprocess.Popen]" = {}
+    aborted_reason: "str | None" = None
+    guard = _SignalGuard()
+    try:
+        with guard:
+            for i in range(shard_config.workers):
+                worker = f"w{i}"
+                proc = _spawn_worker(plan_path, worker, root / f"{worker}.log")
+                if proc is not None:
+                    workers[worker] = proc
+
+            states: "dict[int, ShardState]" = {}
+            while True:
+                now = time.time()
+                states = {
+                    index: replay_shard_journal(shard_journal_path(root, index))
+                    for index in range(len(plan.shards))
+                }
+                board.observe(states, now)
+                if on_progress is not None:
+                    on_progress(board)
+                if all(state.finished for state in states.values()):
+                    break
+                if any(state.interrupted for state in states.values()):
+                    aborted_reason = "a shard journaled an interruption"
+                    break
+                if (
+                    config.max_failures is not None
+                    and _distinct_failures(states) >= config.max_failures
+                ):
+                    aborted_reason = (
+                        "campaign failure budget "
+                        f"(max_failures={config.max_failures}) exhausted"
+                    )
+                    break
+                alive = any(proc.poll() is None for proc in workers.values())
+                if not alive:
+                    # Fleet lost (or never started): finish in-process so
+                    # the campaign still completes — same lease protocol,
+                    # so a surviving external worker could still share.
+                    claimable = any(
+                        state.claimable(now) for state in states.values()
+                    )
+                    if claimable:
+                        _coordinator_drain(plan, root, cache, config.max_failures)
+                        continue
+                time.sleep(shard_config.poll_s)
+
+            if aborted_reason is not None:
+                _terminate_workers(workers)
+                _journal_abort(plan, root, aborted_reason)
+                states = {
+                    index: replay_shard_journal(shard_journal_path(root, index))
+                    for index in range(len(plan.shards))
+                }
+            else:
+                _reap_workers(workers)
+    except (KeyboardInterrupt, SystemExit):
+        _terminate_workers(workers)
+        _journal_abort(plan, root, guard.reason or "interrupted")
+        _record_manifest(
+            slot,
+            progress.manifest(
+                n_jobs=shard_config.workers,
+                calibration=calibration,
+                campaign_seed=config.campaign_seed,
+                campaign=campaign,
+                interrupted=True,
+                shards=len(plan.shards),
+                workers=shard_config.workers,
+            ),
+        )
+        raise
+
+    outcomes = _merge_outcomes(plan, states, cache)
+    for outcome in outcomes:
+        progress.record(
+            outcome.spec.kind,
+            "completed" if outcome.status == "completed" else "failed",
+        )
+    manifest = progress.manifest(
+        n_jobs=shard_config.workers,
+        calibration=calibration,
+        campaign_seed=config.campaign_seed,
+        campaign=campaign,
+        interrupted=aborted_reason is not None,
+        shards=len(plan.shards),
+        workers=shard_config.workers,
+        steals=sum(state.steals for state in states.values()),
+    )
+    _record_manifest(slot, manifest)
+    return CampaignResult(outcomes=outcomes, manifest=manifest)
+
+
+def _coordinator_drain(
+    plan: ShardPlan,
+    root: Path,
+    cache: ResultCache,
+    max_failures: "int | None" = None,
+) -> None:
+    """Run every currently-claimable shard in the coordinator process.
+
+    Returns early once the campaign-wide failure budget is breached, so
+    the caller's poll loop can abort instead of draining doomed shards.
+    """
+    for index in range(len(plan.shards)):
+        if max_failures is not None:
+            states = {
+                i: replay_shard_journal(shard_journal_path(root, i))
+                for i in range(len(plan.shards))
+            }
+            if _distinct_failures(states) >= max_failures:
+                return
+        path = shard_journal_path(root, index)
+        claim = claim_shard(path, "coordinator", plan.lease_s)
+        if claim is None:
+            continue
+        journal, state, _ = claim
+        try:
+            _run_one_shard(plan, index, "coordinator", journal, state, cache)
+        except _ShardAbort:
+            return
+        finally:
+            last = replay_shard_journal(path)
+            if last.holder == "coordinator":
+                journal.release("coordinator", last.nonce)
+            journal.close()
+
+
+def _journal_abort(plan: ShardPlan, root: Path, reason: str) -> None:
+    """Stamp an ``interrupted`` record into every unfinished shard journal
+    so a later resume (or post-mortem) sees the abort, not silence."""
+    for index in range(len(plan.shards)):
+        path = shard_journal_path(root, index)
+        state = replay_shard_journal(path)
+        if state.finished or state.interrupted:
+            continue
+        journal = ShardJournal(path, campaign=plan.campaign)
+        try:
+            journal.interrupted(reason, len(state.settled()))
+        finally:
+            journal.close()
+
+
+def _reap_workers(workers: "dict[str, subprocess.Popen]") -> None:
+    """Collect exited workers (all shards are finished by now)."""
+    for proc in workers.values():
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            try:
+                proc.terminate()
+                proc.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                pass
+
+
+# --------------------------------------------------------------------------
+# Deterministic merge manifest.
+
+
+def results_manifest(result: CampaignResult) -> "dict[str, object]":
+    """Canonical, wall-clock-free record of a campaign's *results*.
+
+    Unlike the run manifest (which reports timing, worker counts, cache
+    hits — telemetry that legitimately differs run to run), this is a
+    pure function of the outcomes: a sharded run, a serial run, a
+    resumed run and a warm-cache run of the same campaign all produce
+    **byte-identical** JSON.
+    """
+    jobs = []
+    for outcome in result.outcomes:
+        entry: "dict[str, object]" = {
+            "job": outcome.spec.fingerprint(),
+            "kind": outcome.spec.kind,
+        }
+        if outcome.ok:
+            entry["status"] = "done"
+            entry["checksum"] = metrics_checksum(outcome.metrics or {})
+            entry["metrics"] = outcome.metrics
+        else:
+            entry["status"] = "failed"
+            entry["error"] = outcome.error or ""
+        jobs.append(entry)
+    return {
+        "format": SHARD_FORMAT,
+        "campaign": result.manifest.campaign,
+        "campaign_seed": result.manifest.campaign_seed,
+        "calibration": result.manifest.calibration,
+        "total": len(result.outcomes),
+        "jobs": jobs,
+    }
+
+
+def write_results_manifest(path: "Path | str", result: CampaignResult) -> Path:
+    """Write :func:`results_manifest` as canonical JSON (byte-stable)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(
+        results_manifest(result), sort_keys=True, separators=(",", ":")
+    )
+    target.write_text(payload + "\n", encoding="utf-8")
+    return target

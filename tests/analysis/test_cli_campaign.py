@@ -173,3 +173,62 @@ class TestMaxFailures:
     def test_budget_not_hit_exits_clean_on_success(self, capsys):
         assert main(["campaign", "mc-ber", "--max-failures", "3"]) == 0
         assert "aborted" not in capsys.readouterr().err
+
+    def test_resumed_run_counts_journaled_failures_toward_budget(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.runtime.workloads.campaign_specs",
+            lambda experiment, backend="scalar": [
+                JobSpec(kind="test.cli_fail", seed=i) for i in range(3)
+            ],
+        )
+        # First run journals three failures (no budget, plain failure exit).
+        assert main(["campaign", "mc-ber", "--cache-dir", str(tmp_path)]) != 0
+        capsys.readouterr()
+        # The resumed run starts with those three already on the ledger:
+        # the budget is breached on entry and the exit is non-zero.
+        code = main([
+            "campaign", "mc-ber", "--cache-dir", str(tmp_path),
+            "--resume", "--max-failures", "3",
+        ])
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "aborted" in captured.err
+        assert "--max-failures 3" in captured.err
+
+
+class TestShardFlags:
+    def test_shards_require_cache_dir(self, capsys):
+        assert main(["campaign", "mc-ber", "--shards", "2"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_deploy_workers_require_cache_dir(self, capsys):
+        from repro.__main__ import main as deploy_main
+
+        assert deploy_main(["deploy", "ci-small", "--workers", "2"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_results_flag_requires_single_experiment(self, tmp_path, capsys):
+        code = main([
+            "campaign", "mc-ber", "fig15", "--results", str(tmp_path / "r.json"),
+        ])
+        assert code == 2
+        assert "exactly one experiment" in capsys.readouterr().err
+
+    def test_sharded_run_matches_serial_byte_for_byte(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main([
+            "campaign", "mc-ber",
+            "--cache-dir", str(tmp_path / "a"), "--results", str(serial),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "mc-ber",
+            "--cache-dir", str(tmp_path / "b"), "--results", str(sharded),
+            "--shards", "3", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 shards/2 workers" in out
+        assert serial.read_bytes() == sharded.read_bytes()

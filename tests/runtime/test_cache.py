@@ -103,15 +103,26 @@ class TestQuarantine:
         assert cache.get(spec) is None
         return cache, path
 
+    @staticmethod
+    def _moved_entries(cache):
+        """Quarantined payload files (the moved entries, not the reasons)."""
+        return [
+            p
+            for p in cache.quarantine_directory.glob("*.json")
+            if not p.name.endswith(".reason.json")
+        ]
+
     def test_truncation_quarantined(self, tmp_path):
         cache, path = self._corrupt_and_get(
             tmp_path, lambda p: p.write_text(p.read_text()[: len(p.read_text()) // 2])
         )
         assert not path.exists()
-        assert (cache.quarantine_directory / path.name).exists()
+        (moved,) = self._moved_entries(cache)
+        assert moved.name.startswith(f"{path.stem}.")
         (reason,) = cache.quarantined()
         assert reason["reason"] == "unparseable"
         assert reason["entry"] == path.name
+        assert reason["quarantined_as"] == moved.name
 
     def test_bit_rot_quarantined_by_checksum(self, tmp_path):
         def flip_metric(path):
@@ -164,6 +175,26 @@ class TestQuarantine:
         cache.put(_spec(), {"gain": 3.0})
         assert cache.get(_spec()) == {"gain": 3.0}
         assert len(cache.quarantined()) == 1
+
+    def test_concurrent_quarantines_do_not_collide(self, tmp_path):
+        # Two workers diagnosing the same corrupt entry must each keep
+        # their evidence: distinct quarantine targets, distinct reasons.
+        spec = _spec()
+        first = ResultCache(tmp_path)
+        path = first.put(spec, {"gain": 1.0})
+        path.write_text("{ torn")
+        assert first.get(spec) is None
+        # The racing worker re-sees the same corrupt bytes (as if both
+        # read the entry before either finished moving it aside).
+        path.write_text("{ torn")
+        assert ResultCache(tmp_path).get(spec) is None
+        reasons = first.quarantined()
+        assert len(reasons) == 2
+        assert {r["entry"] for r in reasons} == {path.name}
+        assert len({r["quarantined_as"] for r in reasons}) == 2
+        moved = self._moved_entries(first)
+        assert len(moved) == 2
+        assert all(p.read_text() == "{ torn" for p in moved)
 
     def test_quarantine_not_counted_as_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

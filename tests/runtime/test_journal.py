@@ -140,3 +140,66 @@ class TestCrashTolerance:
         assert len(lines) == 7
         assert all(isinstance(json.loads(line), dict) for line in lines)
         assert path.read_text().endswith("\n")
+
+
+class TestTornWriteFuzz:
+    """Randomized torn-write tolerance: truncated tails, interleaved
+    two-writer appends and garbage bytes mid-file must replay without
+    raising, count as malformed, and never drop a settled ``done`` record
+    whose own line survived intact."""
+
+    def _interleaved(self, path, specs, rng):
+        """Two journal handles appending to one file in random turns, the
+        way two racing workers share an O_APPEND journal."""
+        writers = [CampaignJournal(path, "fp"), CampaignJournal(path, "fp")]
+        for i, spec in enumerate(specs):
+            writer = writers[rng.randrange(2)]
+            writer.dispatched(spec)
+            if i % 5 == 4:
+                writer.failed(spec, "flaky")
+            writer.done(spec, f"ck{i}")
+        for writer in writers:
+            writer.close()
+
+    def test_interleaved_writers_replay_completely(self, tmp_path):
+        import random
+
+        rng = random.Random(7)
+        specs = _specs(20)
+        path = tmp_path / "j.jsonl"
+        self._interleaved(path, specs, rng)
+        replay = replay_journal(path)
+        assert replay.malformed_lines == 0
+        assert replay.failed == {}  # done supersedes the flaky failures
+        assert replay.done == {
+            spec.fingerprint(): f"ck{i}" for i, spec in enumerate(specs)
+        }
+
+    def test_fuzzed_corruption_never_drops_surviving_done(self, tmp_path):
+        import random
+
+        for trial in range(25):
+            rng = random.Random(100 + trial)
+            specs = _specs(12)
+            path = tmp_path / f"fuzz-{trial}.jsonl"
+            self._interleaved(path, specs, rng)
+            lines = path.read_text(encoding="utf-8").splitlines()
+            # Garbage bytes over a random mid-file line...
+            victim = rng.randrange(len(lines) - 1)
+            lines[victim] = "\x00\x7f{{{ garbage" + lines[victim][: rng.randrange(9)]
+            # ...plus a torn final line (SIGKILL mid-append).
+            tear = rng.randrange(1, max(2, len(lines[-1])))
+            lines[-1] = lines[-1][:-tear]
+            path.write_text("\n".join(lines), encoding="utf-8")
+            replay = replay_journal(path)  # must not raise
+            assert replay.malformed_lines >= 1
+            expected = {}
+            for keep, line in enumerate(lines):
+                if keep in (victim, len(lines) - 1):
+                    continue
+                record = json.loads(line)
+                if record["event"] == "done":
+                    expected[record["job"]] = record["checksum"]
+            assert set(expected) <= set(replay.done)
+            for job, checksum in expected.items():
+                assert replay.done[job] == checksum

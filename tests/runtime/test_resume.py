@@ -1,6 +1,8 @@
 """Crash-safe resume: journal replay, checksum verification, bit-identity."""
 
 import json
+from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -138,3 +140,103 @@ class TestResume:
         again = run_campaign(specs, config, resume=True)
         assert again.manifest.campaign == manifest.campaign
         assert again.manifest.journal == manifest.journal
+
+
+@register_job_runner("test.counted_fail")
+def _counted_fail(spec, rng):
+    """Always fails, appending one line per execution so tests can prove
+    a job never ran."""
+    with open(spec.param("counter"), "a", encoding="utf-8") as handle:
+        handle.write(f"{spec.seed}\n")
+    raise RuntimeError("always broken")
+
+
+@register_job_runner("test.fail_then_ok")
+def _fail_then_ok(spec, rng):
+    marker = Path(spec.param("marker"))
+    if not marker.exists():
+        marker.write_text("failed once")
+        raise RuntimeError("first run broken")
+    return {"seed": spec.seed, "draw": float(rng.random())}
+
+
+class TestMaxFailuresResume:
+    """``--max-failures`` x ``--resume``: failures journaled by an earlier
+    run keep counting toward the budget of the run that resumes it."""
+
+    def _config(self, tmp_path, **kwargs):
+        return CampaignConfig(
+            cache_dir=tmp_path, max_retries=0, backoff_s=0.0, **kwargs
+        )
+
+    def test_prior_journaled_failures_breach_budget_without_rerunning(
+        self, tmp_path
+    ):
+        counter = tmp_path / "runs.log"
+        specs = [
+            JobSpec.with_params("test.counted_fail", {"counter": str(counter)}, seed=s)
+            for s in (0, 1)
+        ] + _specs(1)
+        _arm_crash(None)
+        first = run_campaign(specs, self._config(tmp_path))
+        assert first.manifest.failed == 2
+        assert len(counter.read_text().splitlines()) == 2
+        resumed = run_campaign(
+            specs, self._config(tmp_path, max_failures=2), resume=True
+        )
+        # Budget already spent by the journaled failures: the failing
+        # jobs settle as aborted without a single re-execution.
+        assert len(counter.read_text().splitlines()) == 2
+        statuses = [o.status for o in resumed.outcomes]
+        assert statuses == ["failed", "failed", "resumed"]
+        assert all(
+            "max_failures=2" in o.error for o in resumed.outcomes[:2]
+        )
+        # The CLI's non-zero-exit predicate holds on the resumed run.
+        assert resumed.manifest.failed >= 2
+
+    def test_success_on_resume_strikes_prior_failure_from_the_budget(
+        self, tmp_path
+    ):
+        counter = tmp_path / "runs.log"
+        marker = tmp_path / "flaky.marker"
+        specs = [
+            JobSpec.with_params("test.fail_then_ok", {"marker": str(marker)}, seed=0),
+            JobSpec.with_params("test.counted_fail", {"counter": str(counter)}, seed=1),
+        ] + _specs(1)
+        _arm_crash(None)
+        first = run_campaign(specs, self._config(tmp_path))
+        assert first.manifest.failed == 2
+        resumed = run_campaign(
+            specs, self._config(tmp_path, max_failures=3), resume=True
+        )
+        # The flaky job now succeeds and leaves the ledger; only the
+        # counted_fail job still counts, so the budget of 3 never trips.
+        statuses = [o.status for o in resumed.outcomes]
+        assert statuses == ["completed", "failed", "resumed"]
+        assert "max_failures" not in (resumed.outcomes[1].error or "")
+        assert resumed.manifest.failed == 1
+
+    def test_combined_prior_and_new_failures_breach_mid_run(self, tmp_path):
+        """Prior failures plus fresh ones cross the budget together and
+        abort the jobs still pending behind them."""
+        counter = tmp_path / "runs.log"
+        specs = (
+            [JobSpec.with_params("test.counted_fail", {"counter": str(counter)}, seed=0)]
+            + _specs(3)
+            + [JobSpec.with_params("test.counted_fail", {"counter": str(counter)}, seed=9)]
+        )
+        config = self._config(tmp_path)
+        _arm_crash(2)  # die after two crashy completions
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(specs, config)
+        _arm_crash(None)
+        resumed = run_campaign(
+            specs, replace(config, max_failures=2), resume=True
+        )
+        # counted_fail(0) re-fails (still 1 distinct), the third crashy
+        # job completes, counted_fail(9) fails -> 2 distinct -> breach.
+        assert resumed.manifest.failed == 2
+        assert resumed.outcomes[0].status == "failed"
+        assert resumed.outcomes[-1].status == "failed"
+        assert resumed.manifest.failed >= 2

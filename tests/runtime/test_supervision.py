@@ -1,5 +1,6 @@
 """Hung-worker supervision: heartbeat watchdog, pool rebuild, salvage."""
 
+import tempfile
 import time
 from pathlib import Path
 
@@ -119,3 +120,41 @@ class TestWatchdog:
         # The other chunk settled in the pool on its only attempt.
         assert result.outcomes[2].attempts == 1
         assert result.outcomes[3].attempts == 1
+
+
+class TestHeartbeatCleanup:
+    """The per-pool ``repro-heartbeat-*`` tempdir must never outlive the
+    campaign — including the hung path, where live workers race the
+    sweep by dropping fresh ``.hb`` files."""
+
+    def _leaked(self, tmp_path):
+        return list(tmp_path.glob("repro-heartbeat-*"))
+
+    def test_clean_shutdown_removes_heartbeat_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        specs = [JobSpec(kind="test.sup_echo", seed=i) for i in range(4)]
+        result = run_campaign(specs, CampaignConfig(n_jobs=2, hang_timeout_s=5.0))
+        assert all(o.status == "completed" for o in result.outcomes)
+        assert self._leaked(tmp_path) == []
+
+    def test_hung_pool_teardown_removes_heartbeat_dirs(self, tmp_path, monkeypatch):
+        """Regression: the sweep used to run before the hung workers were
+        terminated, so a last-gasp heartbeat write could resurrect the
+        directory and leak it."""
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        marker = tmp_path / "hb-hang.marker"
+        specs = [
+            JobSpec.with_params("test.hang_once", {"marker": str(marker)}, seed=1)
+        ] + [JobSpec(kind="test.sup_echo", seed=i) for i in range(3)]
+        config = CampaignConfig(
+            n_jobs=2,
+            chunk_size=1,
+            hang_timeout_s=0.6,
+            pool_rebuilds=1,
+            max_retries=1,
+            backoff_s=0.01,
+        )
+        result = run_campaign(specs, config)
+        assert all(o.status == "completed" for o in result.outcomes)
+        # Both pools' heartbeat dirs (original + rebuild) are gone.
+        assert self._leaked(tmp_path) == []
