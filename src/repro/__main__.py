@@ -72,6 +72,17 @@ def _render_variant(experiment: str, args: argparse.Namespace) -> int:
 
     defn = get(experiment)
     assert defn.render_variant is not None  # registry consistency
+    if args.list_profiles:
+        for name in defn.variants:
+            print(name)
+        return 0
+    if args.experiment is None:
+        print(
+            f"error: a {experiment} profile name is required "
+            "(use --list-profiles to see them)",
+            file=sys.stderr,
+        )
+        return 2
     print(
         defn.render_variant(
             args.experiment, args.distance, args.packets, args.seed
@@ -167,6 +178,20 @@ def _campaign_experiment_id(value: str) -> str:
     raise argparse.ArgumentTypeError(
         f"unknown campaign experiment {value!r} "
         f"(choose from {', '.join(sorted(known))}, or 'all')"
+    )
+
+
+def _fault_profile(value: str) -> str:
+    """Argparse-time validation of deploy fault-profile names: unknown
+    profiles exit 2 with the known choices, instead of failing after the
+    scenario has been resolved."""
+    from .faults import REGION_FAULT_PROFILES
+
+    if value in REGION_FAULT_PROFILES:
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown fault profile {value!r} "
+        f"(choose from {', '.join(REGION_FAULT_PROFILES)})"
     )
 
 
@@ -307,8 +332,13 @@ def _run_deploy_command(args: argparse.Namespace) -> int:
     """Partition a deployment scenario, fan its regions across the
     campaign engine, and print/persist the merged manifest."""
     from .deploy import SCENARIOS, partition, run_deployment, scenario, write_manifest
+    from .faults import REGION_FAULT_PROFILES, region_fault_plan_for
     from .runtime import CampaignError
 
+    if args.list_profiles:
+        for name in REGION_FAULT_PROFILES:
+            print(name)
+        return 0
     if args.list:
         for name in sorted(SCENARIOS):
             spec = scenario(name)
@@ -342,9 +372,15 @@ def _run_deploy_command(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     config = _campaign_config(args, seed=spec.seed)
+    fault_plan = (
+        region_fault_plan_for(args.faults, spec)
+        if args.faults is not None
+        else None
+    )
     try:
         run = run_deployment(
-            spec, config, resume=args.resume, shard_config=shard_config
+            spec, config, resume=args.resume, shard_config=shard_config,
+            fault_plan=fault_plan,
         )
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -372,6 +408,17 @@ def _run_deploy_command(args: argparse.Namespace) -> int:
         f"{manifest['interfered_hubs']} interfered hubs, "
         f"{manifest['suspensions']} churn suspensions)"
     )
+    if "resilience" in manifest:
+        block = manifest["resilience"]
+        print(
+            f"  faults ({args.faults}): coverage "
+            f"{block['coverage_ratio']:.4f}, "
+            f"{block['orphaned_device_s']:.1f} orphaned device-s, "
+            f"{block['handoffs']} handoffs "
+            f"({block['failed_handoffs']} failed, "
+            f"mean latency {block['handoff_latency_mean_s']:.3f}s), "
+            f"{block['reclaims']} reclaims"
+        )
     print(f"  fingerprint {manifest['fingerprint']}")
     if args.manifest is not None:
         write_manifest(args.manifest, manifest)
@@ -442,15 +489,39 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _variant_name(experiment: str):
+    """An argparse ``type=`` validator over one experiment's registered
+    variant names: unknown profiles exit 2 listing the valid ones."""
+    from .experiments import get
+
+    known = tuple(get(experiment).variants)
+
+    def validate(value: str) -> str:
+        if value in known:
+            return value
+        raise argparse.ArgumentTypeError(
+            f"unknown {experiment} profile {value!r} "
+            f"(choose from {', '.join(known)})"
+        )
+
+    return validate
+
+
 def _add_variant_subcommand(
     subparsers, experiment: str, help_text: str
 ) -> None:
     """A subcommand whose positional is one of an experiment's registered
     variants (the ``energy`` / ``faults`` profile names)."""
-    from .experiments import get
-
     parser = subparsers.add_parser(experiment, help=help_text)
-    parser.add_argument("experiment", choices=list(get(experiment).variants))
+    parser.add_argument(
+        "experiment", nargs="?", default=None, type=_variant_name(experiment),
+        metavar="profile",
+        help=f"registered {experiment} profile (see --list-profiles)",
+    )
+    parser.add_argument(
+        "--list-profiles", action="store_true",
+        help="list the registered profile names and exit",
+    )
     parser.add_argument(
         "--distance", type=float, default=0.5, metavar="M",
         help="device separation in metres (default 0.5)",
@@ -589,6 +660,16 @@ def main(argv: list[str] | None = None) -> int:
     deploy.add_argument(
         "--csv", type=Path, default=None, metavar="PATH",
         help="write per-hub metrics CSV to PATH",
+    )
+    deploy.add_argument(
+        "--faults", type=_fault_profile, default=None, metavar="PROFILE",
+        help="arm a named region fault profile (hub blackouts with "
+        "handoff, brownouts, churn storms, noise surges) and report the "
+        "degradation block; see --list-profiles",
+    )
+    deploy.add_argument(
+        "--list-profiles", action="store_true",
+        help="list the fault profile names and exit",
     )
     deploy.add_argument(
         "--resume", action="store_true",

@@ -18,7 +18,7 @@ from .campaign import (
     write_manifest,
 )
 from .partition import DeploymentPartition, Region, partition
-from .region import simulate_hub, simulate_region
+from .region import HandoffCoordinator, simulate_hub, simulate_region
 from .scenarios import SCENARIOS, city_scenario, scenario
 from .spec import (
     DEPLOY_SCHEMA_VERSION,
@@ -35,6 +35,7 @@ __all__ = [
     "DeploymentRun",
     "DeploymentSpec",
     "DeviceClass",
+    "HandoffCoordinator",
     "HubLayout",
     "Region",
     "SCENARIOS",

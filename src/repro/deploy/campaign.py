@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 from ..runtime.executor import CampaignConfig, CampaignResult, run_campaign
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.region import RegionFaultPlan
     from ..runtime.shard import ShardConfig
 from ..runtime.jobs import JobSpec
 from .partition import DeploymentPartition, partition
@@ -32,16 +33,28 @@ from .spec import DEPLOY_SCHEMA_VERSION, DeploymentSpec
 
 
 def region_job_specs(
-    spec: DeploymentSpec, part: "DeploymentPartition | None" = None
+    spec: DeploymentSpec,
+    part: "DeploymentPartition | None" = None,
+    fault_plan: "RegionFaultPlan | None" = None,
 ) -> "list[JobSpec]":
-    """One ``deploy.region`` job per independent region."""
+    """One ``deploy.region`` job per independent region.
+
+    A non-empty ``fault_plan`` rides along as a ``faults`` param (its
+    canonical JSON, folded into each job's content fingerprint — armed
+    and unarmed runs can never collide in the result cache).  ``None``
+    or an empty plan adds nothing, so unarmed job fingerprints are
+    byte-identical to runs with the fault machinery absent.
+    """
     if part is None:
         part = partition(spec)
     scenario_json = spec.to_json()
+    params: "dict[str, object]" = {"scenario": scenario_json}
+    if fault_plan is not None and not fault_plan.is_empty:
+        params["faults"] = fault_plan.to_json()
     return [
         JobSpec.with_params(
             "deploy.region",
-            {"scenario": scenario_json, "region": region.index},
+            {**params, "region": region.index},
             seed=spec.seed,
         )
         for region in part.regions
@@ -52,11 +65,15 @@ def merge_region_reports(
     spec: DeploymentSpec,
     part: DeploymentPartition,
     reports: "Sequence[Mapping[str, object]]",
+    fault_plan: "RegionFaultPlan | None" = None,
 ) -> "dict[str, object]":
     """Fold per-region reports into one deployment manifest.
 
     Reports are re-ordered by region index before merging, so the
-    manifest is independent of completion order.
+    manifest is independent of completion order.  A non-empty
+    ``fault_plan`` adds its fingerprint and the merged degradation
+    block (coverage ratio, orphaned-device-seconds, handoff counts and
+    latency); unarmed manifests carry neither key, byte for byte.
 
     Raises:
         ValueError: if the reports do not cover every region exactly
@@ -106,6 +123,30 @@ def merge_region_reports(
         manifest["lp_efficiency"] = (
             float(total_bits) / lp_bits if lp_bits > 0.0 else 0.0  # type: ignore[arg-type]
         )
+    if fault_plan is not None and not fault_plan.is_empty:
+        blocks = [r["resilience"] for r in ordered]  # type: ignore[index]
+        orphaned = float(sum(b["orphaned_device_s"] for b in blocks))  # type: ignore[index]
+        handoffs = int(sum(b["handoffs"] for b in blocks))  # type: ignore[index]
+        latency_total = float(
+            sum(
+                b["handoff_latency_mean_s"] * b["handoffs"]  # type: ignore[index, operator]
+                for b in blocks
+            )
+        )
+        manifest["fault_fingerprint"] = fault_plan.fingerprint()
+        manifest["fault_count"] = len(fault_plan)
+        manifest["resilience"] = {
+            "coverage_ratio": 1.0 - orphaned / (spec.device_count * spec.duration_s),
+            "orphaned_device_s": orphaned,
+            "dark_hub_s": float(sum(b["dark_hub_s"] for b in blocks)),  # type: ignore[index]
+            "handoffs": handoffs,
+            "failed_handoffs": int(sum(b["failed_handoffs"] for b in blocks)),  # type: ignore[index]
+            "reclaims": int(sum(b["reclaims"] for b in blocks)),  # type: ignore[index]
+            "handoff_latency_mean_s": (
+                latency_total / handoffs if handoffs else 0.0
+            ),
+            "fault_events": int(sum(b["fault_events"] for b in blocks)),  # type: ignore[index]
+        }
     return manifest
 
 
@@ -146,6 +187,7 @@ def run_deployment(
     config: "CampaignConfig | None" = None,
     resume: "bool | None" = None,
     shard_config: "ShardConfig | None" = None,
+    fault_plan: "RegionFaultPlan | None" = None,
 ) -> DeploymentRun:
     """Partition, fan out, simulate and merge one scenario.
 
@@ -153,13 +195,17 @@ def run_deployment(
     multi-worker path (:func:`repro.runtime.shard.run_sharded_campaign`)
     instead of the in-process pool: region results flow between worker
     processes through the checksum-verified cache, and the merged
-    deployment manifest is byte-identical either way.
+    deployment manifest is byte-identical either way.  A non-empty
+    ``fault_plan`` arms every region's fault schedule (hub blackouts
+    with failover, brownouts, churn storms, noise surges) and surfaces
+    the degradation block in the manifest; ``None`` or an empty plan
+    is bit-identical to a run with no fault machinery at all.
 
     Raises:
         CampaignError: if any region job ultimately failed.
     """
     part = partition(spec)
-    specs = region_job_specs(spec, part)
+    specs = region_job_specs(spec, part, fault_plan=fault_plan)
     if config is None:
         config = CampaignConfig()
     if shard_config is not None:
@@ -169,7 +215,7 @@ def run_deployment(
     else:
         result = run_campaign(specs, config, resume=resume).raise_on_failure()
     reports = [outcome.metrics for outcome in result.outcomes]
-    manifest = merge_region_reports(spec, part, reports)  # type: ignore[arg-type]
+    manifest = merge_region_reports(spec, part, reports, fault_plan=fault_plan)  # type: ignore[arg-type]
     return DeploymentRun(
         spec=spec, partition=part, manifest=manifest, campaign=result
     )

@@ -28,8 +28,13 @@ from __future__ import annotations
 import functools
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.braidio import BraidioRadio
+from ..core.modes import LinkMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.region import RegionFaultPlan
 from ..core.regimes import LinkMap
 from ..net.session import HubClient, HubSession
 from ..net.tdma import TdmaSchedule
@@ -197,25 +202,45 @@ def _lp_upper_bound(
     return network.plan(objective="total").total_bits
 
 
-def simulate_hub(
+@dataclass
+class _HubRuntime:
+    """One hub's live simulation objects, kernel-agnostic.
+
+    Built identically whether the hub runs on its own private kernel
+    (the unarmed fast path) or shares one region kernel with its
+    neighbors (the fault-armed path, where mid-run hub-to-hub handoff
+    needs every session on the same timeline).
+    """
+
+    local_index: int
+    global_index: int
+    plans: "tuple[DevicePlan, ...]"
+    clients: "list[HubClient]"
+    session: HubSession
+    hub_radio: BraidioRadio
+    drivers: "list[MobilityDriver]"
+    interfered: bool
+    neighbor_count: int
+
+
+def _build_hub(
     spec: DeploymentSpec,
     region: Region,
     local_index: int,
-    link_map: "LinkMap | None" = None,
-) -> "dict[str, object]":
-    """Run one hub's full DES session and report post-warmup metrics.
+    link_map: LinkMap,
+    sim: Simulator,
+) -> _HubRuntime:
+    """Instantiate one hub's session, clients, mobility and churn on
+    ``sim``.
 
-    The reported counters cover only the measured window
-    ``[warmup_s, warmup_s + duration_s]`` — the warmup (controllers
-    converging, TDMA rotations filling) is simulated but excluded, in
-    the classic warmup/measure shape.
+    Every random stream is content-addressed from the scenario
+    fingerprint (placement, churn, links, mobility), so the build is
+    independent of which kernel hosts it.  Churn is compiled into
+    kernel events here — BEFORE the session starts — so a t=0
+    late-join suspend lands before the first served packet.
     """
     global_index = region.hub_indices[local_index]
-    if link_map is None:
-        link_map = LinkMap()
     plans = plan_hub_devices(spec, global_index)
-    sim_seed = int(spec.stream(f"hub{global_index}:kernel").integers(2**31))
-    sim = Simulator(seed=sim_seed)
 
     neighbor_distances = region.neighbor_distances_m(local_index)
     interferer = None
@@ -274,15 +299,49 @@ def simulate_hub(
         max_time_s=spec.horizon_s,
     )
 
-    # Compile churn into kernel events BEFORE start(): same-time events
-    # fire in insertion order, so a t=0 late-join suspend lands before
-    # the first served packet.
     for plan in plans:
         for when, kind in plan.timeline:
             action = (
                 session.suspend_client if kind == "suspend" else session.resume_client
             )
             sim.schedule_at(when, functools.partial(action, plan.name))
+
+    return _HubRuntime(
+        local_index=local_index,
+        global_index=global_index,
+        plans=plans,
+        clients=clients,
+        session=session,
+        hub_radio=hub_radio,
+        drivers=drivers,
+        interfered=interferer is not None,
+        neighbor_count=len(neighbor_distances),
+    )
+
+
+def simulate_hub(
+    spec: DeploymentSpec,
+    region: Region,
+    local_index: int,
+    link_map: "LinkMap | None" = None,
+) -> "dict[str, object]":
+    """Run one hub's full DES session and report post-warmup metrics.
+
+    The reported counters cover only the measured window
+    ``[warmup_s, warmup_s + duration_s]`` — the warmup (controllers
+    converging, TDMA rotations filling) is simulated but excluded, in
+    the classic warmup/measure shape.
+    """
+    global_index = region.hub_indices[local_index]
+    if link_map is None:
+        link_map = LinkMap()
+    sim_seed = int(spec.stream(f"hub{global_index}:kernel").integers(2**31))
+    sim = Simulator(seed=sim_seed)
+    runtime = _build_hub(spec, region, local_index, link_map, sim)
+    plans = runtime.plans
+    clients = runtime.clients
+    session = runtime.session
+    drivers = runtime.drivers
 
     baseline: "dict[str, tuple[float, float, int, int]]" = {}
     hub_baseline: "dict[str, float]" = {}
@@ -330,8 +389,8 @@ def simulate_hub(
         "region": region.index,
         "channel": region.channels[local_index],
         "devices": len(plans),
-        "co_channel_neighbors": len(neighbor_distances),
-        "interfered": interferer is not None,
+        "co_channel_neighbors": runtime.neighbor_count,
+        "interfered": runtime.interfered,
         "bits_delivered": int(bits),
         "packets_delivered": int(delivered),
         "packets_attempted": int(attempted),
@@ -349,19 +408,41 @@ def simulate_hub(
     return report
 
 
-def simulate_region(spec: DeploymentSpec, region: Region) -> "dict[str, object]":
+def simulate_region(
+    spec: DeploymentSpec,
+    region: Region,
+    fault_plan: "RegionFaultPlan | None" = None,
+) -> "dict[str, object]":
     """Simulate every hub of one region; returns the region report.
 
-    Hubs share one :class:`~repro.core.regimes.LinkMap` (its availability
-    cache is the hot path) and run sequentially on their own kernels —
-    the parallelism lever is *regions across the process pool*, not hubs
-    within a region.
+    Unarmed (no plan, or an empty one) hubs share one
+    :class:`~repro.core.regimes.LinkMap` (its availability cache is the
+    hot path) and run sequentially on their own kernels — the
+    parallelism lever is *regions across the process pool*, not hubs
+    within a region.  An empty :class:`~repro.faults.region.RegionFaultPlan`
+    takes exactly this path, so it is bit-identical to a run with the
+    fault machinery absent.
+
+    A non-empty plan routes through the resilient shared-kernel path
+    (:func:`_simulate_region_resilient`): all hubs ride one simulator
+    so a blackout on one hub can hand its devices to a live neighbor
+    mid-run.
     """
-    link_map = LinkMap()
-    hubs = [
-        simulate_hub(spec, region, local_index, link_map=link_map)
-        for local_index in range(region.hub_count)
-    ]
+    if fault_plan is None or fault_plan.is_empty:
+        link_map = LinkMap()
+        hubs = [
+            simulate_hub(spec, region, local_index, link_map=link_map)
+            for local_index in range(region.hub_count)
+        ]
+        return _region_report(spec, region, hubs)
+    return _simulate_region_resilient(spec, region, fault_plan)
+
+
+def _region_report(
+    spec: DeploymentSpec, region: Region, hubs: "list[dict[str, object]]"
+) -> "dict[str, object]":
+    """Fold per-hub reports into the region report (shared by both
+    paths; resilience keys ride on top only when armed)."""
     report: "dict[str, object]" = {
         "region": region.index,
         "hubs": hubs,
@@ -379,3 +460,527 @@ def simulate_region(spec: DeploymentSpec, region: Region) -> "dict[str, object]"
     if spec.lp_plan:
         report["lp_bits"] = float(sum(h["lp_bits"] for h in hubs))  # type: ignore[misc]
     return report
+
+
+# -- resilient (fault-armed) path ---------------------------------------
+
+
+@dataclass(frozen=True)
+class _DeviceHome:
+    """One device's failover identity: where it lives, what it weighs,
+    and which neighbor hubs could plausibly adopt it."""
+
+    name: str
+    home_local: int
+    home_global: int
+    tdma_weight: float
+    radio: BraidioRadio
+    #: (distance_m, local_index) per candidate hub, nearest first.
+    neighbor_order: "tuple[tuple[float, int], ...]"
+
+
+class _BrownoutGate:
+    """Per-session hook blocking carrier-dependent modes while the
+    hub's carrier is browned out (duck-types the
+    :class:`~repro.faults.injector.FaultInjector` interface the serve
+    loop consults AFTER the link draw, so the link RNG order is
+    untouched)."""
+
+    __slots__ = ("_depth",)
+
+    def __init__(self) -> None:
+        self._depth = 0
+
+    def begin(self) -> None:
+        self._depth += 1
+
+    def end(self) -> None:
+        self._depth -= 1
+
+    def client_blocked(self, name: str, mode: LinkMode) -> bool:
+        return self._depth > 0 and mode is not LinkMode.ACTIVE
+
+
+class HandoffCoordinator:
+    """Executes hub-to-hub failover for one region under fault pressure.
+
+    When a hub goes dark (:meth:`hub_down`), every device it was
+    actively serving becomes an *orphan* and retries association with
+    the nearest live neighbor hub under deterministic exponential
+    backoff; a viable neighbor (the link budget must close at the
+    device-to-hub distance — at city hub spacings only the active
+    radio reaches, which is exactly Braidio's asymmetric-energy story)
+    adopts a *twin* client sharing the device's battery.  The rebooting
+    hub (:meth:`hub_up`) reclaims its flock: twins are released and the
+    home session re-plans.  Orphan time, handoff counts/latency and
+    dark-hub time accrue for the degradation metrics.
+
+    Determinism: backoff jitter draws from a content-addressed region
+    fault stream consumed in DES order, and each twin link draws from
+    its own scenario stream (``hub<g>:handoff:<name>:<n>``) — never
+    from worker or wall-clock state.
+    """
+
+    #: Re-association attempts before a device waits for its home hub.
+    MAX_ATTEMPTS = 3
+    #: Base re-admission backoff (doubles per attempt).
+    BACKOFF_BASE_S = 0.05
+    #: Jitter span added to each backoff (de-synchronizes the flock).
+    JITTER_S = 0.02
+
+    def __init__(
+        self,
+        spec: DeploymentSpec,
+        region: Region,
+        sim: Simulator,
+        runtimes: "list[_HubRuntime]",
+        link_map: LinkMap,
+        rng,
+    ) -> None:
+        self._spec = spec
+        self._region = region
+        self._sim = sim
+        self._runtimes = runtimes
+        self._link_map = link_map
+        self._rng = rng
+        self._gates = {}
+        for runtime in runtimes:
+            gate = _BrownoutGate()
+            runtime.session.attach_injector(gate)
+            self._gates[runtime.local_index] = gate
+        self._devices: "dict[str, _DeviceHome]" = {}
+        for runtime in runtimes:
+            hx, hy = region.positions_m[runtime.local_index]
+            for plan, client in zip(runtime.plans, runtime.clients):
+                theta = float(
+                    spec.stream(
+                        f"hub{runtime.global_index}:angle:{plan.name}"
+                    ).uniform(0.0, 2.0 * math.pi)
+                )
+                x = hx + plan.distance_m * math.cos(theta)
+                y = hy + plan.distance_m * math.sin(theta)
+                order = tuple(
+                    sorted(
+                        (
+                            quantize_distance(
+                                math.hypot(
+                                    x - region.positions_m[other.local_index][0],
+                                    y - region.positions_m[other.local_index][1],
+                                )
+                            ),
+                            other.local_index,
+                        )
+                        for other in runtimes
+                        if other.local_index != runtime.local_index
+                    )
+                )
+                self._devices[plan.name] = _DeviceHome(
+                    name=plan.name,
+                    home_local=runtime.local_index,
+                    home_global=runtime.global_index,
+                    tdma_weight=spec.device_class(plan.class_name).tdma_weight,
+                    radio=client.radio,
+                    neighbor_order=order,
+                )
+        # Failover state.
+        self._adopted_at: "dict[str, int]" = {}
+        self._adoption_counts: "dict[str, int]" = {}
+        self._orphan_since: "dict[str, float]" = {}
+        self._orphan_windows: "list[tuple[int, float, float]]" = []
+        self._down_since: "dict[int, float]" = {}
+        self._down_windows: "list[tuple[int, float, float]]" = []
+        self._surges: "list[tuple[float, int | None]]" = []
+        # Aggregate counters.
+        self.handoffs = 0
+        self.failed_handoffs = 0
+        self.reclaims = 0
+        self._latency_total_s = 0.0
+        self._handoffs_out = {rt.local_index: 0 for rt in runtimes}
+        self._handoffs_in = {rt.local_index: 0 for rt in runtimes}
+        self._failed_by_home = {rt.local_index: 0 for rt in runtimes}
+
+    # -- driver-facing surface -------------------------------------------
+
+    @property
+    def simulator(self) -> Simulator:
+        """The region's shared event kernel."""
+        return self._sim
+
+    def runtime(self, local_index: int) -> _HubRuntime:
+        """One hub's live objects, by local index."""
+        return self._runtimes[local_index]
+
+    def local_index_of(self, global_hub: int) -> int:
+        """Map a global hub index into this region.
+
+        Raises:
+            ValueError: for hubs outside the region.
+        """
+        return self._region.hub_indices.index(global_hub)
+
+    def hub_down(self, local_index: int) -> None:
+        """Blackout onset: power the hub down and orphan its flock."""
+        runtime = self._runtimes[local_index]
+        session = runtime.session
+        if session.finished or session.powered_down:
+            return
+        now = self._sim.now_s
+        # Devices this hub had adopted from an earlier blackout are
+        # orphaned anew (cascading failures).
+        for name, host in list(self._adopted_at.items()):
+            if host == local_index:
+                session.release_client(name)
+                del self._adopted_at[name]
+                self._begin_orphan(name, now)
+        session.power_down()
+        self._down_since[local_index] = now
+        for client in runtime.clients:
+            name = client.name
+            if (
+                name in session.suspended_clients
+                or name in session.exhausted_clients
+                or name in self._adopted_at
+                or name in self._orphan_since
+            ):
+                continue
+            self._begin_orphan(name, now)
+
+    def hub_up(self, local_index: int) -> None:
+        """Blackout end: the hub reboots and reclaims its flock."""
+        runtime = self._runtimes[local_index]
+        session = runtime.session
+        now = self._sim.now_s
+        for name, host in list(self._adopted_at.items()):
+            if self._devices[name].home_local == local_index:
+                self._runtimes[host].session.release_client(name)
+                del self._adopted_at[name]
+                self.reclaims += 1
+        for name in list(self._orphan_since):
+            if self._devices[name].home_local == local_index:
+                self._end_orphan(name, now)
+        session.power_up()
+        started = self._down_since.pop(local_index, None)
+        if started is not None:
+            self._down_windows.append((local_index, started, now))
+
+    def begin_brownout(self, local_index: int) -> None:
+        """Carrier brownout onset: envelope-detector modes fail on this
+        hub (its adopted twins included — they ride the same carrier)."""
+        self._gates[local_index].begin()
+
+    def end_brownout(self, local_index: int) -> None:
+        """Carrier brownout cleared."""
+        self._gates[local_index].end()
+
+    def begin_surge(self, magnitude_db: float, local_index: "int | None" = None) -> None:
+        """Noise-floor surge onset: every in-scope link (twins included)
+        loses ``magnitude_db`` of SNR; twins adopted mid-surge inherit
+        the active offset."""
+        self._surges.append((magnitude_db, local_index))
+        for link in self._scoped_links(local_index):
+            link.snr_offset_db = link.snr_offset_db - magnitude_db
+
+    def end_surge(self, magnitude_db: float, local_index: "int | None" = None) -> None:
+        """Noise-floor surge cleared."""
+        self._surges.remove((magnitude_db, local_index))
+        for link in self._scoped_links(local_index):
+            link.snr_offset_db = link.snr_offset_db + magnitude_db
+
+    def storm_suspend(self, name: str) -> None:
+        """Flash-churn: the device flaps off the air wherever it is
+        currently served.  An orphan that flaps stops accruing orphan
+        time (an asleep device demands no coverage)."""
+        now = self._sim.now_s
+        if name in self._orphan_since:
+            self._end_orphan(name, now)
+        self._session_serving(name).suspend_client(name)
+
+    def storm_resume(self, name: str) -> None:
+        """Flash-churn nap over: wake the device wherever it sleeps; if
+        its home hub is still dark and nobody adopted it, it re-enters
+        the orphan pool."""
+        session = self._session_serving(name)
+        if name not in session.suspended_clients:
+            for runtime in self._runtimes:
+                if name in runtime.session.suspended_clients:
+                    session = runtime.session
+                    break
+        if name in session.suspended_clients:
+            session.resume_client(name)
+        home = self._runtimes[self._devices[name].home_local].session
+        if (
+            home.powered_down
+            and name not in self._adopted_at
+            and name not in self._orphan_since
+            and name not in home.suspended_clients
+        ):
+            self._begin_orphan(name, self._sim.now_s)
+
+    # -- handoff state machine -------------------------------------------
+
+    def _session_serving(self, name: str) -> HubSession:
+        host = self._adopted_at.get(name)
+        if host is not None:
+            return self._runtimes[host].session
+        return self._runtimes[self._devices[name].home_local].session
+
+    def _scoped_links(self, local_index: "int | None") -> "list[SimulatedLink]":
+        links: "list[SimulatedLink]" = []
+        for runtime in self._runtimes:
+            if local_index is not None and runtime.local_index != local_index:
+                continue
+            links.extend(client.link for client in runtime.clients)
+            for name, host in self._adopted_at.items():
+                if host == runtime.local_index:
+                    links.append(runtime.session.client(name).link)
+        return links
+
+    def _surge_db_for(self, local_index: int) -> float:
+        return sum(
+            db
+            for db, scope in self._surges
+            if scope is None or scope == local_index
+        )
+
+    def _begin_orphan(self, name: str, now: float) -> None:
+        self._orphan_since[name] = now
+        self._schedule_attempt(name, 0)
+
+    def _end_orphan(self, name: str, now: float) -> None:
+        started = self._orphan_since.pop(name)
+        self._orphan_windows.append(
+            (self._devices[name].home_local, started, now)
+        )
+
+    def _schedule_attempt(self, name: str, attempt: int) -> None:
+        jitter = float(self._rng.random()) * self.JITTER_S
+        delay = self.BACKOFF_BASE_S * (2 ** attempt) + jitter
+        self._sim.schedule_in(
+            delay, functools.partial(self._attempt_handoff, name, attempt)
+        )
+
+    def _attempt_handoff(self, name: str, attempt: int) -> None:
+        if name not in self._orphan_since:
+            return  # adopted, reclaimed or napping meanwhile
+        record = self._devices[name]
+        home = self._runtimes[record.home_local].session
+        if not home.powered_down:
+            return  # home is back; reclaim already settled the orphan
+        if name in home.suspended_clients:
+            return  # asleep through the blackout: it never notices
+        for distance_m, local_index in record.neighbor_order:
+            host = self._runtimes[local_index].session
+            if host.powered_down or host.finished:
+                continue
+            if not self._link_map.available_powers(distance_m):
+                continue
+            self._adopt(name, record, local_index, distance_m)
+            return
+        self.failed_handoffs += 1
+        self._failed_by_home[record.home_local] += 1
+        if attempt + 1 < self.MAX_ATTEMPTS:
+            self._schedule_attempt(name, attempt + 1)
+
+    def _adopt(
+        self, name: str, record: _DeviceHome, local_index: int, distance_m: float
+    ) -> None:
+        from ..sim.policies import BraidioPolicy
+
+        count = self._adoption_counts.get(name, 0)
+        self._adoption_counts[name] = count + 1
+        link = SimulatedLink(
+            self._link_map,
+            distance_m,
+            self._spec.stream(f"hub{record.home_global}:handoff:{name}:{count}"),
+        )
+        surge_db = self._surge_db_for(local_index)
+        if surge_db:
+            link.snr_offset_db = -surge_db
+        twin = HubClient(
+            name=name, radio=record.radio, link=link, policy=BraidioPolicy()
+        )
+        host = self._runtimes[local_index].session
+        host.adopt_client(twin, weight=record.tdma_weight)
+        self._adopted_at[name] = local_index
+        now = self._sim.now_s
+        started = self._orphan_since.pop(name)
+        self._orphan_windows.append((record.home_local, started, now))
+        self._latency_total_s += now - started
+        self.handoffs += 1
+        self._handoffs_out[record.home_local] += 1
+        self._handoffs_in[local_index] += 1
+
+    # -- degradation metrics ---------------------------------------------
+
+    def summarize(self) -> "dict[str, object]":
+        """Clipped degradation metrics for the measured window.
+
+        Orphan and dark-hub intervals are clipped to
+        ``[warmup_s, horizon_s]``; windows still open at the horizon
+        (a hub that never rebooted) are closed there.
+        """
+        warmup = self._spec.warmup_s
+        horizon = self._spec.horizon_s
+        duration = self._spec.duration_s
+
+        def clipped(start: float, end: float) -> float:
+            return max(0.0, min(end, horizon) - max(start, warmup))
+
+        orphan_windows = list(self._orphan_windows) + [
+            (self._devices[name].home_local, started, horizon)
+            for name, started in self._orphan_since.items()
+        ]
+        down_windows = list(self._down_windows) + [
+            (local, started, horizon)
+            for local, started in self._down_since.items()
+        ]
+        per_hub: "dict[int, dict[str, object]]" = {}
+        for runtime in self._runtimes:
+            local = runtime.local_index
+            orphan_s = sum(
+                clipped(start, end)
+                for home, start, end in orphan_windows
+                if home == local
+            )
+            dark_s = sum(
+                clipped(start, end)
+                for where, start, end in down_windows
+                if where == local
+            )
+            devices = len(runtime.plans)
+            per_hub[local] = {
+                "orphaned_device_s": orphan_s,
+                "dark_s": dark_s,
+                "handoffs_out": self._handoffs_out[local],
+                "handoffs_in": self._handoffs_in[local],
+                "failed_handoffs": self._failed_by_home[local],
+                "coverage_ratio": 1.0 - orphan_s / (devices * duration),
+            }
+        total_orphan = float(
+            sum(hub["orphaned_device_s"] for hub in per_hub.values())  # type: ignore[misc]
+        )
+        total_devices = sum(len(rt.plans) for rt in self._runtimes)
+        region = {
+            "coverage_ratio": 1.0 - total_orphan / (total_devices * duration),
+            "orphaned_device_s": total_orphan,
+            "dark_hub_s": float(
+                sum(hub["dark_s"] for hub in per_hub.values())  # type: ignore[misc]
+            ),
+            "handoffs": self.handoffs,
+            "failed_handoffs": self.failed_handoffs,
+            "reclaims": self.reclaims,
+            "handoff_latency_mean_s": (
+                self._latency_total_s / self.handoffs if self.handoffs else 0.0
+            ),
+        }
+        return {"per_hub": per_hub, "region": region}
+
+
+def _simulate_region_resilient(
+    spec: DeploymentSpec, region: Region, fault_plan: "RegionFaultPlan"
+) -> "dict[str, object]":
+    """Armed path: all hubs of the region share one kernel so faults
+    and hub-to-hub handoff cross hub boundaries mid-run.
+
+    Energy here is accounted by *battery deltas* over the measured
+    window (a device adopted by a neighbor drains the same physical
+    battery through its twin), and throughput by the serving hub's
+    session counters — a device handed off mid-blackout counts toward
+    its adoptive hub's bits.
+    """
+    from ..faults.deploy import RegionFaultDriver
+    from ..faults.seeding import region_fault_rng
+
+    link_map = LinkMap()
+    sim_seed = int(spec.stream(f"region{region.index}:kernel").integers(2**31))
+    sim = Simulator(seed=sim_seed)
+    runtimes = [
+        _build_hub(spec, region, local_index, link_map, sim)
+        for local_index in range(region.hub_count)
+    ]
+    handoff_rng = region_fault_rng(
+        spec.fingerprint(), fault_plan, f"region{region.index}:handoff", spec.seed
+    )
+    coordinator = HandoffCoordinator(
+        spec, region, sim, runtimes, link_map, handoff_rng
+    )
+    driver = RegionFaultDriver(spec, region, fault_plan, coordinator)
+    driver.arm()
+
+    counter_base: "dict[int, tuple[int, int, int]]" = {}
+    battery_base: "dict[str, float]" = {}
+    hub_battery_base: "dict[int, float]" = {}
+
+    def snapshot() -> None:
+        for runtime in runtimes:
+            metrics = runtime.session.hub_metrics
+            counter_base[runtime.local_index] = (
+                metrics.bits_delivered,
+                metrics.packets_delivered,
+                metrics.packets_attempted,
+            )
+            hub_battery_base[runtime.local_index] = (
+                runtime.hub_radio.battery.remaining_j
+            )
+            for client in runtime.clients:
+                battery_base[client.name] = client.radio.battery.remaining_j
+
+    sim.schedule_at(spec.warmup_s, snapshot)
+    for runtime in runtimes:
+        for driver_ in runtime.drivers:
+            driver_.start()
+    for runtime in runtimes:
+        runtime.session.start()
+    sim.run(until_s=spec.horizon_s)
+    for runtime in runtimes:
+        runtime.session.finish("time")
+    if not counter_base:  # warmup_s == horizon corner
+        snapshot()
+
+    resilience = coordinator.summarize()
+    hubs: "list[dict[str, object]]" = []
+    for runtime in runtimes:
+        session = runtime.session
+        metrics = session.hub_metrics
+        bits0, delivered0, attempted0 = counter_base[runtime.local_index]
+        bits = metrics.bits_delivered - bits0
+        delivered = metrics.packets_delivered - delivered0
+        attempted = metrics.packets_attempted - attempted0
+        client_energy = sum(
+            battery_base[client.name] - client.radio.battery.remaining_j
+            for client in runtime.clients
+        )
+        hub_energy = (
+            hub_battery_base[runtime.local_index]
+            - runtime.hub_radio.battery.remaining_j
+        )
+        report: "dict[str, object]" = {
+            "hub": runtime.global_index,
+            "region": region.index,
+            "channel": region.channels[runtime.local_index],
+            "devices": len(runtime.plans),
+            "co_channel_neighbors": runtime.neighbor_count,
+            "interfered": runtime.interfered,
+            "bits_delivered": int(bits),
+            "packets_delivered": int(delivered),
+            "packets_attempted": int(attempted),
+            "delivery_ratio": (delivered / attempted) if attempted else 1.0,
+            "goodput_bps": bits / spec.duration_s,
+            "client_energy_j": float(client_energy),
+            "hub_energy_j": float(hub_energy),
+            "suspensions": session.churn_suspensions,
+            "resumes": session.churn_resumes,
+            "suspended_s": session.suspended_time_s,
+            "terminated_by": metrics.terminated_by,
+            "fault_events": metrics.fault_events,
+            "reboots": metrics.reboots,
+        }
+        report.update(resilience["per_hub"][runtime.local_index])  # type: ignore[index, call-overload]
+        if spec.lp_plan:
+            report["lp_bits"] = _lp_upper_bound(spec, runtime.plans, link_map)
+        hubs.append(report)
+    region_report = _region_report(spec, region, hubs)
+    region_block = dict(resilience["region"])  # type: ignore[arg-type, call-overload]
+    region_block["fault_events"] = driver.fault_events
+    region_report["resilience"] = region_block
+    return region_report

@@ -37,6 +37,80 @@ _STRATEGIES = ("grid", "poisson", "manual")
 #: Mobility models :class:`DeviceClass` understands.
 _MOBILITY = ("static", "waypoint")
 
+#: Sentinel distinguishing "field absent" from any real value.
+_MISSING = object()
+
+
+def _reject_unknown(
+    owner: str, data: "Mapping[str, object]", known: "tuple[str, ...]"
+) -> None:
+    """Unknown keys fail loudly — a typo'd field would otherwise silently
+    fall back to its default and fingerprint as a different scenario."""
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown {owner} field(s) {', '.join(repr(k) for k in unknown)} "
+            f"(known: {', '.join(known)})"
+        )
+
+
+def _parse_field(
+    owner: str,
+    data: "Mapping[str, object]",
+    key: str,
+    convert,
+    default: object = _MISSING,
+):
+    """One field through its type gate; failures name the offending key."""
+    if key not in data:
+        if default is _MISSING:
+            raise ValueError(f"{owner} is missing required field {key!r}")
+        return default
+    raw = data[key]
+    try:
+        return convert(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{owner} field {key!r} has invalid value {raw!r}"
+        ) from None
+
+
+def _as_str(value: object) -> str:
+    if not isinstance(value, str):
+        raise ValueError(value)
+    return value
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(value)
+    return int(value)
+
+
+def _as_float(value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(value)
+    return float(value)
+
+
+def _as_bool(value: object) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(value)
+    return value
+
+
+def _as_pair(value: object) -> "tuple[float, float]":
+    if isinstance(value, (str, bytes, Mapping)):
+        raise ValueError(value)
+    x, y = value  # type: ignore[misc]
+    return (_as_float(x), _as_float(y))
+
+
+def _as_positions(value: object) -> "tuple[tuple[float, float], ...]":
+    if isinstance(value, (str, bytes, Mapping)):
+        raise ValueError(value)
+    return tuple(_as_pair(point) for point in value)  # type: ignore[union-attr]
+
 
 @dataclass(frozen=True)
 class HubLayout:
@@ -100,16 +174,25 @@ class HubLayout:
             "positions_m": [list(p) for p in self.positions_m],
         }
 
+    _FIELDS = ("strategy", "count", "spacing_m", "area_m", "positions_m")
+
     @classmethod
     def from_dict(cls, data: "Mapping[str, object]") -> "HubLayout":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: naming the offending key, for unknown fields or
+                wrong-typed values.
+        """
+        _reject_unknown("hub layout", data, cls._FIELDS)
+        owner = "hub layout"
         return cls(
-            strategy=str(data.get("strategy", "grid")),
-            count=int(data.get("count", 1)),  # type: ignore[arg-type]
-            spacing_m=float(data.get("spacing_m", 25.0)),  # type: ignore[arg-type]
-            area_m=tuple(data.get("area_m", (200.0, 200.0))),  # type: ignore[arg-type]
-            positions_m=tuple(
-                tuple(p) for p in data.get("positions_m", ())  # type: ignore[union-attr]
+            strategy=_parse_field(owner, data, "strategy", _as_str, "grid"),
+            count=_parse_field(owner, data, "count", _as_int, 1),
+            spacing_m=_parse_field(owner, data, "spacing_m", _as_float, 25.0),
+            area_m=_parse_field(owner, data, "area_m", _as_pair, (200.0, 200.0)),
+            positions_m=_parse_field(
+                owner, data, "positions_m", _as_positions, ()
             ),
         )
 
@@ -173,17 +256,33 @@ class DeviceClass:
             "mobility": self.mobility,
         }
 
+    _FIELDS = (
+        "name", "device", "share", "min_distance_m", "max_distance_m",
+        "tdma_weight", "mobility",
+    )
+
     @classmethod
     def from_dict(cls, data: "Mapping[str, object]") -> "DeviceClass":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: naming the offending key, for unknown fields or
+                wrong-typed values.
+        """
+        _reject_unknown("device class", data, cls._FIELDS)
+        owner = "device class"
         return cls(
-            name=str(data["name"]),
-            device=str(data["device"]),
-            share=float(data.get("share", 1.0)),  # type: ignore[arg-type]
-            min_distance_m=float(data.get("min_distance_m", 0.3)),  # type: ignore[arg-type]
-            max_distance_m=float(data.get("max_distance_m", 2.0)),  # type: ignore[arg-type]
-            tdma_weight=float(data.get("tdma_weight", 1.0)),  # type: ignore[arg-type]
-            mobility=str(data.get("mobility", "static")),
+            name=_parse_field(owner, data, "name", _as_str),
+            device=_parse_field(owner, data, "device", _as_str),
+            share=_parse_field(owner, data, "share", _as_float, 1.0),
+            min_distance_m=_parse_field(
+                owner, data, "min_distance_m", _as_float, 0.3
+            ),
+            max_distance_m=_parse_field(
+                owner, data, "max_distance_m", _as_float, 2.0
+            ),
+            tdma_weight=_parse_field(owner, data, "tdma_weight", _as_float, 1.0),
+            mobility=_parse_field(owner, data, "mobility", _as_str, "static"),
         )
 
 
@@ -241,15 +340,35 @@ class ChurnProcess:
             "mean_join_delay_s": self.mean_join_delay_s,
         }
 
+    _FIELDS = (
+        "mean_awake_s", "mean_asleep_s", "mean_lifetime_s",
+        "late_join_fraction", "mean_join_delay_s",
+    )
+
     @classmethod
     def from_dict(cls, data: "Mapping[str, object]") -> "ChurnProcess":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: naming the offending key, for unknown fields or
+                wrong-typed values.
+        """
+        _reject_unknown("churn process", data, cls._FIELDS)
+        owner = "churn process"
         return cls(
-            mean_awake_s=float(data.get("mean_awake_s", 0.0)),  # type: ignore[arg-type]
-            mean_asleep_s=float(data.get("mean_asleep_s", 2.0)),  # type: ignore[arg-type]
-            mean_lifetime_s=float(data.get("mean_lifetime_s", 0.0)),  # type: ignore[arg-type]
-            late_join_fraction=float(data.get("late_join_fraction", 0.0)),  # type: ignore[arg-type]
-            mean_join_delay_s=float(data.get("mean_join_delay_s", 1.0)),  # type: ignore[arg-type]
+            mean_awake_s=_parse_field(owner, data, "mean_awake_s", _as_float, 0.0),
+            mean_asleep_s=_parse_field(
+                owner, data, "mean_asleep_s", _as_float, 2.0
+            ),
+            mean_lifetime_s=_parse_field(
+                owner, data, "mean_lifetime_s", _as_float, 0.0
+            ),
+            late_join_fraction=_parse_field(
+                owner, data, "late_join_fraction", _as_float, 0.0
+            ),
+            mean_join_delay_s=_parse_field(
+                owner, data, "mean_join_delay_s", _as_float, 1.0
+            ),
         )
 
 
@@ -406,36 +525,76 @@ class DeploymentSpec:
         """Canonical JSON form (stable ordering, version-stamped)."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    _FIELDS = (
+        "version", "name", "hubs", "classes", "devices_per_hub",
+        "hub_device", "warmup_s", "duration_s", "churn", "seed",
+        "coupling_threshold_db", "n_channels", "interference_penalty_db",
+        "path_loss_exponent", "payload_bytes", "lp_plan",
+    )
+
     @classmethod
     def from_dict(cls, data: "Mapping[str, object]") -> "DeploymentSpec":
         """Rebuild from :meth:`to_dict` output.
 
         Raises:
-            ValueError: on schema-version mismatch or invalid fields.
+            ValueError: on schema-version mismatch, unknown fields, or
+                wrong-typed values — always naming the offending key.
         """
-        version = data.get("version", DEPLOY_SCHEMA_VERSION)
+        _reject_unknown("deployment spec", data, cls._FIELDS)
+        owner = "deployment spec"
+        version = _parse_field(
+            owner, data, "version", _as_int, DEPLOY_SCHEMA_VERSION
+        )
         if version != DEPLOY_SCHEMA_VERSION:
             raise ValueError(
                 f"deployment schema {version!r} != supported {DEPLOY_SCHEMA_VERSION}"
             )
+        hubs_data = data.get("hubs")
+        if not isinstance(hubs_data, Mapping):
+            raise ValueError(
+                f"deployment spec field 'hubs' must be a mapping, "
+                f"got {hubs_data!r}"
+            )
+        classes_data = data.get("classes")
+        if isinstance(classes_data, (str, bytes, Mapping)) or not hasattr(
+            classes_data, "__iter__"
+        ):
+            raise ValueError(
+                f"deployment spec field 'classes' must be a sequence of "
+                f"mappings, got {classes_data!r}"
+            )
+        churn_data = data.get("churn", {})
+        if not isinstance(churn_data, Mapping):
+            raise ValueError(
+                f"deployment spec field 'churn' must be a mapping, "
+                f"got {churn_data!r}"
+            )
         return cls(
-            name=str(data["name"]),
-            hubs=HubLayout.from_dict(data["hubs"]),  # type: ignore[arg-type]
+            name=_parse_field(owner, data, "name", _as_str),
+            hubs=HubLayout.from_dict(hubs_data),
             classes=tuple(
-                DeviceClass.from_dict(entry) for entry in data["classes"]  # type: ignore[union-attr]
+                DeviceClass.from_dict(entry) for entry in classes_data
             ),
-            devices_per_hub=int(data["devices_per_hub"]),  # type: ignore[arg-type]
-            hub_device=str(data.get("hub_device", "Nexus 6P")),
-            warmup_s=float(data.get("warmup_s", 1.0)),  # type: ignore[arg-type]
-            duration_s=float(data.get("duration_s", 10.0)),  # type: ignore[arg-type]
-            churn=ChurnProcess.from_dict(data.get("churn", {})),  # type: ignore[arg-type]
-            seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
-            coupling_threshold_db=float(data.get("coupling_threshold_db", 62.0)),  # type: ignore[arg-type]
-            n_channels=int(data.get("n_channels", 3)),  # type: ignore[arg-type]
-            interference_penalty_db=float(data.get("interference_penalty_db", 20.0)),  # type: ignore[arg-type]
-            path_loss_exponent=float(data.get("path_loss_exponent", 2.0)),  # type: ignore[arg-type]
-            payload_bytes=int(data.get("payload_bytes", 30)),  # type: ignore[arg-type]
-            lp_plan=bool(data.get("lp_plan", True)),
+            devices_per_hub=_parse_field(owner, data, "devices_per_hub", _as_int),
+            hub_device=_parse_field(
+                owner, data, "hub_device", _as_str, "Nexus 6P"
+            ),
+            warmup_s=_parse_field(owner, data, "warmup_s", _as_float, 1.0),
+            duration_s=_parse_field(owner, data, "duration_s", _as_float, 10.0),
+            churn=ChurnProcess.from_dict(churn_data),
+            seed=_parse_field(owner, data, "seed", _as_int, 0),
+            coupling_threshold_db=_parse_field(
+                owner, data, "coupling_threshold_db", _as_float, 62.0
+            ),
+            n_channels=_parse_field(owner, data, "n_channels", _as_int, 3),
+            interference_penalty_db=_parse_field(
+                owner, data, "interference_penalty_db", _as_float, 20.0
+            ),
+            path_loss_exponent=_parse_field(
+                owner, data, "path_loss_exponent", _as_float, 2.0
+            ),
+            payload_bytes=_parse_field(owner, data, "payload_bytes", _as_int, 30),
+            lp_plan=_parse_field(owner, data, "lp_plan", _as_bool, True),
         )
 
     @classmethod

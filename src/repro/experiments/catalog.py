@@ -468,6 +468,66 @@ def _deploy_export(directory: Path, options: ExportOptions) -> Path:
     )
 
 
+#: Column order of the per-hub resilience CSV (one row per hub of an
+#: armed deployment run).
+DEPLOY_RESILIENCE_COLUMNS: tuple[str, ...] = (
+    "scenario", "profile", "region", "hub", "channel", "devices",
+    "coverage_ratio", "orphaned_device_s", "dark_s", "handoffs_out",
+    "handoffs_in", "failed_handoffs", "reboots", "fault_events",
+    "bits_delivered", "delivery_ratio",
+)
+
+
+def deployment_resilience_rows(
+    manifest: Mapping[str, Any], profile: str
+) -> list[list[object]]:
+    """Flatten an armed deployment manifest's degradation metrics into
+    per-hub CSV rows, ordered by (region, hub)."""
+    rows: list[list[object]] = []
+    for region in manifest["regions"]:
+        for hub in sorted(region["hubs"], key=lambda h: h["hub"]):
+            rows.append(
+                [
+                    manifest["scenario"],
+                    profile,
+                    region["region"],
+                    hub["hub"],
+                    hub["channel"],
+                    hub["devices"],
+                    hub["coverage_ratio"],
+                    hub["orphaned_device_s"],
+                    hub["dark_s"],
+                    hub["handoffs_out"],
+                    hub["handoffs_in"],
+                    hub["failed_handoffs"],
+                    hub["reboots"],
+                    hub["fault_events"],
+                    hub["bits_delivered"],
+                    hub["delivery_ratio"],
+                ]
+            )
+    return rows
+
+
+def _deploy_faults_export(directory: Path, options: ExportOptions) -> Path:
+    """Degradation metrics of the ``smoke`` scenario under the
+    ``blackout`` chaos profile: hubs go dark mid-run, their devices
+    re-associate to neighbor hubs, coverage dips and recovers.  The
+    armed manifest lands next to the CSV."""
+    from ..deploy import run_deployment, scenario, write_manifest
+    from ..faults import region_fault_plan_for
+
+    spec = scenario("smoke")
+    plan = region_fault_plan_for("blackout", spec)
+    run = run_deployment(spec, options.campaign, fault_plan=plan)
+    write_manifest(directory / "deploy_blackout_manifest.json", run.manifest)
+    return write_rows(
+        directory / "deploy_resilience.csv",
+        DEPLOY_RESILIENCE_COLUMNS,
+        deployment_resilience_rows(run.manifest, "blackout"),
+    )
+
+
 # --------------------------------------------------------------------------
 # Profiler sweep workloads (no CSV; exercised under cProfile)
 
@@ -611,6 +671,13 @@ register(ExperimentDef(
     title="City-scale smoke deployment: per-hub metrics + manifest",
     export=_deploy_export,
     csv_names=("deploy_hubs.csv", "deploy_smoke_manifest.json"),
+    campaign_aware=True,
+))
+register(ExperimentDef(
+    id="deploy-faults", kind="scenario",
+    title="Smoke deployment under the blackout profile: degradation CSV",
+    export=_deploy_faults_export,
+    csv_names=("deploy_resilience.csv", "deploy_blackout_manifest.json"),
     campaign_aware=True,
 ))
 register(ExperimentDef(

@@ -7,6 +7,7 @@ the recovery-metric CSV rows, and the ``python -m repro faults`` view
 live in :mod:`repro.faults.profiles`.
 """
 
+from .deploy import RegionFaultDriver
 from .injector import HUB_KINDS, FaultInjector
 from .plan import (
     FAULT_SCHEMA_VERSION,
@@ -24,7 +25,21 @@ from .profiles import (
     render_faults,
     run_fault_session,
 )
-from .seeding import fault_rng, fault_seed_sequence
+from .region import (
+    REGION_FAULT_PROFILES,
+    REGION_FAULT_SCHEMA_VERSION,
+    REGION_WIDE,
+    RegionFaultKind,
+    RegionFaultPlan,
+    RegionFaultSpec,
+    region_fault_plan_for,
+)
+from .seeding import (
+    fault_rng,
+    fault_seed_sequence,
+    region_fault_rng,
+    region_fault_seed_sequence,
+)
 
 __all__ = [
     "FAULT_PROFILES",
@@ -35,11 +50,21 @@ __all__ = [
     "FaultSpec",
     "HUB_KINDS",
     "RECOVERY_FIELDS",
+    "REGION_FAULT_PROFILES",
+    "REGION_FAULT_SCHEMA_VERSION",
+    "REGION_WIDE",
+    "RegionFaultDriver",
+    "RegionFaultKind",
+    "RegionFaultPlan",
+    "RegionFaultSpec",
     "fault_plan_for",
     "fault_rng",
     "fault_seed_sequence",
     "recovery_report",
     "recovery_rows",
+    "region_fault_plan_for",
+    "region_fault_rng",
+    "region_fault_seed_sequence",
     "render_faults",
     "run_fault_session",
     "validate_windows",

@@ -11,9 +11,15 @@ the same fault stream regardless of worker count or execution order.
 
 from __future__ import annotations
 
+import hashlib
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .region import RegionFaultPlan
 
 #: Number of 32-bit words of the plan fingerprint folded into the key.
 _FINGERPRINT_WORDS = 4
@@ -21,6 +27,11 @@ _FINGERPRINT_WORDS = 4
 #: Domain-separation word so fault streams can never collide with the
 #: campaign job streams derived off the same root seed.
 _FAULT_DOMAIN = 0xFA0175
+
+#: Distinct domain word for deploy-layer (region) fault streams, so they
+#: can never collide with pair-level fault streams *or* the scenario's
+#: own content-addressed streams.
+_REGION_FAULT_DOMAIN = 0xD401FA
 
 
 def fault_seed_sequence(plan: FaultPlan, seed: int = 0) -> np.random.SeedSequence:
@@ -39,3 +50,45 @@ def fault_seed_sequence(plan: FaultPlan, seed: int = 0) -> np.random.SeedSequenc
 def fault_rng(plan: FaultPlan, seed: int = 0) -> np.random.Generator:
     """Fresh deterministic generator for one (seed, plan) pair."""
     return np.random.default_rng(fault_seed_sequence(plan, seed))
+
+
+def region_fault_seed_sequence(
+    scenario_fingerprint: str,
+    plan: "RegionFaultPlan",
+    label: str,
+    seed: int = 0,
+) -> np.random.SeedSequence:
+    """Child sequence for one (scenario, plan, label) triple.
+
+    Deploy-layer fault streams are addressed by the *scenario*
+    fingerprint, the *plan* fingerprint and a purpose label (e.g.
+    ``"region3:handoff"``) — never by worker identity or execution
+    order — so armed deployment runs are bit-identical at any worker
+    count, chunking or resume, and the streams never overlap the
+    scenario's own ``DeploymentSpec.stream`` draws.
+    """
+    root = np.random.SeedSequence(seed)
+    salted = hashlib.sha256(
+        f"{scenario_fingerprint}:{plan.fingerprint()}:{label}".encode("utf-8")
+    ).hexdigest()
+    digest = int(salted, 16)
+    words = tuple(
+        (digest >> (32 * i)) & 0xFFFFFFFF for i in range(_FINGERPRINT_WORDS)
+    )
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (_REGION_FAULT_DOMAIN,) + words,
+    )
+
+
+def region_fault_rng(
+    scenario_fingerprint: str,
+    plan: "RegionFaultPlan",
+    label: str,
+    seed: int = 0,
+) -> np.random.Generator:
+    """Fresh deterministic generator for one (scenario, plan, label)
+    triple."""
+    return np.random.default_rng(
+        region_fault_seed_sequence(scenario_fingerprint, plan, label, seed)
+    )

@@ -143,6 +143,16 @@ class HubSession:
         self.churn_suspensions = 0
         self.churn_resumes = 0
         self.suspended_time_s = 0.0
+        # Power state (deploy-layer blackouts): a dark hub serves nothing
+        # until power_up(); neighbor hubs may adopt its clients meanwhile.
+        # Unused -> bit-identical to the pre-failover behavior.
+        self._powered_down = False
+        self._down_since = 0.0
+        self._down_chain_broken = False
+        self.power_downs = 0
+        self.powered_down_s = 0.0
+        self.adoptions = 0
+        self.releases = 0
         self.hub_metrics = SessionMetrics()
         # Each client's ledger binds its own battery as account "a" and
         # the *shared* hub battery as account "b" — drains route through
@@ -182,6 +192,22 @@ class HubSession:
     def suspended_clients(self) -> frozenset[str]:
         """Clients currently suspended by churn (asleep or departed)."""
         return frozenset(self._suspended)
+
+    @property
+    def powered_down(self) -> bool:
+        """Whether the hub is currently dark (deploy-layer blackout)."""
+        return self._powered_down
+
+    @property
+    def exhausted_clients(self) -> frozenset[str]:
+        """Clients retired for good (dead battery or burned probe
+        budget)."""
+        return frozenset(self._exhausted)
+
+    @property
+    def client_names(self) -> frozenset[str]:
+        """Every client currently attached (including adopted ones)."""
+        return frozenset(self._clients)
 
     def suspend_client(self, name: str) -> None:
         """Churn: take a client off the air (sleep or departure).
@@ -228,9 +254,119 @@ class HubSession:
         )
         self._last_mode[name] = None
         self._rebuild_schedule()
+        if self._idle and not self._powered_down:
+            self._idle = False
+            self._sim.schedule_in(0.0, self._serve_packet)
+
+    def power_down(self) -> None:
+        """Blackout: the hub stops serving entirely until :meth:`power_up`.
+
+        Clients stay attached (batteries idle, churn timers keep
+        running); the in-flight serve chain dies at its next event and
+        :meth:`power_up` re-arms it.  No-op on a finished or
+        already-dark session.
+        """
+        if self._finished or self._powered_down:
+            return
+        self._powered_down = True
+        self._down_since = self._sim.now_s
+        self.power_downs += 1
+
+    def power_up(self) -> None:
+        """Reboot after a blackout: every live client's policy re-plans
+        from the *current* batteries and link distance, committed modes
+        are forgotten, and serving resumes.  No-op unless dark."""
+        if self._finished or not self._powered_down:
+            return
+        self._powered_down = False
+        self.powered_down_s += self._sim.now_s - self._down_since
+        self.hub_metrics.reboots += 1
+        for name, client in self._clients.items():
+            if name in self._exhausted or name in self._suspended:
+                continue
+            client.policy.start(
+                client.link.distance_m,
+                max(client.radio.battery.remaining_j, 1e-12),
+                max(self._hub.battery.remaining_j, 1e-12),
+            )
+            self._last_mode[name] = None
+        if self._down_chain_broken:
+            self._down_chain_broken = False
+            self._sim.schedule_in(0.0, self._serve_packet)
+
+    def adopt_client(self, client: HubClient, weight: float = 1.0) -> None:
+        """Hub-to-hub handoff: admit a dark neighbor's device mid-run.
+
+        The client gets TDMA slots at ``weight`` (existing clients'
+        air time shrinks proportionally), its ledger accounts bind its
+        own battery and *this* hub's shared battery, and its policy
+        negotiates from the current energy state — exactly what a
+        re-association exchange would establish.
+
+        Raises:
+            RuntimeError: on a finished or powered-down session.
+            ValueError: if the name is already attached.
+        """
+        if self._finished:
+            raise RuntimeError("cannot adopt into a finished session")
+        if self._powered_down:
+            raise RuntimeError("cannot adopt into a powered-down hub")
+        name = client.name
+        if name in self._clients:
+            raise ValueError(f"client {name!r} is already attached")
+        self._base_tdma = self._base_tdma.with_client(name, weight)
+        self._clients[name] = client
+        self._last_mode[name] = None
+        self._fail_streak[name] = 0
+        account_a = client.metrics.ledger.account("a")
+        account_b = client.metrics.ledger.account("b")
+        account_a.bind_battery(client.radio.battery)
+        account_b.bind_battery(self._hub.battery)
+        self._accounts[name] = (account_a, account_b)
+        client.policy.start(
+            client.link.distance_m,
+            max(client.radio.battery.remaining_j, 1e-12),
+            max(self._hub.battery.remaining_j, 1e-12),
+        )
+        self.adoptions += 1
+        self._rebuild_schedule()
         if self._idle:
             self._idle = False
             self._sim.schedule_in(0.0, self._serve_packet)
+
+    def release_client(self, name: str) -> HubClient:
+        """Undo an adoption: detach a client and return it.
+
+        Its TDMA slots are redistributed to the survivors; outage and
+        suspension accrual is settled at the current simulation time.
+        The home hub (rebooting after its blackout) re-admits the
+        device through its own still-registered record.
+
+        Raises:
+            KeyError: for unknown client names.
+            ValueError: when it would leave the session clientless.
+        """
+        client = self._clients[name]
+        if len(self._clients) == 1:
+            raise ValueError("cannot release the last client")
+        del self._clients[name]
+        self._accounts.pop(name, None)
+        self._last_mode.pop(name, None)
+        self._fail_streak.pop(name, None)
+        self._probes_used.pop(name, None)
+        self._exhausted.discard(name)
+        went_dark = self._dark_since.pop(name, None)
+        if went_dark is not None:
+            self.hub_metrics.outage_s += self._sim.now_s - went_dark
+        suspended_at = self._suspended.pop(name, None)
+        if suspended_at is not None:
+            asleep_s = self._sim.now_s - suspended_at
+            self.suspended_time_s += asleep_s
+            client.metrics.suspended_s += asleep_s
+        self._base_tdma = self._base_tdma.without([name])
+        self.releases += 1
+        self._rebuild_schedule()
+        return client
 
     def attach_injector(self, injector) -> None:
         """Accept a :class:`~repro.faults.injector.FaultInjector`.
@@ -303,9 +439,23 @@ class HubSession:
             self._terminate("time" if self._max_time_s is not None else "packets")
         return self.hub_metrics
 
+    def finish(self, reason: str = "time") -> SessionMetrics:
+        """Stop the session at the current simulation time.
+
+        For shared-kernel runs (several hub sessions riding one
+        simulator) where the kernel loop is owned by the caller, not
+        :meth:`run`.  Idempotent; returns the hub-side metrics.
+        """
+        if not self._finished:
+            self._terminate(reason)
+        return self.hub_metrics
+
     def _terminate(self, reason: str) -> None:
         self._finished = True
         now = self._sim.now_s
+        if self._powered_down:
+            self._powered_down = False
+            self.powered_down_s += now - self._down_since
         for went_dark in self._dark_since.values():
             self.hub_metrics.outage_s += now - went_dark
         self._dark_since.clear()
@@ -424,6 +574,10 @@ class HubSession:
 
     def _serve_packet(self) -> None:
         if self._finished:
+            return
+        if self._powered_down:
+            # The serve chain dies here; power_up() re-arms exactly one.
+            self._down_chain_broken = True
             return
         if self._max_packets is not None and self._packet_index >= self._max_packets:
             self._terminate("packets")

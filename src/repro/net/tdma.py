@@ -97,6 +97,23 @@ class TdmaSchedule:
             raise ValueError("cannot drop every client from the schedule")
         return TdmaSchedule(remaining, self._round)
 
+    def with_client(self, name: str, weight: float) -> "TdmaSchedule":
+        """A new schedule admitting ``name`` at ``weight``, the existing
+        clients' air time shrinking proportionally (same round length) —
+        how a hub grants slots to a device it adopts from a dark
+        neighbor during hub-to-hub handoff.
+
+        Raises:
+            ValueError: for duplicate names or non-positive weights.
+        """
+        if name in self._weights:
+            raise ValueError(f"client {name!r} is already scheduled")
+        if weight <= 0.0:
+            raise ValueError("weights must be positive")
+        merged = dict(self._weights)
+        merged[name] = weight
+        return TdmaSchedule(merged, max(self._round, len(merged)))
+
     @property
     def slots(self) -> tuple[Slot, ...]:
         """Per-round slots."""

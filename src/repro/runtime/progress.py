@@ -386,13 +386,28 @@ class ShardBoard:
         return all(s.finished for s in self.snapshots)
 
     def render(self) -> str:
-        """Fixed-width table: one row per shard plus a totals line."""
+        """Fixed-width table: one row per shard plus a totals line.
+
+        Column widths stretch with the board's contents, so boards with
+        double-digit shard indices, long worker names or four-digit job
+        counts stay aligned instead of overflowing their columns.
+        """
+        snaps = self.snapshots
+        idx_w = max([len("shard")] + [len(str(s.index)) for s in snaps])
+        owner_w = max([len("owner")] + [len(s.owner or "-") for s in snaps])
+        done_w = max([1] + [len(str(s.done)) for s in snaps])
+        total_w = max([1] + [len(str(s.total)) for s in snaps])
+        prog_w = max(len("done"), done_w + 1 + total_w)
+        fail_w = max([len("fail")] + [len(str(s.failed)) for s in snaps])
+        run_w = max([len("run")] + [len(str(s.in_flight)) for s in snaps])
+        steal_w = max([len("steal")] + [len(str(s.steals)) for s in snaps])
         header = (
-            f"{'shard':>5}  {'owner':<12} {'done':>6} {'fail':>4} "
-            f"{'run':>4} {'steal':>5} {'jobs/s':>7} {'eta':>7}  state"
+            f"{'shard':>{idx_w}}  {'owner':<{owner_w}} {'done':>{prog_w}} "
+            f"{'fail':>{fail_w}} {'run':>{run_w}} {'steal':>{steal_w}} "
+            f"{'jobs/s':>7} {'eta':>7}  state"
         )
         lines = [header]
-        for s in self.snapshots:
+        for s in snaps:
             if s.interrupted:
                 status = "aborted"
             elif s.finished:
@@ -404,10 +419,12 @@ class ShardBoard:
             else:
                 status = "open"
             eta = f"{s.eta_s:6.1f}s" if s.eta_s is not None else "     ?"
+            progress = f"{s.done:>{done_w}}/{s.total:<{total_w}}"
             lines.append(
-                f"{s.index:>5}  {s.owner or '-':<12} "
-                f"{s.done:>3}/{s.total:<3}"
-                f"{s.failed:>4} {s.in_flight:>4} {s.steals:>5} "
+                f"{s.index:>{idx_w}}  {s.owner or '-':<{owner_w}} "
+                f"{progress:>{prog_w}} "
+                f"{s.failed:>{fail_w}} {s.in_flight:>{run_w}} "
+                f"{s.steals:>{steal_w}} "
                 f"{s.jobs_per_s:>7.1f} {eta:>7}  {status}"
             )
         lines.append(

@@ -236,16 +236,21 @@ def run_faults_session(spec: JobSpec, rng: np.random.Generator) -> dict:
 @register_job_runner("deploy.region")
 def run_deploy_region(spec: JobSpec, rng: np.random.Generator) -> dict:
     """One region of a city-scale deployment (params: ``scenario`` —
-    the full scenario JSON — and ``region``).
+    the full scenario JSON — ``region``, and optionally ``faults`` — a
+    serialized :class:`~repro.faults.region.RegionFaultPlan`; the param
+    is only present for non-empty plans, so unarmed job fingerprints
+    never change).
 
     The executor-provided ``rng`` is deliberately unused: every stream
     inside the region derives content-addressed from the *scenario*
-    fingerprint, so the merged deployment manifest is bit-identical at
-    any worker count, chunking, execution order or journal resume.
+    fingerprint (and, when armed, the fault plan's), so the merged
+    deployment manifest is bit-identical at any worker count, chunking,
+    execution order or journal resume.
     """
     from ..deploy.partition import partition
     from ..deploy.region import simulate_region
     from ..deploy.spec import DeploymentSpec
+    from ..faults.region import RegionFaultPlan
 
     scenario_json = spec.param("scenario")
     if scenario_json is None:
@@ -258,7 +263,13 @@ def run_deploy_region(spec: JobSpec, rng: np.random.Generator) -> dict:
             f"region {region_index} out of range: scenario "
             f"{scenario.name!r} partitions into {len(part.regions)} regions"
         )
-    return simulate_region(scenario, part.regions[region_index])
+    faults_json = spec.param("faults")
+    fault_plan = (
+        RegionFaultPlan.from_json(faults_json) if faults_json is not None else None
+    )
+    return simulate_region(
+        scenario, part.regions[region_index], fault_plan=fault_plan
+    )
 
 
 def fault_profile_specs(

@@ -13,7 +13,7 @@ class TestExporters:
         assert set(exportable_ids()) == {
             "fig1", "table1", "table2", "fig3", "fig4", "fig6", "fig12",
             "fig13", "fig14", "table5", "fig15", "fig16", "fig17", "fig18",
-            "energy", "faults", "deploy",
+            "energy", "faults", "deploy", "deploy-faults",
         }
 
     def test_fig15_csv_roundtrip(self, tmp_path):

@@ -71,6 +71,50 @@ class TestChurnTimeline:
         assert all(when <= last_when for when, _ in timeline)
 
 
+class _QueuedRng:
+    """Stub RNG feeding churn_timeline a scripted draw sequence."""
+
+    def __init__(self, uniform=0.0, exponentials=()):
+        self._uniform = uniform
+        self._exponentials = list(exponentials)
+
+    def random(self):
+        return self._uniform
+
+    def exponential(self, mean):
+        return self._exponentials.pop(0)
+
+
+class TestChurnTimelineEdges:
+    def test_static_process_yields_no_events(self):
+        # Zero-rate churn: the late-join and join-delay draws are still
+        # consumed (fixed draw order) but nothing is scheduled.
+        rng = _QueuedRng(uniform=0.99, exponentials=[1.0])
+        timeline = churn_timeline(rng, ChurnProcess(), horizon_s=10.0)
+        assert timeline == ()
+
+    def test_arrival_exactly_at_horizon_never_resumes(self):
+        # A late joiner whose join lands exactly on the horizon starts
+        # suspended and stays suspended — no resume at or past the end.
+        churn = ChurnProcess(late_join_fraction=1.0, mean_join_delay_s=1.0)
+        rng = _QueuedRng(uniform=0.0, exponentials=[10.0])
+        timeline = churn_timeline(rng, churn, horizon_s=10.0)
+        assert timeline == ((0.0, "suspend"),)
+
+    def test_departure_before_arrival_orders_suspends(self):
+        # Lifetime expires before the late join lands: the device never
+        # resumes, and the timeline is two ordered (idempotent) suspends.
+        churn = ChurnProcess(
+            late_join_fraction=1.0, mean_join_delay_s=1.0, mean_lifetime_s=1.0
+        )
+        rng = _QueuedRng(uniform=0.0, exponentials=[5.0, 2.0])
+        timeline = churn_timeline(rng, churn, horizon_s=10.0)
+        assert timeline == ((0.0, "suspend"), (2.0, "suspend"))
+        assert [when for when, _ in timeline] == sorted(
+            when for when, _ in timeline
+        )
+
+
 class TestDevicePlanning:
     def test_population_and_names(self):
         spec = _micro_spec(devices_per_hub=10)

@@ -102,6 +102,111 @@ class TestRoundTrip:
         assert base.fingerprint() != _tiny_spec(duration_s=2.0).fingerprint()
 
 
+class TestHardenedParsing:
+    """Unknown keys and wrong-typed fields fail with one clear
+    ValueError naming the offending key — a typo must never silently
+    fall back to a default and fingerprint as a different scenario."""
+
+    @pytest.mark.parametrize(
+        "cls,payload,owner",
+        [
+            (HubLayout, HubLayout().to_dict(), "hub layout"),
+            (
+                DeviceClass,
+                DeviceClass(name="x", device="iPhone 6S").to_dict(),
+                "device class",
+            ),
+            (ChurnProcess, ChurnProcess().to_dict(), "churn process"),
+            (DeploymentSpec, _tiny_spec().to_dict(), "deployment spec"),
+        ],
+    )
+    def test_unknown_key_names_the_key(self, cls, payload, owner):
+        with pytest.raises(ValueError, match=rf"unknown {owner} field\(s\) 'spacing'"):
+            cls.from_dict({**payload, "spacing": 1.0})
+
+    @pytest.mark.parametrize(
+        "cls,payload,key,bad",
+        [
+            (HubLayout, HubLayout().to_dict(), "count", "two"),
+            (HubLayout, HubLayout().to_dict(), "spacing_m", None),
+            (HubLayout, HubLayout().to_dict(), "area_m", [1.0]),
+            (HubLayout, HubLayout().to_dict(), "strategy", 7),
+            (
+                DeviceClass,
+                DeviceClass(name="x", device="iPhone 6S").to_dict(),
+                "share",
+                "half",
+            ),
+            (
+                DeviceClass,
+                DeviceClass(name="x", device="iPhone 6S").to_dict(),
+                "name",
+                3,
+            ),
+            (ChurnProcess, ChurnProcess().to_dict(), "mean_awake_s", "fast"),
+            (DeploymentSpec, _tiny_spec().to_dict(), "seed", "zero"),
+            (DeploymentSpec, _tiny_spec().to_dict(), "lp_plan", 1),
+            (DeploymentSpec, _tiny_spec().to_dict(), "devices_per_hub", True),
+        ],
+    )
+    def test_wrong_type_names_the_key(self, cls, payload, key, bad):
+        with pytest.raises(ValueError, match=f"field {key!r}"):
+            cls.from_dict({**payload, key: bad})
+
+    def test_nested_sections_must_be_mappings(self):
+        payload = _tiny_spec().to_dict()
+        with pytest.raises(ValueError, match="'hubs' must be a mapping"):
+            DeploymentSpec.from_dict({**payload, "hubs": "grid"})
+        with pytest.raises(ValueError, match="'churn' must be a mapping"):
+            DeploymentSpec.from_dict({**payload, "churn": 3})
+        with pytest.raises(ValueError, match="'classes' must be a sequence"):
+            DeploymentSpec.from_dict({**payload, "classes": "phone"})
+
+    def test_missing_required_field_named(self):
+        payload = DeviceClass(name="x", device="iPhone 6S").to_dict()
+        payload.pop("device")
+        with pytest.raises(ValueError, match="missing required field 'device'"):
+            DeviceClass.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            HubLayout(),
+            HubLayout(
+                strategy="manual", positions_m=((0.0, 0.0), (3.5, 2.25))
+            ),
+            HubLayout(strategy="poisson", count=5, area_m=(80.0, 40.0)),
+            DeviceClass(
+                name="tag",
+                device="Nike Fuel Band",
+                share=0.25,
+                min_distance_m=0.5,
+                max_distance_m=1.5,
+                tdma_weight=2.0,
+                mobility="waypoint",
+            ),
+            ChurnProcess(
+                mean_awake_s=1.0,
+                mean_asleep_s=0.5,
+                mean_lifetime_s=30.0,
+                late_join_fraction=0.2,
+                mean_join_delay_s=0.4,
+            ),
+            _tiny_spec(churn=ChurnProcess(mean_awake_s=3.0)),
+        ],
+    )
+    def test_every_spec_dataclass_round_trips(self, value):
+        assert type(value).from_dict(value.to_dict()) == value
+
+    def test_json_defaults_still_parse(self):
+        # Omitted optional fields keep their defaults under the strict
+        # parser (forward-compat for hand-written scenario JSON).
+        assert HubLayout.from_dict({}) == HubLayout()
+        assert ChurnProcess.from_dict({}) == ChurnProcess()
+        minimal = DeviceClass.from_dict({"name": "x", "device": "iPhone 6S"})
+        assert minimal == DeviceClass(name="x", device="iPhone 6S")
+
+
 class TestDerived:
     def test_class_counts_cover_population(self):
         spec = _tiny_spec(devices_per_hub=13)

@@ -80,3 +80,50 @@ class TestRunManifest:
 
     def test_merge_empty(self):
         assert RunManifest.merge([]) is None
+
+
+class TestShardBoardRender:
+    def _board(self, shards=12, total=1200):
+        from repro.runtime.progress import ShardBoard
+
+        return ShardBoard.from_plan("demo", [total] * shards)
+
+    def _status_starts(self, rendered, statuses):
+        lines = rendered.splitlines()
+        header, rows = lines[0], lines[1 : 1 + len(statuses)]
+        starts = [header.rindex("state")]
+        for line, status in zip(rows, statuses):
+            assert line.endswith("  " + status)
+            starts.append(len(line) - len(status))
+        return starts
+
+    def test_twelve_shards_stay_aligned(self):
+        # Regression: double-digit shard indices and 4-digit job counts
+        # used to overflow the hard-coded column widths and shear the
+        # table; every row's state column must start where the header's
+        # does.
+        board = self._board(shards=12)
+        board.snapshots[3].owner = "worker-11"
+        board.snapshots[3].done = 1034
+        board.snapshots[11].owner = "w2"
+        board.snapshots[11].done = 7
+        statuses = [
+            "stealable" if s.owner else "open" for s in board.snapshots
+        ]
+        starts = self._status_starts(board.render(), statuses)
+        assert len(set(starts)) == 1
+
+    def test_long_owner_names_widen_the_column(self):
+        board = self._board(shards=3, total=9)
+        board.snapshots[1].owner = "a-very-long-worker-name-indeed"
+        statuses = ["open", "stealable", "open"]
+        starts = self._status_starts(board.render(), statuses)
+        assert len(set(starts)) == 1
+
+    def test_totals_line_counts_every_shard(self):
+        board = self._board(shards=12, total=100)
+        board.snapshots[0].done = 60
+        board.snapshots[5].failed = 2
+        assert board.render().splitlines()[-1] == (
+            "total 62/1200 settled, 0 steals"
+        )

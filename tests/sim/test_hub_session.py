@@ -112,6 +112,113 @@ class TestHubSession:
             HubSession(sim, hub, [], TdmaSchedule({"x": 1.0}))
 
 
+def _extra_client(sim, name="guest", distance=0.5, wh=1e-4):
+    radio = BraidioRadio.for_device("Apple Watch")
+    radio.battery = Battery(wh)
+    return HubClient(
+        name=name,
+        radio=radio,
+        link=SimulatedLink(LinkMap(), distance, sim.rng),
+        policy=BraidioPolicy(),
+    )
+
+
+class TestPowerCycle:
+    def test_blackout_halts_service_and_reboot_resumes_it(self):
+        sim, _, clients, session = _build_session(
+            client_whs=(1e-4, 1e-4),
+            apply_switch_costs=False,
+            max_time_s=0.4,
+        )
+        total = lambda: sum(c.metrics.packets_attempted for c in clients)
+        marks = {}
+        sim.schedule_at(0.10, session.power_down)
+        sim.schedule_at(0.12, lambda: marks.setdefault("early", total()))
+        sim.schedule_at(0.24, lambda: marks.setdefault("late", total()))
+        sim.schedule_at(0.25, session.power_up)
+        metrics = session.run()
+        assert marks["early"] == marks["late"]  # nothing served while dark
+        assert total() > marks["late"]  # serving resumed after reboot
+        assert metrics.reboots == 1
+        assert session.power_downs == 1
+        assert session.powered_down_s == pytest.approx(0.15, abs=1e-9)
+        assert not session.powered_down
+
+    def test_power_edges_are_idempotent(self):
+        _, _, _, session = _build_session(max_time_s=0.1)
+        session.power_up()  # no-op when not dark
+        session.power_down()
+        session.power_down()  # no-op when already dark
+        assert session.power_downs == 1
+        assert session.powered_down
+        session.power_up()
+        session.power_up()
+        assert session.hub_metrics.reboots == 1
+
+    def test_terminating_while_dark_settles_down_time(self):
+        sim, _, _, session = _build_session(max_time_s=0.2)
+        sim.schedule_at(0.1, session.power_down)
+        session.run()
+        assert session.powered_down_s == pytest.approx(0.1, abs=1e-9)
+
+
+class TestAdoptRelease:
+    def test_adopted_client_gets_served(self):
+        sim, _, clients, session = _build_session(
+            client_whs=(1e-4, 1e-4),
+            apply_switch_costs=False,
+            max_time_s=0.3,
+        )
+        guest = _extra_client(sim)
+        sim.schedule_at(0.1, lambda: session.adopt_client(guest, weight=2.0))
+        session.run()
+        assert "guest" in session.client_names
+        assert guest.metrics.packets_attempted > 0
+        assert session.adoptions == 1
+
+    def test_release_returns_the_client_and_stops_serving_it(self):
+        _, _, clients, session = _build_session(
+            apply_switch_costs=False, max_time_s=0.2
+        )
+        released = session.release_client("c1")
+        assert released is clients[1]
+        assert session.client_names == {"c0"}
+        assert session.releases == 1
+        session.run()
+        assert clients[1].metrics.packets_attempted == 0
+
+    def test_release_unknown_and_last_client_rejected(self):
+        _, _, _, session = _build_session(max_time_s=0.1)
+        with pytest.raises(KeyError):
+            session.release_client("nobody")
+        session.release_client("c1")
+        with pytest.raises(ValueError, match="last client"):
+            session.release_client("c0")
+
+    def test_adopt_rejects_duplicates_and_dead_states(self):
+        sim, _, _, session = _build_session(max_time_s=0.05)
+        duplicate = _extra_client(sim, name="c0")
+        with pytest.raises(ValueError, match="already attached"):
+            session.adopt_client(duplicate)
+        session.power_down()
+        with pytest.raises(RuntimeError, match="powered-down"):
+            session.adopt_client(_extra_client(sim))
+        session.power_up()
+        session.run()
+        with pytest.raises(RuntimeError, match="finished"):
+            session.adopt_client(_extra_client(sim, name="late"))
+
+    def test_finish_is_idempotent(self):
+        sim, _, _, session = _build_session(max_time_s=None, max_packets=None)
+        session.start()
+        sim.run(until_s=0.05)
+        first = session.finish("time")
+        assert session.finished
+        assert first.terminated_by == "time"
+        assert session.finish("battery") is first
+        assert first.terminated_by == "time"  # reason locked at first finish
+
+
 class TestLpUpperBound:
     def test_des_fleet_bits_bounded_by_lp(self):
         # The fleet LP is the offline optimum; the online TDMA session

@@ -51,6 +51,27 @@ class TestTdmaSchedule:
         iterated = list(itertools.islice(schedule.packet_clients(), 24))
         assert iterated == [schedule.client_for_packet(i) for i in range(24)]
 
+    def test_with_client_admits_at_weight(self):
+        schedule = TdmaSchedule({"a": 1.0, "b": 1.0}, round_packets=64)
+        grown = schedule.with_client("c", 2.0)
+        shares = grown.air_time_shares()
+        assert set(shares) == {"a", "b", "c"}
+        assert shares["c"] == pytest.approx(0.5, abs=1 / 64)
+        # The original schedule is untouched (schedules are immutable).
+        assert set(schedule.air_time_shares()) == {"a", "b"}
+
+    def test_with_client_rejects_duplicates_and_bad_weights(self):
+        schedule = TdmaSchedule({"a": 1.0}, round_packets=16)
+        with pytest.raises(ValueError, match="already scheduled"):
+            schedule.with_client("a", 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            schedule.with_client("b", 0.0)
+
+    def test_with_client_round_trips_through_without(self):
+        schedule = TdmaSchedule({"a": 2.0, "b": 1.0}, round_packets=24)
+        again = schedule.with_client("c", 1.0).without(["c"])
+        assert again.air_time_shares() == schedule.air_time_shares()
+
 
 class TestHubNetwork:
     def test_total_objective_maximizes_fleet_bits(self):
